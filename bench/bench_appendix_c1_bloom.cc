@@ -1,0 +1,83 @@
+// Appendix C.1 — effect of the Embedded index's bloom-filter length.
+// Longer filters lower the false-positive rate (fewer wasted block reads)
+// but cost more memory and more hash probes per check; the paper sweeps
+// bits/key and settles on 20 for its datasets.
+//
+// Usage: bench_appendix_c1_bloom [--n=40000] [--queries=200]
+
+#include <unistd.h>
+
+#include "harness.h"
+
+namespace leveldbpp {
+namespace bench {
+namespace {
+
+void Run(const Flags& flags) {
+  const uint64_t n = flags.GetInt("n", 40000);
+  const uint64_t queries = flags.GetInt("queries", 200);
+  const std::string root = ScratchRoot();
+
+  PrintHeader("Appendix C.1 — Embedded bloom filter bits/key sweep");
+  printf("n=%" PRIu64 " tweets, %" PRIu64
+         " LOOKUP(UserID, K=10) queries per setting\n",
+         n, queries);
+  printf("\n  %-9s %12s %12s %14s %14s %12s\n", "bits/key", "median(us)",
+         "mean(us)", "blocks read", "bloom checks", "positives");
+
+  for (int bits : {5, 10, 20, 30}) {
+    VariantConfig config;
+    config.type = IndexType::kEmbedded;
+    config.attributes = {"UserID"};
+    config.embedded_bits_per_key = bits;
+    auto db =
+        OpenVariant(config, root + "/bloom" + std::to_string(bits));
+    WorkloadGenerator gen(TweetGeneratorOptions{}, 51);
+    std::vector<QueryResult> scratch;
+    for (uint64_t i = 0; i < n; i++) {
+      CheckOk(Apply(db.get(), gen.NextPut(), &scratch), "put");
+    }
+    CheckOk(db->CompactAll(), "compact");
+
+    Histogram hist;
+    Statistics* stats = db->primary_statistics();
+    uint64_t reads0 = stats->Get(kBlockRead);
+    uint64_t checks0 = stats->Get(kBloomSecondaryChecked);
+    uint64_t useful0 = stats->Get(kBloomSecondaryUseful);
+    uint64_t matched = 0;
+    for (uint64_t q = 0; q < queries; q++) {
+      Operation op = gen.NextUserLookup(10);
+      Timer t;
+      CheckOk(Apply(db.get(), op, &scratch), "lookup");
+      hist.Add(static_cast<double>(t.ElapsedMicros()));
+      matched += scratch.size();
+    }
+    uint64_t reads = stats->Get(kBlockRead) - reads0;
+    uint64_t checks = stats->Get(kBloomSecondaryChecked) - checks0;
+    uint64_t useful = stats->Get(kBloomSecondaryUseful) - useful0;
+    // Positive probes = blocks that had to be read; the share that is
+    // false positives shrinks with bits/key (most remaining positives on a
+    // hot attribute value are genuine).
+    uint64_t positives = checks - useful;
+    (void)matched;
+    printf("  %-9d %12.1f %12.1f %14llu %14llu %12llu\n", bits,
+           hist.Median(), hist.Average(),
+           static_cast<unsigned long long>(reads),
+           static_cast<unsigned long long>(checks),
+           static_cast<unsigned long long>(positives));
+  }
+
+  printf("\nExpected shape (paper): false-positive block reads drop steeply "
+         "up to ~20\nbits/key, then flatten while per-check CPU keeps "
+         "growing — 20 is the sweet spot.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace leveldbpp
+
+int main(int argc, char** argv) {
+  leveldbpp::bench::Flags flags(argc, argv);
+  leveldbpp::bench::Run(flags);
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Figure 12 — overall mean time per operation under Mixed workloads
+// (continuous arrivals interleaved with queries; only UserID is indexed
+// and queried, like the paper):
+//   12a: write-heavy  (80% PUT / 15% GET /  5% LOOKUP)
+//   12b: read-heavy   (20% PUT / 70% GET / 10% LOOKUP)
+//   12c: update-heavy (40% PUT / 40% update / 15% GET / 5% LOOKUP)
+//
+// Eager is excluded (paper: "we did not consider Eager Index as it is shown
+// to be unusable"); pass --include-eager to add it anyway.
+//
+// Usage: bench_fig12_mixed [--ops=60000] [--windows=10] [--topk=10]
+
+#include <unistd.h>
+
+#include "harness.h"
+
+namespace leveldbpp {
+namespace bench {
+namespace {
+
+void RunWorkload(const char* name, const MixedRatios& ratios, uint64_t ops,
+                 uint64_t windows, size_t topk, bool include_eager,
+                 bool include_noindex, const std::string& root) {
+  printf("\n--- %s: mean time per op (us) per window ---\n", name);
+  const uint64_t window = ops / windows;
+
+  // NoIndex is off by default: its LOOKUPs are full scans that dwarf every
+  // other line (pass --include-noindex to add it).
+  std::vector<IndexType> variants = {IndexType::kEmbedded, IndexType::kLazy,
+                                     IndexType::kComposite};
+  if (include_noindex) variants.insert(variants.begin(), IndexType::kNoIndex);
+  if (include_eager) variants.push_back(IndexType::kEager);
+
+  printf("  %-10s", "window");
+  for (uint64_t w = 1; w <= windows; w++) printf(" %9" PRIu64, w * window);
+  printf("\n");
+
+  for (IndexType type : variants) {
+    VariantConfig config;
+    config.type = type;
+    config.attributes = {"UserID"};
+    auto db = OpenVariant(
+        config, root + "/" + name + "_" + Name(type));
+    WorkloadGenerator gen(TweetGeneratorOptions{}, 23);
+    std::vector<QueryResult> scratch;
+
+    printf("  %-10s", Name(type));
+    for (uint64_t w = 0; w < windows; w++) {
+      Timer timer;
+      for (uint64_t i = 0; i < window; i++) {
+        CheckOk(Apply(db.get(), gen.NextMixed(ratios, topk), &scratch),
+                "mixed op");
+      }
+      printf(" %9.2f", static_cast<double>(timer.ElapsedMicros()) / window);
+      fflush(stdout);
+    }
+    printf("\n");
+  }
+}
+
+void Run(const Flags& flags) {
+  const uint64_t ops = flags.GetInt("ops", 60000);
+  const uint64_t windows = flags.GetInt("windows", 10);
+  const size_t topk = flags.GetInt("topk", 10);
+  const bool include_eager = flags.GetBool("include-eager", false);
+  const bool include_noindex = flags.GetBool("include-noindex", false);
+  const std::string root = ScratchRoot();
+
+  PrintHeader("Figure 12 — Mixed workloads, overall mean time per op");
+  printf("ops=%" PRIu64 ", windows=%" PRIu64 ", LOOKUP top-K=%zu, index on "
+         "UserID only\n",
+         ops, windows, topk);
+
+  RunWorkload("write-heavy", MixedRatios::WriteHeavy(), ops, windows, topk,
+              include_eager, include_noindex, root);
+  RunWorkload("read-heavy", MixedRatios::ReadHeavy(), ops, windows, topk,
+              include_eager, include_noindex, root);
+  RunWorkload("update-heavy", MixedRatios::UpdateHeavy(), ops, windows, topk,
+              include_eager, include_noindex, root);
+
+  printf("\nExpected shapes (paper): Composite best overall in every mix; "
+         "Embedded\nworst on read-heavy (its LOOKUPs scan in-memory filters "
+         "across the store);\nLazy slips below Composite under update-heavy "
+         "(JSON merge costs in compaction).\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace leveldbpp
+
+int main(int argc, char** argv) {
+  leveldbpp::bench::Flags flags(argc, argv);
+  leveldbpp::bench::Run(flags);
+  return 0;
+}

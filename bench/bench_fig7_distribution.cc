@@ -1,0 +1,73 @@
+// Figure 7 — rank-frequency distribution of the UserID attribute in the
+// generated dataset. The paper's seed crawl shows a power law (slope ~ -1
+// on log-log axes) with ~30 tweets per user on average; the synthetic
+// generator must preserve it. This bench prints the distribution and a
+// log-log regression slope so the match is checkable.
+//
+// Usage: bench_fig7_distribution [--n=200000]
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "harness.h"
+
+namespace leveldbpp {
+namespace bench {
+namespace {
+
+void Run(const Flags& flags) {
+  const uint64_t n = flags.GetInt("n", 200000);
+
+  PrintHeader("Figure 7 — UserID rank-frequency distribution");
+
+  TweetGeneratorOptions options;
+  TweetGenerator gen(options);
+  std::map<std::string, uint64_t> counts;
+  for (uint64_t i = 0; i < n; i++) {
+    counts[gen.Next().user_id]++;
+  }
+
+  std::vector<uint64_t> freqs;
+  freqs.reserve(counts.size());
+  for (const auto& [user, c] : counts) freqs.push_back(c);
+  std::sort(freqs.rbegin(), freqs.rend());
+
+  printf("tweets=%" PRIu64 ", distinct users=%zu, avg tweets/user=%.1f "
+         "(paper seed: ~30)\n",
+         n, freqs.size(), static_cast<double>(n) / freqs.size());
+
+  printf("\n  %-8s %-12s\n", "rank", "frequency");
+  for (size_t rank = 1; rank <= freqs.size(); rank *= 4) {
+    printf("  %-8zu %-12llu\n", rank,
+           static_cast<unsigned long long>(freqs[rank - 1]));
+  }
+
+  // Log-log least-squares slope over the head of the distribution.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  size_t m = std::min<size_t>(freqs.size(), 1000);
+  for (size_t i = 0; i < m; i++) {
+    double x = std::log(static_cast<double>(i + 1));
+    double y = std::log(static_cast<double>(freqs[i]));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  double slope = (m * sxy - sx * sy) / (m * sxx - sx * sx);
+  printf("\nlog-log slope over top-%zu ranks: %.2f (paper's Figure 7 shows "
+         "a power law,\nslope ~ -1)\n",
+         m, slope);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace leveldbpp
+
+int main(int argc, char** argv) {
+  leveldbpp::bench::Flags flags(argc, argv);
+  leveldbpp::bench::Run(flags);
+  return 0;
+}

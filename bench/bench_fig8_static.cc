@@ -1,0 +1,170 @@
+// Figure 8 — overhead of secondary indexes on basic LevelDB operations
+// (Static workload):
+//   8a: database size per variant, split into primary table + per-index
+//       overhead,
+//   8b: PUT time per variant, isolated into primary + CreationTime-index +
+//       UserID-index components (time with one index minus time with none,
+//       etc., exactly as the paper isolates them),
+//   8c: GET latency per variant.
+//
+// Usage: bench_fig8_static [--n=40000] [--ngets=5000]
+
+#include <unistd.h>
+
+#include "harness.h"
+
+namespace leveldbpp {
+namespace bench {
+namespace {
+
+struct BuildResult {
+  double put_us_per_op;
+  uint64_t primary_bytes;
+  uint64_t index_bytes;
+};
+
+BuildResult Build(IndexType type, const std::vector<std::string>& attrs,
+                  const std::string& path, uint64_t n, uint64_t seed) {
+  VariantConfig config;
+  config.type = type;
+  config.attributes = attrs;
+  auto db = OpenVariant(config, path);
+  WorkloadGenerator gen(TweetGeneratorOptions{}, seed);
+  Timer timer;
+  std::vector<QueryResult> scratch;
+  for (uint64_t i = 0; i < n; i++) {
+    CheckOk(Apply(db.get(), gen.NextPut(), &scratch), "put");
+  }
+  BuildResult r;
+  r.put_us_per_op = static_cast<double>(timer.ElapsedMicros()) / n;
+  CheckOk(db->CompactAll(), "compact");
+  r.primary_bytes = db->PrimarySizeBytes();
+  r.index_bytes = db->IndexSizeBytes();
+  return r;
+}
+
+void Run(const Flags& flags) {
+  const uint64_t n = flags.GetInt("n", 40000);
+  const uint64_t ngets = flags.GetInt("ngets", 5000);
+  const std::string root = ScratchRoot();
+
+  PrintHeader("Figure 8 — index overhead on basic operations (Static)");
+  printf("n=%" PRIu64 " tweets, 2 indexed attributes (UserID, CreationTime)\n",
+         n);
+
+  // Baseline: no secondary index at all (equals the NoIndex variant).
+  printf("\n[build] baseline (no secondary index)...\n");
+  BuildResult base = Build(IndexType::kNoIndex, {}, root + "/base", n, 1);
+
+  struct Row {
+    IndexType type;
+    double primary_us, ct_us, user_us;
+    uint64_t primary_bytes, ct_bytes, both_index_bytes;
+    double get_us;
+  };
+  std::vector<Row> rows;
+
+  for (IndexType type :
+       {IndexType::kEmbedded, IndexType::kLazy, IndexType::kEager,
+        IndexType::kComposite}) {
+    printf("[build] %s (CreationTime only)...\n", Name(type));
+    BuildResult ct = Build(type, {"CreationTime"},
+                           root + "/" + Name(type) + "_ct", n, 1);
+    printf("[build] %s (CreationTime + UserID)...\n", Name(type));
+    const std::string both_path = root + "/" + Name(type) + "_both";
+    VariantConfig config;
+    config.type = type;
+    auto db = OpenVariant(config, both_path);
+    WorkloadGenerator gen(TweetGeneratorOptions{}, 1);
+    Timer timer;
+    std::vector<QueryResult> scratch;
+    for (uint64_t i = 0; i < n; i++) {
+      CheckOk(Apply(db.get(), gen.NextPut(), &scratch), "put");
+    }
+    double both_us = static_cast<double>(timer.ElapsedMicros()) / n;
+    CheckOk(db->CompactAll(), "compact");
+
+    Row row;
+    row.type = type;
+    row.primary_us = base.put_us_per_op;
+    row.ct_us = std::max(0.0, ct.put_us_per_op - base.put_us_per_op);
+    row.user_us = std::max(0.0, both_us - ct.put_us_per_op);
+    row.primary_bytes = db->PrimarySizeBytes();
+    row.ct_bytes = ct.index_bytes;
+    row.both_index_bytes = db->IndexSizeBytes();
+
+    // Figure 8c: GET latency on the fully built store.
+    Histogram get_hist;
+    for (uint64_t i = 0; i < ngets; i++) {
+      Operation op = gen.NextGet();
+      Timer t;
+      CheckOk(Apply(db.get(), op, &scratch), "get");
+      get_hist.Add(static_cast<double>(t.ElapsedMicros()));
+    }
+    row.get_us = get_hist.Average();
+    rows.push_back(row);
+  }
+
+  // Baseline GET for NoIndex.
+  double base_get_us;
+  {
+    VariantConfig config;
+    config.type = IndexType::kNoIndex;
+    auto db = OpenVariant(config, root + "/base");
+    WorkloadGenerator gen(TweetGeneratorOptions{}, 1);
+    for (uint64_t i = 0; i < n; i++) gen.NextPut();  // Re-prime sampler
+    std::vector<QueryResult> scratch;
+    Histogram get_hist;
+    for (uint64_t i = 0; i < ngets; i++) {
+      Operation op = gen.NextGet();
+      Timer t;
+      CheckOk(Apply(db.get(), op, &scratch), "get");
+      get_hist.Add(static_cast<double>(t.ElapsedMicros()));
+    }
+    base_get_us = get_hist.Average();
+  }
+
+  printf("\nFig 8a — database size (MB)\n");
+  printf("  %-10s %12s %14s %14s %12s\n", "variant", "primary",
+         "CreationTime", "UserID(+CT)", "total");
+  printf("  %-10s %12.1f %14s %14s %12.1f\n", "NoIndex",
+         base.primary_bytes / 1048576.0, "-", "-",
+         base.primary_bytes / 1048576.0);
+  for (const Row& r : rows) {
+    printf("  %-10s %12.1f %14.1f %14.1f %12.1f\n", Name(r.type),
+           r.primary_bytes / 1048576.0, r.ct_bytes / 1048576.0,
+           (r.both_index_bytes - r.ct_bytes) / 1048576.0,
+           (r.primary_bytes + r.both_index_bytes) / 1048576.0);
+  }
+
+  printf("\nFig 8b — PUT time per op (us), stacked components\n");
+  printf("  %-10s %10s %14s %12s %10s\n", "variant", "primary",
+         "CreationTime", "UserID", "total");
+  printf("  %-10s %10.2f %14s %12s %10.2f\n", "NoIndex", base.put_us_per_op,
+         "-", "-", base.put_us_per_op);
+  for (const Row& r : rows) {
+    printf("  %-10s %10.2f %14.2f %12.2f %10.2f\n", Name(r.type),
+           r.primary_us, r.ct_us, r.user_us,
+           r.primary_us + r.ct_us + r.user_us);
+  }
+
+  printf("\nFig 8c — mean GET latency (us)\n");
+  printf("  %-10s %10.2f\n", "NoIndex", base_get_us);
+  for (const Row& r : rows) {
+    printf("  %-10s %10.2f\n", Name(r.type), r.get_us);
+  }
+
+  printf("\nExpected shapes (paper): Embedded ~= NoIndex in both size and "
+         "PUT cost;\nEager worst PUT cost (UserID component dominates); GET "
+         "identical across variants.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace leveldbpp
+
+int main(int argc, char** argv) {
+  leveldbpp::bench::Flags flags(argc, argv);
+  leveldbpp::bench::Run(flags);
+  return 0;
+}

@@ -1,0 +1,201 @@
+// Substrate microbenchmarks (google-benchmark): the primitives every
+// experiment rests on — coding, checksums, bloom filters, compression,
+// skiplist/memtable, block build/read, posting-list merge.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "compress/codec.h"
+#include "core/posting_list.h"
+#include "db/dbformat.h"
+#include "db/memtable.h"
+#include "table/block.h"
+#include "table/block_builder.h"
+#include "table/filter_policy.h"
+#include "util/coding.h"
+#include "util/comparator.h"
+#include "util/crc32c.h"
+#include "util/random.h"
+
+namespace leveldbpp {
+namespace {
+
+void BM_Varint64Encode(benchmark::State& state) {
+  Random64 rnd(1);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 1024; i++) values.push_back(rnd.Next() >> rnd.Uniform(60));
+  std::string buf;
+  for (auto _ : state) {
+    buf.clear();
+    for (uint64_t v : values) PutVarint64(&buf, v);
+    benchmark::DoNotOptimize(buf);
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_Varint64Encode);
+
+void BM_Varint64Decode(benchmark::State& state) {
+  Random64 rnd(1);
+  std::string buf;
+  for (int i = 0; i < 1024; i++) PutVarint64(&buf, rnd.Next() >> rnd.Uniform(60));
+  for (auto _ : state) {
+    Slice input(buf);
+    uint64_t v;
+    while (GetVarint64(&input, &v)) benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_Varint64Decode);
+
+void BM_Crc32c(benchmark::State& state) {
+  std::string data(state.range(0), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32c::Value(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_Crc32c)->Arg(4096)->Arg(65536);
+
+void BM_BloomCreate(benchmark::State& state) {
+  std::unique_ptr<const FilterPolicy> policy(NewBloomFilterPolicy(20));
+  std::vector<std::string> keys;
+  std::vector<Slice> slices;
+  for (int i = 0; i < 128; i++) keys.push_back("user" + std::to_string(i));
+  for (const auto& k : keys) slices.emplace_back(k);
+  std::string dst;
+  for (auto _ : state) {
+    dst.clear();
+    policy->CreateFilter(slices.data(), static_cast<int>(slices.size()), &dst);
+    benchmark::DoNotOptimize(dst);
+  }
+  state.SetItemsProcessed(state.iterations() * slices.size());
+}
+BENCHMARK(BM_BloomCreate);
+
+void BM_BloomProbe(benchmark::State& state) {
+  std::unique_ptr<const FilterPolicy> policy(NewBloomFilterPolicy(20));
+  std::vector<std::string> keys;
+  std::vector<Slice> slices;
+  for (int i = 0; i < 128; i++) keys.push_back("user" + std::to_string(i));
+  for (const auto& k : keys) slices.emplace_back(k);
+  std::string filter;
+  policy->CreateFilter(slices.data(), static_cast<int>(slices.size()),
+                       &filter);
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        policy->KeyMayMatch(Slice(keys[i++ & 127]), Slice(filter)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomProbe);
+
+void BM_SimpleLZCompress(benchmark::State& state) {
+  std::string data;
+  Random64 rnd(7);
+  while (data.size() < 4096) {
+    data += "{\"UserID\":\"u" + std::to_string(rnd.Uniform(100)) +
+            "\",\"Body\":\"some tweet text here\"}";
+  }
+  std::string out;
+  for (auto _ : state) {
+    out.clear();
+    simplelz::Compress(Slice(data), &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_SimpleLZCompress);
+
+void BM_SimpleLZUncompress(benchmark::State& state) {
+  std::string data;
+  Random64 rnd(7);
+  while (data.size() < 4096) {
+    data += "{\"UserID\":\"u" + std::to_string(rnd.Uniform(100)) +
+            "\",\"Body\":\"some tweet text here\"}";
+  }
+  std::string compressed;
+  simplelz::Compress(Slice(data), &compressed);
+  std::string out(data.size(), '\0');
+  for (auto _ : state) {
+    simplelz::Uncompress(Slice(compressed), out.data());
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_SimpleLZUncompress);
+
+void BM_MemTableAdd(benchmark::State& state) {
+  InternalKeyComparator icmp(BytewiseComparator());
+  uint64_t seq = 1;
+  MemTable* mem = new MemTable(icmp);
+  mem->Ref();
+  Random64 rnd(3);
+  for (auto _ : state) {
+    std::string key = "key" + std::to_string(rnd.Next() & 0xFFFFF);
+    mem->Add(seq++, kTypeValue, Slice(key), Slice("value"));
+    if (mem->ApproximateMemoryUsage() > (16 << 20)) {
+      state.PauseTiming();
+      mem->Unref();
+      mem = new MemTable(icmp);
+      mem->Ref();
+      state.ResumeTiming();
+    }
+  }
+  mem->Unref();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemTableAdd);
+
+void BM_BlockBuildAndSeek(benchmark::State& state) {
+  BlockBuilder builder(16);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 200; i++) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "key%08d", i * 7);
+    keys.push_back(buf);
+    builder.Add(Slice(buf), Slice("value-payload-0123456789"));
+  }
+  Slice contents = builder.Finish();
+  BlockContents bc;
+  bc.data = contents;
+  bc.heap_allocated = false;
+  bc.cachable = false;
+  Block block(bc);
+  int i = 0;
+  for (auto _ : state) {
+    std::unique_ptr<Iterator> it(block.NewIterator(BytewiseComparator()));
+    it->Seek(Slice(keys[i++ % keys.size()]));
+    benchmark::DoNotOptimize(it->Valid());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BlockBuildAndSeek);
+
+void BM_PostingListMerge(benchmark::State& state) {
+  // Merge 4 fragments of 32 entries each — a typical Lazy compaction step.
+  std::vector<std::string> serialized(4);
+  uint64_t seq = 1000000;
+  for (int f = 3; f >= 0; f--) {
+    std::vector<PostingEntry> entries;
+    for (int i = 0; i < 32; i++) {
+      entries.emplace_back("t" + std::to_string(f * 1000 + i), seq--, false);
+    }
+    PostingList::Serialize(entries, &serialized[f]);
+  }
+  std::vector<Slice> values;
+  for (const auto& s : serialized) values.emplace_back(s);
+  std::string out;
+  for (auto _ : state) {
+    PostingListMerger::Instance()->Merge(Slice("u1"), values, false, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_PostingListMerge);
+
+}  // namespace
+}  // namespace leveldbpp
+
+BENCHMARK_MAIN();

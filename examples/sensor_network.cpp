@@ -1,0 +1,114 @@
+// Wireless sensor network: the paper's example of an EMBEDDED-index
+// application — write-heavy ingest on a space-constrained device, a small
+// fraction of secondary queries, and a time-correlated attribute.
+//
+// Sensors emit readings (measurement id, sensor id, temperature, timestamp);
+// queries ask for recent readings in a temperature band or a time window.
+// The Embedded index adds (almost) nothing to write cost or storage, and
+// its zone maps answer time-window RANGELOOKUPs nearly for free because
+// Timestamp is time-correlated.
+//
+//   ./sensor_network [n_readings=50000]
+
+#include <cstdio>
+#include <memory>
+
+#include "core/secondary_db.h"
+#include "env/env.h"
+#include "json/json.h"
+#include "util/random.h"
+
+using namespace leveldbpp;
+
+static std::string Reading(uint64_t id, uint32_t sensor, double temp,
+                           uint64_t ts) {
+  json::Object obj;
+  obj["SensorID"] = json::Value("s" + std::to_string(sensor));
+  char temp_buf[16];
+  std::snprintf(temp_buf, sizeof(temp_buf), "%06.2f", temp);
+  obj["Temperature"] = json::Value(std::string(temp_buf));
+  char ts_buf[16];
+  std::snprintf(ts_buf, sizeof(ts_buf), "%012llu",
+                static_cast<unsigned long long>(ts));
+  obj["Timestamp"] = json::Value(std::string(ts_buf));
+  obj["MeasurementID"] = json::Value(static_cast<int64_t>(id));
+  return json::Value(std::move(obj)).ToString();
+}
+
+int main(int argc, char** argv) {
+  uint64_t n = argc > 1 ? strtoull(argv[1], nullptr, 10) : 50000;
+
+  SecondaryDBOptions options;
+  options.index_type = IndexType::kEmbedded;  // Paper's pick for sensors
+  options.indexed_attributes = {"Temperature", "Timestamp"};
+
+  std::unique_ptr<SecondaryDB> db;
+  Status s = SecondaryDB::Open(options, "./sensor_db", &db);
+  if (!s.ok()) {
+    fprintf(stderr, "open: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // Ingest: 20 sensors, one reading per sensor per tick, slowly drifting
+  // temperatures.
+  Random64 rnd(42);
+  uint64_t ts = 1700000000;
+  double base_temp[20];
+  for (int i = 0; i < 20; i++) base_temp[i] = 15.0 + i;
+  uint64_t t0 = Env::Posix()->NowMicros();
+  for (uint64_t i = 0; i < n; i++) {
+    uint32_t sensor = static_cast<uint32_t>(i % 20);
+    if (sensor == 0) ts += 5;  // One sweep every 5 seconds
+    base_temp[sensor] += (rnd.NextDouble() - 0.5) * 0.2;
+    char key[32];
+    std::snprintf(key, sizeof(key), "m%012llu",
+                  static_cast<unsigned long long>(i));
+    s = db->Put(key, Reading(i, sensor, base_temp[sensor], ts));
+    if (!s.ok()) {
+      fprintf(stderr, "put: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  uint64_t ingest_us = Env::Posix()->NowMicros() - t0;
+  printf("ingested %llu readings in %.2fs (%.0f/s); store size %.1f MB "
+         "(no separate index table)\n",
+         static_cast<unsigned long long>(n), ingest_us / 1e6,
+         n * 1e6 / ingest_us, db->TotalSizeBytes() / 1048576.0);
+
+  // Query 1: the 5 most recent readings hotter than 30C.
+  std::vector<QueryResult> results;
+  s = db->RangeLookup("Temperature", "030.00", "099.99", 5, &results);
+  printf("\n5 most recent readings above 30C:\n");
+  for (const QueryResult& r : results) {
+    json::Value doc;
+    json::Parse(Slice(r.value), &doc);
+    printf("  %s: sensor=%s temp=%s\n", r.primary_key.c_str(),
+           doc["SensorID"].as_string().c_str(),
+           doc["Temperature"].as_string().c_str());
+  }
+
+  // Query 2: everything from the last minute of the run (time-correlated
+  // attribute -> zone maps prune almost every block).
+  char lo[16], hi[16];
+  std::snprintf(lo, sizeof(lo), "%012llu",
+                static_cast<unsigned long long>(ts - 60));
+  std::snprintf(hi, sizeof(hi), "%012llu",
+                static_cast<unsigned long long>(ts));
+  Statistics* stats = db->primary_statistics();
+  uint64_t reads_before = stats->Get(kBlockRead);
+  uint64_t pruned_before =
+      stats->Get(kZoneMapBlockPruned) + stats->Get(kZoneMapFilePruned);
+  s = db->RangeLookup("Timestamp", lo, hi, 0, &results);
+  printf("\nlast-60s window: %zu readings, %llu block reads "
+         "(%llu blocks/files zone-map-pruned)\n",
+         results.size(),
+         static_cast<unsigned long long>(stats->Get(kBlockRead) -
+                                         reads_before),
+         static_cast<unsigned long long>(stats->Get(kZoneMapBlockPruned) +
+                                         stats->Get(kZoneMapFilePruned) -
+                                         pruned_before));
+
+  printf("\nPaper guidance: write-heavy + space-constrained + "
+         "time-correlated queries\n=> Embedded index (Figure 2).\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Cache: sharded LRU cache used for data blocks (and open tables).
+//
+// The paper runs its experiments with "no block cache"; the engine supports
+// one anyway (a production LSM store needs it), defaulting to disabled in
+// the benches to match the paper's configuration.
+
+#ifndef LEVELDBPP_CACHE_CACHE_H_
+#define LEVELDBPP_CACHE_CACHE_H_
+
+#include <cstdint>
+
+#include "util/slice.h"
+
+namespace leveldbpp {
+
+class Cache {
+ public:
+  Cache() = default;
+  Cache(const Cache&) = delete;
+  Cache& operator=(const Cache&) = delete;
+
+  /// Destroys all remaining entries via their deleters.
+  virtual ~Cache() = default;
+
+  /// Opaque handle to a cache entry.
+  struct Handle {};
+
+  /// Insert a key->value mapping with the given charge against the cache
+  /// capacity. Returns a handle; caller must Release() it. `deleter` is
+  /// invoked when the entry is evicted and unreferenced.
+  virtual Handle* Insert(const Slice& key, void* value, size_t charge,
+                         void (*deleter)(const Slice& key, void* value)) = 0;
+
+  /// Returns a handle for the mapping, or nullptr. Caller must Release().
+  virtual Handle* Lookup(const Slice& key) = 0;
+
+  virtual void Release(Handle* handle) = 0;
+  virtual void* Value(Handle* handle) = 0;
+
+  /// Drop the mapping (entry is destroyed once unreferenced).
+  virtual void Erase(const Slice& key) = 0;
+
+  /// Process-unique numeric id, used to partition one cache among clients.
+  virtual uint64_t NewId() = 0;
+
+  virtual size_t TotalCharge() const = 0;
+};
+
+/// New LRU cache with a fixed total `capacity` (in charge units, typically
+/// bytes). Caller owns the result.
+Cache* NewLRUCache(size_t capacity);
+
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_CACHE_CACHE_H_

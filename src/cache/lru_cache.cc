@@ -1,0 +1,195 @@
+#include "cache/cache.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/hash.h"
+
+namespace leveldbpp {
+
+namespace {
+
+// A single-shard LRU cache with reference counting. Entries live in a hash
+// map; an intrusive LRU list orders unpinned entries for eviction.
+struct LRUEntry {
+  std::string key;
+  void* value;
+  size_t charge;
+  void (*deleter)(const Slice&, void*);
+  uint32_t refs;     // Includes the cache's own reference while resident
+  bool in_cache;     // Still referenced by the cache's table?
+  std::list<LRUEntry*>::iterator lru_pos;  // Valid iff refs == 1 && in_cache
+  bool in_lru;
+};
+
+class LRUShard {
+ public:
+  LRUShard() : capacity_(0), usage_(0) {}
+  ~LRUShard() {
+    // All handles should have been released by clients; destroy residents.
+    for (auto& [key, e] : table_) {
+      assert(e->refs == 1);  // Only the cache's reference remains
+      e->deleter(Slice(e->key), e->value);
+      delete e;
+    }
+  }
+
+  void SetCapacity(size_t c) { capacity_ = c; }
+
+  Cache::Handle* Insert(const Slice& key, void* value, size_t charge,
+                        void (*deleter)(const Slice&, void*)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    LRUEntry* e = new LRUEntry;
+    e->key = key.ToString();
+    e->value = value;
+    e->charge = charge;
+    e->deleter = deleter;
+    e->refs = 2;  // One for the cache, one for the returned handle
+    e->in_cache = true;
+    e->in_lru = false;
+
+    auto it = table_.find(e->key);
+    if (it != table_.end()) {
+      RemoveEntry(it->second);
+      it->second = e;
+    } else {
+      table_[e->key] = e;
+    }
+    usage_ += charge;
+    EvictIfNeeded();
+    return reinterpret_cast<Cache::Handle*>(e);
+  }
+
+  Cache::Handle* Lookup(const Slice& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = table_.find(key.ToString());
+    if (it == table_.end()) return nullptr;
+    LRUEntry* e = it->second;
+    if (e->in_lru) {
+      lru_.erase(e->lru_pos);
+      e->in_lru = false;
+    }
+    e->refs++;
+    return reinterpret_cast<Cache::Handle*>(e);
+  }
+
+  void Release(Cache::Handle* handle) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Unref(reinterpret_cast<LRUEntry*>(handle));
+  }
+
+  void Erase(const Slice& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = table_.find(key.ToString());
+    if (it != table_.end()) {
+      LRUEntry* e = it->second;
+      table_.erase(it);
+      RemoveEntry(e);
+    }
+  }
+
+  size_t TotalCharge() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return usage_;
+  }
+
+ private:
+  // Drop the cache's reference to e (caller removed it from table_ or is
+  // replacing it). mu_ held.
+  void RemoveEntry(LRUEntry* e) {
+    if (e->in_lru) {
+      lru_.erase(e->lru_pos);
+      e->in_lru = false;
+    }
+    e->in_cache = false;
+    usage_ -= e->charge;
+    Unref(e);
+  }
+
+  void Unref(LRUEntry* e) {
+    assert(e->refs > 0);
+    e->refs--;
+    if (e->refs == 0) {
+      e->deleter(Slice(e->key), e->value);
+      delete e;
+    } else if (e->in_cache && e->refs == 1) {
+      // Only the cache holds it now; make it evictable.
+      lru_.push_front(e);
+      e->lru_pos = lru_.begin();
+      e->in_lru = true;
+      EvictIfNeeded();
+    }
+  }
+
+  void EvictIfNeeded() {
+    while (usage_ > capacity_ && !lru_.empty()) {
+      LRUEntry* victim = lru_.back();
+      table_.erase(victim->key);
+      RemoveEntry(victim);
+    }
+  }
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  size_t usage_;
+  std::unordered_map<std::string, LRUEntry*> table_;
+  std::list<LRUEntry*> lru_;  // Front = most recently unpinned
+};
+
+constexpr int kNumShardBits = 4;
+constexpr int kNumShards = 1 << kNumShardBits;
+
+class ShardedLRUCache final : public Cache {
+ public:
+  explicit ShardedLRUCache(size_t capacity) : last_id_(0) {
+    const size_t per_shard = (capacity + (kNumShards - 1)) / kNumShards;
+    for (int s = 0; s < kNumShards; s++) {
+      shards_[s].SetCapacity(per_shard);
+    }
+  }
+
+  Handle* Insert(const Slice& key, void* value, size_t charge,
+                 void (*deleter)(const Slice&, void*)) override {
+    return shards_[Shard(key)].Insert(key, value, charge, deleter);
+  }
+  Handle* Lookup(const Slice& key) override {
+    return shards_[Shard(key)].Lookup(key);
+  }
+  void Release(Handle* handle) override {
+    // The entry records its own key; recover the shard from it.
+    LRUEntry* e = reinterpret_cast<LRUEntry*>(handle);
+    shards_[Shard(Slice(e->key))].Release(handle);
+  }
+  void* Value(Handle* handle) override {
+    return reinterpret_cast<LRUEntry*>(handle)->value;
+  }
+  void Erase(const Slice& key) override { shards_[Shard(key)].Erase(key); }
+  uint64_t NewId() override {
+    std::lock_guard<std::mutex> lock(id_mu_);
+    return ++last_id_;
+  }
+  size_t TotalCharge() const override {
+    size_t total = 0;
+    for (int s = 0; s < kNumShards; s++) total += shards_[s].TotalCharge();
+    return total;
+  }
+
+ private:
+  static uint32_t Shard(const Slice& key) {
+    return Hash(key.data(), key.size(), 0) >> (32 - kNumShardBits);
+  }
+
+  LRUShard shards_[kNumShards];
+  std::mutex id_mu_;
+  uint64_t last_id_;
+};
+
+}  // namespace
+
+Cache* NewLRUCache(size_t capacity) { return new ShardedLRUCache(capacity); }
+
+}  // namespace leveldbpp

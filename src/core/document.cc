@@ -1,0 +1,33 @@
+#include "core/document.h"
+
+namespace leveldbpp {
+
+bool JsonAttributeExtractor::Extract(const Slice& record_value,
+                                     const std::string& attr,
+                                     std::string* out) const {
+  json::Value doc;
+  if (!json::Parse(record_value, &doc) || !doc.is_object()) {
+    return false;
+  }
+  const json::Value& v = doc[attr];
+  switch (v.type()) {
+    case json::Value::Type::kString:
+      *out = v.as_string();
+      return true;
+    case json::Value::Type::kNumber:
+    case json::Value::Type::kBool: {
+      out->clear();
+      v.Serialize(out);
+      return true;
+    }
+    default:
+      return false;  // null / array / object values are not indexable
+  }
+}
+
+const JsonAttributeExtractor* JsonAttributeExtractor::Instance() {
+  static JsonAttributeExtractor singleton;
+  return &singleton;
+}
+
+}  // namespace leveldbpp

@@ -1,0 +1,124 @@
+#include "core/eager_index.h"
+
+#include <set>
+
+#include "core/posting_list.h"
+
+namespace leveldbpp {
+
+Status EagerIndex::Open(std::string attribute, DBImpl* primary,
+                        const Options& base, const std::string& path,
+                        std::unique_ptr<SecondaryIndex>* out) {
+  std::unique_ptr<EagerIndex> index(
+      new EagerIndex(std::move(attribute), primary));
+  Status s = index->OpenIndexTable(base, path, /*merger=*/nullptr);
+  if (s.ok()) {
+    *out = std::move(index);
+  }
+  return s;
+}
+
+Status EagerIndex::OnPut(const Slice& primary_key, const Slice& attr_value,
+                         SequenceNumber seq) {
+  // Read-modify-write: fetch the current list, prepend, write back. The
+  // write invalidates all older copies in lower levels.
+  std::vector<PostingEntry> entries;
+  std::string existing;
+  Status s = index_db_->Get(ReadOptions(), attr_value, &existing);
+  if (s.ok()) {
+    PostingList::Parse(Slice(existing), &entries);
+  } else if (!s.IsNotFound()) {
+    return s;
+  }
+  // Drop any previous occurrence of the key (an update re-inserting the
+  // same attribute value), then prepend the new entry (lists stay sorted
+  // by sequence descending).
+  entries.erase(std::remove_if(entries.begin(), entries.end(),
+                               [&](const PostingEntry& e) {
+                                 return Slice(e.primary_key) == primary_key;
+                               }),
+                entries.end());
+  entries.insert(entries.begin(),
+                 PostingEntry(primary_key.ToString(), seq, false));
+  std::string serialized;
+  PostingList::Serialize(entries, &serialized);
+  return index_db_->Put(WriteOptions(), attr_value, Slice(serialized));
+}
+
+Status EagerIndex::OnDelete(const Slice& primary_key, const Slice& attr_value,
+                            SequenceNumber /*seq*/) {
+  // Same read-update-write process (paper Section 4.1.1); the key is simply
+  // removed from the list.
+  std::vector<PostingEntry> entries;
+  std::string existing;
+  Status s = index_db_->Get(ReadOptions(), attr_value, &existing);
+  if (s.IsNotFound()) return Status::OK();
+  if (!s.ok()) return s;
+  PostingList::Parse(Slice(existing), &entries);
+  entries.erase(std::remove_if(entries.begin(), entries.end(),
+                               [&](const PostingEntry& e) {
+                                 return Slice(e.primary_key) == primary_key;
+                               }),
+                entries.end());
+  if (entries.empty()) {
+    return index_db_->Delete(WriteOptions(), attr_value);
+  }
+  std::string serialized;
+  PostingList::Serialize(entries, &serialized);
+  return index_db_->Put(WriteOptions(), attr_value, Slice(serialized));
+}
+
+Status EagerIndex::Lookup(const Slice& value, size_t k,
+                          std::vector<QueryResult>* results) {
+  results->clear();
+  // Algorithm 2: one read retrieves the full, time-ordered list.
+  std::string list_data;
+  Status s = index_db_->Get(ReadOptions(), value, &list_data);
+  if (s.IsNotFound()) return Status::OK();
+  if (!s.ok()) return s;
+  std::vector<PostingEntry> entries;
+  if (!PostingList::Parse(Slice(list_data), &entries)) {
+    return Status::Corruption("bad posting list for ", value);
+  }
+  TopKCollector heap(k);
+  std::set<std::string> seen;
+  for (const PostingEntry& e : entries) {
+    if (e.deleted) continue;
+    if (!seen.insert(e.primary_key).second) continue;
+    QueryResult r;
+    if (FetchAndValidate(Slice(e.primary_key), value, value, &r)) {
+      heap.Add(std::move(r));
+      if (heap.Full()) break;  // List is newest-first: we can stop.
+    }
+  }
+  *results = heap.TakeSortedNewestFirst();
+  return Status::OK();
+}
+
+Status EagerIndex::RangeLookup(const Slice& lo, const Slice& hi, size_t k,
+                               std::vector<QueryResult>* results) {
+  results->clear();
+  // Range scan over the index table's (secondary) keys; merge the K-newest
+  // across all matching lists with the min-heap.
+  TopKCollector heap(k);
+  std::set<std::string> seen;
+  std::unique_ptr<Iterator> it(index_db_->NewIterator(ReadOptions()));
+  for (it->Seek(lo); it->Valid() && it->key().compare(hi) <= 0; it->Next()) {
+    std::vector<PostingEntry> entries;
+    if (!PostingList::Parse(it->value(), &entries)) continue;
+    for (const PostingEntry& e : entries) {
+      if (e.deleted) continue;
+      if (!heap.WouldAdmit(e.seq)) break;  // List is seq-descending
+      if (!seen.insert(e.primary_key).second) continue;
+      QueryResult r;
+      if (FetchAndValidate(Slice(e.primary_key), lo, hi, &r)) {
+        heap.Add(std::move(r));
+      }
+    }
+  }
+  if (!it->status().ok()) return it->status();
+  *results = heap.TakeSortedNewestFirst();
+  return Status::OK();
+}
+
+}  // namespace leveldbpp

@@ -1,0 +1,125 @@
+#include "core/embedded_index.h"
+
+#include <memory>
+#include <set>
+
+#include "core/document.h"
+
+namespace leveldbpp {
+
+Status EmbeddedIndex::Scan(const Slice& lo, const Slice& hi, size_t k,
+                           std::vector<QueryResult>* results) {
+  results->clear();
+  TopKCollector heap(k);
+  const JsonAttributeExtractor* extractor = JsonAttributeExtractor::Instance();
+  // Records admitted to the heap, so one record matched in several recency
+  // buckets (e.g. valid version + stale older copies) is counted once. The
+  // GetLite validity check already rejects superseded copies; the set only
+  // guards against double-admitting the SAME (key, seq) from overlapping
+  // sources.
+  std::set<std::pair<std::string, SequenceNumber>> admitted;
+  std::string attr_scratch;
+
+  auto consider = [&](const Slice& user_key, SequenceNumber seq,
+                      const Slice& record, int level, uint64_t file) {
+    if (!heap.WouldAdmit(seq)) return;
+    if (!extractor->Extract(record, attribute_, &attr_scratch)) return;
+    Slice av(attr_scratch);
+    if (av.compare(lo) < 0 || av.compare(hi) > 0) return;
+    auto id = std::make_pair(user_key.ToString(), seq);
+    if (admitted.count(id) != 0) return;
+    // Validity: is this record still the newest version of its key? This is
+    // the paper's GetLite — only residences NEWER than the record's own are
+    // probed, via in-memory metadata; confirm reads happen only on bloom
+    // false positives.
+    if (!primary_->IsNewestVersion(user_key, seq, level, file)) return;
+    QueryResult r;
+    r.primary_key = id.first;
+    r.seq = seq;
+    r.value = record.ToString();
+    if (heap.Add(std::move(r))) {
+      admitted.insert(std::move(id));
+    }
+  };
+
+  // 1. Memtable(s): in-memory attribute tree over unflushed records.
+  primary_->MemTableSecondaryLookup(
+      attribute_, lo, hi,
+      [&](const Slice& user_key, SequenceNumber seq, const Slice& record) {
+        consider(user_key, seq, record, /*level=*/-1, /*file=*/0);
+      });
+
+  // Memtable data is strictly newer than anything on disk; if the heap is
+  // already full the disk scan cannot displace anything.
+  if (heap.Full()) {
+    *results = heap.TakeSortedNewestFirst();
+    return Status::OK();
+  }
+
+  // 2. Disk levels, newest first; candidate blocks are chosen by the
+  //    embedded per-block bloom filters (point lookups) and zone maps.
+  ReadOptions read_options;
+  std::string prev_user_key;  // In-block adjacency dedup (versions adjacent)
+  Status scan_status = primary_->EmbeddedScan(
+      read_options, attribute_, lo, hi,
+      [&](Table* table, size_t block, int level, uint64_t file) {
+        std::unique_ptr<Iterator> it(
+            table->NewDataBlockIterator(read_options, block));
+        prev_user_key.clear();
+        bool first_entry = true;
+        for (it->SeekToFirst(); it->Valid(); it->Next()) {
+          ParsedInternalKey ikey;
+          if (!ParseInternalKey(it->key(), &ikey)) continue;
+          // Versions of one user key sort adjacent, newest first; only the
+          // first can be the live version.
+          if (!prev_user_key.empty() &&
+              Slice(prev_user_key) == ikey.user_key) {
+            first_entry = false;
+            continue;
+          }
+          prev_user_key.assign(ikey.user_key.data(), ikey.user_key.size());
+          if (ikey.type == kTypeValue) {
+            // Edge case: if the match is the FIRST entry of its block, a
+            // newer same-file version may end the previous block (versions
+            // sort newest-first and can straddle a block boundary). One
+            // same-table probe resolves it.
+            bool superseded = false;
+            if (first_entry && block > 0) {
+              LookupKey lk(ikey.user_key, kMaxSequenceNumber);
+              struct Ctx {
+                Slice user_key;
+                SequenceNumber newest = 0;
+              } ctx;
+              ctx.user_key = ikey.user_key;
+              table->InternalGet(
+                  read_options, lk.internal_key(), &ctx,
+                  [](void* arg, const Slice& k, const Slice&) {
+                    Ctx* c = reinterpret_cast<Ctx*>(arg);
+                    ParsedInternalKey p;
+                    if (ParseInternalKey(k, &p) &&
+                        p.user_key == c->user_key) {
+                      c->newest = p.sequence;
+                    }
+                  });
+              superseded = ctx.newest > ikey.sequence;
+            }
+            if (!superseded) {
+              consider(ikey.user_key, ikey.sequence, it->value(), level,
+                       file);
+            }
+          }
+          first_entry = false;
+        }
+      },
+      [&]() {
+        // Level boundary: records within a level are not time-ordered, so
+        // termination is only checked here (Algorithm 5).
+        return !heap.Full();
+      });
+
+  if (!scan_status.ok()) return scan_status;
+  *results = heap.TakeSortedNewestFirst();
+  return Status::OK();
+}
+
+}  // namespace leveldbpp

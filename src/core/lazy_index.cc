@@ -1,0 +1,147 @@
+#include "core/lazy_index.h"
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "core/posting_list.h"
+
+namespace leveldbpp {
+
+Status LazyIndex::Open(std::string attribute, DBImpl* primary,
+                       const Options& base, const std::string& path,
+                       std::unique_ptr<SecondaryIndex>* out) {
+  std::unique_ptr<LazyIndex> index(
+      new LazyIndex(std::move(attribute), primary));
+  Status s =
+      index->OpenIndexTable(base, path, PostingListMerger::Instance());
+  if (s.ok()) {
+    *out = std::move(index);
+  }
+  return s;
+}
+
+Status LazyIndex::OnPut(const Slice& primary_key, const Slice& attr_value,
+                        SequenceNumber seq) {
+  // Append-only: write a one-entry fragment; no read of the existing list.
+  // (The engine merges it with the memtable's current fragment in memory,
+  // and compaction merges across levels.)
+  std::string fragment;
+  PostingList::Serialize({PostingEntry(primary_key.ToString(), seq, false)},
+                         &fragment);
+  return index_db_->Put(WriteOptions(), attr_value, Slice(fragment));
+}
+
+Status LazyIndex::OnDelete(const Slice& primary_key, const Slice& attr_value,
+                           SequenceNumber seq) {
+  // Append a deletion marker; compaction removes the pair once the marker
+  // meets the entry it shadows (and drops the marker at the bottom level).
+  std::string fragment;
+  PostingList::Serialize({PostingEntry(primary_key.ToString(), seq, true)},
+                         &fragment);
+  return index_db_->Put(WriteOptions(), attr_value, Slice(fragment));
+}
+
+Status LazyIndex::Lookup(const Slice& value, size_t k,
+                         std::vector<QueryResult>* results) {
+  results->clear();
+  // Algorithm 3: walk the fragments newest-level-first; a fragment's
+  // entries are all newer than every fragment below it, so the scan stops
+  // at the first level boundary where the heap is full.
+  TopKCollector heap(k);
+  std::set<std::string> seen;  // Shadowing: newer fragments win per key
+  Status s = index_db_->GetFragments(
+      ReadOptions(), value,
+      [&](int /*rank*/, SequenceNumber /*fseq*/, bool frag_deleted,
+          const Slice& fragment) {
+        if (frag_deleted) {
+          return false;  // Whole-list tombstone shadows everything older.
+        }
+        std::vector<PostingEntry> entries;
+        if (PostingList::Parse(fragment, &entries)) {
+          for (const PostingEntry& e : entries) {
+            if (!seen.insert(e.primary_key).second) continue;
+            if (e.deleted) continue;  // Marker shadows older occurrences
+            if (!heap.WouldAdmit(e.seq)) continue;
+            QueryResult r;
+            if (FetchAndValidate(Slice(e.primary_key), value, value, &r)) {
+              heap.Add(std::move(r));
+            }
+          }
+        }
+        return !heap.Full();  // Stop descending once top-K is complete.
+      });
+  if (!s.ok()) return s;
+  *results = heap.TakeSortedNewestFirst();
+  return Status::OK();
+}
+
+Status LazyIndex::RangeLookup(const Slice& lo, const Slice& hi, size_t k,
+                              std::vector<QueryResult>* results) {
+  results->clear();
+  // Section 4.1.2: the primary-key range iterator is forced to scan LEVEL
+  // BY LEVEL (a normal merged iterator would hide lower-level fragments of
+  // a key already seen above). Each level contributes the fragments of
+  // every secondary key in [lo, hi]; per-key shadowing tracks which
+  // (secondary key, primary key) pairs newer levels already decided.
+  TopKCollector heap(k);
+  std::set<std::pair<std::string, std::string>> seen;  // (attr val, key)
+  // A record updated between two secondary keys both inside [lo, hi] has
+  // live-looking entries under each; only one result may be emitted. The
+  // validity check resolves to the same current record either way, so the
+  // first checked occurrence decides.
+  std::set<std::string> checked;
+  DBImpl::LevelIterators levels;
+  Status s = index_db_->NewLevelIterators(ReadOptions(), &levels);
+  if (!s.ok()) return s;
+
+  std::string seek_key;
+  AppendInternalKey(&seek_key, ParsedInternalKey(lo, kMaxSequenceNumber,
+                                                 kValueTypeForSeek));
+  for (Iterator* it : levels.iters) {
+    // Within one recency bucket a secondary key may still have several
+    // versions (unflushed memtable history); internal ordering puts the
+    // newest first, and only it reflects the bucket's fragment.
+    std::string prev_attr;
+    bool has_prev = false;
+    for (it->Seek(Slice(seek_key)); it->Valid(); it->Next()) {
+      ParsedInternalKey ikey;
+      if (!ParseInternalKey(it->key(), &ikey)) continue;
+      if (ikey.user_key.compare(hi) > 0) break;
+      if (has_prev && Slice(prev_attr) == ikey.user_key) continue;
+      prev_attr.assign(ikey.user_key.data(), ikey.user_key.size());
+      has_prev = true;
+      if (ikey.type != kTypeValue) {
+        // Whole-list tombstone: shadow every pair of this secondary key in
+        // older buckets. Modeled by a sentinel primary key "" plus marking
+        // all future occurrences via the deleted-set below would be
+        // complex; instead record the attr value as fully shadowed.
+        seen.emplace(prev_attr, std::string());
+        continue;
+      }
+      if (seen.count(std::make_pair(prev_attr, std::string())) != 0) {
+        continue;  // Whole list tombstoned by a newer bucket.
+      }
+      std::vector<PostingEntry> entries;
+      if (!PostingList::Parse(it->value(), &entries)) continue;
+      for (const PostingEntry& e : entries) {
+        if (!seen.insert(std::make_pair(prev_attr, e.primary_key)).second) {
+          continue;
+        }
+        if (e.deleted) continue;
+        if (!heap.WouldAdmit(e.seq)) continue;
+        if (!checked.insert(e.primary_key).second) continue;
+        QueryResult r;
+        if (FetchAndValidate(Slice(e.primary_key), lo, hi, &r)) {
+          heap.Add(std::move(r));
+        }
+      }
+    }
+    if (!it->status().ok()) return it->status();
+    if (heap.Full()) break;  // Level boundary: lower levels are older.
+  }
+  *results = heap.TakeSortedNewestFirst();
+  return Status::OK();
+}
+
+}  // namespace leveldbpp

@@ -1,0 +1,198 @@
+#include "core/secondary_db.h"
+
+#include "core/composite_index.h"
+#include "core/document.h"
+#include "core/eager_index.h"
+#include "core/embedded_index.h"
+#include "core/lazy_index.h"
+#include "core/noindex_index.h"
+#include "env/env.h"
+
+namespace leveldbpp {
+
+SecondaryDB::SecondaryDB(const SecondaryDBOptions& options)
+    : options_(options),
+      primary_stats_(new Statistics),
+      primary_filter_(
+          NewBloomFilterPolicy(options.primary_bloom_bits_per_key)),
+      secondary_filter_(
+          NewBloomFilterPolicy(options.embedded_bloom_bits_per_key)) {}
+
+SecondaryDB::~SecondaryDB() = default;
+
+Status SecondaryDB::Open(const SecondaryDBOptions& options,
+                         const std::string& path,
+                         std::unique_ptr<SecondaryDB>* dbptr) {
+  dbptr->reset();
+  std::unique_ptr<SecondaryDB> db(new SecondaryDB(options));
+
+  Env* env = options.base.env != nullptr ? options.base.env : Env::Posix();
+  Status s = env->CreateDir(path);
+  if (!s.ok()) return s;
+
+  // Primary table.
+  Options primary_options = options.base;
+  primary_options.env = env;
+  primary_options.create_if_missing = true;
+  primary_options.statistics = db->primary_stats_.get();
+  primary_options.filter_policy = db->primary_filter_.get();
+  if (options.index_type == IndexType::kEmbedded) {
+    primary_options.secondary_attributes = options.indexed_attributes;
+    primary_options.attribute_extractor = JsonAttributeExtractor::Instance();
+    primary_options.secondary_filter_policy = db->secondary_filter_.get();
+  }
+  DBImpl* primary = nullptr;
+  s = DBImpl::Open(primary_options, path + "/primary", &primary);
+  if (!s.ok()) return s;
+  db->primary_.reset(primary);
+
+  // Per-attribute index objects.
+  for (const std::string& attr : options.indexed_attributes) {
+    std::unique_ptr<SecondaryIndex> index;
+    const std::string index_path = path + "/index_" + attr;
+    switch (options.index_type) {
+      case IndexType::kNoIndex:
+        index.reset(new NoIndex(attr, primary));
+        break;
+      case IndexType::kEmbedded:
+        index.reset(new EmbeddedIndex(attr, primary));
+        break;
+      case IndexType::kLazy:
+        s = LazyIndex::Open(attr, primary, options.base, index_path, &index);
+        break;
+      case IndexType::kEager:
+        s = EagerIndex::Open(attr, primary, options.base, index_path, &index);
+        break;
+      case IndexType::kComposite:
+        s = CompositeIndex::Open(attr, primary, options.base, index_path,
+                                 &index);
+        break;
+    }
+    if (!s.ok()) return s;
+    db->indexes_.push_back(std::move(index));
+  }
+
+  *dbptr = std::move(db);
+  return Status::OK();
+}
+
+SecondaryIndex* SecondaryDB::index(const std::string& attribute) {
+  for (auto& index : indexes_) {
+    if (index->attribute() == attribute) return index.get();
+  }
+  return nullptr;
+}
+
+Status SecondaryDB::Put(const Slice& key, const Slice& json_value) {
+  // Extract indexed attributes up front (stand-alone variants need them;
+  // the extraction also validates the document).
+  const bool standalone = (options_.index_type == IndexType::kLazy ||
+                           options_.index_type == IndexType::kEager ||
+                           options_.index_type == IndexType::kComposite);
+  std::vector<std::pair<SecondaryIndex*, std::string>> attr_values;
+  if (standalone) {
+    std::string attr_value;
+    for (auto& index : indexes_) {
+      if (JsonAttributeExtractor::Instance()->Extract(
+              json_value, index->attribute(), &attr_value)) {
+        attr_values.emplace_back(index.get(), attr_value);
+      }
+    }
+  }
+
+  Status s = primary_->Put(WriteOptions(), key, json_value);
+  if (!s.ok()) return s;
+  const SequenceNumber seq = primary_->LastSequence();
+
+  for (auto& [index, attr_value] : attr_values) {
+    s = index->OnPut(key, Slice(attr_value), seq);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Status SecondaryDB::Get(const Slice& key, std::string* value) {
+  return primary_->Get(ReadOptions(), key, value);
+}
+
+Status SecondaryDB::Delete(const Slice& key) {
+  const bool standalone = (options_.index_type == IndexType::kLazy ||
+                           options_.index_type == IndexType::kEager ||
+                           options_.index_type == IndexType::kComposite);
+  // Stand-alone indexes must learn the victim's attribute values to target
+  // the right index entries, which costs a primary-table read.
+  std::vector<std::pair<SecondaryIndex*, std::string>> attr_values;
+  if (standalone) {
+    std::string old_value;
+    if (primary_->Get(ReadOptions(), key, &old_value).ok()) {
+      std::string attr_value;
+      for (auto& index : indexes_) {
+        if (JsonAttributeExtractor::Instance()->Extract(
+                Slice(old_value), index->attribute(), &attr_value)) {
+          attr_values.emplace_back(index.get(), attr_value);
+        }
+      }
+    }
+  }
+
+  Status s = primary_->Delete(WriteOptions(), key);
+  if (!s.ok()) return s;
+  const SequenceNumber seq = primary_->LastSequence();
+
+  for (auto& [index, attr_value] : attr_values) {
+    s = index->OnDelete(key, Slice(attr_value), seq);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Status SecondaryDB::Lookup(const std::string& attribute, const Slice& value,
+                           size_t k, std::vector<QueryResult>* results) {
+  SecondaryIndex* idx = index(attribute);
+  if (idx == nullptr) {
+    return Status::InvalidArgument("attribute is not indexed: ", attribute);
+  }
+  return idx->Lookup(value, k, results);
+}
+
+Status SecondaryDB::RangeLookup(const std::string& attribute, const Slice& lo,
+                                const Slice& hi, size_t k,
+                                std::vector<QueryResult>* results) {
+  SecondaryIndex* idx = index(attribute);
+  if (idx == nullptr) {
+    return Status::InvalidArgument("attribute is not indexed: ", attribute);
+  }
+  return idx->RangeLookup(lo, hi, k, results);
+}
+
+Status SecondaryDB::CompactAll() {
+  Status s = primary_->CompactAll();
+  for (auto& index : indexes_) {
+    if (s.ok()) s = index->CompactAll();
+  }
+  return s;
+}
+
+Status SecondaryDB::MaybeCompact() {
+  Status s = primary_->MaybeCompact();
+  return s;
+}
+
+uint64_t SecondaryDB::IndexSizeBytes() {
+  uint64_t total = 0;
+  for (auto& index : indexes_) {
+    total += index->IndexSizeBytes();
+  }
+  return total;
+}
+
+uint64_t SecondaryDB::TotalTicker(Ticker t) {
+  uint64_t total = primary_stats_->Get(t);
+  for (auto& index : indexes_) {
+    Statistics* stats = index->index_statistics();
+    if (stats != nullptr) total += stats->Get(t);
+  }
+  return total;
+}
+
+}  // namespace leveldbpp

@@ -1,0 +1,115 @@
+// SecondaryDB: the LevelDB++ public API. A key-value store over JSON
+// documents with secondary-attribute LOOKUP / RANGELOOKUP, parameterized by
+// indexing strategy (Table 1's operation set + the paper's five index
+// variants).
+//
+// Layout on disk:
+//   <path>/primary            the data table
+//   <path>/index_<attr>       one stand-alone index table per attribute
+//                             (Lazy / Eager / Composite only)
+//
+// Each table carries its own Statistics so benches can attribute disk I/O
+// and compaction work to the primary table vs. each index table, exactly
+// as the paper's Figures 8b, 9c and 13-15 do.
+
+#ifndef LEVELDBPP_CORE_SECONDARY_DB_H_
+#define LEVELDBPP_CORE_SECONDARY_DB_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/secondary_index.h"
+#include "table/filter_policy.h"
+
+namespace leveldbpp {
+
+struct SecondaryDBOptions {
+  /// Base engine options (env, buffer sizes, compression, ...). The
+  /// comparator / filter / extractor fields are managed internally.
+  Options base;
+
+  /// Which of the five strategies indexes the attributes.
+  IndexType index_type = IndexType::kEmbedded;
+
+  /// Secondary attributes to index (e.g. {"UserID", "CreationTime"}).
+  std::vector<std::string> indexed_attributes;
+
+  /// Bloom bits/key for primary-key filters (all variants; LevelDB default
+  /// is 10).
+  int primary_bloom_bits_per_key = 10;
+
+  /// Bloom bits/key for the Embedded index's per-block secondary filters
+  /// (the paper uses 20 by default and sweeps 5..30 in Appendix C.1).
+  int embedded_bloom_bits_per_key = 20;
+};
+
+class SecondaryDB {
+ public:
+  /// Open (creating if missing) a LevelDB++ store at `path`.
+  static Status Open(const SecondaryDBOptions& options,
+                     const std::string& path,
+                     std::unique_ptr<SecondaryDB>* dbptr);
+
+  SecondaryDB(const SecondaryDB&) = delete;
+  SecondaryDB& operator=(const SecondaryDB&) = delete;
+  ~SecondaryDB();
+
+  /// PUT(k, v): v must be a JSON object; indexed attributes are extracted
+  /// from its top-level fields. Overwrites any existing entry (stale index
+  /// entries are filtered at query time, per the paper).
+  Status Put(const Slice& key, const Slice& json_value);
+
+  /// GET(k).
+  Status Get(const Slice& key, std::string* value);
+
+  /// DEL(k).
+  Status Delete(const Slice& key);
+
+  /// LOOKUP(A, a, K): K most recent records with val(A) == a, newest
+  /// first. K == 0 means no limit.
+  Status Lookup(const std::string& attribute, const Slice& value, size_t k,
+                std::vector<QueryResult>* results);
+
+  /// RANGELOOKUP(A, a, b, K): K most recent records with a <= val(A) <= b.
+  Status RangeLookup(const std::string& attribute, const Slice& lo,
+                     const Slice& hi, size_t k,
+                     std::vector<QueryResult>* results);
+
+  /// Flush + fully compact the primary table and every index table (used
+  /// between the build and query phases of Static workloads).
+  Status CompactAll();
+
+  /// Drive any pending compactions (no forced flush).
+  Status MaybeCompact();
+
+  // ---- Introspection ----
+  DBImpl* primary() { return primary_.get(); }
+  SecondaryIndex* index(const std::string& attribute);
+  IndexType index_type() const { return options_.index_type; }
+
+  Statistics* primary_statistics() { return primary_stats_.get(); }
+  uint64_t PrimarySizeBytes() { return primary_->TotalSizeBytes(); }
+  /// Sum of all index tables' sizes (0 for Embedded/NoIndex).
+  uint64_t IndexSizeBytes();
+  uint64_t TotalSizeBytes() { return PrimarySizeBytes() + IndexSizeBytes(); }
+
+  /// Sum of a ticker over the primary and all index tables.
+  uint64_t TotalTicker(Ticker t);
+
+ private:
+  SecondaryDB(const SecondaryDBOptions& options);
+
+  SecondaryDBOptions options_;
+  std::unique_ptr<Statistics> primary_stats_;
+  std::unique_ptr<const FilterPolicy> primary_filter_;
+  std::unique_ptr<const FilterPolicy> secondary_filter_;
+  std::unique_ptr<DBImpl> primary_;
+  // Attribute -> index, in declaration order.
+  std::vector<std::unique_ptr<SecondaryIndex>> indexes_;
+};
+
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_CORE_SECONDARY_DB_H_

@@ -1,0 +1,40 @@
+#include "core/secondary_index.h"
+
+#include "core/document.h"
+
+namespace leveldbpp {
+
+const char* IndexTypeName(IndexType type) {
+  switch (type) {
+    case IndexType::kNoIndex: return "NoIndex";
+    case IndexType::kEmbedded: return "Embedded";
+    case IndexType::kLazy: return "Lazy";
+    case IndexType::kEager: return "Eager";
+    case IndexType::kComposite: return "Composite";
+  }
+  return "Unknown";
+}
+
+bool SecondaryIndex::FetchAndValidate(const Slice& primary_key,
+                                      const Slice& lo, const Slice& hi,
+                                      QueryResult* out) {
+  std::string value;
+  DBImpl::RecordLocation loc;
+  Status s = primary_->GetWithMeta(ReadOptions(), primary_key, &value, &loc);
+  if (!s.ok()) return false;  // Deleted or missing: stale index entry
+  std::string attr_value;
+  if (!JsonAttributeExtractor::Instance()->Extract(Slice(value), attribute_,
+                                                   &attr_value)) {
+    return false;
+  }
+  Slice av(attr_value);
+  if (av.compare(lo) < 0 || av.compare(hi) > 0) {
+    return false;  // Updated record no longer carries the queried value
+  }
+  out->primary_key = primary_key.ToString();
+  out->seq = loc.seq;
+  out->value = std::move(value);
+  return true;
+}
+
+}  // namespace leveldbpp

@@ -1,0 +1,98 @@
+// SecondaryIndex: the per-attribute index strategy interface. One instance
+// indexes ONE secondary attribute of the primary table (mirroring the
+// paper's setup: a UserID index and a CreationTime index), with five
+// implementations:
+//
+//   EmbeddedIndex   — no separate structure (bloom filters + zone maps live
+//                     inside the primary SSTables)                Section 3
+//   LazyIndex       — stand-alone LSM table of posting lists,
+//                     append-only fragments merged at compaction  Section 4.1.2
+//   EagerIndex      — stand-alone table, read-modify-write lists  Section 4.1.1
+//   CompositeIndex  — stand-alone table of secondary+primary keys Section 4.2
+//   NoIndex         — full-scan baseline
+//
+// Maintenance hooks are invoked by SecondaryDB around primary-table writes;
+// query methods implement LOOKUP(A, a, K) and RANGELOOKUP(A, a, b, K) from
+// Table 1 (K most recent by insertion sequence; K == 0 means unlimited).
+
+#ifndef LEVELDBPP_CORE_SECONDARY_INDEX_H_
+#define LEVELDBPP_CORE_SECONDARY_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/topk.h"
+#include "db/db_impl.h"
+#include "util/status.h"
+
+namespace leveldbpp {
+
+enum class IndexType {
+  kNoIndex,
+  kEmbedded,
+  kLazy,
+  kEager,
+  kComposite,
+};
+
+const char* IndexTypeName(IndexType type);
+
+class SecondaryIndex {
+ public:
+  SecondaryIndex(std::string attribute, DBImpl* primary)
+      : attribute_(std::move(attribute)), primary_(primary) {}
+  virtual ~SecondaryIndex() = default;
+
+  SecondaryIndex(const SecondaryIndex&) = delete;
+  SecondaryIndex& operator=(const SecondaryIndex&) = delete;
+
+  const std::string& attribute() const { return attribute_; }
+
+  virtual IndexType type() const = 0;
+
+  /// Called AFTER the primary-table write assigned `seq` to (key, value).
+  /// `attr_value` is the extracted secondary key (absent records are not
+  /// indexed and this is not called).
+  virtual Status OnPut(const Slice& primary_key, const Slice& attr_value,
+                       SequenceNumber seq) = 0;
+
+  /// Called after a DEL of `primary_key` whose old record carried
+  /// `attr_value`; `seq` is the deletion's sequence number.
+  virtual Status OnDelete(const Slice& primary_key, const Slice& attr_value,
+                          SequenceNumber seq) = 0;
+
+  /// LOOKUP(A, a, K): the K most recent valid records with val(A) == a,
+  /// newest first.
+  virtual Status Lookup(const Slice& value, size_t k,
+                        std::vector<QueryResult>* results) = 0;
+
+  /// RANGELOOKUP(A, a, b, K): the K most recent valid records with
+  /// a <= val(A) <= b, newest first.
+  virtual Status RangeLookup(const Slice& lo, const Slice& hi, size_t k,
+                             std::vector<QueryResult>* results) = 0;
+
+  /// Index-table housekeeping for "Static" workloads (flush + full
+  /// compaction). Embedded/NoIndex have no separate table: no-op.
+  virtual Status CompactAll() { return Status::OK(); }
+
+  /// Statistics of the index's own table (nullptr when none exists).
+  virtual Statistics* index_statistics() { return nullptr; }
+
+  /// Bytes consumed by the index's own table (0 when none exists).
+  virtual uint64_t IndexSizeBytes() { return 0; }
+
+ protected:
+  /// Shared validity check for stand-alone indexes: GET the record from the
+  /// primary table and confirm its attribute still matches (stale entries
+  /// from updates fail this, per Section 4.1.1). On success fills *out.
+  bool FetchAndValidate(const Slice& primary_key, const Slice& lo,
+                        const Slice& hi, QueryResult* out);
+
+  std::string attribute_;
+  DBImpl* primary_;
+};
+
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_CORE_SECONDARY_INDEX_H_

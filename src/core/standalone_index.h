@@ -1,0 +1,42 @@
+// StandAloneIndex: common base for the Eager, Lazy and Composite indexes —
+// each owns a separate LSM index table (its own DB instance with its own
+// Statistics, so benches can attribute index-table I/O and compaction cost
+// separately from the primary table, as Figures 8b/9c do).
+
+#ifndef LEVELDBPP_CORE_STANDALONE_INDEX_H_
+#define LEVELDBPP_CORE_STANDALONE_INDEX_H_
+
+#include <memory>
+
+#include "core/secondary_index.h"
+#include "table/filter_policy.h"
+
+namespace leveldbpp {
+
+class StandAloneIndex : public SecondaryIndex {
+ public:
+  ~StandAloneIndex() override;
+
+  Status CompactAll() override;
+  Statistics* index_statistics() override { return stats_.get(); }
+  uint64_t IndexSizeBytes() override;
+
+  DBImpl* index_db() { return index_db_.get(); }
+
+ protected:
+  StandAloneIndex(std::string attribute, DBImpl* primary);
+
+  /// Open the index table at `path`. `merger` is non-null for the Lazy
+  /// variant. `base` supplies env / sizing knobs (copied from the primary
+  /// table's configuration).
+  Status OpenIndexTable(const Options& base, const std::string& path,
+                        const ValueMerger* merger);
+
+  std::unique_ptr<Statistics> stats_;
+  std::unique_ptr<const FilterPolicy> filter_policy_;
+  std::unique_ptr<DBImpl> index_db_;
+};
+
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_CORE_STANDALONE_INDEX_H_

@@ -1,0 +1,98 @@
+#include "db/builder.h"
+
+#include "db/dbformat.h"
+#include "db/filename.h"
+#include "db/table_cache.h"
+#include "db/version_edit.h"
+#include "env/env.h"
+#include "env/statistics.h"
+#include "table/table_builder.h"
+
+namespace leveldbpp {
+
+Status BuildTable(const std::string& dbname, Env* env, const Options& options,
+                  const InternalKeyComparator& icmp, TableCache* table_cache,
+                  Iterator* iter, FileMetaData* meta) {
+  Status s;
+  meta->file_size = 0;
+  iter->SeekToFirst();
+
+  std::string fname = TableFileName(dbname, meta->number);
+  if (iter->Valid()) {
+    std::unique_ptr<WritableFile> file;
+    s = env->NewWritableFile(fname, &file);
+    if (!s.ok()) {
+      return s;
+    }
+
+    TableBuilder* builder = new TableBuilder(options, file.get());
+    meta->smallest.DecodeFrom(iter->key());
+    Slice key;
+    std::string current_user_key;
+    bool has_current_user_key = false;
+    for (; iter->Valid(); iter->Next()) {
+      key = iter->key();
+      // Drop superseded older versions: internal keys sort newest-first
+      // within a user key, so only the first occurrence survives.
+      Slice user_key = ExtractUserKey(key);
+      if (has_current_user_key &&
+          icmp.user_comparator()->Compare(
+              ExtractUserKey(Slice(current_user_key)), user_key) == 0) {
+        continue;
+      }
+      current_user_key.assign(key.data(), key.size());
+      has_current_user_key = true;
+      builder->Add(key, iter->value());
+    }
+    if (!current_user_key.empty()) {
+      meta->largest.DecodeFrom(Slice(current_user_key));
+    }
+
+    // Persist the file-level zone ranges so the DB can prune whole files
+    // from in-memory metadata (the paper's per-SSTable global zone map).
+    s = builder->Finish();
+    if (s.ok()) {
+      meta->file_size = builder->FileSize();
+      assert(meta->file_size > 0);
+      meta->zone_ranges.clear();
+      for (size_t i = 0; i < options.secondary_attributes.size(); i++) {
+        meta->zone_ranges.push_back(builder->FileZoneRange(i));
+      }
+      if (options.statistics != nullptr) {
+        options.statistics->Record(kCompactionBytesWritten, meta->file_size);
+      }
+    }
+    delete builder;
+
+    // Finish and check for file errors
+    if (s.ok()) {
+      s = file->Sync();
+    }
+    if (s.ok()) {
+      s = file->Close();
+    }
+    file.reset();
+
+    if (s.ok()) {
+      // Verify that the table is usable
+      Iterator* it = table_cache->NewIterator(ReadOptions(), meta->number,
+                                              meta->file_size);
+      s = it->status();
+      delete it;
+    }
+  }
+
+  // Check for input iterator errors
+  if (!iter->status().ok()) {
+    s = iter->status();
+  }
+
+  if (s.ok() && meta->file_size > 0) {
+    // Keep it
+  } else {
+    env->RemoveFile(fname);
+  }
+  return s;
+}
+
+}  // namespace leveldbpp

@@ -1,0 +1,39 @@
+// BuildTable: materialize a memtable's contents as an L0 SSTable.
+
+#ifndef LEVELDBPP_DB_BUILDER_H_
+#define LEVELDBPP_DB_BUILDER_H_
+
+#include <string>
+
+#include "db/options.h"
+#include "util/status.h"
+
+namespace leveldbpp {
+
+struct FileMetaData;
+class Env;
+class Iterator;
+class TableCache;
+
+/// Build a table file from the contents of *iter (internal keys, sorted).
+/// The generated file will be named according to meta->number. On success,
+/// the rest of *meta is filled with metadata about the generated table
+/// (including the file-level secondary zone ranges). If no data is present
+/// in *iter, meta->file_size is set to zero and no file is produced.
+///
+/// Only the NEWEST version of each user key is written: the engine does not
+/// support snapshot reads, so superseded memtable versions are dead weight.
+/// (For value_merger DBs the memtable already merged fragments on write, so
+/// the newest version is the fully merged fragment.)
+class InternalKeyComparator;
+
+/// `options` must be the DB's internalized options (comparator/filter policy
+/// already wrapped for internal keys); `icmp` is used to recover user keys
+/// for version de-duplication.
+Status BuildTable(const std::string& dbname, Env* env, const Options& options,
+                  const InternalKeyComparator& icmp, TableCache* table_cache,
+                  Iterator* iter, FileMetaData* meta);
+
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_DB_BUILDER_H_

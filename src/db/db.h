@@ -1,0 +1,72 @@
+// DB: the public key-value store interface (LevelDB surface).
+//
+// Secondary-index operations (LOOKUP / RANGELOOKUP with the five index
+// variants) live one layer up, in core/secondary_db.h, which composes one or
+// more DB instances.
+
+#ifndef LEVELDBPP_DB_DB_H_
+#define LEVELDBPP_DB_DB_H_
+
+#include <string>
+
+#include "db/options.h"
+#include "table/iterator.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace leveldbpp {
+
+class WriteBatch;
+
+class DB {
+ public:
+  /// Open the database named `name`. Stores a heap-allocated database in
+  /// *dbptr on success; the caller owns it.
+  static Status Open(const Options& options, const std::string& name,
+                     DB** dbptr);
+
+  DB() = default;
+  DB(const DB&) = delete;
+  DB& operator=(const DB&) = delete;
+  virtual ~DB();
+
+  /// Set the database entry for key to value.
+  virtual Status Put(const WriteOptions& options, const Slice& key,
+                     const Slice& value) = 0;
+
+  /// Remove the database entry (if any) for key. It is not an error if the
+  /// key did not exist.
+  virtual Status Delete(const WriteOptions& options, const Slice& key) = 0;
+
+  /// Apply the specified updates to the database atomically.
+  virtual Status Write(const WriteOptions& options, WriteBatch* updates) = 0;
+
+  /// If the database contains an entry for key, store the corresponding
+  /// value in *value. Returns NotFound if there is no entry.
+  virtual Status Get(const ReadOptions& options, const Slice& key,
+                     std::string* value) = 0;
+
+  /// Heap-allocated forward iterator over the DB's user keys (newest
+  /// visible version of each key; deletions hidden). Caller owns it.
+  virtual Iterator* NewIterator(const ReadOptions& options) = 0;
+
+  /// DB implementations export properties about their state via this
+  /// method; returns true iff `property` is understood.
+  ///   "leveldbpp.num-files-at-level<N>"
+  ///   "leveldbpp.sstables"  (multi-line dump)
+  ///   "leveldbpp.total-bytes"
+  ///   "leveldbpp.approximate-memory-usage"
+  virtual bool GetProperty(const Slice& property, std::string* value) = 0;
+
+  /// Compact the underlying storage for the key range [*begin, *end]
+  /// (nullptr = unbounded). Drives compaction until the range is fully
+  /// merged downward.
+  virtual void CompactRange(const Slice* begin, const Slice* end) = 0;
+};
+
+/// Destroy the contents of the specified database (files and directory).
+Status DestroyDB(const std::string& name, const Options& options);
+
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_DB_DB_H_

@@ -1,0 +1,1119 @@
+#include "db/db_impl.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "db/builder.h"
+#include "db/db_iter.h"
+#include "db/filename.h"
+#include "db/value_merger.h"
+#include "table/merger.h"
+#include "table/table_builder.h"
+#include "util/coding.h"
+#include "wal/log_reader.h"
+
+namespace leveldbpp {
+
+namespace {
+
+template <class T, class V>
+static void ClipToRange(T* ptr, V minvalue, V maxvalue) {
+  if (static_cast<V>(*ptr) > maxvalue) *ptr = maxvalue;
+  if (static_cast<V>(*ptr) < minvalue) *ptr = minvalue;
+}
+
+Options SanitizeOptions(const InternalKeyComparator* icmp,
+                        const InternalFilterPolicy* ipolicy,
+                        const Options& src) {
+  Options result = src;
+  result.comparator = icmp;
+  result.filter_policy = (src.filter_policy != nullptr) ? ipolicy : nullptr;
+  if (result.env == nullptr) {
+    result.env = Env::Posix();
+  }
+  ClipToRange(&result.write_buffer_size, 64 << 10, 1 << 30);
+  ClipToRange(&result.max_file_size, 16 << 10, 1 << 30);
+  ClipToRange(&result.block_size, 1 << 10, 4 << 20);
+  if (!result.secondary_attributes.empty() &&
+      result.attribute_extractor == nullptr) {
+    // Secondary meta cannot be built without an extractor; drop the attrs
+    // rather than building empty filters.
+    result.secondary_attributes.clear();
+  }
+  return result;
+}
+
+}  // namespace
+
+DB::~DB() = default;
+
+DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
+    : env_(raw_options.env != nullptr ? raw_options.env : Env::Posix()),
+      internal_comparator_(raw_options.comparator != nullptr
+                               ? raw_options.comparator
+                               : BytewiseComparator()),
+      internal_filter_policy_(raw_options.filter_policy),
+      options_(SanitizeOptions(&internal_comparator_, &internal_filter_policy_,
+                               raw_options)),
+      dbname_(dbname),
+      table_cache_(new TableCache(dbname_, options_, 10000)),
+      mem_(nullptr),
+      imm_(nullptr),
+      logfile_number_(0),
+      versions_(new VersionSet(dbname_, &options_, table_cache_.get(),
+                               &internal_comparator_)) {}
+
+DBImpl::~DBImpl() {
+  if (mem_ != nullptr) mem_->Unref();
+  if (imm_ != nullptr) imm_->Unref();
+}
+
+Status DB::Open(const Options& options, const std::string& name, DB** dbptr) {
+  DBImpl* impl = nullptr;
+  Status s = DBImpl::Open(options, name, &impl);
+  *dbptr = impl;
+  return s;
+}
+
+Status DBImpl::Open(const Options& options, const std::string& dbname,
+                    DBImpl** dbptr) {
+  *dbptr = nullptr;
+  DBImpl* impl = new DBImpl(options, dbname);
+  VersionEdit edit;
+  Status s = impl->Recover(&edit);
+  if (s.ok() && impl->mem_ == nullptr) {
+    // Create new log and a corresponding memtable.
+    uint64_t new_log_number = impl->versions_->NewFileNumber();
+    std::unique_ptr<WritableFile> lfile;
+    s = impl->env_->NewWritableFile(LogFileName(dbname, new_log_number),
+                                    &lfile);
+    if (s.ok()) {
+      edit.SetLogNumber(new_log_number);
+      impl->logfile_ = std::move(lfile);
+      impl->logfile_number_ = new_log_number;
+      impl->log_ = std::make_unique<log::Writer>(impl->logfile_.get());
+      impl->mem_ = new MemTable(impl->internal_comparator_,
+                                impl->options_.secondary_attributes,
+                                impl->options_.attribute_extractor);
+      impl->mem_->Ref();
+    }
+  }
+  if (s.ok()) {
+    s = impl->versions_->LogAndApply(&edit);
+  }
+  if (s.ok()) {
+    impl->RemoveObsoleteFiles();
+    s = impl->MaybeCompact();
+  }
+  if (s.ok()) {
+    *dbptr = impl;
+  } else {
+    delete impl;
+  }
+  return s;
+}
+
+Status DBImpl::Recover(VersionEdit* edit) {
+  env_->CreateDir(dbname_);
+
+  if (!env_->FileExists(CurrentFileName(dbname_))) {
+    if (options_.create_if_missing) {
+      // Write an initial MANIFEST so Recover() below has something to read.
+      VersionEdit new_db;
+      new_db.SetComparatorName(internal_comparator_.user_comparator()->Name());
+      new_db.SetLogNumber(0);
+      new_db.SetNextFile(2);
+      new_db.SetLastSequence(0);
+
+      const std::string manifest = DescriptorFileName(dbname_, 1);
+      std::unique_ptr<WritableFile> file;
+      Status s = env_->NewWritableFile(manifest, &file);
+      if (!s.ok()) return s;
+      {
+        log::Writer log(file.get());
+        std::string record;
+        new_db.EncodeTo(&record);
+        s = log.AddRecord(Slice(record));
+        if (s.ok()) s = file->Sync();
+        if (s.ok()) s = file->Close();
+      }
+      if (s.ok()) {
+        s = SetCurrentFile(env_, dbname_, 1);
+      } else {
+        env_->RemoveFile(manifest);
+      }
+      if (!s.ok()) return s;
+    } else {
+      return Status::InvalidArgument(dbname_,
+                                     "does not exist (create_if_missing=false)");
+    }
+  } else if (options_.error_if_exists) {
+    return Status::InvalidArgument(dbname_, "exists (error_if_exists=true)");
+  }
+
+  Status s = versions_->Recover();
+  if (!s.ok()) return s;
+
+  // Recover any log files newer than the descriptor's log number, in order.
+  SequenceNumber max_sequence = versions_->LastSequence();
+  const uint64_t min_log = versions_->LogNumber();
+  std::vector<std::string> filenames;
+  s = env_->GetChildren(dbname_, &filenames);
+  if (!s.ok()) return s;
+  std::vector<uint64_t> logs;
+  for (const std::string& fname : filenames) {
+    uint64_t number;
+    FileType type;
+    if (ParseFileName(fname, &number, &type) && type == kLogFile &&
+        number >= min_log) {
+      logs.push_back(number);
+    }
+  }
+  std::sort(logs.begin(), logs.end());
+
+  for (uint64_t log_number : logs) {
+    s = RecoverLogFile(log_number, edit, &max_sequence);
+    if (!s.ok()) return s;
+    versions_->ReuseFileNumber(log_number);  // Best effort
+  }
+
+  if (versions_->LastSequence() < max_sequence) {
+    versions_->SetLastSequence(max_sequence);
+  }
+  return Status::OK();
+}
+
+Status DBImpl::RecoverLogFile(uint64_t log_number, VersionEdit* edit,
+                              SequenceNumber* max_sequence) {
+  struct LogReporter : public log::Reader::Reporter {
+    Status* status;
+    void Corruption(size_t, const Status& s) override {
+      // WAL tails may be torn after a crash; remember the first error but
+      // keep whatever parsed (paranoid mode would fail instead).
+      if (status != nullptr && status->ok()) *status = s;
+    }
+  };
+
+  std::string fname = LogFileName(dbname_, log_number);
+  std::unique_ptr<SequentialFile> file;
+  Status s = env_->NewSequentialFile(fname, &file);
+  if (!s.ok()) return s;
+
+  LogReporter reporter;
+  Status log_status;
+  reporter.status = options_.paranoid_checks ? &log_status : nullptr;
+  log::Reader reader(file.get(), &reporter, true /*checksum*/);
+
+  std::string scratch;
+  Slice record;
+  WriteBatch batch;
+  MemTable* mem = nullptr;
+  while (reader.ReadRecord(&record, &scratch) && log_status.ok()) {
+    if (record.size() < 12) {
+      continue;  // Too small to be a valid batch header
+    }
+    WriteBatchInternal::SetContents(&batch, record);
+
+    if (mem == nullptr) {
+      mem = new MemTable(internal_comparator_, options_.secondary_attributes,
+                         options_.attribute_extractor);
+      mem->Ref();
+    }
+    s = WriteBatchInternal::InsertInto(&batch, mem, options_.value_merger);
+    if (!s.ok()) break;
+    const SequenceNumber last_seq = WriteBatchInternal::Sequence(&batch) +
+                                    WriteBatchInternal::Count(&batch) - 1;
+    if (last_seq > *max_sequence) {
+      *max_sequence = last_seq;
+    }
+
+    if (mem->ApproximateMemoryUsage() > options_.write_buffer_size) {
+      s = WriteLevel0Table(mem, edit);
+      mem->Unref();
+      mem = nullptr;
+      if (!s.ok()) break;
+    }
+  }
+  if (s.ok() && !log_status.ok()) s = log_status;
+
+  if (s.ok() && mem != nullptr && mem->NumEntries() > 0) {
+    s = WriteLevel0Table(mem, edit);
+  }
+  if (mem != nullptr) mem->Unref();
+  return s;
+}
+
+Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit) {
+  FileMetaData meta;
+  meta.number = versions_->NewFileNumber();
+  Iterator* iter = mem->NewIterator();
+  Status s = BuildTable(dbname_, env_, options_, internal_comparator_,
+                        table_cache_.get(), iter, &meta);
+  delete iter;
+  if (s.ok() && meta.file_size > 0) {
+    edit->AddFile(0, meta);
+  }
+  if (options_.statistics != nullptr) {
+    options_.statistics->Record(kFlushCount);
+  }
+  return s;
+}
+
+std::string DBImpl::MaybeMergeWithMemTable(const Slice& key,
+                                           const Slice& value) {
+  // Handled inside WriteBatchInternal::InsertInto; retained for clarity of
+  // the write path (see header comment).
+  (void)key;
+  return value.ToString();
+}
+
+Status DBImpl::Put(const WriteOptions& o, const Slice& key,
+                   const Slice& value) {
+  WriteBatch batch;
+  batch.Put(key, value);
+  return Write(o, &batch);
+}
+
+Status DBImpl::Delete(const WriteOptions& o, const Slice& key) {
+  if (options_.value_merger != nullptr) {
+    // Whole-key deletes cannot be combined with merge-on-collision
+    // semantics: a tombstone that later gets newer fragments merged above
+    // it would stop shadowing the pre-tombstone fragments in lower levels
+    // (fragment reads union ALL levels, and flush/GetFragments surface only
+    // the newest version per residence). The Lazy index deletes entries via
+    // in-list deletion markers instead — so does any other client of a
+    // merged table.
+    return Status::NotSupported(
+        "point Delete on a ValueMerger table; use an in-value deletion "
+        "marker");
+  }
+  WriteBatch batch;
+  batch.Delete(key);
+  return Write(o, &batch);
+}
+
+Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
+  if (!bg_error_.ok()) return bg_error_;
+
+  Status s = MakeRoomForWrite();
+  if (!s.ok()) return s;
+
+  const SequenceNumber last_sequence = versions_->LastSequence();
+  WriteBatchInternal::SetSequence(updates, last_sequence + 1);
+  versions_->SetLastSequence(last_sequence +
+                             WriteBatchInternal::Count(updates));
+
+  s = log_->AddRecord(WriteBatchInternal::Contents(updates));
+  if (options_.statistics != nullptr) {
+    options_.statistics->Record(kWalBytesWritten,
+                                WriteBatchInternal::ByteSize(updates));
+  }
+  if (s.ok() && options.sync) {
+    s = logfile_->Sync();
+  }
+  if (s.ok()) {
+    s = WriteBatchInternal::InsertInto(updates, mem_, options_.value_merger);
+  }
+  return s;
+}
+
+Status DBImpl::MakeRoomForWrite() {
+  if (mem_->ApproximateMemoryUsage() <= options_.write_buffer_size) {
+    return Status::OK();
+  }
+
+  // Switch to a fresh memtable + log file, flush the old one inline, then
+  // drive any triggered compactions to quiescence (synchronous design).
+  uint64_t new_log_number = versions_->NewFileNumber();
+  std::unique_ptr<WritableFile> lfile;
+  Status s = env_->NewWritableFile(LogFileName(dbname_, new_log_number),
+                                   &lfile);
+  if (!s.ok()) {
+    versions_->ReuseFileNumber(new_log_number);
+    return s;
+  }
+  logfile_ = std::move(lfile);
+  logfile_number_ = new_log_number;
+  log_ = std::make_unique<log::Writer>(logfile_.get());
+  imm_ = mem_;
+  mem_ = new MemTable(internal_comparator_, options_.secondary_attributes,
+                      options_.attribute_extractor);
+  mem_->Ref();
+
+  s = CompactMemTable();
+  if (s.ok()) {
+    s = MaybeCompact();
+  }
+  if (!s.ok()) {
+    bg_error_ = s;
+  }
+  return s;
+}
+
+Status DBImpl::CompactMemTable() {
+  assert(imm_ != nullptr);
+  VersionEdit edit;
+  Status s = WriteLevel0Table(imm_, &edit);
+  if (s.ok()) {
+    edit.SetLogNumber(logfile_number_);  // Earlier logs no longer needed
+    s = versions_->LogAndApply(&edit);
+  }
+  if (s.ok()) {
+    imm_->Unref();
+    imm_ = nullptr;
+    RemoveObsoleteFiles();
+  }
+  return s;
+}
+
+Status DBImpl::MaybeCompact() {
+  Status s;
+  while (s.ok() && versions_->NeedsCompaction()) {
+    s = BackgroundCompaction();
+  }
+  return s;
+}
+
+Status DBImpl::BackgroundCompaction() {
+  std::unique_ptr<Compaction> c(versions_->PickCompaction());
+  if (c == nullptr) return Status::OK();
+
+  Status status;
+  if (c->IsTrivialMove()) {
+    // Move file to next level.
+    FileMetaData* f = c->input(0, 0);
+    c->edit()->RemoveFile(c->level(), f->number);
+    c->edit()->AddFile(c->level() + 1, *f);
+    status = versions_->LogAndApply(c->edit());
+  } else {
+    status = DoCompactionWork(c.get());
+  }
+  c->ReleaseInputs();
+  RemoveObsoleteFiles();
+  return status;
+}
+
+namespace {
+
+// Accumulates one "run" of consecutive entries sharing a user key (newest
+// first), then emits the compaction output for the run.
+struct RunState {
+  std::string user_key;
+  bool active = false;
+  // Values of the leading kTypeValue entries (newest first).
+  std::vector<std::string> values;
+  SequenceNumber newest_seq = 0;
+  bool saw_tombstone = false;
+  SequenceNumber tombstone_seq = 0;
+};
+
+}  // namespace
+
+Status DBImpl::DoCompactionWork(Compaction* c) {
+  Statistics* stats = options_.statistics;
+  if (stats != nullptr) {
+    stats->Record(kCompactionCount);
+    for (int which = 0; which < 2; which++) {
+      for (int i = 0; i < c->num_input_files(which); i++) {
+        stats->Record(kCompactionBytesRead, c->input(which, i)->file_size);
+      }
+    }
+  }
+
+  std::unique_ptr<Iterator> input(versions_->MakeInputIterator(c));
+  input->SeekToFirst();
+
+  Status status;
+  std::unique_ptr<WritableFile> outfile;
+  std::unique_ptr<TableBuilder> builder;
+  std::vector<FileMetaData> outputs;
+
+  const Comparator* ucmp = internal_comparator_.user_comparator();
+  const ValueMerger* merger = options_.value_merger;
+
+  auto open_output = [&]() -> Status {
+    FileMetaData meta;
+    meta.number = versions_->NewFileNumber();
+    outputs.push_back(meta);
+    std::string fname = TableFileName(dbname_, meta.number);
+    Status s = env_->NewWritableFile(fname, &outfile);
+    if (s.ok()) {
+      builder = std::make_unique<TableBuilder>(options_, outfile.get());
+    }
+    return s;
+  };
+
+  auto finish_output = [&]() -> Status {
+    assert(builder != nullptr);
+    FileMetaData& meta = outputs.back();
+    Status s = builder->Finish();
+    if (s.ok()) {
+      meta.file_size = builder->FileSize();
+      for (size_t i = 0; i < options_.secondary_attributes.size(); i++) {
+        meta.zone_ranges.push_back(builder->FileZoneRange(i));
+      }
+      if (stats != nullptr) {
+        stats->Record(kCompactionBytesWritten, meta.file_size);
+      }
+    }
+    builder.reset();
+    if (s.ok()) s = outfile->Sync();
+    if (s.ok()) s = outfile->Close();
+    outfile.reset();
+    return s;
+  };
+
+  auto emit = [&](const Slice& internal_key, const Slice& value) -> Status {
+    Status s;
+    if (builder == nullptr) {
+      s = open_output();
+      if (!s.ok()) return s;
+    }
+    FileMetaData& meta = outputs.back();
+    if (builder->NumEntries() == 0) {
+      meta.smallest.DecodeFrom(internal_key);
+    }
+    meta.largest.DecodeFrom(internal_key);
+    builder->Add(internal_key, value);
+    if (builder->FileSize() >= c->MaxOutputFileSize()) {
+      s = finish_output();
+    }
+    return s;
+  };
+
+  // Emit the accumulated run's output entries.
+  RunState run;
+  auto flush_run = [&]() -> Status {
+    if (!run.active) return Status::OK();
+    Status s;
+    const bool base = c->IsBaseLevelForKey(Slice(run.user_key));
+    if (merger == nullptr) {
+      // Ordinary LSM semantics: newest version wins; tombstones survive
+      // until the base level.
+      if (!run.values.empty()) {
+        std::string ikey;
+        AppendInternalKey(&ikey, ParsedInternalKey(Slice(run.user_key),
+                                                   run.newest_seq,
+                                                   kTypeValue));
+        s = emit(Slice(ikey), Slice(run.values[0]));
+      } else if (run.saw_tombstone && !base) {
+        std::string ikey;
+        AppendInternalKey(&ikey, ParsedInternalKey(Slice(run.user_key),
+                                                   run.tombstone_seq,
+                                                   kTypeDeletion));
+        s = emit(Slice(ikey), Slice());
+      }
+    } else {
+      // Lazy-index semantics: merge all fragments above the first
+      // tombstone; anything below a tombstone is dead.
+      if (!run.values.empty()) {
+        std::vector<Slice> vals;
+        vals.reserve(run.values.size());
+        for (const std::string& v : run.values) vals.emplace_back(v);
+        const bool at_bottom = base || run.saw_tombstone;
+        std::string merged;
+        if (merger->Merge(Slice(run.user_key), vals, at_bottom, &merged)) {
+          std::string ikey;
+          AppendInternalKey(&ikey, ParsedInternalKey(Slice(run.user_key),
+                                                     run.newest_seq,
+                                                     kTypeValue));
+          s = emit(Slice(ikey), Slice(merged));
+        }
+      }
+      if (s.ok() && run.saw_tombstone && !base) {
+        // The tombstone must survive above the base level EVEN IF a merged
+        // value was emitted: unlike plain LSM reads (which stop at the
+        // newest version), the Lazy index's read path UNIONS fragments from
+        // every level, so only the tombstone keeps the pre-tombstone
+        // fragments in lower levels shadowed. Its sequence number is lower
+        // than the merged value's, preserving internal-key order.
+        std::string ikey;
+        AppendInternalKey(&ikey, ParsedInternalKey(Slice(run.user_key),
+                                                   run.tombstone_seq,
+                                                   kTypeDeletion));
+        s = emit(Slice(ikey), Slice());
+      }
+    }
+    run = RunState();
+    return s;
+  };
+
+  for (; input->Valid() && status.ok(); input->Next()) {
+    Slice key = input->key();
+    ParsedInternalKey ikey;
+    if (!ParseInternalKey(key, &ikey)) {
+      status = Status::Corruption("corrupted internal key in compaction");
+      break;
+    }
+
+    if (!run.active || ucmp->Compare(ikey.user_key, Slice(run.user_key)) != 0) {
+      status = flush_run();
+      if (!status.ok()) break;
+      run.active = true;
+      run.user_key.assign(ikey.user_key.data(), ikey.user_key.size());
+      run.newest_seq = ikey.sequence;
+    }
+
+    if (run.saw_tombstone) {
+      continue;  // Everything below the first tombstone is invisible.
+    }
+    if (ikey.type == kTypeDeletion) {
+      run.saw_tombstone = true;
+      run.tombstone_seq = ikey.sequence;
+    } else if (merger != nullptr) {
+      run.values.emplace_back(input->value().data(), input->value().size());
+    } else if (run.values.empty()) {
+      // Without a merger only the newest value matters.
+      run.values.emplace_back(input->value().data(), input->value().size());
+    }
+  }
+  if (status.ok()) status = flush_run();
+  if (status.ok()) status = input->status();
+  input.reset();
+
+  if (status.ok() && builder != nullptr) {
+    status = finish_output();
+  } else if (builder != nullptr) {
+    builder->Abandon();
+    builder.reset();
+    outfile.reset();
+  }
+
+  if (status.ok()) {
+    c->AddInputDeletions(c->edit());
+    for (const FileMetaData& out : outputs) {
+      if (out.file_size > 0) {
+        c->edit()->AddFile(c->level() + 1, out);
+      }
+    }
+    status = versions_->LogAndApply(c->edit());
+  }
+  return status;
+}
+
+void DBImpl::RemoveObsoleteFiles() {
+  if (!bg_error_.ok()) {
+    // After a background error, we don't know whether a new version may
+    // or may not have been committed, so we cannot safely garbage collect.
+    return;
+  }
+
+  // Make a set of all of the live files
+  std::set<uint64_t> live;
+  versions_->AddLiveFiles(&live);
+
+  std::vector<std::string> filenames;
+  env_->GetChildren(dbname_, &filenames);  // Ignoring errors on purpose
+  uint64_t number;
+  FileType type;
+  for (const std::string& filename : filenames) {
+    if (ParseFileName(filename, &number, &type)) {
+      bool keep = true;
+      switch (type) {
+        case kLogFile:
+          keep = (number >= versions_->LogNumber());
+          break;
+        case kDescriptorFile:
+          keep = (number >= versions_->ManifestFileNumber());
+          break;
+        case kTableFile:
+          keep = (live.find(number) != live.end());
+          break;
+        case kTempFile:
+          keep = false;
+          break;
+        case kCurrentFile:
+        case kDBLockFile:
+          keep = true;
+          break;
+      }
+
+      if (!keep) {
+        if (type == kTableFile) {
+          table_cache_->Evict(number);
+        }
+        env_->RemoveFile(dbname_ + "/" + filename);
+      }
+    }
+  }
+}
+
+Status DBImpl::Get(const ReadOptions& options, const Slice& key,
+                   std::string* value) {
+  RecordLocation loc;
+  return GetWithMeta(options, key, value, &loc);
+}
+
+Status DBImpl::GetWithMeta(const ReadOptions& options, const Slice& key,
+                           std::string* value, RecordLocation* loc) {
+  Status s;
+  SequenceNumber snapshot = versions_->LastSequence();
+  LookupKey lkey(key, snapshot);
+  std::string mem_value;
+  SequenceNumber seq;
+  bool deleted;
+  if (mem_->GetNewest(key, &mem_value, &seq, &deleted)) {
+    loc->seq = seq;
+    loc->level = -1;
+    if (deleted) return Status::NotFound(Slice());
+    value->swap(mem_value);
+    return Status::OK();
+  }
+  if (imm_ != nullptr && imm_->GetNewest(key, &mem_value, &seq, &deleted)) {
+    loc->seq = seq;
+    loc->level = -2;
+    if (deleted) return Status::NotFound(Slice());
+    value->swap(mem_value);
+    return Status::OK();
+  }
+  Version* current = versions_->current();
+  current->Ref();
+  int level = -1;
+  s = current->Get(options, lkey, value, &seq, &level);
+  current->Unref();
+  if (s.ok()) {
+    loc->seq = seq;
+    loc->level = level;
+  }
+  return s;
+}
+
+bool DBImpl::IsNewestVersion(const Slice& key, SequenceNumber seq,
+                             int record_level, uint64_t record_file) {
+  Statistics* stats = options_.statistics;
+  if (stats != nullptr) stats->Record(kGetLiteCalls);
+
+  std::string unused;
+  SequenceNumber found_seq;
+  bool deleted;
+  if (mem_->GetNewest(key, &unused, &found_seq, &deleted)) {
+    return found_seq <= seq;
+  }
+  if (imm_ != nullptr &&
+      imm_->GetNewest(key, &unused, &found_seq, &deleted)) {
+    return found_seq <= seq;
+  }
+  if (record_level < 0) {
+    // The record lives in a memtable; nothing on disk can be newer.
+    return true;
+  }
+
+  Version* current = versions_->current();
+  current->Ref();
+  const Comparator* ucmp = internal_comparator_.user_comparator();
+  LookupKey lkey(key, kMaxSequenceNumber);
+  Slice ikey = lkey.internal_key();
+  bool result = true;
+  bool resolved = false;
+
+  auto check_file = [&](FileMetaData* f) -> bool /* keep scanning */ {
+    // Metadata-only probe first (this is the GetLite saving).
+    bool may_exist = true;
+    table_cache_->WithTable(f->number, f->file_size, [&](Table* t) {
+      // The table's index block and filters are keyed on internal keys.
+      may_exist = t->KeyMayExistNoIO(ikey);
+    });
+    if (!may_exist) return true;
+    // Bloom positive: confirming bounded read of one block.
+    if (stats != nullptr) stats->Record(kGetLiteConfirmReads);
+    struct Ctx {
+      const Comparator* ucmp;
+      Slice key;
+      bool found = false;
+      SequenceNumber seq = 0;
+    } ctx{ucmp, key};
+    table_cache_->Get(
+        ReadOptions(), f->number, f->file_size, ikey, &ctx,
+        [](void* arg, const Slice& found_key, const Slice&) {
+          Ctx* c = reinterpret_cast<Ctx*>(arg);
+          ParsedInternalKey parsed;
+          if (ParseInternalKey(found_key, &parsed) &&
+              c->ucmp->Compare(parsed.user_key, c->key) == 0) {
+            c->found = true;
+            c->seq = parsed.sequence;
+          }
+        });
+    if (ctx.found) {
+      result = (ctx.seq <= seq);
+      resolved = true;
+      return false;
+    }
+    return true;
+  };
+
+  // L0 newest-to-oldest, then deeper levels, but only residences STRICTLY
+  // NEWER than the record's own: for an L0 record that means L0 files with
+  // a higher file number; for a level-i record it means all of L0 plus
+  // levels 1..i-1. The first version found while walking downward is the
+  // newest in the store.
+  std::vector<FileMetaData*> l0;
+  for (FileMetaData* f : current->files(0)) {
+    if (record_level == 0 && f->number <= record_file) {
+      continue;  // The record's own flush, or an older one.
+    }
+    if (ucmp->Compare(key, f->smallest.user_key()) >= 0 &&
+        ucmp->Compare(key, f->largest.user_key()) <= 0) {
+      l0.push_back(f);
+    }
+  }
+  std::sort(l0.begin(), l0.end(), [](FileMetaData* a, FileMetaData* b) {
+    return a->number > b->number;
+  });
+  for (FileMetaData* f : l0) {
+    if (!check_file(f)) break;
+  }
+  if (!resolved) {
+    const int max_level = std::min(record_level, current->NumLevels());
+    for (int level = 1; level < max_level; level++) {
+      const auto& files = current->files(level);
+      if (files.empty()) continue;
+      int index = FindFile(internal_comparator_, files, ikey);
+      if (index >= static_cast<int>(files.size())) continue;
+      FileMetaData* f = files[index];
+      if (ucmp->Compare(key, f->smallest.user_key()) < 0) continue;
+      if (!check_file(f)) break;
+    }
+  }
+  current->Unref();
+  return result;
+}
+
+Status DBImpl::GetFragments(
+    const ReadOptions& options, const Slice& key,
+    const std::function<bool(int, SequenceNumber, bool, const Slice&)>& fn) {
+  int rank = 0;
+  std::string value;
+  SequenceNumber seq;
+  bool deleted;
+  if (mem_->GetNewest(key, &value, &seq, &deleted)) {
+    if (!fn(rank, seq, deleted, Slice(value))) return Status::OK();
+  }
+  rank++;
+  if (imm_ != nullptr && imm_->GetNewest(key, &value, &seq, &deleted)) {
+    if (!fn(rank, seq, deleted, Slice(value))) return Status::OK();
+  }
+  rank++;
+
+  Version* current = versions_->current();
+  current->Ref();
+  Status s = current->GetFragments(
+      options, key,
+      [&](int level, SequenceNumber fseq, bool fdel, const Slice& fval) {
+        return fn(rank + level, fseq, fdel, fval);
+      });
+  current->Unref();
+  return s;
+}
+
+Iterator* DBImpl::NewInternalIterator(
+    const ReadOptions& options, SequenceNumber* latest_snapshot,
+    std::vector<std::function<void()>>* cleanups) {
+  *latest_snapshot = versions_->LastSequence();
+
+  std::vector<Iterator*> list;
+  list.push_back(mem_->NewIterator());
+  mem_->Ref();
+  MemTable* mem = mem_;
+  cleanups->push_back([mem]() { mem->Unref(); });
+  if (imm_ != nullptr) {
+    list.push_back(imm_->NewIterator());
+    imm_->Ref();
+    MemTable* imm = imm_;
+    cleanups->push_back([imm]() { imm->Unref(); });
+  }
+  Version* current = versions_->current();
+  current->AddIterators(options, &list);
+  current->Ref();
+  cleanups->push_back([current]() { current->Unref(); });
+
+  return NewMergingIterator(&internal_comparator_, list.data(),
+                            static_cast<int>(list.size()));
+}
+
+Iterator* DBImpl::NewIterator(const ReadOptions& options) {
+  SequenceNumber latest_snapshot;
+  std::vector<std::function<void()>> cleanups;
+  Iterator* internal_iter =
+      NewInternalIterator(options, &latest_snapshot, &cleanups);
+  Iterator* db_iter = NewDBIterator(internal_comparator_.user_comparator(),
+                                    internal_iter, latest_snapshot);
+  for (auto& fn : cleanups) {
+    db_iter->RegisterCleanup(std::move(fn));
+  }
+  return db_iter;
+}
+
+DBImpl::LevelIterators::~LevelIterators() {
+  for (Iterator* it : iters) delete it;
+  for (auto& fn : cleanups_) fn();
+}
+
+Status DBImpl::NewLevelIterators(const ReadOptions& options,
+                                 LevelIterators* out) {
+  out->iters.push_back(mem_->NewIterator());
+  mem_->Ref();
+  MemTable* mem = mem_;
+  out->cleanups_.push_back([mem]() { mem->Unref(); });
+  if (imm_ != nullptr) {
+    out->iters.push_back(imm_->NewIterator());
+    imm_->Ref();
+    MemTable* imm = imm_;
+    out->cleanups_.push_back([imm]() { imm->Unref(); });
+  }
+  out->first_disk = out->iters.size();
+
+  Version* current = versions_->current();
+  current->Ref();
+  out->cleanups_.push_back([current]() { current->Unref(); });
+
+  std::vector<FileMetaData*> l0 = current->files(0);
+  std::sort(l0.begin(), l0.end(), [](FileMetaData* a, FileMetaData* b) {
+    return a->number > b->number;
+  });
+  for (FileMetaData* f : l0) {
+    out->iters.push_back(
+        table_cache_->NewIterator(options, f->number, f->file_size));
+  }
+  for (int level = 1; level < current->NumLevels(); level++) {
+    if (current->NumFiles(level) > 0) {
+      out->iters.push_back(current->NewConcatenatingIterator(options, level));
+    }
+  }
+  return Status::OK();
+}
+
+Status DBImpl::EmbeddedScan(
+    const ReadOptions&, const std::string& attr, const Slice& lo,
+    const Slice& hi,
+    const std::function<void(Table*, size_t, int, uint64_t)>& block_visitor,
+    const std::function<bool()>& level_boundary) {
+  Version* current = versions_->current();
+  current->Ref();
+  const bool point = (lo == hi);
+  Status s;
+  bool stopped = false;
+
+  auto scan_file = [&](FileMetaData* f, int level) {
+    // File-level zone map (persisted in the MANIFEST metadata) prunes the
+    // file without opening it at all.
+    size_t attr_idx = options_.secondary_attributes.size();
+    for (size_t i = 0; i < options_.secondary_attributes.size(); i++) {
+      if (options_.secondary_attributes[i] == attr) {
+        attr_idx = i;
+        break;
+      }
+    }
+    if (attr_idx < f->zone_ranges.size() &&
+        !f->zone_ranges[attr_idx].Overlaps(lo, hi)) {
+      if (options_.statistics != nullptr) {
+        options_.statistics->Record(kZoneMapFilePruned);
+      }
+      return;
+    }
+    Status ws = table_cache_->WithTable(f->number, f->file_size, [&](Table* t) {
+      const size_t nblocks = t->NumDataBlocks();
+      for (size_t b = 0; b < nblocks; b++) {
+        bool may = point ? t->SecondaryBlockMayContain(attr, lo, b)
+                         : t->SecondaryBlockMayOverlap(attr, lo, hi, b);
+        if (may) {
+          block_visitor(t, b, level, f->number);
+        }
+      }
+    });
+    if (!ws.ok() && s.ok()) s = ws;
+  };
+
+  // Each L0 file is its own recency bucket (newest first).
+  std::vector<FileMetaData*> l0 = current->files(0);
+  std::sort(l0.begin(), l0.end(), [](FileMetaData* a, FileMetaData* b) {
+    return a->number > b->number;
+  });
+  for (FileMetaData* f : l0) {
+    scan_file(f, 0);
+    if (!level_boundary()) {
+      stopped = true;
+      break;
+    }
+  }
+  if (!stopped) {
+    for (int level = 1; level < current->NumLevels(); level++) {
+      if (current->NumFiles(level) == 0) continue;
+      for (FileMetaData* f : current->files(level)) {
+        scan_file(f, level);
+      }
+      if (!level_boundary()) break;
+    }
+  }
+  current->Unref();
+  return s;
+}
+
+Status DBImpl::ScanAll(
+    const ReadOptions& options,
+    const std::function<bool(const Slice&, SequenceNumber, const Slice&)>&
+        fn) {
+  SequenceNumber snapshot;
+  std::vector<std::function<void()>> cleanups;
+  std::unique_ptr<Iterator> it(
+      NewInternalIterator(options, &snapshot, &cleanups));
+  std::string current_key;
+  bool has_current = false;
+  bool stop = false;
+  for (it->SeekToFirst(); it->Valid() && !stop; it->Next()) {
+    ParsedInternalKey ikey;
+    if (!ParseInternalKey(it->key(), &ikey)) continue;
+    if (ikey.sequence > snapshot) continue;
+    if (has_current && Slice(current_key) == ikey.user_key) continue;
+    current_key.assign(ikey.user_key.data(), ikey.user_key.size());
+    has_current = true;
+    if (ikey.type == kTypeDeletion) continue;
+    if (!fn(ikey.user_key, ikey.sequence, it->value())) stop = true;
+  }
+  Status s = it->status();
+  it.reset();
+  for (auto& c : cleanups) c();
+  return s;
+}
+
+void DBImpl::MemTableSecondaryLookup(const std::string& attr, const Slice& lo,
+                                     const Slice& hi,
+                                     const MemTable::SecondaryMatchFn& fn) {
+  mem_->SecondaryLookup(attr, lo, hi, fn);
+  if (imm_ != nullptr) {
+    imm_->SecondaryLookup(attr, lo, hi, fn);
+  }
+}
+
+Status DBImpl::CompactAll() {
+  Status s;
+  if (mem_->NumEntries() > 0) {
+    // Force a memtable rotation + flush regardless of size.
+    uint64_t new_log_number = versions_->NewFileNumber();
+    std::unique_ptr<WritableFile> lfile;
+    s = env_->NewWritableFile(LogFileName(dbname_, new_log_number), &lfile);
+    if (!s.ok()) return s;
+    logfile_ = std::move(lfile);
+    logfile_number_ = new_log_number;
+    log_ = std::make_unique<log::Writer>(logfile_.get());
+    imm_ = mem_;
+    mem_ = new MemTable(internal_comparator_, options_.secondary_attributes,
+                        options_.attribute_extractor);
+    mem_->Ref();
+    s = CompactMemTable();
+    if (!s.ok()) return s;
+  }
+  CompactRange(nullptr, nullptr);
+  return bg_error_;
+}
+
+void DBImpl::CompactRange(const Slice* begin, const Slice* end) {
+  InternalKey begin_storage, end_storage;
+  InternalKey* begin_key = nullptr;
+  InternalKey* end_key = nullptr;
+  if (begin != nullptr) {
+    begin_storage = InternalKey(*begin, kMaxSequenceNumber, kValueTypeForSeek);
+    begin_key = &begin_storage;
+  }
+  if (end != nullptr) {
+    end_storage = InternalKey(*end, 0, static_cast<ValueType>(0));
+    end_key = &end_storage;
+  }
+  // Find the highest level with overlapping files and compact everything
+  // above it down into it (LevelDB semantics) — do NOT push data into
+  // deeper, empty levels.
+  int max_level_with_files = 1;
+  {
+    Version* base = versions_->current();
+    for (int level = 1; level < options_.num_levels; level++) {
+      if (base->OverlapInLevel(level, begin, end)) {
+        max_level_with_files = level;
+      }
+    }
+  }
+  for (int level = 0; level < max_level_with_files; level++) {
+    while (true) {
+      std::unique_ptr<Compaction> c(
+          versions_->CompactRange(level, begin_key, end_key));
+      if (c == nullptr) break;
+      Status s = DoCompactionWork(c.get());
+      c->ReleaseInputs();
+      RemoveObsoleteFiles();
+      if (!s.ok()) {
+        bg_error_ = s;
+        return;
+      }
+    }
+  }
+}
+
+uint64_t DBImpl::TotalSizeBytes() {
+  uint64_t total = mem_->ApproximateMemoryUsage();
+  if (imm_ != nullptr) total += imm_->ApproximateMemoryUsage();
+  for (int level = 0; level < options_.num_levels; level++) {
+    total += static_cast<uint64_t>(versions_->NumLevelBytes(level));
+  }
+  return total;
+}
+
+bool DBImpl::GetProperty(const Slice& property, std::string* value) {
+  value->clear();
+  Slice in = property;
+  Slice prefix("leveldbpp.");
+  if (!in.starts_with(prefix)) return false;
+  in.remove_prefix(prefix.size());
+
+  if (in.starts_with("num-files-at-level")) {
+    in.remove_prefix(strlen("num-files-at-level"));
+    uint64_t level = 0;
+    for (size_t i = 0; i < in.size(); i++) {
+      if (in[i] < '0' || in[i] > '9') return false;
+      level = level * 10 + (in[i] - '0');
+    }
+    if (level >= static_cast<uint64_t>(options_.num_levels)) return false;
+    *value = std::to_string(versions_->NumLevelFiles(static_cast<int>(level)));
+    return true;
+  } else if (in == Slice("sstables")) {
+    Version* current = versions_->current();
+    current->Ref();
+    *value = current->DebugString();
+    current->Unref();
+    return true;
+  } else if (in == Slice("total-bytes")) {
+    *value = std::to_string(TotalSizeBytes());
+    return true;
+  } else if (in == Slice("approximate-memory-usage")) {
+    uint64_t total = mem_->ApproximateMemoryUsage();
+    if (imm_ != nullptr) total += imm_->ApproximateMemoryUsage();
+    *value = std::to_string(total);
+    return true;
+  } else if (in == Slice("levels")) {
+    *value = versions_->LevelSummary();
+    return true;
+  }
+  return false;
+}
+
+Status DestroyDB(const std::string& dbname, const Options& options) {
+  Env* env = options.env != nullptr ? options.env : Env::Posix();
+  std::vector<std::string> filenames;
+  Status result = env->GetChildren(dbname, &filenames);
+  if (!result.ok()) {
+    // Ignore error in case directory does not exist
+    return Status::OK();
+  }
+
+  uint64_t number;
+  FileType type;
+  for (const std::string& filename : filenames) {
+    if (ParseFileName(filename, &number, &type)) {
+      Status del = env->RemoveFile(dbname + "/" + filename);
+      if (result.ok() && !del.ok()) {
+        result = del;
+      }
+    }
+  }
+  env->RemoveDir(dbname);  // Ignore error in case dir contains other files
+  return result;
+}
+
+}  // namespace leveldbpp

@@ -1,0 +1,197 @@
+// DBImpl: the LSM engine. Single-writer, synchronous-compaction design (the
+// paper deliberately picked single-threaded LevelDB "so we can easily
+// isolate and explain the performance differences of the various indexing
+// methods"); compaction work is performed inline when a trigger is hit,
+// making runs deterministic and I/O attribution exact.
+//
+// Beyond the public DB surface, DBImpl exposes the internal hooks the
+// secondary-index layer needs:
+//   * GetWithMeta   — Get that also reports sequence number & level,
+//   * IsNewestVersion — the paper's GetLite: metadata-only check whether a
+//     (key, seq) record has been superseded,
+//   * NewLevelIterators — one internal-key iterator per recency bucket
+//     (memtable, each L0 file, each level), for level-by-level scans,
+//   * SecondaryScan hooks over the embedded per-block filters/zone maps,
+//   * memtable secondary lookup.
+
+#ifndef LEVELDBPP_DB_DB_IMPL_H_
+#define LEVELDBPP_DB_DB_IMPL_H_
+
+#include <deque>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "db/db.h"
+#include "db/dbformat.h"
+#include "db/memtable.h"
+#include "db/version_set.h"
+#include "db/write_batch.h"
+#include "env/statistics.h"
+#include "wal/log_writer.h"
+
+namespace leveldbpp {
+
+class DBImpl : public DB {
+ public:
+  DBImpl(const Options& raw_options, const std::string& dbname);
+  DBImpl(const DBImpl&) = delete;
+  DBImpl& operator=(const DBImpl&) = delete;
+  ~DBImpl() override;
+
+  /// Typed variant of DB::Open for internal clients (the index layer).
+  static Status Open(const Options& options, const std::string& name,
+                     DBImpl** dbptr);
+
+  // ---- DB interface ----
+  Status Put(const WriteOptions&, const Slice& key,
+             const Slice& value) override;
+  Status Delete(const WriteOptions&, const Slice& key) override;
+  Status Write(const WriteOptions& options, WriteBatch* updates) override;
+  Status Get(const ReadOptions& options, const Slice& key,
+             std::string* value) override;
+  Iterator* NewIterator(const ReadOptions&) override;
+  bool GetProperty(const Slice& property, std::string* value) override;
+  void CompactRange(const Slice* begin, const Slice* end) override;
+
+  // ---- Extended surface for the secondary-index layer ----
+
+  /// Where a record was found.
+  struct RecordLocation {
+    SequenceNumber seq = 0;
+    int level = -1;  // -1 = memtable, -2 = immutable memtable, >= 0 = level
+  };
+
+  /// Get that also reports the winning record's sequence number and level.
+  Status GetWithMeta(const ReadOptions& options, const Slice& key,
+                     std::string* value, RecordLocation* loc);
+
+  /// The paper's GetLite: determine whether the record (key, seq) is still
+  /// the newest version of `key`, preferring in-memory metadata (file
+  /// ranges, primary-key blooms). Falls back to a bounded confirming block
+  /// read only when a bloom filter reports a possible newer version
+  /// (counted as kGetLiteConfirmReads).
+  ///
+  /// When the caller knows where the record lives, passing `record_level`
+  /// (-1 = memtable/imm) and, for level-0 records, `record_file` restricts
+  /// the probe to strictly NEWER residences — the paper's "check levels 0
+  /// to currentlevel-1" optimization; the record's own file is never
+  /// probed, so the common case costs zero I/O. With the defaults the
+  /// whole store is checked.
+  bool IsNewestVersion(const Slice& key, SequenceNumber seq,
+                       int record_level = INT32_MAX,
+                       uint64_t record_file = 0);
+
+  /// Collect every visible fragment (version) of `key` from memtable,
+  /// immutable memtable, each L0 file and each level, newest first.
+  /// fn(recency_rank, seq, is_deletion, value); return false to stop early.
+  /// recency_rank increases with age (0 = memtable).
+  Status GetFragments(
+      const ReadOptions& options, const Slice& key,
+      const std::function<bool(int, SequenceNumber, bool, const Slice&)>& fn);
+
+  /// Internal-key iterators in recency order: memtable, immutable memtable,
+  /// every L0 file (newest first), then one concatenated iterator per level
+  /// >= 1. Caller owns the iterators. The returned holder pins the current
+  /// version and memtables until destroyed.
+  struct LevelIterators {
+    std::vector<Iterator*> iters;  // Owned
+    // First index in `iters` that is a disk level (memtable iterators come
+    // before it); used by callers that only care about disk residency.
+    size_t first_disk = 0;
+    ~LevelIterators();
+    LevelIterators() = default;
+    LevelIterators(LevelIterators&&) = default;
+
+   private:
+    friend class DBImpl;
+    std::vector<std::function<void()>> cleanups_;
+  };
+  Status NewLevelIterators(const ReadOptions& options, LevelIterators* out);
+
+  /// Embedded-index scan over disk data, level by level: invokes
+  /// `block_visitor` for every (table, block ordinal) whose secondary
+  /// filters/zone maps may contain attr in [lo, hi]; `level_boundary` is
+  /// called after finishing each recency bucket (L0 file or level) and may
+  /// return false to stop the scan (top-K satisfied).
+  /// Matches in the (immutable) memtables must be handled separately via
+  /// MemTableSecondaryLookup.
+  Status EmbeddedScan(
+      const ReadOptions& options, const std::string& attr, const Slice& lo,
+      const Slice& hi,
+      const std::function<void(Table*, size_t /*block*/, int /*level*/,
+                               uint64_t /*file*/)>& block_visitor,
+      const std::function<bool()>& level_boundary);
+
+  /// Full scan of the newest visible version of every key, exposing each
+  /// record's sequence number: fn(user_key, seq, value); return false to
+  /// stop. Used by the NoIndex baseline (top-K needs sequence numbers the
+  /// public iterator hides).
+  Status ScanAll(const ReadOptions& options,
+                 const std::function<bool(const Slice&, SequenceNumber,
+                                          const Slice&)>& fn);
+
+  /// Lookup [lo,hi] of `attr` in the live + immutable memtables' in-memory
+  /// secondary index.
+  void MemTableSecondaryLookup(const std::string& attr, const Slice& lo,
+                               const Slice& hi,
+                               const MemTable::SecondaryMatchFn& fn);
+
+  /// Flush the memtable and compact every level fully (used by "Static"
+  /// workloads that build the index before querying).
+  Status CompactAll();
+
+  /// Drive pending size-triggered compactions to quiescence.
+  Status MaybeCompact();
+
+  /// Total bytes across all SSTables plus the live memtable (Figure 8a).
+  uint64_t TotalSizeBytes();
+
+  const Options& options() const { return options_; }
+  Statistics* statistics() const { return options_.statistics; }
+  SequenceNumber LastSequence() const { return versions_->LastSequence(); }
+  VersionSet* versions() { return versions_.get(); }
+
+ private:
+  friend class DB;
+
+  Status Recover(VersionEdit* edit);
+  Status RecoverLogFile(uint64_t log_number, VersionEdit* edit,
+                        SequenceNumber* max_sequence);
+  Status WriteLevel0Table(MemTable* mem, VersionEdit* edit);
+  Status MakeRoomForWrite();
+  Status CompactMemTable();
+  Status BackgroundCompaction();
+  Status DoCompactionWork(Compaction* c);
+  void RemoveObsoleteFiles();
+  Iterator* NewInternalIterator(const ReadOptions&, SequenceNumber* seq,
+                                std::vector<std::function<void()>>* cleanups);
+  /// Apply the Lazy-index memtable-local merge to a Put value. Returns the
+  /// value to insert (merged with the memtable's current newest fragment).
+  std::string MaybeMergeWithMemTable(const Slice& key, const Slice& value);
+
+  // Constant after construction
+  Env* const env_;
+  const InternalKeyComparator internal_comparator_;
+  const InternalFilterPolicy internal_filter_policy_;
+  const Options options_;  // options_.comparator == &internal_comparator_
+  const std::string dbname_;
+
+  std::unique_ptr<TableCache> table_cache_;
+
+  MemTable* mem_;
+  MemTable* imm_;  // Memtable being flushed (only mid-flush; usually null)
+  std::unique_ptr<WritableFile> logfile_;
+  uint64_t logfile_number_;
+  std::unique_ptr<log::Writer> log_;
+
+  std::unique_ptr<VersionSet> versions_;
+
+  Status bg_error_;  // Sticky error from a failed flush/compaction
+
+  std::string merge_scratch_;
+};
+
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_DB_DB_IMPL_H_

@@ -1,0 +1,112 @@
+#include "db/db_iter.h"
+
+#include <memory>
+#include <string>
+
+namespace leveldbpp {
+
+namespace {
+
+class DBIter : public Iterator {
+ public:
+  DBIter(const Comparator* user_cmp, Iterator* internal_iter,
+         SequenceNumber sequence)
+      : user_cmp_(user_cmp),
+        iter_(internal_iter),
+        sequence_(sequence),
+        valid_(false) {}
+
+  ~DBIter() override = default;
+
+  bool Valid() const override { return valid_; }
+  Slice key() const override {
+    assert(valid_);
+    return ExtractUserKey(iter_->key());
+  }
+  Slice value() const override {
+    assert(valid_);
+    return iter_->value();
+  }
+  Status status() const override {
+    if (status_.ok()) {
+      return iter_->status();
+    }
+    return status_;
+  }
+
+  void SeekToFirst() override {
+    iter_->SeekToFirst();
+    FindNextUserEntry(/*skipping=*/false);
+  }
+
+  void Seek(const Slice& target) override {
+    std::string seek_key;
+    AppendInternalKey(&seek_key, ParsedInternalKey(target, sequence_,
+                                                   kValueTypeForSeek));
+    iter_->Seek(Slice(seek_key));
+    FindNextUserEntry(/*skipping=*/false);
+  }
+
+  void Next() override {
+    assert(valid_);
+    // Remember the current user key and skip all its remaining versions.
+    SaveKey(ExtractUserKey(iter_->key()), &saved_key_);
+    iter_->Next();
+    FindNextUserEntry(/*skipping=*/true);
+  }
+
+ private:
+  void SaveKey(const Slice& k, std::string* dst) {
+    dst->assign(k.data(), k.size());
+  }
+
+  // Position at the first entry whose user key (a) is the newest visible
+  // version and (b) when `skipping`, is greater than saved_key_.
+  void FindNextUserEntry(bool skipping) {
+    valid_ = false;
+    while (iter_->Valid()) {
+      ParsedInternalKey ikey;
+      if (!ParseInternalKey(iter_->key(), &ikey)) {
+        status_ = Status::Corruption("corrupted internal key in DBIter");
+        return;
+      }
+      if (ikey.sequence > sequence_) {
+        iter_->Next();
+        continue;
+      }
+      if (skipping && user_cmp_->Compare(ikey.user_key, Slice(saved_key_)) <=
+                          0) {
+        // Older version (or same key) — skip.
+        iter_->Next();
+        continue;
+      }
+      switch (ikey.type) {
+        case kTypeDeletion:
+          // This user key is deleted; arrange to skip all of its versions.
+          SaveKey(ikey.user_key, &saved_key_);
+          skipping = true;
+          iter_->Next();
+          break;
+        case kTypeValue:
+          valid_ = true;
+          return;
+      }
+    }
+  }
+
+  const Comparator* const user_cmp_;
+  std::unique_ptr<Iterator> iter_;
+  SequenceNumber const sequence_;
+  Status status_;
+  std::string saved_key_;
+  bool valid_;
+};
+
+}  // namespace
+
+Iterator* NewDBIterator(const Comparator* user_key_comparator,
+                        Iterator* internal_iter, SequenceNumber sequence) {
+  return new DBIter(user_key_comparator, internal_iter, sequence);
+}
+
+}  // namespace leveldbpp

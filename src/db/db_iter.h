@@ -1,0 +1,21 @@
+// DBIter: converts a merged internal-key iterator into a user-facing
+// iterator — hides entries above the read sequence, collapses versions to
+// the newest visible one, and drops deleted keys.
+
+#ifndef LEVELDBPP_DB_DB_ITER_H_
+#define LEVELDBPP_DB_DB_ITER_H_
+
+#include "db/dbformat.h"
+#include "table/iterator.h"
+
+namespace leveldbpp {
+
+/// Return a new iterator that yields the user-visible contents of
+/// `internal_iter` at snapshot `sequence`. Takes ownership of
+/// internal_iter.
+Iterator* NewDBIterator(const Comparator* user_key_comparator,
+                        Iterator* internal_iter, SequenceNumber sequence);
+
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_DB_DB_ITER_H_

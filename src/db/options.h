@@ -1,0 +1,113 @@
+// Options controlling a DB instance, plus per-read/per-write option structs.
+
+#ifndef LEVELDBPP_DB_OPTIONS_H_
+#define LEVELDBPP_DB_OPTIONS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "compress/codec.h"
+
+namespace leveldbpp {
+
+class AttributeExtractor;
+class Cache;
+class Comparator;
+class Env;
+class FilterPolicy;
+class Snapshot;
+class Statistics;
+class ValueMerger;
+
+struct Options {
+  /// Comparator for user keys. Default: bytewise.
+  const Comparator* comparator = nullptr;  // nullptr => BytewiseComparator()
+
+  /// If true, create the database if missing.
+  bool create_if_missing = true;
+  /// If true, raise an error if the database already exists.
+  bool error_if_exists = false;
+  /// If true, aggressively verify checksums and fail fast on corruption.
+  bool paranoid_checks = false;
+
+  /// Environment used for all file access. Default: Env::Posix().
+  Env* env = nullptr;
+
+  /// Optional engine-wide counters; benches attribute I/O through this.
+  Statistics* statistics = nullptr;
+
+  /// Amount of data to build up in the memtable before flushing to an L0
+  /// SSTable. The default is deliberately small (the paper's experiments are
+  /// scaled down so benches still develop 4+ levels on laptop-size data).
+  size_t write_buffer_size = 1 << 20;  // 1 MB
+
+  /// Approximate uncompressed size of SSTable data blocks.
+  size_t block_size = 4096;
+
+  /// Number of keys between block restart points.
+  int block_restart_interval = 16;
+
+  /// Target size of one SSTable file.
+  size_t max_file_size = 512 * 1024;
+
+  /// Per-block compression (paper default: Snappy; here SimpleLZ).
+  CompressionType compression = kSimpleLZCompression;
+
+  /// Optional block cache; nullptr = no block cache (paper configuration).
+  Cache* block_cache = nullptr;
+
+  /// Primary-key filter policy (per data block). nullptr disables filters.
+  const FilterPolicy* filter_policy = nullptr;
+
+  /// Secondary attributes indexed by the EMBEDDED index: for each name,
+  /// every SSTable gets per-block bloom filters and zone maps. Empty for
+  /// plain tables and for stand-alone index tables.
+  std::vector<std::string> secondary_attributes;
+
+  /// Filter policy for embedded secondary blooms (defaults to
+  /// `filter_policy`'s bits when nullptr; Appendix C.1 sweeps this).
+  const FilterPolicy* secondary_filter_policy = nullptr;
+
+  /// Extracts secondary-attribute values from record values. Required when
+  /// `secondary_attributes` is non-empty.
+  const AttributeExtractor* attribute_extractor = nullptr;
+
+  /// When set, duplicate user keys met during compaction are MERGED with
+  /// this instead of older versions being dropped. Used by the Stand-Alone
+  /// Lazy index table to merge posting-list fragments.
+  const ValueMerger* value_merger = nullptr;
+
+  /// Number of L0 files that triggers a compaction into L1.
+  int l0_compaction_trigger = 4;
+
+  /// Hard limit on L0 files: writes stall (compact inline) beyond this.
+  int l0_stop_writes_trigger = 12;
+
+  /// Size ratio between adjacent levels (paper/LevelDB: 10).
+  int level_size_multiplier = 10;
+
+  /// Max bytes for level 1; level i holds base * multiplier^(i-1).
+  uint64_t max_bytes_for_level_base = 4ull << 20;  // 4 MB
+
+  /// Number of levels (L0..L6 like LevelDB).
+  int num_levels = 7;
+};
+
+struct ReadOptions {
+  /// Verify block checksums on every read.
+  bool verify_checksums = false;
+  /// Populate the block cache with blocks read by this operation.
+  bool fill_cache = true;
+  /// Read as of this snapshot; nullptr = latest.
+  const Snapshot* snapshot = nullptr;
+};
+
+struct WriteOptions {
+  /// fsync the WAL before acknowledging the write.
+  bool sync = false;
+};
+
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_DB_OPTIONS_H_

@@ -1,0 +1,112 @@
+#include "db/table_cache.h"
+
+#include "db/filename.h"
+#include "env/env.h"
+#include "util/coding.h"
+
+namespace leveldbpp {
+
+struct TableAndFile {
+  std::unique_ptr<RandomAccessFile> file;
+  std::unique_ptr<Table> table;
+};
+
+static void DeleteEntry(const Slice&, void* value) {
+  delete reinterpret_cast<TableAndFile*>(value);
+}
+
+TableCache::TableCache(const std::string& dbname, const Options& options,
+                       int entries)
+    : dbname_(dbname), options_(options), cache_(NewLRUCache(entries)) {}
+
+TableCache::~TableCache() = default;
+
+Status TableCache::FindTable(uint64_t file_number, uint64_t file_size,
+                             Cache::Handle** handle) {
+  Status s;
+  char buf[sizeof(file_number)];
+  EncodeFixed64(buf, file_number);
+  Slice key(buf, sizeof(buf));
+  *handle = cache_->Lookup(key);
+  if (*handle == nullptr) {
+    std::string fname = TableFileName(dbname_, file_number);
+    std::unique_ptr<RandomAccessFile> file;
+    Table* table = nullptr;
+    s = options_.env->NewRandomAccessFile(fname, &file);
+    if (s.ok()) {
+      s = Table::Open(options_, file.get(), file_size, &table);
+    }
+
+    if (!s.ok()) {
+      assert(table == nullptr);
+      // We do not cache error results so that if the error is transient,
+      // or somebody repairs the file, we recover automatically.
+    } else {
+      TableAndFile* tf = new TableAndFile;
+      tf->file = std::move(file);
+      tf->table.reset(table);
+      *handle = cache_->Insert(key, tf, 1, &DeleteEntry);
+    }
+  }
+  return s;
+}
+
+Iterator* TableCache::NewIterator(const ReadOptions& options,
+                                  uint64_t file_number, uint64_t file_size,
+                                  Table** tableptr) {
+  if (tableptr != nullptr) {
+    *tableptr = nullptr;
+  }
+
+  Cache::Handle* handle = nullptr;
+  Status s = FindTable(file_number, file_size, &handle);
+  if (!s.ok()) {
+    return NewErrorIterator(s);
+  }
+
+  Table* table =
+      reinterpret_cast<TableAndFile*>(cache_->Value(handle))->table.get();
+  Iterator* result = table->NewIterator(options);
+  Cache* cache = cache_.get();
+  result->RegisterCleanup([cache, handle]() { cache->Release(handle); });
+  if (tableptr != nullptr) {
+    *tableptr = table;
+  }
+  return result;
+}
+
+Status TableCache::Get(const ReadOptions& options, uint64_t file_number,
+                       uint64_t file_size, const Slice& k, void* arg,
+                       void (*handle_result)(void*, const Slice&,
+                                             const Slice&)) {
+  Cache::Handle* handle = nullptr;
+  Status s = FindTable(file_number, file_size, &handle);
+  if (s.ok()) {
+    Table* t =
+        reinterpret_cast<TableAndFile*>(cache_->Value(handle))->table.get();
+    s = t->InternalGet(options, k, arg, handle_result);
+    cache_->Release(handle);
+  }
+  return s;
+}
+
+Status TableCache::WithTable(uint64_t file_number, uint64_t file_size,
+                             const std::function<void(Table*)>& fn) {
+  Cache::Handle* handle = nullptr;
+  Status s = FindTable(file_number, file_size, &handle);
+  if (s.ok()) {
+    Table* t =
+        reinterpret_cast<TableAndFile*>(cache_->Value(handle))->table.get();
+    fn(t);
+    cache_->Release(handle);
+  }
+  return s;
+}
+
+void TableCache::Evict(uint64_t file_number) {
+  char buf[sizeof(file_number)];
+  EncodeFixed64(buf, file_number);
+  cache_->Erase(Slice(buf, sizeof(buf)));
+}
+
+}  // namespace leveldbpp

@@ -1,0 +1,58 @@
+// TableCache: cache of open SSTable readers, keyed by file number.
+
+#ifndef LEVELDBPP_DB_TABLE_CACHE_H_
+#define LEVELDBPP_DB_TABLE_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cache/cache.h"
+#include "db/options.h"
+#include "table/iterator.h"
+#include "table/table.h"
+#include "util/status.h"
+
+namespace leveldbpp {
+
+class TableCache {
+ public:
+  TableCache(const std::string& dbname, const Options& options, int entries);
+
+  TableCache(const TableCache&) = delete;
+  TableCache& operator=(const TableCache&) = delete;
+
+  ~TableCache();
+
+  /// Return an iterator for the specified file number (of the specified
+  /// file_size bytes). If tableptr is non-null, also sets *tableptr to the
+  /// Table object underlying the returned iterator (owned by the cache; do
+  /// not delete; valid while the iterator is live).
+  Iterator* NewIterator(const ReadOptions& options, uint64_t file_number,
+                        uint64_t file_size, Table** tableptr = nullptr);
+
+  /// If a seek to internal key `k` in the specified file finds an entry,
+  /// call (*handle_result)(arg, found_key, found_value).
+  Status Get(const ReadOptions& options, uint64_t file_number,
+             uint64_t file_size, const Slice& k, void* arg,
+             void (*handle_result)(void*, const Slice&, const Slice&));
+
+  /// Access the opened Table for a file via `fn`; the table stays pinned
+  /// for the duration of the call. Used by the embedded-index block scans.
+  Status WithTable(uint64_t file_number, uint64_t file_size,
+                   const std::function<void(Table*)>& fn);
+
+  /// Evict any entry for the specified file number (file being deleted).
+  void Evict(uint64_t file_number);
+
+ private:
+  Status FindTable(uint64_t file_number, uint64_t file_size, Cache::Handle**);
+
+  const std::string dbname_;
+  const Options& options_;
+  std::unique_ptr<Cache> cache_;
+};
+
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_DB_TABLE_CACHE_H_

@@ -1,0 +1,46 @@
+// ValueMerger: compaction-time merge hook.
+//
+// An ordinary LSM compaction keeps only the newest version of each user key.
+// The Stand-Alone LAZY index table instead needs duplicate keys *combined*:
+// each PUT appended a posting-list fragment, and compaction must merge
+// fragments (and apply per-entry deletion markers) rather than discard old
+// ones. Installing a ValueMerger on a DB switches compaction (and flush) to
+// this merge-on-collision behaviour, mirroring Cassandra's index-table merge
+// described in the paper (Section 4.1.2, Figure 5).
+//
+// CONTRACT: a DB with a ValueMerger does not support whole-key Delete()
+// (rejected with NotSupported). Deletions must be expressed inside the
+// merged values (e.g. posting-list deletion markers) so that the merge
+// function alone defines visibility; a NUL whole-key tombstone cannot keep
+// shadowing older fragments once newer fragments are merged above it.
+
+#ifndef LEVELDBPP_DB_VALUE_MERGER_H_
+#define LEVELDBPP_DB_VALUE_MERGER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace leveldbpp {
+
+class ValueMerger {
+ public:
+  virtual ~ValueMerger() = default;
+
+  /// Name recorded for debugging.
+  virtual const char* Name() const = 0;
+
+  /// Merge all versions of `key`'s value, newest first, into *result.
+  /// `at_bottom` is true when the merge output lands in the lowest level
+  /// that can contain the key — per-entry deletion markers may then be
+  /// dropped for good. Return false to drop the key entirely (e.g. the
+  /// merged posting list became empty).
+  virtual bool Merge(const Slice& key,
+                     const std::vector<Slice>& values_newest_first,
+                     bool at_bottom, std::string* result) const = 0;
+};
+
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_DB_VALUE_MERGER_H_

@@ -1,0 +1,100 @@
+// Env: operating-system abstraction (files, directories, clock).
+//
+// Two implementations ship with the engine:
+//  * Env::Posix()  — real files on disk (benches, examples).
+//  * NewMemEnv()   — fully in-memory filesystem (tests: fast, hermetic).
+//
+// A third wrapper, NewPageCacheSimEnv(), models an OS buffer cache of fixed
+// capacity in front of another Env; it is what lets the benches reproduce the
+// paper's Figure-12 inflection where the dataset outgrows RAM.
+
+#ifndef LEVELDBPP_ENV_ENV_H_
+#define LEVELDBPP_ENV_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace leveldbpp {
+
+/// Sequential read-only file (WAL/MANIFEST replay).
+class SequentialFile {
+ public:
+  virtual ~SequentialFile() = default;
+
+  /// Read up to n bytes. Sets *result to the data read (may point into
+  /// scratch). Returns OK on success even at EOF (empty result).
+  virtual Status Read(size_t n, Slice* result, char* scratch) = 0;
+  virtual Status Skip(uint64_t n) = 0;
+};
+
+/// Random-access read-only file (SSTables).
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  /// Read n bytes from `offset`. *result may point into scratch.
+  virtual Status Read(uint64_t offset, size_t n, Slice* result,
+                      char* scratch) const = 0;
+};
+
+/// Append-only writable file (WAL, MANIFEST, SSTable under construction).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(const Slice& data) = 0;
+  virtual Status Close() = 0;
+  virtual Status Flush() = 0;
+  virtual Status Sync() = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Process-wide POSIX environment singleton.
+  static Env* Posix();
+
+  virtual Status NewSequentialFile(const std::string& fname,
+                                   std::unique_ptr<SequentialFile>* result) = 0;
+  virtual Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) = 0;
+  virtual Status NewWritableFile(const std::string& fname,
+                                 std::unique_ptr<WritableFile>* result) = 0;
+
+  virtual bool FileExists(const std::string& fname) = 0;
+  /// Store in *result the names (not paths) of the children of `dir`.
+  virtual Status GetChildren(const std::string& dir,
+                             std::vector<std::string>* result) = 0;
+  virtual Status RemoveFile(const std::string& fname) = 0;
+  virtual Status CreateDir(const std::string& dirname) = 0;
+  virtual Status RemoveDir(const std::string& dirname) = 0;
+  virtual Status GetFileSize(const std::string& fname, uint64_t* size) = 0;
+  virtual Status RenameFile(const std::string& src,
+                            const std::string& target) = 0;
+
+  /// Microseconds since some fixed epoch; monotonic enough for latency
+  /// measurement.
+  virtual uint64_t NowMicros() = 0;
+};
+
+/// In-memory filesystem for tests. Caller owns the result.
+Env* NewMemEnv();
+
+/// Wrap `base` with a simulated OS page cache of `capacity_bytes` (LRU over
+/// 4KB pages). Random-access reads that hit the simulated cache are counted
+/// as kPageCacheHit instead of going through as "disk" reads, letting the
+/// benches model a machine whose RAM is smaller than the dataset.
+/// Does not take ownership of `base`. Caller owns the result.
+class Statistics;
+Env* NewPageCacheSimEnv(Env* base, uint64_t capacity_bytes, Statistics* stats);
+
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_ENV_ENV_H_

@@ -1,0 +1,186 @@
+// In-memory Env for hermetic tests. Files are shared_ptr<string> blobs;
+// directory structure is inferred from path prefixes.
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+#include "env/env.h"
+
+namespace leveldbpp {
+
+namespace {
+
+struct FileState {
+  std::string contents;
+};
+
+using FileStateRef = std::shared_ptr<FileState>;
+
+class MemSequentialFile final : public SequentialFile {
+ public:
+  explicit MemSequentialFile(FileStateRef file)
+      : file_(std::move(file)), pos_(0) {}
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    const std::string& data = file_->contents;
+    if (pos_ >= data.size()) {
+      *result = Slice();
+      return Status::OK();
+    }
+    size_t avail = std::min(n, data.size() - pos_);
+    memcpy(scratch, data.data() + pos_, avail);
+    *result = Slice(scratch, avail);
+    pos_ += avail;
+    return Status::OK();
+  }
+
+  Status Skip(uint64_t n) override {
+    pos_ = std::min<uint64_t>(file_->contents.size(), pos_ + n);
+    return Status::OK();
+  }
+
+ private:
+  FileStateRef file_;
+  uint64_t pos_;
+};
+
+class MemRandomAccessFile final : public RandomAccessFile {
+ public:
+  explicit MemRandomAccessFile(FileStateRef file) : file_(std::move(file)) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    const std::string& data = file_->contents;
+    if (offset > data.size()) {
+      *result = Slice();
+      return Status::IOError("read past end of file");
+    }
+    size_t avail = std::min<uint64_t>(n, data.size() - offset);
+    memcpy(scratch, data.data() + offset, avail);
+    *result = Slice(scratch, avail);
+    return Status::OK();
+  }
+
+ private:
+  FileStateRef file_;
+};
+
+class MemWritableFile final : public WritableFile {
+ public:
+  explicit MemWritableFile(FileStateRef file) : file_(std::move(file)) {}
+
+  Status Append(const Slice& data) override {
+    file_->contents.append(data.data(), data.size());
+    return Status::OK();
+  }
+  Status Close() override { return Status::OK(); }
+  Status Flush() override { return Status::OK(); }
+  Status Sync() override { return Status::OK(); }
+
+ private:
+  FileStateRef file_;
+};
+
+class MemEnv final : public Env {
+ public:
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(fname);
+    if (it == files_.end()) {
+      result->reset();
+      return Status::NotFound(fname);
+    }
+    result->reset(new MemSequentialFile(it->second));
+    return Status::OK();
+  }
+
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(fname);
+    if (it == files_.end()) {
+      result->reset();
+      return Status::NotFound(fname);
+    }
+    result->reset(new MemRandomAccessFile(it->second));
+    return Status::OK();
+  }
+
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto file = std::make_shared<FileState>();
+    files_[fname] = file;
+    result->reset(new MemWritableFile(std::move(file)));
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& fname) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return files_.count(fname) != 0;
+  }
+
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    result->clear();
+    std::string prefix = dir;
+    if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+    for (const auto& [name, unused] : files_) {
+      if (name.size() > prefix.size() &&
+          name.compare(0, prefix.size(), prefix) == 0 &&
+          name.find('/', prefix.size()) == std::string::npos) {
+        result->push_back(name.substr(prefix.size()));
+      }
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& fname) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (files_.erase(fname) == 0) {
+      return Status::NotFound(fname);
+    }
+    return Status::OK();
+  }
+
+  Status CreateDir(const std::string&) override { return Status::OK(); }
+  Status RemoveDir(const std::string&) override { return Status::OK(); }
+
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(fname);
+    if (it == files_.end()) {
+      *size = 0;
+      return Status::NotFound(fname);
+    }
+    *size = it->second->contents.size();
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& src, const std::string& target) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(src);
+    if (it == files_.end()) {
+      return Status::NotFound(src);
+    }
+    files_[target] = it->second;
+    files_.erase(it);
+    return Status::OK();
+  }
+
+  uint64_t NowMicros() override { return Env::Posix()->NowMicros(); }
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, FileStateRef> files_;
+};
+
+}  // namespace
+
+Env* NewMemEnv() { return new MemEnv(); }
+
+}  // namespace leveldbpp

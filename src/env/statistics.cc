@@ -1,0 +1,48 @@
+#include "env/statistics.h"
+
+#include <cstdio>
+
+namespace leveldbpp {
+
+const char* TickerName(Ticker t) {
+  switch (t) {
+    case kBlockRead: return "block.read.count";
+    case kBlockReadBytes: return "block.read.bytes";
+    case kBlockCacheHit: return "block.cache.hit";
+    case kBlockCacheMiss: return "block.cache.miss";
+    case kPageCacheHit: return "page.cache.hit";
+    case kCompactionBytesRead: return "compaction.bytes.read";
+    case kCompactionBytesWritten: return "compaction.bytes.written";
+    case kCompactionCount: return "compaction.count";
+    case kFlushCount: return "flush.count";
+    case kWalBytesWritten: return "wal.bytes.written";
+    case kBloomPrimaryChecked: return "bloom.primary.checked";
+    case kBloomPrimaryUseful: return "bloom.primary.useful";
+    case kBloomSecondaryChecked: return "bloom.secondary.checked";
+    case kBloomSecondaryUseful: return "bloom.secondary.useful";
+    case kZoneMapFilePruned: return "zonemap.file.pruned";
+    case kZoneMapBlockPruned: return "zonemap.block.pruned";
+    case kGetLiteCalls: return "getlite.calls";
+    case kGetLiteConfirmReads: return "getlite.confirm.reads";
+    case kSeekDiskReads: return "seek.disk.reads";
+    case kTickerCount: break;
+  }
+  return "unknown";
+}
+
+std::string Statistics::ToString() const {
+  std::string out;
+  char buf[128];
+  for (uint32_t i = 0; i < kTickerCount; i++) {
+    uint64_t v = Get(static_cast<Ticker>(i));
+    if (v != 0) {
+      std::snprintf(buf, sizeof(buf), "%-28s %12llu\n",
+                    TickerName(static_cast<Ticker>(i)),
+                    static_cast<unsigned long long>(v));
+      out.append(buf);
+    }
+  }
+  return out;
+}
+
+}  // namespace leveldbpp

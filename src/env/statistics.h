@@ -1,0 +1,86 @@
+// Statistics: engine-wide event counters.
+//
+// The paper's analysis figures (9c, 13, 14, 15) plot *cumulative disk I/O
+// counts*, which are hardware independent. Every disk access and pruning
+// decision in the engine increments one of these tickers; benches snapshot
+// them around operation groups to attribute I/O to GET / PUT / LOOKUP /
+// compaction exactly as the paper does.
+
+#ifndef LEVELDBPP_ENV_STATISTICS_H_
+#define LEVELDBPP_ENV_STATISTICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace leveldbpp {
+
+enum Ticker : uint32_t {
+  kBlockRead = 0,        // data/meta block fetched from a file
+  kBlockReadBytes,       // bytes of the above
+  kBlockCacheHit,        // block served from the block cache
+  kBlockCacheMiss,
+  kPageCacheHit,         // block served from the simulated OS buffer cache
+  kCompactionBytesRead,  // bytes read by compactions (incl. flushes)
+  kCompactionBytesWritten,
+  kCompactionCount,
+  kFlushCount,
+  kWalBytesWritten,
+  kBloomPrimaryChecked,   // primary-key bloom probes
+  kBloomPrimaryUseful,    // probes that returned "definitely absent"
+  kBloomSecondaryChecked, // embedded secondary-attribute bloom probes
+  kBloomSecondaryUseful,
+  kZoneMapFilePruned,     // whole SSTable skipped by file-level zone map
+  kZoneMapBlockPruned,    // single block skipped by block-level zone map
+  kGetLiteCalls,
+  kGetLiteConfirmReads,   // rare confirming reads after a bloom positive
+  kSeekDiskReads,         // blocks read while seeking iterators
+  kTickerCount,
+};
+
+/// Human-readable ticker names, index-aligned with the Ticker enum.
+const char* TickerName(Ticker t);
+
+class Statistics {
+ public:
+  void Record(Ticker t, uint64_t count = 1) {
+    tickers_[t].fetch_add(count, std::memory_order_relaxed);
+  }
+
+  uint64_t Get(Ticker t) const {
+    return tickers_[t].load(std::memory_order_relaxed);
+  }
+
+  void Reset() {
+    for (auto& t : tickers_) t.store(0, std::memory_order_relaxed);
+  }
+
+  /// Multi-line dump of all non-zero tickers.
+  std::string ToString() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kTickerCount> tickers_{};
+};
+
+/// Snapshot of all tickers; subtract two snapshots to attribute I/O to an
+/// operation window.
+struct StatsSnapshot {
+  std::array<uint64_t, kTickerCount> values{};
+
+  static StatsSnapshot Take(const Statistics& s) {
+    StatsSnapshot snap;
+    for (uint32_t i = 0; i < kTickerCount; i++) {
+      snap.values[i] = s.Get(static_cast<Ticker>(i));
+    }
+    return snap;
+  }
+
+  uint64_t Delta(const StatsSnapshot& earlier, Ticker t) const {
+    return values[t] - earlier.values[t];
+  }
+};
+
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_ENV_STATISTICS_H_

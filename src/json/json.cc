@@ -1,0 +1,332 @@
+#include "json/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace leveldbpp {
+namespace json {
+
+namespace {
+const Value kNullValue;
+}  // namespace
+
+const Value& Value::operator[](const std::string& key) const {
+  if (type_ == Type::kObject) {
+    auto it = obj_->find(key);
+    if (it != obj_->end()) return it->second;
+  }
+  return kNullValue;
+}
+
+void AppendQuoted(std::string* out, const Slice& s) {
+  out->push_back('"');
+  for (size_t i = 0; i < s.size(); i++) {
+    unsigned char c = static_cast<unsigned char>(s[i]);
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\b':
+        out->append("\\b");
+        break;
+      case '\f':
+        out->append("\\f");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void Value::Serialize(std::string* out) const {
+  switch (type_) {
+    case Type::kNull:
+      out->append("null");
+      break;
+    case Type::kBool:
+      out->append(bool_ ? "true" : "false");
+      break;
+    case Type::kNumber: {
+      // Integers serialize without a decimal point so round trips are exact
+      // for sequence numbers.
+      if (num_ == std::floor(num_) && std::abs(num_) < 9.0e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(num_));
+        out->append(buf);
+      } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", num_);
+        out->append(buf);
+      }
+      break;
+    }
+    case Type::kString:
+      AppendQuoted(out, Slice(str_));
+      break;
+    case Type::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const Value& v : *arr_) {
+        if (!first) out->push_back(',');
+        first = false;
+        v.Serialize(out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, v] : *obj_) {
+        if (!first) out->push_back(',');
+        first = false;
+        AppendQuoted(out, Slice(key));
+        out->push_back(':');
+        v.Serialize(out);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const char* p, const char* end) : p_(p), end_(end) {}
+
+  bool ParseValue(Value* out) {
+    SkipWs();
+    if (p_ >= end_) return false;
+    switch (*p_) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"': {
+        std::string s;
+        if (!ParseString(&s)) return false;
+        *out = Value(std::move(s));
+        return true;
+      }
+      case 't':
+        if (Match("true")) {
+          *out = Value(true);
+          return true;
+        }
+        return false;
+      case 'f':
+        if (Match("false")) {
+          *out = Value(false);
+          return true;
+        }
+        return false;
+      case 'n':
+        if (Match("null")) {
+          *out = Value();
+          return true;
+        }
+        return false;
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return p_ >= end_;
+  }
+
+ private:
+  void SkipWs() {
+    while (p_ < end_ &&
+           (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) {
+      p_++;
+    }
+  }
+
+  bool Match(const char* lit) {
+    size_t n = std::strlen(lit);
+    if (static_cast<size_t>(end_ - p_) < n) return false;
+    if (std::memcmp(p_, lit, n) != 0) return false;
+    p_ += n;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (p_ >= end_ || *p_ != '"') return false;
+    p_++;
+    out->clear();
+    while (p_ < end_) {
+      char c = *p_++;
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (p_ >= end_) return false;
+        char e = *p_++;
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (end_ - p_ < 4) return false;
+            unsigned code = 0;
+            for (int i = 0; i < 4; i++) {
+              char h = *p_++;
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= (h - '0');
+              else if (h >= 'a' && h <= 'f') code |= (h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= (h - 'A' + 10);
+              else return false;
+            }
+            // Encode as UTF-8 (surrogate pairs unsupported; BMP only).
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return false;
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;  // Unterminated
+  }
+
+  bool ParseNumber(Value* out) {
+    const char* start = p_;
+    if (p_ < end_ && (*p_ == '-' || *p_ == '+')) p_++;
+    bool digits = false;
+    while (p_ < end_ && (std::isdigit(static_cast<unsigned char>(*p_)) ||
+                         *p_ == '.' || *p_ == 'e' || *p_ == 'E' ||
+                         *p_ == '-' || *p_ == '+')) {
+      if (std::isdigit(static_cast<unsigned char>(*p_))) digits = true;
+      p_++;
+    }
+    if (!digits) return false;
+    std::string num(start, p_ - start);
+    char* endp = nullptr;
+    double d = std::strtod(num.c_str(), &endp);
+    if (endp != num.c_str() + num.size()) return false;
+    *out = Value(d);
+    return true;
+  }
+
+  bool ParseArray(Value* out) {
+    p_++;  // '['
+    Array arr;
+    SkipWs();
+    if (p_ < end_ && *p_ == ']') {
+      p_++;
+      *out = Value(std::move(arr));
+      return true;
+    }
+    while (true) {
+      Value v;
+      if (!ParseValue(&v)) return false;
+      arr.push_back(std::move(v));
+      SkipWs();
+      if (p_ >= end_) return false;
+      if (*p_ == ',') {
+        p_++;
+        continue;
+      }
+      if (*p_ == ']') {
+        p_++;
+        *out = Value(std::move(arr));
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseObject(Value* out) {
+    p_++;  // '{'
+    Object obj;
+    SkipWs();
+    if (p_ < end_ && *p_ == '}') {
+      p_++;
+      *out = Value(std::move(obj));
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (p_ >= end_ || *p_ != ':') return false;
+      p_++;
+      Value v;
+      if (!ParseValue(&v)) return false;
+      obj[std::move(key)] = std::move(v);
+      SkipWs();
+      if (p_ >= end_) return false;
+      if (*p_ == ',') {
+        p_++;
+        continue;
+      }
+      if (*p_ == '}') {
+        p_++;
+        *out = Value(std::move(obj));
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace
+
+bool Parse(const Slice& text, Value* out) {
+  Parser parser(text.data(), text.data() + text.size());
+  Value v;
+  if (!parser.ParseValue(&v) || !parser.AtEnd()) {
+    *out = Value();
+    return false;
+  }
+  *out = std::move(v);
+  return true;
+}
+
+}  // namespace json
+}  // namespace leveldbpp

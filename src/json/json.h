@@ -1,0 +1,89 @@
+// Minimal JSON parser/serializer.
+//
+// Used for (a) record values — tweets are stored as JSON documents, with the
+// default AttributeExtractor pulling indexed attributes out of the top-level
+// object — and (b) Stand-Alone Lazy/Eager posting lists, which the paper
+// serializes as "a single JSON array" (its Lazy-index CPU overhead comes
+// precisely from parsing and merging these JSON lists during compaction).
+
+#ifndef LEVELDBPP_JSON_JSON_H_
+#define LEVELDBPP_JSON_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace leveldbpp {
+namespace json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() : type_(Type::kNull) {}
+  explicit Value(bool b) : type_(Type::kBool), bool_(b) {}
+  explicit Value(double d) : type_(Type::kNumber), num_(d) {}
+  explicit Value(int64_t i)
+      : type_(Type::kNumber), num_(static_cast<double>(i)) {}
+  explicit Value(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  explicit Value(Array a)
+      : type_(Type::kArray), arr_(std::make_shared<Array>(std::move(a))) {}
+  explicit Value(Object o)
+      : type_(Type::kObject), obj_(std::make_shared<Object>(std::move(o))) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return num_; }
+  int64_t as_int() const { return static_cast<int64_t>(num_); }
+  const std::string& as_string() const { return str_; }
+  const Array& as_array() const { return *arr_; }
+  Array& as_array() { return *arr_; }
+  const Object& as_object() const { return *obj_; }
+  Object& as_object() { return *obj_; }
+
+  /// Object member access; returns a null Value for missing keys or
+  /// non-objects.
+  const Value& operator[](const std::string& key) const;
+
+  /// Serialize to compact JSON text (no whitespace).
+  void Serialize(std::string* out) const;
+  std::string ToString() const {
+    std::string s;
+    Serialize(&s);
+    return s;
+  }
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::shared_ptr<Array> arr_;
+  std::shared_ptr<Object> obj_;
+};
+
+/// Parse JSON text. Returns false on malformed input (leaving *out null).
+bool Parse(const Slice& text, Value* out);
+
+/// Escape + quote a string per JSON rules, appended to *out.
+void AppendQuoted(std::string* out, const Slice& s);
+
+}  // namespace json
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_JSON_JSON_H_

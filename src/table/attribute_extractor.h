@@ -1,0 +1,29 @@
+// AttributeExtractor: pulls secondary-attribute values out of stored record
+// values so the table builder can construct the Embedded Index meta blocks
+// (per-block secondary bloom filters and zone maps) without knowing the
+// record encoding. The default extractor (src/core) parses JSON documents of
+// the form {"UserID": "u1", "CreationTime": "...", ...}.
+
+#ifndef LEVELDBPP_TABLE_ATTRIBUTE_EXTRACTOR_H_
+#define LEVELDBPP_TABLE_ATTRIBUTE_EXTRACTOR_H_
+
+#include <string>
+
+#include "util/slice.h"
+
+namespace leveldbpp {
+
+class AttributeExtractor {
+ public:
+  virtual ~AttributeExtractor() = default;
+
+  /// Extract the value of `attr` from a stored record value into *out.
+  /// Returns false if the record does not carry the attribute (the record
+  /// is then invisible to that attribute's index).
+  virtual bool Extract(const Slice& record_value, const std::string& attr,
+                       std::string* out) const = 0;
+};
+
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_TABLE_ATTRIBUTE_EXTRACTOR_H_

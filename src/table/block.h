@@ -1,0 +1,45 @@
+// Block: immutable, decoded block with a forward iterator supporting
+// restart-point binary search.
+
+#ifndef LEVELDBPP_TABLE_BLOCK_H_
+#define LEVELDBPP_TABLE_BLOCK_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "table/format.h"
+#include "table/iterator.h"
+
+namespace leveldbpp {
+
+class Comparator;
+
+class Block {
+ public:
+  /// Initialize the block with the specified contents.
+  explicit Block(const BlockContents& contents);
+
+  Block(const Block&) = delete;
+  Block& operator=(const Block&) = delete;
+
+  ~Block();
+
+  size_t size() const { return size_; }
+
+  /// New forward iterator over the block's entries.
+  Iterator* NewIterator(const Comparator* comparator);
+
+ private:
+  class Iter;
+
+  uint32_t NumRestarts() const;
+
+  const char* data_;
+  size_t size_;
+  uint32_t restart_offset_;  // Offset in data_ of restart array
+  bool owned_;               // Block owns data_[]
+};
+
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_TABLE_BLOCK_H_

@@ -1,0 +1,52 @@
+// BlockBuilder: builds one data/index block with restart-point prefix
+// compression (shared key prefixes, restart array trailer).
+
+#ifndef LEVELDBPP_TABLE_BLOCK_BUILDER_H_
+#define LEVELDBPP_TABLE_BLOCK_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace leveldbpp {
+
+class Comparator;
+
+class BlockBuilder {
+ public:
+  /// `restart_interval`: number of keys between restart points (16 for data
+  /// blocks, 1 for index blocks so binary search lands exactly).
+  explicit BlockBuilder(int restart_interval);
+
+  BlockBuilder(const BlockBuilder&) = delete;
+  BlockBuilder& operator=(const BlockBuilder&) = delete;
+
+  /// Reset the contents as if the BlockBuilder was just constructed.
+  void Reset();
+
+  /// REQUIRES: key is larger than any previously added key.
+  void Add(const Slice& key, const Slice& value);
+
+  /// Finish building the block and return a slice that refers to the block
+  /// contents. Valid until Reset().
+  Slice Finish();
+
+  /// Estimate of the current (uncompressed) size of the block.
+  size_t CurrentSizeEstimate() const;
+
+  bool empty() const { return buffer_.empty(); }
+
+ private:
+  const int restart_interval_;
+  std::string buffer_;               // Destination buffer
+  std::vector<uint32_t> restarts_;   // Restart points
+  int counter_;                      // Number of entries since restart
+  bool finished_;                    // Has Finish() been called?
+  std::string last_key_;
+};
+
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_TABLE_BLOCK_BUILDER_H_

@@ -1,0 +1,89 @@
+#include "table/filter_policy.h"
+
+#include <cmath>
+
+#include "util/hash.h"
+
+namespace leveldbpp {
+
+namespace {
+
+inline uint32_t BloomHash(const Slice& key) {
+  return Hash(key.data(), key.size(), 0xbc9f1d34);
+}
+
+class BloomFilterPolicy : public FilterPolicy {
+ public:
+  explicit BloomFilterPolicy(int bits_per_key) : bits_per_key_(bits_per_key) {
+    // Round down k = bits_per_key * ln(2) to reduce probing cost a little.
+    k_ = static_cast<size_t>(bits_per_key * 0.69);
+    if (k_ < 1) k_ = 1;
+    if (k_ > 30) k_ = 30;
+  }
+
+  const char* Name() const override { return "leveldbpp.BuiltinBloomFilter2"; }
+
+  void CreateFilter(const Slice* keys, int n, std::string* dst) const override {
+    // Compute bloom filter size (in both bits and bytes).
+    size_t bits = n * bits_per_key_;
+
+    // A small filter has a very high false-positive rate; enforce a floor.
+    if (bits < 64) bits = 64;
+
+    size_t bytes = (bits + 7) / 8;
+    bits = bytes * 8;
+
+    const size_t init_size = dst->size();
+    dst->resize(init_size + bytes, 0);
+    dst->push_back(static_cast<char>(k_));  // Remember # of probes
+    char* array = &(*dst)[init_size];
+    for (int i = 0; i < n; i++) {
+      // Double-hashing: a single hash plus a rotated delta generates the k
+      // probe positions.
+      uint32_t h = BloomHash(keys[i]);
+      const uint32_t delta = (h >> 17) | (h << 15);
+      for (size_t j = 0; j < k_; j++) {
+        const uint32_t bitpos = h % bits;
+        array[bitpos / 8] |= (1 << (bitpos % 8));
+        h += delta;
+      }
+    }
+  }
+
+  bool KeyMayMatch(const Slice& key, const Slice& bloom_filter) const override {
+    const size_t len = bloom_filter.size();
+    if (len < 2) return false;
+
+    const char* array = bloom_filter.data();
+    const size_t bits = (len - 1) * 8;
+
+    // Use the encoded k so we can read filters created with a different
+    // parameterization.
+    const size_t k = array[len - 1];
+    if (k > 30) {
+      // Reserved for potentially new encodings; treat as a match.
+      return true;
+    }
+
+    uint32_t h = BloomHash(key);
+    const uint32_t delta = (h >> 17) | (h << 15);
+    for (size_t j = 0; j < k; j++) {
+      const uint32_t bitpos = h % bits;
+      if ((array[bitpos / 8] & (1 << (bitpos % 8))) == 0) return false;
+      h += delta;
+    }
+    return true;
+  }
+
+ private:
+  int bits_per_key_;
+  size_t k_;
+};
+
+}  // namespace
+
+const FilterPolicy* NewBloomFilterPolicy(int bits_per_key) {
+  return new BloomFilterPolicy(bits_per_key);
+}
+
+}  // namespace leveldbpp

@@ -1,0 +1,87 @@
+#include "table/filter_block.h"
+
+#include "util/coding.h"
+
+namespace leveldbpp {
+
+FilterBlockBuilder::FilterBlockBuilder(const FilterPolicy* policy)
+    : policy_(policy) {}
+
+void FilterBlockBuilder::AddKey(const Slice& key) {
+  Slice k = key;
+  start_.push_back(keys_.size());
+  keys_.append(k.data(), k.size());
+}
+
+void FilterBlockBuilder::FinishBlock() {
+  filter_offsets_.push_back(static_cast<uint32_t>(result_.size()));
+  const size_t num_keys = start_.size();
+  if (num_keys == 0) {
+    // Empty filter for a block with no (extractable) keys; the reader treats
+    // a zero-length filter as "cannot match".
+    keys_.clear();
+    start_.clear();
+    return;
+  }
+
+  // Make list of keys from flattened key structure.
+  start_.push_back(keys_.size());  // Simplify length computation
+  tmp_keys_.resize(num_keys);
+  for (size_t i = 0; i < num_keys; i++) {
+    const char* base = keys_.data() + start_[i];
+    size_t length = start_[i + 1] - start_[i];
+    tmp_keys_[i] = Slice(base, length);
+  }
+
+  // Generate filter for current set of keys and append to result_.
+  policy_->CreateFilter(tmp_keys_.data(), static_cast<int>(num_keys),
+                        &result_);
+
+  tmp_keys_.clear();
+  keys_.clear();
+  start_.clear();
+}
+
+Slice FilterBlockBuilder::Finish() {
+  // NOTE: the table builder calls FinishBlock() after each data block, so
+  // there are no pending keys here; a trailing FinishBlock() call would add
+  // a spurious empty filter.
+  const uint32_t num = static_cast<uint32_t>(filter_offsets_.size());
+  filter_offsets_.push_back(static_cast<uint32_t>(result_.size()));
+  for (uint32_t off : filter_offsets_) {
+    PutFixed32(&result_, off);
+  }
+  PutFixed32(&result_, num);
+  return Slice(result_);
+}
+
+FilterBlockReader::FilterBlockReader(const FilterPolicy* policy,
+                                     const Slice& contents)
+    : policy_(policy), data_(nullptr), offset_(nullptr), num_(0) {
+  size_t n = contents.size();
+  if (n < 4) return;
+  uint32_t num = DecodeFixed32(contents.data() + n - 4);
+  // Layout sanity: num+1 offsets + count word must fit.
+  if (4 + (num + 1) * 4ull > n) return;
+  num_ = num;
+  data_ = contents.data();
+  offset_ = contents.data() + n - 4 - (num + 1) * 4;
+}
+
+bool FilterBlockReader::KeyMayMatch(size_t block_index,
+                                    const Slice& key) const {
+  if (block_index >= num_) return true;  // Fail open on out-of-range
+  uint32_t start = DecodeFixed32(offset_ + block_index * 4);
+  uint32_t limit = DecodeFixed32(offset_ + (block_index + 1) * 4);
+  if (start > limit ||
+      limit > static_cast<uint32_t>(offset_ - data_)) {
+    return true;  // Errors are treated as potential matches
+  }
+  if (start == limit) {
+    // Empty filter: the block had no keys for this attribute.
+    return false;
+  }
+  return policy_->KeyMayMatch(key, Slice(data_ + start, limit - start));
+}
+
+}  // namespace leveldbpp

@@ -1,0 +1,40 @@
+// FilterPolicy: pluggable per-block key filters (bloom filters).
+//
+// Used twice in this engine, matching the paper:
+//  * primary-key filters per data block (standard LevelDB behaviour), and
+//  * one additional filter per data block PER INDEXED SECONDARY ATTRIBUTE
+//    (the paper's Embedded Index, Section 3 / Figure 3a).
+
+#ifndef LEVELDBPP_TABLE_FILTER_POLICY_H_
+#define LEVELDBPP_TABLE_FILTER_POLICY_H_
+
+#include <string>
+
+#include "util/slice.h"
+
+namespace leveldbpp {
+
+class FilterPolicy {
+ public:
+  virtual ~FilterPolicy() = default;
+
+  /// Name stored in filter meta blocks; a mismatch on reopen disables
+  /// filtering rather than misinterpreting bits.
+  virtual const char* Name() const = 0;
+
+  /// Append to *dst a filter summarizing keys[0..n-1].
+  virtual void CreateFilter(const Slice* keys, int n,
+                            std::string* dst) const = 0;
+
+  /// Must return true if `key` was in the key list the filter was built
+  /// from; may return true (false positive) otherwise.
+  virtual bool KeyMayMatch(const Slice& key, const Slice& filter) const = 0;
+};
+
+/// Bloom filter with approximately `bits_per_key` bits per key. The paper's
+/// experiments default to 20 bits/key (Appendix C.1 sweeps 5..30).
+const FilterPolicy* NewBloomFilterPolicy(int bits_per_key);
+
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_TABLE_FILTER_POLICY_H_

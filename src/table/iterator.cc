@@ -1,0 +1,52 @@
+#include "table/iterator.h"
+
+namespace leveldbpp {
+
+Iterator::~Iterator() {
+  CleanupNode* node = cleanup_head_;
+  while (node != nullptr) {
+    node->fn();
+    CleanupNode* next = node->next;
+    delete node;
+    node = next;
+  }
+}
+
+void Iterator::RegisterCleanup(std::function<void()> fn) {
+  cleanup_head_ = new CleanupNode{std::move(fn), cleanup_head_};
+}
+
+namespace {
+
+class EmptyIterator : public Iterator {
+ public:
+  explicit EmptyIterator(const Status& s) : status_(s) {}
+  ~EmptyIterator() override = default;
+
+  bool Valid() const override { return false; }
+  void SeekToFirst() override {}
+  void Seek(const Slice&) override {}
+  void Next() override { assert(false); }
+  Slice key() const override {
+    assert(false);
+    return Slice();
+  }
+  Slice value() const override {
+    assert(false);
+    return Slice();
+  }
+  Status status() const override { return status_; }
+
+ private:
+  Status status_;
+};
+
+}  // namespace
+
+Iterator* NewEmptyIterator() { return new EmptyIterator(Status::OK()); }
+
+Iterator* NewErrorIterator(const Status& status) {
+  return new EmptyIterator(status);
+}
+
+}  // namespace leveldbpp

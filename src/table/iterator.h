@@ -1,0 +1,63 @@
+// Iterator: forward iteration over a sorted key/value sequence.
+//
+// The engine's iterators are forward-only (SeekToFirst / Seek / Next); none
+// of the paper's five operations require reverse scans, and dropping Prev()
+// keeps the block and merging iterators simple and obviously correct.
+
+#ifndef LEVELDBPP_TABLE_ITERATOR_H_
+#define LEVELDBPP_TABLE_ITERATOR_H_
+
+#include <functional>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace leveldbpp {
+
+class Iterator {
+ public:
+  Iterator() = default;
+  Iterator(const Iterator&) = delete;
+  Iterator& operator=(const Iterator&) = delete;
+  virtual ~Iterator();
+
+  /// True iff the iterator is positioned at a valid entry.
+  virtual bool Valid() const = 0;
+
+  /// Position at the first key in the source.
+  virtual void SeekToFirst() = 0;
+
+  /// Position at the first key that is at or past `target`.
+  virtual void Seek(const Slice& target) = 0;
+
+  /// Advance to the next entry. REQUIRES: Valid().
+  virtual void Next() = 0;
+
+  /// Key at the current entry. REQUIRES: Valid().
+  virtual Slice key() const = 0;
+
+  /// Value at the current entry. REQUIRES: Valid().
+  virtual Slice value() const = 0;
+
+  /// Non-OK iff an error was encountered.
+  virtual Status status() const = 0;
+
+  /// Register a cleanup to run when the iterator is destroyed (used to pin
+  /// blocks/cache handles for the iterator's lifetime).
+  void RegisterCleanup(std::function<void()> fn);
+
+ private:
+  struct CleanupNode {
+    std::function<void()> fn;
+    CleanupNode* next;
+  };
+  CleanupNode* cleanup_head_ = nullptr;
+};
+
+/// An iterator over an empty collection, optionally carrying an error.
+Iterator* NewEmptyIterator();
+Iterator* NewErrorIterator(const Status& status);
+
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_TABLE_ITERATOR_H_

@@ -1,0 +1,104 @@
+#include "table/merger.h"
+
+#include <memory>
+#include <vector>
+
+#include "table/iterator.h"
+#include "util/comparator.h"
+
+namespace leveldbpp {
+
+namespace {
+
+class MergingIterator : public Iterator {
+ public:
+  MergingIterator(const Comparator* comparator, Iterator** children, int n)
+      : comparator_(comparator), current_(nullptr) {
+    children_.reserve(n);
+    for (int i = 0; i < n; i++) {
+      children_.emplace_back(children[i]);
+    }
+  }
+
+  ~MergingIterator() override = default;
+
+  bool Valid() const override { return (current_ != nullptr); }
+
+  void SeekToFirst() override {
+    for (auto& child : children_) {
+      child->SeekToFirst();
+    }
+    FindSmallest();
+  }
+
+  void Seek(const Slice& target) override {
+    for (auto& child : children_) {
+      child->Seek(target);
+    }
+    FindSmallest();
+  }
+
+  void Next() override {
+    assert(Valid());
+    current_->Next();
+    FindSmallest();
+  }
+
+  Slice key() const override {
+    assert(Valid());
+    return current_->key();
+  }
+
+  Slice value() const override {
+    assert(Valid());
+    return current_->value();
+  }
+
+  Status status() const override {
+    Status status;
+    for (const auto& child : children_) {
+      status = child->status();
+      if (!status.ok()) {
+        break;
+      }
+    }
+    return status;
+  }
+
+ private:
+  void FindSmallest() {
+    Iterator* smallest = nullptr;
+    // Scan in order so earlier children win ties (newer sources first).
+    for (auto& child : children_) {
+      if (child->Valid()) {
+        if (smallest == nullptr ||
+            comparator_->Compare(child->key(), smallest->key()) < 0) {
+          smallest = child.get();
+        }
+      }
+    }
+    current_ = smallest;
+  }
+
+  // A heap would be asymptotically better for large n; level counts here
+  // are small (<= ~12 children) and linear scan is simpler and cache
+  // friendly.
+  const Comparator* comparator_;
+  std::vector<std::unique_ptr<Iterator>> children_;
+  Iterator* current_;
+};
+
+}  // namespace
+
+Iterator* NewMergingIterator(const Comparator* comparator, Iterator** children,
+                             int n) {
+  assert(n >= 0);
+  if (n == 0) {
+    return NewEmptyIterator();
+  } else if (n == 1) {
+    return children[0];
+  }
+  return new MergingIterator(comparator, children, n);
+}
+
+}  // namespace leveldbpp

@@ -1,0 +1,21 @@
+// Merging iterator: k-way merge of sorted child iterators.
+
+#ifndef LEVELDBPP_TABLE_MERGER_H_
+#define LEVELDBPP_TABLE_MERGER_H_
+
+namespace leveldbpp {
+
+class Comparator;
+class Iterator;
+
+/// Return an iterator that provides the union of the data in
+/// children[0, n-1]. Takes ownership of the child iterators. When entries
+/// compare equal, the child appearing EARLIER in the list wins ties on
+/// ordering (emitted first) — callers list newer sources first so newer
+/// versions of a key surface before older ones.
+Iterator* NewMergingIterator(const Comparator* comparator, Iterator** children,
+                             int n);
+
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_TABLE_MERGER_H_

@@ -1,0 +1,417 @@
+#include "table/table.h"
+
+#include "cache/cache.h"
+#include "env/statistics.h"
+#include "table/block.h"
+#include "table/filter_block.h"
+#include "table/filter_policy.h"
+#include "table/two_level_iterator.h"
+#include "table/zonemap_block.h"
+#include "util/coding.h"
+#include "util/comparator.h"
+
+namespace leveldbpp {
+
+struct Table::Rep {
+  ~Rep() {
+    delete filter;
+    delete[] filter_data;
+    for (size_t i = 0; i < sec_filters.size(); i++) {
+      delete sec_filters[i];
+      delete[] sec_filter_data[i];
+    }
+    delete[] zonemap_data;
+    delete index_block;
+  }
+
+  Options options;
+  Status status;
+  RandomAccessFile* file = nullptr;
+  uint64_t cache_id = 0;
+  FilterBlockReader* filter = nullptr;
+  const char* filter_data = nullptr;
+
+  // Secondary filters, index-aligned with options.secondary_attributes.
+  std::vector<FilterBlockReader*> sec_filters;
+  std::vector<const char*> sec_filter_data;
+  ZoneMapReader zonemaps;
+  bool has_zonemaps = false;
+  const char* zonemap_data = nullptr;
+
+  BlockHandle metaindex_handle;
+  Block* index_block = nullptr;
+
+  // Decoded data-block handles in file order (block ordinal -> handle),
+  // giving the embedded scan O(1) access to any block.
+  std::vector<BlockHandle> data_block_handles;
+};
+
+Status Table::Open(const Options& options, RandomAccessFile* file,
+                   uint64_t size, Table** table) {
+  *table = nullptr;
+  if (size < Footer::kEncodedLength) {
+    return Status::Corruption("file is too short to be an sstable");
+  }
+
+  char footer_space[Footer::kEncodedLength];
+  Slice footer_input;
+  Status s = file->Read(size - Footer::kEncodedLength, Footer::kEncodedLength,
+                        &footer_input, footer_space);
+  if (!s.ok()) return s;
+
+  Footer footer;
+  s = footer.DecodeFrom(&footer_input);
+  if (!s.ok()) return s;
+
+  // Read the index block.
+  BlockContents index_block_contents;
+  ReadOptions opt;
+  if (options.paranoid_checks) {
+    opt.verify_checksums = true;
+  }
+  s = ReadBlock(file, opt.verify_checksums, footer.index_handle(),
+                &index_block_contents, options.statistics);
+  if (!s.ok()) return s;
+
+  Rep* rep = new Table::Rep;
+  rep->options = options;
+  if (rep->options.comparator == nullptr) {
+    rep->options.comparator = BytewiseComparator();
+  }
+  rep->file = file;
+  rep->metaindex_handle = footer.metaindex_handle();
+  rep->index_block = new Block(index_block_contents);
+  rep->cache_id =
+      (options.block_cache != nullptr ? options.block_cache->NewId() : 0);
+
+  Table* t = new Table(rep);
+  t->ReadMeta(footer);
+  t->DecodeDataBlockHandles();
+  *table = t;
+  return Status::OK();
+}
+
+void Table::ReadMeta(const Footer& footer) {
+  // Read the metaindex block regardless of filter configuration: zone maps
+  // have no policy dependency.
+  BlockContents contents;
+  if (!ReadBlock(rep_->file, false, footer.metaindex_handle(), &contents,
+                 rep_->options.statistics)
+           .ok()) {
+    return;  // Do not propagate errors since meta info is not needed
+  }
+  Block* meta = new Block(contents);
+
+  Iterator* iter = meta->NewIterator(BytewiseComparator());
+
+  if (rep_->options.filter_policy != nullptr) {
+    std::string key = "filter.";
+    key.append(rep_->options.filter_policy->Name());
+    iter->Seek(Slice(key));
+    if (iter->Valid() && iter->key() == Slice(key)) {
+      ReadFilter(iter->value(), &rep_->filter, &rep_->filter_data,
+                 rep_->options.filter_policy);
+    }
+  }
+
+  const FilterPolicy* sec_policy = rep_->options.secondary_filter_policy;
+  rep_->sec_filters.assign(rep_->options.secondary_attributes.size(), nullptr);
+  rep_->sec_filter_data.assign(rep_->options.secondary_attributes.size(),
+                               nullptr);
+  if (sec_policy != nullptr) {
+    for (size_t i = 0; i < rep_->options.secondary_attributes.size(); i++) {
+      std::string key =
+          "secfilter." + rep_->options.secondary_attributes[i];
+      iter->Seek(Slice(key));
+      if (iter->Valid() && iter->key() == Slice(key)) {
+        ReadFilter(iter->value(), &rep_->sec_filters[i],
+                   &rep_->sec_filter_data[i], sec_policy);
+      }
+    }
+  }
+
+  iter->Seek(Slice("zonemaps"));
+  if (iter->Valid() && iter->key() == Slice("zonemaps")) {
+    Slice v = iter->value();
+    BlockHandle handle;
+    if (handle.DecodeFrom(&v).ok()) {
+      BlockContents zcontents;
+      if (ReadBlock(rep_->file, false, handle, &zcontents,
+                    rep_->options.statistics)
+              .ok()) {
+        if (ZoneMapReader::Decode(zcontents.data, &rep_->zonemaps).ok()) {
+          rep_->has_zonemaps = true;
+        }
+        if (zcontents.heap_allocated) {
+          rep_->zonemap_data = zcontents.data.data();
+        }
+      }
+    }
+  }
+
+  delete iter;
+  delete meta;
+}
+
+void Table::ReadFilter(const Slice& filter_handle_value,
+                       FilterBlockReader** reader, const char** data_out,
+                       const FilterPolicy* policy) {
+  Slice v = filter_handle_value;
+  BlockHandle filter_handle;
+  if (!filter_handle.DecodeFrom(&v).ok()) {
+    return;
+  }
+
+  BlockContents block;
+  if (!ReadBlock(rep_->file, false, filter_handle, &block,
+                 rep_->options.statistics)
+           .ok()) {
+    return;
+  }
+  if (block.heap_allocated) {
+    *data_out = block.data.data();  // Will need to delete later
+  }
+  *reader = new FilterBlockReader(policy, block.data);
+}
+
+void Table::DecodeDataBlockHandles() {
+  Iterator* it = rep_->index_block->NewIterator(rep_->options.comparator);
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    Slice v = it->value();
+    BlockHandle h;
+    if (h.DecodeFrom(&v).ok()) {
+      rep_->data_block_handles.push_back(h);
+    }
+  }
+  delete it;
+}
+
+Table::~Table() { delete rep_; }
+
+static void DeleteBlock(void* arg, void*) {
+  delete reinterpret_cast<Block*>(arg);
+}
+
+static void DeleteCachedBlock(const Slice&, void* value) {
+  Block* block = reinterpret_cast<Block*>(value);
+  delete block;
+}
+
+static void ReleaseBlock(void* arg, void* h) {
+  Cache* cache = reinterpret_cast<Cache*>(arg);
+  Cache::Handle* handle = reinterpret_cast<Cache::Handle*>(h);
+  cache->Release(handle);
+}
+
+// Convert an index-entry value (an encoded BlockHandle) into an iterator
+// over the contents of the corresponding block, going through the block
+// cache if one is configured.
+Iterator* Table::BlockReader(void* arg, const ReadOptions& options,
+                             const Slice& index_value) {
+  Table* table = reinterpret_cast<Table*>(arg);
+  Cache* block_cache = table->rep_->options.block_cache;
+  Block* block = nullptr;
+  Cache::Handle* cache_handle = nullptr;
+
+  BlockHandle handle;
+  Slice input = index_value;
+  Status s = handle.DecodeFrom(&input);
+
+  if (s.ok()) {
+    BlockContents contents;
+    if (block_cache != nullptr) {
+      char cache_key_buffer[16];
+      EncodeFixed64(cache_key_buffer, table->rep_->cache_id);
+      EncodeFixed64(cache_key_buffer + 8, handle.offset());
+      Slice key(cache_key_buffer, sizeof(cache_key_buffer));
+      cache_handle = block_cache->Lookup(key);
+      Statistics* stats = table->rep_->options.statistics;
+      if (cache_handle != nullptr) {
+        block = reinterpret_cast<Block*>(block_cache->Value(cache_handle));
+        if (stats != nullptr) stats->Record(kBlockCacheHit);
+      } else {
+        if (stats != nullptr) stats->Record(kBlockCacheMiss);
+        s = ReadBlock(table->rep_->file, options.verify_checksums, handle,
+                      &contents, stats);
+        if (s.ok()) {
+          block = new Block(contents);
+          if (contents.cachable && options.fill_cache) {
+            cache_handle = block_cache->Insert(key, block, block->size(),
+                                               &DeleteCachedBlock);
+          }
+        }
+      }
+    } else {
+      s = ReadBlock(table->rep_->file, options.verify_checksums, handle,
+                    &contents, table->rep_->options.statistics);
+      if (s.ok()) {
+        block = new Block(contents);
+      }
+    }
+  }
+
+  Iterator* iter;
+  if (block != nullptr) {
+    iter = block->NewIterator(table->rep_->options.comparator);
+    if (cache_handle == nullptr) {
+      iter->RegisterCleanup([block]() { DeleteBlock(block, nullptr); });
+    } else {
+      iter->RegisterCleanup([block_cache, cache_handle]() {
+        ReleaseBlock(block_cache, cache_handle);
+      });
+    }
+  } else {
+    iter = NewErrorIterator(s);
+  }
+  return iter;
+}
+
+Iterator* Table::NewIterator(const ReadOptions& options) const {
+  return NewTwoLevelIterator(
+      rep_->index_block->NewIterator(rep_->options.comparator),
+      &Table::BlockReader, const_cast<Table*>(this), options);
+}
+
+Status Table::InternalGet(const ReadOptions& options, const Slice& k,
+                          void* arg,
+                          void (*handle_result)(void*, const Slice&,
+                                                const Slice&)) {
+  Status s;
+  Iterator* iiter = rep_->index_block->NewIterator(rep_->options.comparator);
+  iiter->Seek(k);
+  if (iiter->Valid()) {
+    // Which data-block ordinal is this? The index iterator doesn't say, so
+    // recover it by handle offset (binary search over the decoded handles).
+    Slice handle_value = iiter->value();
+    BlockHandle handle;
+    Slice hv = handle_value;
+    bool may_match = true;
+    FilterBlockReader* filter = rep_->filter;
+    if (filter != nullptr && handle.DecodeFrom(&hv).ok()) {
+      size_t block_idx = BlockIndexForOffset(handle.offset());
+      Statistics* stats = rep_->options.statistics;
+      if (stats != nullptr) stats->Record(kBloomPrimaryChecked);
+      if (!filter->KeyMayMatch(block_idx, k)) {
+        may_match = false;
+        if (stats != nullptr) stats->Record(kBloomPrimaryUseful);
+      }
+    }
+    if (may_match) {
+      Iterator* block_iter = BlockReader(const_cast<Table*>(this), options,
+                                         handle_value);
+      block_iter->Seek(k);
+      if (block_iter->Valid()) {
+        (*handle_result)(arg, block_iter->key(), block_iter->value());
+      }
+      s = block_iter->status();
+      delete block_iter;
+    }
+  }
+  if (s.ok()) {
+    s = iiter->status();
+  }
+  delete iiter;
+  return s;
+}
+
+size_t Table::BlockIndexForOffset(uint64_t offset) const {
+  // data_block_handles is sorted by offset (file order).
+  size_t lo = 0, hi = rep_->data_block_handles.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (rep_->data_block_handles[mid].offset() < offset) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+bool Table::KeyMayExistNoIO(const Slice& key) const {
+  Iterator* iiter = rep_->index_block->NewIterator(rep_->options.comparator);
+  iiter->Seek(key);
+  bool may_exist = false;
+  if (iiter->Valid()) {
+    may_exist = true;
+    if (rep_->filter != nullptr) {
+      Slice hv = iiter->value();
+      BlockHandle handle;
+      if (handle.DecodeFrom(&hv).ok()) {
+        size_t block_idx = BlockIndexForOffset(handle.offset());
+        Statistics* stats = rep_->options.statistics;
+        if (stats != nullptr) stats->Record(kBloomPrimaryChecked);
+        if (!rep_->filter->KeyMayMatch(block_idx, key)) {
+          may_exist = false;
+          if (stats != nullptr) stats->Record(kBloomPrimaryUseful);
+        }
+      }
+    }
+  }
+  delete iiter;
+  return may_exist;
+}
+
+size_t Table::NumDataBlocks() const {
+  return rep_->data_block_handles.size();
+}
+
+bool Table::SecondaryBlockMayContain(const std::string& attr,
+                                     const Slice& value,
+                                     size_t block_idx) const {
+  Statistics* stats = rep_->options.statistics;
+  // Zone map first: a miss there is cheaper than a bloom probe and the paper
+  // uses zone maps "to further accelerate point lookup queries".
+  if (rep_->has_zonemaps) {
+    if (!rep_->zonemaps.BlockMayOverlap(attr, block_idx, value, value)) {
+      if (stats != nullptr) stats->Record(kZoneMapBlockPruned);
+      return false;
+    }
+  }
+  // Find the attribute's filter reader.
+  for (size_t i = 0; i < rep_->options.secondary_attributes.size(); i++) {
+    if (rep_->options.secondary_attributes[i] == attr) {
+      FilterBlockReader* f = rep_->sec_filters[i];
+      if (f == nullptr) return true;  // No filter: fail open
+      if (stats != nullptr) stats->Record(kBloomSecondaryChecked);
+      bool may = f->KeyMayMatch(block_idx, value);
+      if (!may && stats != nullptr) stats->Record(kBloomSecondaryUseful);
+      return may;
+    }
+  }
+  return true;  // Unknown attribute: fail open
+}
+
+bool Table::SecondaryBlockMayOverlap(const std::string& attr, const Slice& lo,
+                                     const Slice& hi,
+                                     size_t block_idx) const {
+  if (!rep_->has_zonemaps) return true;
+  bool may = rep_->zonemaps.BlockMayOverlap(attr, block_idx, lo, hi);
+  if (!may && rep_->options.statistics != nullptr) {
+    rep_->options.statistics->Record(kZoneMapBlockPruned);
+  }
+  return may;
+}
+
+bool Table::SecondaryFileMayOverlap(const std::string& attr, const Slice& lo,
+                                    const Slice& hi) const {
+  if (!rep_->has_zonemaps) return true;
+  bool may = rep_->zonemaps.FileMayOverlap(attr, lo, hi);
+  if (!may && rep_->options.statistics != nullptr) {
+    rep_->options.statistics->Record(kZoneMapFilePruned);
+  }
+  return may;
+}
+
+Iterator* Table::NewDataBlockIterator(const ReadOptions& options,
+                                      size_t block_idx) const {
+  if (block_idx >= rep_->data_block_handles.size()) {
+    return NewErrorIterator(Status::InvalidArgument("block index OOB"));
+  }
+  std::string handle_encoding;
+  rep_->data_block_handles[block_idx].EncodeTo(&handle_encoding);
+  return BlockReader(const_cast<Table*>(this), options,
+                     Slice(handle_encoding));
+}
+
+}  // namespace leveldbpp

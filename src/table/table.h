@@ -1,0 +1,97 @@
+// Table: immutable SSTable reader.
+//
+// Beyond the standard LevelDB surface (iterator + point get with bloom
+// pruning), the reader exposes the Embedded-Index scan primitives the core
+// layer uses for secondary LOOKUP / RANGELOOKUP:
+//   * per-block secondary bloom probe,
+//   * per-block / per-file zone-map overlap checks,
+//   * direct iteration of one data block by ordinal,
+//   * a no-I/O primary-key presence probe (backing GetLite).
+
+#ifndef LEVELDBPP_TABLE_TABLE_H_
+#define LEVELDBPP_TABLE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/options.h"
+#include "env/env.h"
+#include "table/format.h"
+#include "table/iterator.h"
+#include "util/status.h"
+
+namespace leveldbpp {
+
+class Table {
+ public:
+  /// Open a table over [0, file_size) of `file`. On success stores a
+  /// heap-allocated table in *table; the client must delete it. Does not
+  /// take ownership of *file, which must outlive the table.
+  static Status Open(const Options& options, RandomAccessFile* file,
+                     uint64_t file_size, Table** table);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  ~Table();
+
+  /// Iterator over the whole table (two-level; blocks loaded lazily).
+  Iterator* NewIterator(const ReadOptions&) const;
+
+  /// Point lookup: if the table may contain an entry >= `k` in the block
+  /// that could hold `k`, invoke handle_result(arg, key, value) on the first
+  /// such entry. Applies the primary bloom filter first.
+  Status InternalGet(const ReadOptions&, const Slice& key, void* arg,
+                     void (*handle_result)(void* arg, const Slice& k,
+                                           const Slice& v));
+
+  /// No-I/O presence probe (GetLite): consult only the in-memory index
+  /// block and primary bloom filter. Returns false iff the key is
+  /// definitely absent from this table.
+  bool KeyMayExistNoIO(const Slice& key) const;
+
+  // ---- Embedded-Index scan surface ----
+
+  /// Number of data blocks in the table.
+  size_t NumDataBlocks() const;
+
+  /// May data block `block_idx` contain a record whose attribute `attr`
+  /// equals `value`? Uses the secondary bloom AND the block zone map.
+  /// Records filter/zone-map effectiveness tickers on the configured stats.
+  bool SecondaryBlockMayContain(const std::string& attr, const Slice& value,
+                                size_t block_idx) const;
+
+  /// May data block `block_idx` contain a value of `attr` in [lo, hi]?
+  /// (Zone maps only — blooms cannot answer ranges.)
+  bool SecondaryBlockMayOverlap(const std::string& attr, const Slice& lo,
+                                const Slice& hi, size_t block_idx) const;
+
+  /// File-level zone-map probe: may any block contain `attr` in [lo, hi]?
+  bool SecondaryFileMayOverlap(const std::string& attr, const Slice& lo,
+                               const Slice& hi) const;
+
+  /// Iterator over data block `block_idx`. Caller deletes.
+  Iterator* NewDataBlockIterator(const ReadOptions&, size_t block_idx) const;
+
+ private:
+  struct Rep;
+
+  static Iterator* BlockReader(void*, const ReadOptions&, const Slice&);
+
+  explicit Table(Rep* rep) : rep_(rep) {}
+
+  void ReadMeta(const class Footer& footer);
+  void ReadFilter(const Slice& filter_handle_value,
+                  class FilterBlockReader** reader, const char** data_out,
+                  const class FilterPolicy* policy);
+  void DecodeDataBlockHandles();
+  size_t BlockIndexForOffset(uint64_t offset) const;
+
+  Rep* const rep_;
+};
+
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_TABLE_TABLE_H_

@@ -1,0 +1,70 @@
+// TableBuilder: streams sorted key/value pairs into an SSTable file,
+// building the data blocks, the primary-key filter block, and — when the
+// options name secondary attributes — the Embedded Index meta blocks
+// (per-block secondary bloom filters and zone maps).
+
+#ifndef LEVELDBPP_TABLE_TABLE_BUILDER_H_
+#define LEVELDBPP_TABLE_TABLE_BUILDER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "db/options.h"
+#include "env/env.h"
+#include "table/zonemap_block.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace leveldbpp {
+
+class TableBuilder {
+ public:
+  /// Create a builder that stores the contents of the table it is building
+  /// in *file. Does not take ownership of *file.
+  TableBuilder(const Options& options, WritableFile* file);
+
+  TableBuilder(const TableBuilder&) = delete;
+  TableBuilder& operator=(const TableBuilder&) = delete;
+
+  /// REQUIRES: Either Finish() or Abandon() has been called.
+  ~TableBuilder();
+
+  /// Add key,value to the table. REQUIRES: key is after any previously
+  /// added key according to the comparator.
+  void Add(const Slice& key, const Slice& value);
+
+  /// Advanced: flush any buffered key/value pairs to file.
+  void Flush();
+
+  /// Non-OK iff some error has been detected.
+  Status status() const;
+
+  /// Finish building the table; writes meta blocks, index, footer.
+  Status Finish();
+
+  /// Abandon the table under construction (e.g. on error).
+  void Abandon();
+
+  uint64_t NumEntries() const;
+
+  /// Size of the file generated so far.
+  uint64_t FileSize() const;
+
+  /// Whole-file zone range for secondary attribute `attr_idx`, available
+  /// after Finish(); the DB persists it into the file's metadata (the
+  /// paper's "global metadata file" of per-SSTable zone maps).
+  const ZoneRange& FileZoneRange(size_t attr_idx) const;
+
+ private:
+  bool ok() const { return status().ok(); }
+  void WriteBlock(class BlockBuilder* block, class BlockHandle* handle);
+  void WriteRawBlock(const Slice& data, CompressionType type,
+                     class BlockHandle* handle);
+
+  struct Rep;
+  Rep* rep_;
+};
+
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_TABLE_TABLE_BUILDER_H_

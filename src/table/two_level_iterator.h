@@ -1,0 +1,24 @@
+// Two-level iterator: walks an index iterator whose values are opaque block
+// handles, materializing a data-block iterator per index entry via a
+// caller-supplied block function.
+
+#ifndef LEVELDBPP_TABLE_TWO_LEVEL_ITERATOR_H_
+#define LEVELDBPP_TABLE_TWO_LEVEL_ITERATOR_H_
+
+#include "db/options.h"
+#include "table/iterator.h"
+
+namespace leveldbpp {
+
+/// Returns a new two-level iterator. Takes ownership of index_iter.
+/// `block_function(arg, options, index_value)` converts an index entry value
+/// into an iterator over the corresponding block's contents.
+Iterator* NewTwoLevelIterator(
+    Iterator* index_iter,
+    Iterator* (*block_function)(void* arg, const ReadOptions& options,
+                                const Slice& index_value),
+    void* arg, const ReadOptions& options);
+
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_TABLE_TWO_LEVEL_ITERATOR_H_

@@ -1,0 +1,119 @@
+#include "table/zonemap_block.h"
+
+#include "util/coding.h"
+
+namespace leveldbpp {
+
+ZoneMapBuilder::ZoneMapBuilder(const std::vector<std::string>& attributes)
+    : attributes_(attributes),
+      current_(attributes.size()),
+      per_block_(attributes.size()),
+      file_ranges_(attributes.size()) {}
+
+void ZoneMapBuilder::Add(size_t attr_idx, const Slice& value) {
+  current_[attr_idx].Extend(value);
+  file_ranges_[attr_idx].Extend(value);
+}
+
+void ZoneMapBuilder::FinishBlock() {
+  for (size_t i = 0; i < attributes_.size(); i++) {
+    per_block_[i].push_back(current_[i]);
+    current_[i] = ZoneRange();
+  }
+}
+
+namespace {
+void PutRange(std::string* dst, const ZoneRange& r) {
+  dst->push_back(r.present ? 1 : 0);
+  if (r.present) {
+    PutLengthPrefixedSlice(dst, Slice(r.min));
+    PutLengthPrefixedSlice(dst, Slice(r.max));
+  }
+}
+
+bool GetRange(Slice* input, ZoneRange* r) {
+  if (input->empty()) return false;
+  uint8_t present = static_cast<uint8_t>((*input)[0]);
+  input->remove_prefix(1);
+  r->present = (present != 0);
+  if (r->present) {
+    Slice min, max;
+    if (!GetLengthPrefixedSlice(input, &min) ||
+        !GetLengthPrefixedSlice(input, &max)) {
+      return false;
+    }
+    r->min = min.ToString();
+    r->max = max.ToString();
+  }
+  return true;
+}
+}  // namespace
+
+Slice ZoneMapBuilder::Finish() {
+  result_.clear();
+  PutVarint32(&result_, static_cast<uint32_t>(attributes_.size()));
+  for (size_t i = 0; i < attributes_.size(); i++) {
+    PutLengthPrefixedSlice(&result_, Slice(attributes_[i]));
+    PutRange(&result_, file_ranges_[i]);
+    PutVarint32(&result_, static_cast<uint32_t>(per_block_[i].size()));
+    for (const ZoneRange& r : per_block_[i]) {
+      PutRange(&result_, r);
+    }
+  }
+  return Slice(result_);
+}
+
+Status ZoneMapReader::Decode(const Slice& contents, ZoneMapReader* out) {
+  out->maps_.clear();
+  Slice input = contents;
+  uint32_t num_attrs;
+  if (!GetVarint32(&input, &num_attrs)) {
+    return Status::Corruption("zonemap: bad attr count");
+  }
+  for (uint32_t i = 0; i < num_attrs; i++) {
+    Slice name;
+    if (!GetLengthPrefixedSlice(&input, &name)) {
+      return Status::Corruption("zonemap: bad attr name");
+    }
+    AttrMaps maps;
+    if (!GetRange(&input, &maps.file)) {
+      return Status::Corruption("zonemap: bad file range");
+    }
+    uint32_t num_blocks;
+    if (!GetVarint32(&input, &num_blocks)) {
+      return Status::Corruption("zonemap: bad block count");
+    }
+    maps.blocks.resize(num_blocks);
+    for (uint32_t b = 0; b < num_blocks; b++) {
+      if (!GetRange(&input, &maps.blocks[b])) {
+        return Status::Corruption("zonemap: bad block range");
+      }
+    }
+    out->maps_[name.ToString()] = std::move(maps);
+  }
+  return Status::OK();
+}
+
+bool ZoneMapReader::FileMayOverlap(const std::string& attr, const Slice& lo,
+                                   const Slice& hi) const {
+  auto it = maps_.find(attr);
+  if (it == maps_.end()) return true;  // Fail open
+  return it->second.file.Overlaps(lo, hi);
+}
+
+bool ZoneMapReader::BlockMayOverlap(const std::string& attr,
+                                    size_t block_index, const Slice& lo,
+                                    const Slice& hi) const {
+  auto it = maps_.find(attr);
+  if (it == maps_.end()) return true;  // Fail open
+  if (block_index >= it->second.blocks.size()) return true;
+  return it->second.blocks[block_index].Overlaps(lo, hi);
+}
+
+size_t ZoneMapReader::NumBlocks(const std::string& attr) const {
+  auto it = maps_.find(attr);
+  if (it == maps_.end()) return 0;
+  return it->second.blocks.size();
+}
+
+}  // namespace leveldbpp

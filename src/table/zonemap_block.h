@@ -1,0 +1,118 @@
+// Zone-map meta block: per-block and file-level [min, max] ranges for each
+// indexed secondary attribute (paper Section 3 / Figure 3b).
+//
+// Unlike AsterixDB's file-level-only zone maps (which the paper calls
+// "limited"), this block stores a zone map for every data block inside the
+// SSTable as well as the whole-file range, enabling both file pruning and
+// block pruning. Attribute values are compared as raw bytes, so range
+// queries require an order-preserving attribute encoding (e.g. fixed-width
+// decimal timestamps).
+//
+// Block layout (single zone-map block covers all attributes):
+//   num_attrs : varint32
+//   for each attribute:
+//     attr name      : length-prefixed
+//     file_present   : uint8 (0 => attribute absent from whole file)
+//     file_min, file_max : length-prefixed (if present)
+//     num_blocks     : varint32
+//     for each data block:
+//       present : uint8
+//       min, max : length-prefixed (if present)
+
+#ifndef LEVELDBPP_TABLE_ZONEMAP_BLOCK_H_
+#define LEVELDBPP_TABLE_ZONEMAP_BLOCK_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace leveldbpp {
+
+/// Min/max range of one attribute over one extent (block or file).
+struct ZoneRange {
+  bool present = false;
+  std::string min;
+  std::string max;
+
+  /// Extend the range to cover `v`.
+  void Extend(const Slice& v) {
+    if (!present) {
+      present = true;
+      min = v.ToString();
+      max = v.ToString();
+    } else {
+      if (v.compare(Slice(min)) < 0) min = v.ToString();
+      if (v.compare(Slice(max)) > 0) max = v.ToString();
+    }
+  }
+
+  /// Does [min,max] intersect [lo,hi]?
+  bool Overlaps(const Slice& lo, const Slice& hi) const {
+    if (!present) return false;
+    return !(hi.compare(Slice(min)) < 0 || lo.compare(Slice(max)) > 0);
+  }
+};
+
+class ZoneMapBuilder {
+ public:
+  explicit ZoneMapBuilder(const std::vector<std::string>& attributes);
+
+  /// Record that the data block currently being built contains `value` for
+  /// attribute index `attr_idx`.
+  void Add(size_t attr_idx, const Slice& value);
+
+  /// Seal the zone maps for the data block currently being built.
+  void FinishBlock();
+
+  /// Serialize all zone maps; valid until the builder is destroyed.
+  Slice Finish();
+
+  /// Whole-file range for attribute `attr_idx` (valid after all Adds).
+  const ZoneRange& FileRange(size_t attr_idx) const {
+    return file_ranges_[attr_idx];
+  }
+
+ private:
+  std::vector<std::string> attributes_;
+  std::vector<ZoneRange> current_;               // Per-attr, current block
+  std::vector<std::vector<ZoneRange>> per_block_;  // [attr][block]
+  std::vector<ZoneRange> file_ranges_;
+  std::string result_;
+};
+
+class ZoneMapReader {
+ public:
+  /// Decode a zone-map block. On corruption, the reader is empty and all
+  /// queries fail open (return "may overlap").
+  static Status Decode(const Slice& contents, ZoneMapReader* out);
+
+  /// True iff the attribute is tracked in this file's zone maps.
+  bool HasAttribute(const std::string& attr) const {
+    return maps_.count(attr) != 0;
+  }
+
+  /// May the whole file contain a value of `attr` in [lo, hi]? Fails open
+  /// for unknown attributes.
+  bool FileMayOverlap(const std::string& attr, const Slice& lo,
+                      const Slice& hi) const;
+
+  /// May data block `block_index` contain a value of `attr` in [lo, hi]?
+  bool BlockMayOverlap(const std::string& attr, size_t block_index,
+                       const Slice& lo, const Slice& hi) const;
+
+  size_t NumBlocks(const std::string& attr) const;
+
+ private:
+  struct AttrMaps {
+    ZoneRange file;
+    std::vector<ZoneRange> blocks;
+  };
+  std::map<std::string, AttrMaps> maps_;
+};
+
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_TABLE_ZONEMAP_BLOCK_H_

@@ -1,0 +1,63 @@
+// Arena: bump-pointer allocator backing the memtable skiplist.
+//
+// Allocation is append-only; all memory is released when the Arena dies.
+// This makes skiplist nodes cheap and gives an exact accounting of memtable
+// memory usage (which drives flush triggers).
+
+#ifndef LEVELDBPP_UTIL_ARENA_H_
+#define LEVELDBPP_UTIL_ARENA_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace leveldbpp {
+
+class Arena {
+ public:
+  Arena() : alloc_ptr_(nullptr), alloc_bytes_remaining_(0), memory_usage_(0) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Return a pointer to a newly allocated memory block of `bytes` bytes.
+  char* Allocate(size_t bytes);
+
+  /// Allocate with normal pointer alignment (suitable for node structs).
+  char* AllocateAligned(size_t bytes);
+
+  /// Total memory footprint of data allocated by the arena (approximate,
+  /// includes slack in partially used blocks).
+  size_t MemoryUsage() const {
+    return memory_usage_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  char* AllocateFallback(size_t bytes);
+  char* AllocateNewBlock(size_t block_bytes);
+
+  static constexpr size_t kBlockSize = 4096;
+
+  char* alloc_ptr_;
+  size_t alloc_bytes_remaining_;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  std::atomic<size_t> memory_usage_;
+};
+
+inline char* Arena::Allocate(size_t bytes) {
+  assert(bytes > 0);
+  if (bytes <= alloc_bytes_remaining_) {
+    char* result = alloc_ptr_;
+    alloc_ptr_ += bytes;
+    alloc_bytes_remaining_ -= bytes;
+    return result;
+  }
+  return AllocateFallback(bytes);
+}
+
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_UTIL_ARENA_H_

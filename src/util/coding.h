@@ -1,0 +1,81 @@
+// Binary encoding primitives: little-endian fixed ints and varints.
+//
+// These match the LevelDB on-disk formats so SSTable/WAL layouts in this
+// engine are structurally equivalent to the originals.
+
+#ifndef LEVELDBPP_UTIL_CODING_H_
+#define LEVELDBPP_UTIL_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "util/slice.h"
+
+namespace leveldbpp {
+
+// ---- Fixed-width little-endian encoding ----
+
+inline void EncodeFixed32(char* dst, uint32_t value) {
+  uint8_t* buf = reinterpret_cast<uint8_t*>(dst);
+  buf[0] = static_cast<uint8_t>(value);
+  buf[1] = static_cast<uint8_t>(value >> 8);
+  buf[2] = static_cast<uint8_t>(value >> 16);
+  buf[3] = static_cast<uint8_t>(value >> 24);
+}
+
+inline void EncodeFixed64(char* dst, uint64_t value) {
+  uint8_t* buf = reinterpret_cast<uint8_t*>(dst);
+  for (int i = 0; i < 8; i++) {
+    buf[i] = static_cast<uint8_t>(value >> (8 * i));
+  }
+}
+
+inline uint32_t DecodeFixed32(const char* ptr) {
+  const uint8_t* buf = reinterpret_cast<const uint8_t*>(ptr);
+  return (static_cast<uint32_t>(buf[0])) |
+         (static_cast<uint32_t>(buf[1]) << 8) |
+         (static_cast<uint32_t>(buf[2]) << 16) |
+         (static_cast<uint32_t>(buf[3]) << 24);
+}
+
+inline uint64_t DecodeFixed64(const char* ptr) {
+  const uint8_t* buf = reinterpret_cast<const uint8_t*>(ptr);
+  uint64_t result = 0;
+  for (int i = 7; i >= 0; i--) {
+    result = (result << 8) | buf[i];
+  }
+  return result;
+}
+
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+
+// ---- Varint encoding (LEB128, max 5/10 bytes) ----
+
+char* EncodeVarint32(char* dst, uint32_t value);
+char* EncodeVarint64(char* dst, uint64_t value);
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+
+/// Append varint32(len) followed by the bytes of `value`.
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value);
+
+/// Parse a varint32 from [p, limit). Returns pointer past the varint, or
+/// nullptr on malformed/truncated input.
+const char* GetVarint32Ptr(const char* p, const char* limit, uint32_t* value);
+const char* GetVarint64Ptr(const char* p, const char* limit, uint64_t* value);
+
+/// Consume a varint from the front of `input`. Returns false on failure.
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+
+/// Consume a length-prefixed slice from the front of `input`.
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+
+/// Number of bytes EncodeVarint64 would emit for `value`.
+int VarintLength(uint64_t value);
+
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_UTIL_CODING_H_

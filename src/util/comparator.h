@@ -1,0 +1,38 @@
+// Comparator abstraction over user keys, plus the default bytewise
+// implementation. The separator/short-successor hooks let the table builder
+// shrink index-block keys exactly as LevelDB does.
+
+#ifndef LEVELDBPP_UTIL_COMPARATOR_H_
+#define LEVELDBPP_UTIL_COMPARATOR_H_
+
+#include <string>
+
+#include "util/slice.h"
+
+namespace leveldbpp {
+
+class Comparator {
+ public:
+  virtual ~Comparator() = default;
+
+  /// Three-way comparison: <0 iff a < b, 0 iff a == b, >0 iff a > b.
+  virtual int Compare(const Slice& a, const Slice& b) const = 0;
+
+  /// Name used to sanity-check that a DB is reopened with the comparator it
+  /// was created with.
+  virtual const char* Name() const = 0;
+
+  /// If *start < limit, change *start to a short string in [start, limit).
+  virtual void FindShortestSeparator(std::string* start,
+                                     const Slice& limit) const = 0;
+
+  /// Change *key to a short string >= *key.
+  virtual void FindShortSuccessor(std::string* key) const = 0;
+};
+
+/// Singleton lexicographic bytewise comparator.
+const Comparator* BytewiseComparator();
+
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_UTIL_COMPARATOR_H_

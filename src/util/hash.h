@@ -1,0 +1,16 @@
+// Murmur-style byte hashing used by bloom filters and the block cache.
+
+#ifndef LEVELDBPP_UTIL_HASH_H_
+#define LEVELDBPP_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace leveldbpp {
+
+/// Hash `data[0,n)` with the given seed (LevelDB's Murmur-like hash).
+uint32_t Hash(const char* data, size_t n, uint32_t seed);
+
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_UTIL_HASH_H_

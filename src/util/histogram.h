@@ -1,0 +1,60 @@
+// Latency histogram with the quantile machinery the paper's box-and-whisker
+// plots need (p25 / p50 / p75 and 1.5-IQR whiskers).
+//
+// Values are recorded into geometric buckets (LevelDB-style) so memory stays
+// constant regardless of sample count; quantiles are interpolated within
+// buckets.
+
+#ifndef LEVELDBPP_UTIL_HISTOGRAM_H_
+#define LEVELDBPP_UTIL_HISTOGRAM_H_
+
+#include <string>
+#include <vector>
+
+namespace leveldbpp {
+
+class Histogram {
+ public:
+  Histogram() { Clear(); }
+
+  void Clear();
+  /// Record one sample (units are caller-defined; benches use microseconds).
+  void Add(double value);
+  /// Merge another histogram into this one.
+  void Merge(const Histogram& other);
+
+  double Median() const;
+  /// Interpolated quantile, p in [0, 100].
+  double Percentile(double p) const;
+  double Average() const;
+  double StandardDeviation() const;
+  double Min() const { return min_; }
+  double Max() const { return max_; }
+  double Sum() const { return sum_; }
+  uint64_t Count() const { return static_cast<uint64_t>(num_); }
+
+  /// Box-plot summary: {lower whisker, p25, median, p75, upper whisker},
+  /// whiskers clamped to the most extreme sample within 1.5 IQR of the box
+  /// (matching the paper's figure definition).
+  struct BoxPlot {
+    double lo_whisker, q1, median, q3, hi_whisker;
+  };
+  BoxPlot GetBoxPlot() const;
+
+  std::string ToString() const;
+
+ private:
+  static const int kNumBuckets = 156;
+  static const double kBucketLimit[kNumBuckets];
+
+  double min_;
+  double max_;
+  double num_;
+  double sum_;
+  double sum_squares_;
+  double buckets_[kNumBuckets];
+};
+
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_UTIL_HISTOGRAM_H_

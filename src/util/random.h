@@ -1,0 +1,74 @@
+// Deterministic PRNGs used by tests, the skiplist, and the workload
+// generator. Two generators are provided:
+//  * Random   — LevelDB's fast 32-bit Lehmer generator (skiplist heights).
+//  * Random64 — xorshift* 64-bit generator for workload sampling.
+
+#ifndef LEVELDBPP_UTIL_RANDOM_H_
+#define LEVELDBPP_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace leveldbpp {
+
+class Random {
+ public:
+  explicit Random(uint32_t s) : seed_(s & 0x7fffffffu) {
+    // Avoid bad seeds.
+    if (seed_ == 0 || seed_ == 2147483647L) {
+      seed_ = 1;
+    }
+  }
+
+  uint32_t Next() {
+    static const uint32_t M = 2147483647L;  // 2^31-1
+    static const uint64_t A = 16807;        // bits 14, 8, 7, 5, 2, 1, 0
+    // seed_ = (seed_ * A) % M, computed without overflow.
+    uint64_t product = seed_ * A;
+    seed_ = static_cast<uint32_t>((product >> 31) + (product & M));
+    if (seed_ > M) {
+      seed_ -= M;
+    }
+    return seed_;
+  }
+
+  /// Uniform in [0, n-1]. Requires n > 0.
+  uint32_t Uniform(int n) { return Next() % n; }
+
+  /// True with probability 1/n.
+  bool OneIn(int n) { return (Next() % n) == 0; }
+
+  /// Skewed: pick base uniformly in [0, max_log], then uniform in
+  /// [0, 2^base - 1]. Favors small numbers with an occasional large one.
+  uint32_t Skewed(int max_log) { return Uniform(1 << Uniform(max_log + 1)); }
+
+ private:
+  uint32_t seed_;
+};
+
+class Random64 {
+ public:
+  explicit Random64(uint64_t s) : state_(s ? s : 0x9E3779B97F4A7C15ull) {}
+
+  uint64_t Next() {
+    // xorshift64*
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1Dull;
+  }
+
+  /// Uniform in [0, n-1]. Requires n > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) / 9007199254740992.0;  // 2^53
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_UTIL_RANDOM_H_

@@ -1,0 +1,105 @@
+// Status: error propagation without exceptions (LevelDB idiom).
+//
+// All fallible engine operations return a Status. The zero-cost common case
+// (OK) is represented by an empty state pointer.
+
+#ifndef LEVELDBPP_UTIL_STATUS_H_
+#define LEVELDBPP_UTIL_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "util/slice.h"
+
+namespace leveldbpp {
+
+class Status {
+ public:
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kNotFound, msg, msg2);
+  }
+  static Status Corruption(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kCorruption, msg, msg2);
+  }
+  static Status NotSupported(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kNotSupported, msg, msg2);
+  }
+  static Status InvalidArgument(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kInvalidArgument, msg, msg2);
+  }
+  static Status IOError(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kIOError, msg, msg2);
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  bool IsNotFound() const { return code() == kNotFound; }
+  bool IsCorruption() const { return code() == kCorruption; }
+  bool IsNotSupported() const { return code() == kNotSupported; }
+  bool IsInvalidArgument() const { return code() == kInvalidArgument; }
+  bool IsIOError() const { return code() == kIOError; }
+
+  /// Human-readable representation, e.g. "NotFound: key missing".
+  std::string ToString() const {
+    if (state_ == nullptr) return "OK";
+    const char* type = "";
+    switch (code()) {
+      case kOk:
+        type = "OK";
+        break;
+      case kNotFound:
+        type = "NotFound: ";
+        break;
+      case kCorruption:
+        type = "Corruption: ";
+        break;
+      case kNotSupported:
+        type = "Not implemented: ";
+        break;
+      case kInvalidArgument:
+        type = "Invalid argument: ";
+        break;
+      case kIOError:
+        type = "IO error: ";
+        break;
+    }
+    return std::string(type) + state_->msg;
+  }
+
+ private:
+  enum Code {
+    kOk = 0,
+    kNotFound = 1,
+    kCorruption = 2,
+    kNotSupported = 3,
+    kInvalidArgument = 4,
+    kIOError = 5,
+  };
+
+  struct State {
+    Code code;
+    std::string msg;
+  };
+
+  Status(Code code, const Slice& msg, const Slice& msg2)
+      : state_(std::make_shared<State>()) {
+    state_->code = code;
+    state_->msg = msg.ToString();
+    if (!msg2.empty()) {
+      state_->msg += ": ";
+      state_->msg += msg2.ToString();
+    }
+  }
+
+  Code code() const { return state_ == nullptr ? kOk : state_->code; }
+
+  // shared_ptr keeps Status copyable and cheap to move; error paths are cold.
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_UTIL_STATUS_H_

@@ -1,0 +1,29 @@
+// Log format shared by writer and reader (LevelDB WAL format):
+// 32KB blocks, each record = checksum(4) + length(2) + type(1) + payload.
+// Records spanning blocks are split into FIRST/MIDDLE/LAST fragments.
+
+#ifndef LEVELDBPP_WAL_LOG_FORMAT_H_
+#define LEVELDBPP_WAL_LOG_FORMAT_H_
+
+namespace leveldbpp {
+namespace log {
+
+enum RecordType {
+  // Zero is reserved for preallocated files.
+  kZeroType = 0,
+  kFullType = 1,
+  kFirstType = 2,
+  kMiddleType = 3,
+  kLastType = 4,
+};
+static const int kMaxRecordType = kLastType;
+
+static const int kBlockSize = 32768;
+
+// Header is checksum (4 bytes), length (2 bytes), type (1 byte).
+static const int kHeaderSize = 4 + 2 + 1;
+
+}  // namespace log
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_WAL_LOG_FORMAT_H_

@@ -1,0 +1,68 @@
+// Reads back records written by log::Writer, verifying CRCs and reassembling
+// fragmented records. Tolerates a truncated tail (crash mid-write).
+
+#ifndef LEVELDBPP_WAL_LOG_READER_H_
+#define LEVELDBPP_WAL_LOG_READER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "env/env.h"
+#include "util/slice.h"
+#include "util/status.h"
+#include "wal/log_format.h"
+
+namespace leveldbpp {
+namespace log {
+
+class Reader {
+ public:
+  /// Interface for reporting corruption.
+  class Reporter {
+   public:
+    virtual ~Reporter() = default;
+    /// Some corruption was detected; `bytes` is the approximate number of
+    /// bytes dropped.
+    virtual void Corruption(size_t bytes, const Status& status) = 0;
+  };
+
+  /// Create a reader consuming from *file (not owned). If reporter is
+  /// non-null, corruption is reported to it. If checksum is true, verify
+  /// CRCs when available.
+  Reader(SequentialFile* file, Reporter* reporter, bool checksum);
+
+  Reader(const Reader&) = delete;
+  Reader& operator=(const Reader&) = delete;
+
+  ~Reader();
+
+  /// Read the next record into *record. Returns true if read successfully,
+  /// false on EOF. *record remains valid only until the next mutation of
+  /// *scratch or the next ReadRecord call.
+  bool ReadRecord(Slice* record, std::string* scratch);
+
+ private:
+  // Extend record types with the following special values.
+  enum {
+    kEof = kMaxRecordType + 1,
+    kBadRecord = kMaxRecordType + 2,
+  };
+
+  // Return type, or one of the preceding special values.
+  unsigned int ReadPhysicalRecord(Slice* result);
+
+  void ReportCorruption(uint64_t bytes, const char* reason);
+  void ReportDrop(uint64_t bytes, const Status& reason);
+
+  SequentialFile* const file_;
+  Reporter* const reporter_;
+  bool const checksum_;
+  char* const backing_store_;
+  Slice buffer_;
+  bool eof_;  // Last Read() indicated EOF by returning < kBlockSize
+};
+
+}  // namespace log
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_WAL_LOG_READER_H_

@@ -1,0 +1,46 @@
+// Appends length-prefixed, CRC-protected records to a WritableFile.
+// Used for both the write-ahead log and the MANIFEST.
+
+#ifndef LEVELDBPP_WAL_LOG_WRITER_H_
+#define LEVELDBPP_WAL_LOG_WRITER_H_
+
+#include <cstdint>
+
+#include "env/env.h"
+#include "util/slice.h"
+#include "util/status.h"
+#include "wal/log_format.h"
+
+namespace leveldbpp {
+namespace log {
+
+class Writer {
+ public:
+  /// Create a writer that appends to *dest (must remain live while this
+  /// Writer is in use; not owned).
+  explicit Writer(WritableFile* dest);
+
+  /// Create a writer appending to *dest which already has `dest_length`
+  /// bytes (used when reopening a log).
+  Writer(WritableFile* dest, uint64_t dest_length);
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  Status AddRecord(const Slice& slice);
+
+ private:
+  Status EmitPhysicalRecord(RecordType type, const char* ptr, size_t length);
+
+  WritableFile* dest_;
+  int block_offset_;  // Current offset in block
+
+  // crc32c values for all supported record types, pre-computed to reduce
+  // the cost of computing the crc of the type stored in the header.
+  uint32_t type_crc_[kMaxRecordType + 1];
+};
+
+}  // namespace log
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_WAL_LOG_WRITER_H_

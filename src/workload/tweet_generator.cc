@@ -1,0 +1,69 @@
+#include "workload/tweet_generator.h"
+
+#include <cstdio>
+
+#include "json/json.h"
+
+namespace leveldbpp {
+
+std::string Tweet::ToJson() const {
+  json::Object obj;
+  obj["TweetID"] = json::Value(tweet_id);
+  obj["UserID"] = json::Value(user_id);
+  obj["CreationTime"] = json::Value(creation_time);
+  obj["Body"] = json::Value(body);
+  return json::Value(std::move(obj)).ToString();
+}
+
+TweetGenerator::TweetGenerator(const TweetGeneratorOptions& options)
+    : options_(options),
+      user_zipf_(options.num_users, options.zipf_exponent, options.seed),
+      rnd_(options.seed * 2654435761u + 1),
+      now_(options.start_time) {}
+
+std::string TweetGenerator::UserIdForRank(uint64_t rank) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "u%08llu",
+                static_cast<unsigned long long>(rank));
+  return buf;
+}
+
+std::string TweetGenerator::EncodeTime(uint64_t seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%012llu",
+                static_cast<unsigned long long>(seconds));
+  return buf;
+}
+
+Tweet TweetGenerator::Next() {
+  // Advance the clock: each second carries a uniform [0, 2*mean] number of
+  // tweets, like the paper's generator.
+  while (remaining_this_second_ == 0) {
+    now_++;
+    remaining_this_second_ = static_cast<uint32_t>(
+        rnd_.Uniform(2 * options_.mean_tweets_per_second + 1));
+  }
+  remaining_this_second_--;
+
+  Tweet t;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "t%012llu",
+                static_cast<unsigned long long>(count_));
+  t.tweet_id = buf;
+  t.user_id = UserIdForRank(user_zipf_.Next());
+  t.creation_time = EncodeTime(now_);
+
+  uint32_t body_len =
+      options_.min_body_len +
+      static_cast<uint32_t>(
+          rnd_.Uniform(options_.max_body_len - options_.min_body_len + 1));
+  t.body.reserve(body_len);
+  for (uint32_t i = 0; i < body_len; i++) {
+    t.body.push_back(static_cast<char>('a' + rnd_.Uniform(26)));
+  }
+
+  count_++;
+  return t;
+}
+
+}  // namespace leveldbpp

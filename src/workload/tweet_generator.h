@@ -1,0 +1,80 @@
+// Synthetic tweet dataset generator (paper Section 5.1).
+//
+// Mirrors the paper's generator, which inputs a seed crawl and preserves its
+// distributions. The seed's published statistics are baked in as defaults:
+// Zipf-distributed UserID (avg ~30 tweets/user, Figure 7), tweets-per-second
+// uniform in [0, 2·avg] (avg 35/s in the seed), random-character body with
+// realistic lengths (avg tweet ~550 bytes), and a time-correlated
+// CreationTime (fixed-width decimal seconds, non-decreasing with insertion
+// order — the property zone maps exploit).
+
+#ifndef LEVELDBPP_WORKLOAD_TWEET_GENERATOR_H_
+#define LEVELDBPP_WORKLOAD_TWEET_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/random.h"
+#include "workload/zipf.h"
+
+namespace leveldbpp {
+
+struct Tweet {
+  std::string tweet_id;       // Primary key, monotonically increasing
+  std::string user_id;        // Secondary attribute (not time-correlated)
+  std::string creation_time;  // Secondary attribute (time-correlated),
+                              // 12-digit decimal seconds
+  std::string body;
+
+  /// Serialize as the JSON document stored in the primary table.
+  std::string ToJson() const;
+};
+
+struct TweetGeneratorOptions {
+  /// Number of distinct users; with the default Zipf exponent and
+  /// tweets ≈ 30 × users this matches the seed's ~30 tweets/user.
+  uint64_t num_users = 10000;
+  /// Zipf exponent for the user rank-frequency distribution (Figure 7).
+  double zipf_exponent = 1.0;
+  /// Mean tweets per second; actual rate per second is uniform in
+  /// [0, 2 * mean] like the paper's generator.
+  uint32_t mean_tweets_per_second = 35;
+  /// Starting timestamp (seconds).
+  uint64_t start_time = 1400000000;
+  /// Body length bounds (random characters); the body exists to make block
+  /// occupancy realistic, per the paper.
+  uint32_t min_body_len = 60;
+  uint32_t max_body_len = 240;
+  uint64_t seed = 20180610;
+};
+
+class TweetGenerator {
+ public:
+  explicit TweetGenerator(const TweetGeneratorOptions& options);
+
+  /// Generate the next tweet (ids/timestamps advance monotonically).
+  Tweet Next();
+
+  uint64_t generated() const { return count_; }
+
+  /// The user id string for Zipf rank `rank` (rank 0 = most active user).
+  static std::string UserIdForRank(uint64_t rank);
+
+  /// Fixed-width encoding of a timestamp, matching Tweet::creation_time.
+  static std::string EncodeTime(uint64_t seconds);
+
+  uint64_t current_time() const { return now_; }
+  const TweetGeneratorOptions& options() const { return options_; }
+
+ private:
+  TweetGeneratorOptions options_;
+  ZipfGenerator user_zipf_;
+  Random64 rnd_;
+  uint64_t count_ = 0;
+  uint64_t now_;
+  uint32_t remaining_this_second_ = 0;
+};
+
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_WORKLOAD_TWEET_GENERATOR_H_

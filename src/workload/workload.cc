@@ -1,0 +1,121 @@
+#include "workload/workload.h"
+
+#include <cassert>
+
+namespace leveldbpp {
+
+WorkloadGenerator::WorkloadGenerator(
+    const TweetGeneratorOptions& tweet_options, uint64_t seed)
+    : tweets_(tweet_options), rnd_(seed ^ 0x5eed5eed5eed5eedull) {}
+
+const Tweet& WorkloadGenerator::SampleInserted() {
+  assert(!retained_.empty());
+  return retained_[rnd_.Uniform(retained_.size())];
+}
+
+Operation WorkloadGenerator::NextPut() {
+  Tweet t = tweets_.Next();
+  Operation op;
+  op.type = OpType::kPut;
+  op.key = t.tweet_id;
+  op.document = t.ToJson();
+  total_inserted_++;
+  // Reservoir sampling (Algorithm R).
+  if (retained_.size() < kMaxRetained) {
+    retained_.push_back(std::move(t));
+  } else {
+    uint64_t slot = rnd_.Uniform(total_inserted_);
+    if (slot < kMaxRetained) {
+      retained_[slot] = std::move(t);
+    }
+  }
+  return op;
+}
+
+Operation WorkloadGenerator::NextGet() {
+  Operation op;
+  op.type = OpType::kGet;
+  op.key = SampleInserted().tweet_id;
+  return op;
+}
+
+Operation WorkloadGenerator::NextUpdate() {
+  // Overwrite an existing TweetID with fresh content: new UserID, new
+  // CreationTime — this is what leaves stale index entries behind.
+  Tweet t = tweets_.Next();
+  Operation op;
+  op.type = OpType::kPut;
+  op.key = SampleInserted().tweet_id;
+  op.document = t.ToJson();
+  return op;
+}
+
+Operation WorkloadGenerator::NextUserLookup(size_t k) {
+  Operation op;
+  op.type = OpType::kLookup;
+  op.attribute = "UserID";
+  op.lo = op.hi = SampleInserted().user_id;
+  op.k = k;
+  return op;
+}
+
+Operation WorkloadGenerator::NextTimeLookup(size_t k) {
+  Operation op;
+  op.type = OpType::kLookup;
+  op.attribute = "CreationTime";
+  op.lo = op.hi = SampleInserted().creation_time;
+  op.k = k;
+  return op;
+}
+
+Operation WorkloadGenerator::NextUserRangeLookup(uint64_t num_users,
+                                                 size_t k) {
+  // User ids are zero-padded ranks, so `num_users` consecutive ranks form a
+  // contiguous key range.
+  uint64_t max_rank = tweets_.options().num_users;
+  uint64_t width = std::min(num_users, max_rank);
+  // Anchor on a sampled tweet's user so popular ranges appear more often.
+  const Tweet& t = SampleInserted();
+  uint64_t rank = std::strtoull(t.user_id.c_str() + 1, nullptr, 10);
+  uint64_t lo_rank = (rank + width <= max_rank) ? rank : max_rank - width;
+  Operation op;
+  op.type = OpType::kRangeLookup;
+  op.attribute = "UserID";
+  op.lo = TweetGenerator::UserIdForRank(lo_rank);
+  op.hi = TweetGenerator::UserIdForRank(lo_rank + width - 1);
+  op.k = k;
+  return op;
+}
+
+Operation WorkloadGenerator::NextTimeRangeLookup(uint64_t minutes, size_t k) {
+  const Tweet& t = SampleInserted();
+  uint64_t hi = std::strtoull(t.creation_time.c_str(), nullptr, 10);
+  uint64_t span = minutes * 60;
+  uint64_t lo = (hi > span) ? hi - span : 0;
+  Operation op;
+  op.type = OpType::kRangeLookup;
+  op.attribute = "CreationTime";
+  op.lo = TweetGenerator::EncodeTime(lo);
+  op.hi = TweetGenerator::EncodeTime(hi);
+  op.k = k;
+  return op;
+}
+
+Operation WorkloadGenerator::NextMixed(const MixedRatios& ratios,
+                                       size_t lookup_k) {
+  double u = rnd_.NextDouble();
+  if (u < ratios.put || total_inserted_ == 0) {
+    return NextPut();
+  }
+  u -= ratios.put;
+  if (u < ratios.update) {
+    return NextUpdate();
+  }
+  u -= ratios.update;
+  if (u < ratios.get) {
+    return NextGet();
+  }
+  return NextUserLookup(lookup_k);
+}
+
+}  // namespace leveldbpp

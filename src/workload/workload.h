@@ -1,0 +1,101 @@
+// Operation workload generators (paper Section 5.1, Table 7).
+//
+// Two modes, like the paper's generator:
+//  * Static — insert all tweets (building indexes), then run isolated query
+//    batches (GET / LOOKUP / RANGELOOKUP with chosen selectivity & top-K).
+//  * Mixed  — one interleaved operation stream with configurable frequency
+//    ratios of PUT / GET / LOOKUP and a ratio of PUTs that overwrite an
+//    existing TweetID ("Updates").
+//
+// Query conditions are sampled from the distribution of already-inserted
+// values (a LOOKUP user is drawn Zipf-like by picking the user of a random
+// inserted tweet), matching "the conditions of the query operations are
+// selected based on the distribution of values in the input tweets".
+
+#ifndef LEVELDBPP_WORKLOAD_WORKLOAD_H_
+#define LEVELDBPP_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+#include "workload/tweet_generator.h"
+
+namespace leveldbpp {
+
+enum class OpType { kPut, kGet, kDelete, kLookup, kRangeLookup };
+
+struct Operation {
+  OpType type = OpType::kPut;
+  std::string key;        // PUT / GET / DELETE
+  std::string document;   // PUT
+  std::string attribute;  // LOOKUP / RANGELOOKUP
+  std::string lo, hi;     // LOOKUP uses lo only; RANGELOOKUP uses [lo, hi]
+  size_t k = 0;           // top-K (0 = no limit)
+};
+
+/// Frequency ratios for Mixed workloads (Table 7b). An "Update" is a PUT
+/// that overwrites an existing TweetID. put+get+lookup+update == 1.
+struct MixedRatios {
+  double put = 0.8;
+  double get = 0.15;
+  double lookup = 0.05;
+  double update = 0.0;
+
+  static MixedRatios WriteHeavy() { return {0.80, 0.15, 0.05, 0.0}; }
+  static MixedRatios ReadHeavy() { return {0.20, 0.70, 0.10, 0.0}; }
+  static MixedRatios UpdateHeavy() { return {0.40, 0.15, 0.05, 0.40}; }
+};
+
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const TweetGeneratorOptions& tweet_options,
+                    uint64_t seed);
+
+  /// Next insert operation (a fresh tweet). Remembers the tweet so query
+  /// conditions can be sampled from the inserted distribution.
+  Operation NextPut();
+
+  /// GET of a uniformly random already-inserted TweetID.
+  Operation NextGet();
+
+  /// PUT that overwrites a random existing TweetID with fresh content
+  /// (an "Update" in the paper's terminology).
+  Operation NextUpdate();
+
+  /// LOOKUP(UserID, u, k) with u sampled from the inserted tweets.
+  Operation NextUserLookup(size_t k);
+
+  /// LOOKUP(CreationTime, ts, k) with ts sampled from inserted tweets.
+  Operation NextTimeLookup(size_t k);
+
+  /// RANGELOOKUP(UserID, ..) covering ~`num_users` consecutive user ids
+  /// (the paper's "selectivity in number of users").
+  Operation NextUserRangeLookup(uint64_t num_users, size_t k);
+
+  /// RANGELOOKUP(CreationTime, ..) spanning `minutes` minutes ending at a
+  /// sampled timestamp (the paper's "selectivity in minutes").
+  Operation NextTimeRangeLookup(uint64_t minutes, size_t k);
+
+  /// Next operation of a Mixed stream with the given ratios.
+  Operation NextMixed(const MixedRatios& ratios, size_t lookup_k);
+
+  uint64_t num_inserted() const { return total_inserted_; }
+  const TweetGenerator& tweets() const { return tweets_; }
+
+ private:
+  const Tweet& SampleInserted();
+
+  TweetGenerator tweets_;
+  Random64 rnd_;
+  // Reservoir of inserted tweets for condition sampling; caps memory on
+  // large runs while preserving the value distribution.
+  static constexpr size_t kMaxRetained = 1 << 18;
+  std::vector<Tweet> retained_;
+  uint64_t total_inserted_ = 0;
+};
+
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_WORKLOAD_WORKLOAD_H_

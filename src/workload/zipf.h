@@ -1,0 +1,58 @@
+// Zipf (power-law) sampler over ranks 0..n-1.
+//
+// The paper's seed crawl (Figure 7) shows a power-law rank-frequency
+// distribution of tweets per user; its synthetic generator preserves that
+// distribution. This sampler reproduces it directly: P(rank r) ∝ 1/(r+1)^s.
+
+#ifndef LEVELDBPP_WORKLOAD_ZIPF_H_
+#define LEVELDBPP_WORKLOAD_ZIPF_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace leveldbpp {
+
+class ZipfGenerator {
+ public:
+  /// `n` ranks with exponent `s` (s ~= 1.0 matches Figure 7's slope).
+  ZipfGenerator(uint64_t n, double s, uint64_t seed)
+      : rnd_(seed), cdf_(n) {
+    double sum = 0;
+    for (uint64_t i = 0; i < n; i++) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = sum;
+    }
+    for (uint64_t i = 0; i < n; i++) {
+      cdf_[i] /= sum;
+    }
+  }
+
+  /// Sample a rank in [0, n).
+  uint64_t Next() {
+    double u = rnd_.NextDouble();
+    // Binary search the CDF.
+    uint64_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      uint64_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  uint64_t n() const { return cdf_.size(); }
+
+ private:
+  Random64 rnd_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_WORKLOAD_ZIPF_H_

@@ -1,0 +1,152 @@
+#include "table/filter_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "util/coding.h"
+
+namespace leveldbpp {
+
+class BloomTest : public testing::Test {
+ protected:
+  BloomTest() : policy_(NewBloomFilterPolicy(10)) {}
+
+  void Reset() {
+    keys_.clear();
+    filter_.clear();
+  }
+
+  void Add(const Slice& s) { keys_.push_back(s.ToString()); }
+
+  void Build() {
+    std::vector<Slice> key_slices;
+    for (const auto& key : keys_) {
+      key_slices.emplace_back(key);
+    }
+    filter_.clear();
+    policy_->CreateFilter(key_slices.data(),
+                          static_cast<int>(key_slices.size()), &filter_);
+    keys_.clear();
+  }
+
+  size_t FilterSize() const { return filter_.size(); }
+
+  bool Matches(const Slice& s) {
+    if (!keys_.empty()) {
+      Build();
+    }
+    return policy_->KeyMayMatch(s, Slice(filter_));
+  }
+
+  double FalsePositiveRate() {
+    char buffer[sizeof(int)];
+    int result = 0;
+    for (int i = 0; i < 10000; i++) {
+      if (Matches(Key(i + 1000000000, buffer))) {
+        result++;
+      }
+    }
+    return result / 10000.0;
+  }
+
+  static Slice Key(int i, char* buffer) {
+    EncodeFixed32(buffer, static_cast<uint32_t>(i));
+    return Slice(buffer, sizeof(uint32_t));
+  }
+
+  std::unique_ptr<const FilterPolicy> policy_;
+  std::vector<std::string> keys_;
+  std::string filter_;
+};
+
+TEST_F(BloomTest, EmptyFilter) {
+  ASSERT_TRUE(!Matches("hello"));
+  ASSERT_TRUE(!Matches("world"));
+}
+
+TEST_F(BloomTest, Small) {
+  Add("hello");
+  Add("world");
+  ASSERT_TRUE(Matches("hello"));
+  ASSERT_TRUE(Matches("world"));
+  ASSERT_TRUE(!Matches("x"));
+  ASSERT_TRUE(!Matches("foo"));
+}
+
+static int NextLength(int length) {
+  if (length < 10) {
+    length += 1;
+  } else if (length < 100) {
+    length += 10;
+  } else if (length < 1000) {
+    length += 100;
+  } else {
+    length += 1000;
+  }
+  return length;
+}
+
+TEST_F(BloomTest, VaryingLengths) {
+  char buffer[sizeof(int)];
+
+  int mediocre_filters = 0;
+  int good_filters = 0;
+
+  for (int length = 1; length <= 10000; length = NextLength(length)) {
+    Reset();
+    for (int i = 0; i < length; i++) {
+      Add(Key(i, buffer));
+    }
+    Build();
+
+    ASSERT_LE(FilterSize(), static_cast<size_t>((length * 10 / 8) + 40))
+        << length;
+
+    // All added keys must match
+    for (int i = 0; i < length; i++) {
+      ASSERT_TRUE(Matches(Key(i, buffer)))
+          << "Length " << length << "; key " << i;
+    }
+
+    // Check false positive rate
+    double rate = FalsePositiveRate();
+    ASSERT_LE(rate, 0.02);  // Must not be over 2%
+    if (rate > 0.0125) {
+      mediocre_filters++;  // Allowed, but not too often
+    } else {
+      good_filters++;
+    }
+  }
+  ASSERT_LE(mediocre_filters, good_filters / 5);
+}
+
+TEST(BloomBitsTest, MoreBitsFewerFalsePositives) {
+  // Appendix C.1's premise: fp rate drops as bits/key grow.
+  char buffer[sizeof(int)];
+  double prev_rate = 1.0;
+  for (int bits : {5, 10, 20}) {
+    std::unique_ptr<const FilterPolicy> policy(NewBloomFilterPolicy(bits));
+    std::vector<std::string> keys;
+    std::vector<Slice> slices;
+    for (int i = 0; i < 2000; i++) {
+      EncodeFixed32(buffer, i);
+      keys.emplace_back(buffer, sizeof(uint32_t));
+    }
+    for (const auto& k : keys) slices.emplace_back(k);
+    std::string filter;
+    policy->CreateFilter(slices.data(), static_cast<int>(slices.size()),
+                         &filter);
+    int fp = 0;
+    for (int i = 0; i < 10000; i++) {
+      EncodeFixed32(buffer, i + 1000000000);
+      if (policy->KeyMayMatch(Slice(buffer, 4), Slice(filter))) fp++;
+    }
+    double rate = fp / 10000.0;
+    EXPECT_LT(rate, prev_rate + 0.001) << bits << " bits";
+    prev_rate = rate;
+  }
+  EXPECT_LT(prev_rate, 0.001);  // 20 bits/key: fp ~ 1e-4
+}
+
+}  // namespace leveldbpp

@@ -1,0 +1,56 @@
+#include "core/document.h"
+
+#include <gtest/gtest.h>
+
+namespace leveldbpp {
+
+TEST(JsonAttributeExtractor, ExtractsStrings) {
+  const AttributeExtractor* x = JsonAttributeExtractor::Instance();
+  std::string out;
+  ASSERT_TRUE(
+      x->Extract(R"({"UserID":"u42","Body":"text"})", "UserID", &out));
+  EXPECT_EQ("u42", out);
+  ASSERT_TRUE(x->Extract(R"({"UserID":"u42","Body":"text"})", "Body", &out));
+  EXPECT_EQ("text", out);
+}
+
+TEST(JsonAttributeExtractor, ExtractsNumbersAndBools) {
+  const AttributeExtractor* x = JsonAttributeExtractor::Instance();
+  std::string out;
+  ASSERT_TRUE(x->Extract(R"({"n":12345})", "n", &out));
+  EXPECT_EQ("12345", out);
+  ASSERT_TRUE(x->Extract(R"({"b":true})", "b", &out));
+  EXPECT_EQ("true", out);
+}
+
+TEST(JsonAttributeExtractor, MissingAttribute) {
+  const AttributeExtractor* x = JsonAttributeExtractor::Instance();
+  std::string out;
+  EXPECT_FALSE(x->Extract(R"({"a":"1"})", "z", &out));
+}
+
+TEST(JsonAttributeExtractor, NonIndexableTypes) {
+  const AttributeExtractor* x = JsonAttributeExtractor::Instance();
+  std::string out;
+  EXPECT_FALSE(x->Extract(R"({"a":null})", "a", &out));
+  EXPECT_FALSE(x->Extract(R"({"a":[1,2]})", "a", &out));
+  EXPECT_FALSE(x->Extract(R"({"a":{"b":1}})", "a", &out));
+}
+
+TEST(JsonAttributeExtractor, MalformedDocuments) {
+  const AttributeExtractor* x = JsonAttributeExtractor::Instance();
+  std::string out;
+  EXPECT_FALSE(x->Extract("not json", "a", &out));
+  EXPECT_FALSE(x->Extract("", "a", &out));
+  EXPECT_FALSE(x->Extract("[1,2,3]", "a", &out));  // Not an object
+  EXPECT_FALSE(x->Extract("42", "a", &out));
+}
+
+TEST(JsonAttributeExtractor, EscapedValuesDecoded) {
+  const AttributeExtractor* x = JsonAttributeExtractor::Instance();
+  std::string out;
+  ASSERT_TRUE(x->Extract(R"({"u":"a\"b\nc"})", "u", &out));
+  EXPECT_EQ("a\"b\nc", out);
+}
+
+}  // namespace leveldbpp

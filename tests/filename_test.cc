@@ -1,0 +1,92 @@
+#include "db/filename.h"
+
+#include <gtest/gtest.h>
+
+namespace leveldbpp {
+
+TEST(FileNameTest, Parse) {
+  Slice db;
+  FileType type;
+  uint64_t number;
+
+  // Successful parses
+  static const struct {
+    const char* fname;
+    uint64_t number;
+    FileType type;
+  } cases[] = {
+      {"100.log", 100, kLogFile},
+      {"0.log", 0, kLogFile},
+      {"0.ldb", 0, kTableFile},
+      {"CURRENT", 0, kCurrentFile},
+      {"LOCK", 0, kDBLockFile},
+      {"MANIFEST-2", 2, kDescriptorFile},
+      {"MANIFEST-7", 7, kDescriptorFile},
+      {"18446744073709551615.log", 18446744073709551615ull, kLogFile},
+      {"100.dbtmp", 100, kTempFile},
+  };
+  for (const auto& c : cases) {
+    std::string f = c.fname;
+    ASSERT_TRUE(ParseFileName(f, &number, &type)) << f;
+    ASSERT_EQ(c.type, type) << f;
+    ASSERT_EQ(c.number, number) << f;
+  }
+
+  // Errors
+  static const char* errors[] = {
+      "",         "foo",          "foo-dx-100.log", ".log",
+      "manifest", "CURREN",       "CURRENTX",       "MANIFES",
+      "MANIFEST", "MANIFEST-",    "XMANIFEST-3",    "MANIFEST-3x",
+      "100",      "100.",         "100.lop",        "100.ldb2",
+      "x.ldb",
+  };
+  for (const char* error : errors) {
+    std::string f = error;
+    ASSERT_TRUE(!ParseFileName(f, &number, &type)) << f;
+  }
+  (void)db;
+}
+
+TEST(FileNameTest, Construction) {
+  uint64_t number;
+  FileType type;
+  std::string fname;
+
+  fname = CurrentFileName("foo");
+  ASSERT_EQ("foo/", std::string(fname.data(), 4));
+  ASSERT_TRUE(ParseFileName(fname.c_str() + 4, &number, &type));
+  ASSERT_EQ(0u, number);
+  ASSERT_EQ(kCurrentFile, type);
+
+  fname = LockFileName("foo");
+  ASSERT_EQ("foo/", std::string(fname.data(), 4));
+  ASSERT_TRUE(ParseFileName(fname.c_str() + 4, &number, &type));
+  ASSERT_EQ(0u, number);
+  ASSERT_EQ(kDBLockFile, type);
+
+  fname = LogFileName("foo", 192);
+  ASSERT_EQ("foo/", std::string(fname.data(), 4));
+  ASSERT_TRUE(ParseFileName(fname.c_str() + 4, &number, &type));
+  ASSERT_EQ(192u, number);
+  ASSERT_EQ(kLogFile, type);
+
+  fname = TableFileName("bar", 200);
+  ASSERT_EQ("bar/", std::string(fname.data(), 4));
+  ASSERT_TRUE(ParseFileName(fname.c_str() + 4, &number, &type));
+  ASSERT_EQ(200u, number);
+  ASSERT_EQ(kTableFile, type);
+
+  fname = DescriptorFileName("bar", 100);
+  ASSERT_EQ("bar/", std::string(fname.data(), 4));
+  ASSERT_TRUE(ParseFileName(fname.c_str() + 4, &number, &type));
+  ASSERT_EQ(100u, number);
+  ASSERT_EQ(kDescriptorFile, type);
+
+  fname = TempFileName("tmp", 999);
+  ASSERT_EQ("tmp/", std::string(fname.data(), 4));
+  ASSERT_TRUE(ParseFileName(fname.c_str() + 4, &number, &type));
+  ASSERT_EQ(999u, number);
+  ASSERT_EQ(kTempFile, type);
+}
+
+}  // namespace leveldbpp

@@ -1,0 +1,115 @@
+#include "table/filter_block.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "util/coding.h"
+#include "util/hash.h"
+
+namespace leveldbpp {
+
+// For testing: emit an array with one hash value per key
+class TestHashFilter : public FilterPolicy {
+ public:
+  const char* Name() const override { return "TestHashFilter"; }
+
+  void CreateFilter(const Slice* keys, int n, std::string* dst) const override {
+    for (int i = 0; i < n; i++) {
+      uint32_t h = Hash(keys[i].data(), keys[i].size(), 1);
+      PutFixed32(dst, h);
+    }
+  }
+
+  bool KeyMayMatch(const Slice& key, const Slice& filter) const override {
+    uint32_t h = Hash(key.data(), key.size(), 1);
+    for (size_t i = 0; i + 4 <= filter.size(); i += 4) {
+      if (h == DecodeFixed32(filter.data() + i)) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+class FilterBlockTest : public testing::Test {
+ protected:
+  TestHashFilter policy_;
+};
+
+TEST_F(FilterBlockTest, EmptyBuilder) {
+  FilterBlockBuilder builder(&policy_);
+  Slice block = builder.Finish();
+  FilterBlockReader reader(&policy_, block);
+  ASSERT_EQ(0u, reader.NumFilters());
+  // Out-of-range block indexes fail open.
+  ASSERT_TRUE(reader.KeyMayMatch(0, "foo"));
+}
+
+TEST_F(FilterBlockTest, SingleBlock) {
+  FilterBlockBuilder builder(&policy_);
+  builder.AddKey("foo");
+  builder.AddKey("bar");
+  builder.AddKey("box");
+  builder.FinishBlock();
+  Slice block = builder.Finish();
+  FilterBlockReader reader(&policy_, block);
+  ASSERT_EQ(1u, reader.NumFilters());
+  ASSERT_TRUE(reader.KeyMayMatch(0, "foo"));
+  ASSERT_TRUE(reader.KeyMayMatch(0, "bar"));
+  ASSERT_TRUE(reader.KeyMayMatch(0, "box"));
+  ASSERT_TRUE(!reader.KeyMayMatch(0, "missing"));
+  ASSERT_TRUE(!reader.KeyMayMatch(0, "other"));
+}
+
+TEST_F(FilterBlockTest, PerBlockIsolation) {
+  FilterBlockBuilder builder(&policy_);
+  // Block 0
+  builder.AddKey("block0-key");
+  builder.FinishBlock();
+  // Block 1: no keys at all (e.g. no record carried the attribute)
+  builder.FinishBlock();
+  // Block 2
+  builder.AddKey("block2-key");
+  builder.AddKey("shared-key");
+  builder.FinishBlock();
+
+  Slice block = builder.Finish();
+  FilterBlockReader reader(&policy_, block);
+  ASSERT_EQ(3u, reader.NumFilters());
+
+  ASSERT_TRUE(reader.KeyMayMatch(0, "block0-key"));
+  ASSERT_TRUE(!reader.KeyMayMatch(0, "block2-key"));
+
+  // An EMPTY per-block filter means "definitely no keys here".
+  ASSERT_TRUE(!reader.KeyMayMatch(1, "block0-key"));
+  ASSERT_TRUE(!reader.KeyMayMatch(1, "anything"));
+
+  ASSERT_TRUE(reader.KeyMayMatch(2, "block2-key"));
+  ASSERT_TRUE(reader.KeyMayMatch(2, "shared-key"));
+  ASSERT_TRUE(!reader.KeyMayMatch(2, "block0-key"));
+}
+
+TEST_F(FilterBlockTest, ManyBlocks) {
+  FilterBlockBuilder builder(&policy_);
+  const int kBlocks = 100;
+  for (int b = 0; b < kBlocks; b++) {
+    builder.AddKey("key-" + std::to_string(b));
+    builder.FinishBlock();
+  }
+  Slice block = builder.Finish();
+  FilterBlockReader reader(&policy_, block);
+  ASSERT_EQ(static_cast<size_t>(kBlocks), reader.NumFilters());
+  for (int b = 0; b < kBlocks; b++) {
+    ASSERT_TRUE(reader.KeyMayMatch(b, "key-" + std::to_string(b)));
+    ASSERT_TRUE(!reader.KeyMayMatch(b, "key-" + std::to_string(b + 1)));
+  }
+}
+
+TEST_F(FilterBlockTest, CorruptContentsFailOpen) {
+  FilterBlockReader reader(&policy_, Slice("garbage"));
+  // Truncated/corrupt filter blocks never produce false negatives.
+  ASSERT_TRUE(reader.KeyMayMatch(0, "anything"));
+}
+
+}  // namespace leveldbpp

@@ -1,0 +1,249 @@
+// Variant-specific unit tests: behaviours unique to one index strategy
+// (posting-list maintenance in Eager, fragment scattering in Lazy,
+// composite-key encoding, embedded early termination).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/composite_index.h"
+#include "core/posting_list.h"
+#include "core/secondary_db.h"
+#include "core/standalone_index.h"
+#include "env/env.h"
+
+namespace leveldbpp {
+namespace {
+
+std::string Doc(const std::string& user, int ts = 0) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%012d", ts);
+  return "{\"CreationTime\":\"" + std::string(buf) + "\",\"UserID\":\"" +
+         user + "\"}";
+}
+
+class VariantTest : public testing::Test {
+ protected:
+  VariantTest() : env_(NewMemEnv()) {}
+
+  std::unique_ptr<SecondaryDB> Open(IndexType type) {
+    SecondaryDBOptions options;
+    options.base.env = env_.get();
+    options.base.write_buffer_size = 64 << 10;
+    options.index_type = type;
+    options.indexed_attributes = {"UserID"};
+    std::unique_ptr<SecondaryDB> db;
+    Status s =
+        SecondaryDB::Open(options, "/vt_" + std::to_string(n_++), &db);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return db;
+  }
+
+  std::unique_ptr<Env> env_;
+  int n_ = 0;
+};
+
+// ---- Composite key codec ----
+
+TEST(CompositeKeyCodec, RoundTrip) {
+  std::string key = CompositeIndex::MakeCompositeKey("alice", "tweet:17");
+  Slice attr, pkey;
+  ASSERT_TRUE(CompositeIndex::SplitCompositeKey(Slice(key), &attr, &pkey));
+  EXPECT_EQ("alice", attr.ToString());
+  EXPECT_EQ("tweet:17", pkey.ToString());
+}
+
+TEST(CompositeKeyCodec, OrderingGroupsByAttribute) {
+  // All composite keys of one attribute value sort contiguously, and
+  // different attribute values never interleave.
+  std::string a1 = CompositeIndex::MakeCompositeKey("aa", "z");
+  std::string a2 = CompositeIndex::MakeCompositeKey("ab", "a");
+  EXPECT_LT(a1, a2);  // "aa" group entirely before "ab" group
+  std::string b1 = CompositeIndex::MakeCompositeKey("u1", "t1");
+  std::string b2 = CompositeIndex::MakeCompositeKey("u1", "t2");
+  EXPECT_LT(b1, b2);  // Within a group: primary-key order
+}
+
+TEST(CompositeKeyCodec, RejectsKeyWithoutSeparator) {
+  Slice attr, pkey;
+  EXPECT_FALSE(CompositeIndex::SplitCompositeKey("no-separator", &attr,
+                                                 &pkey));
+}
+
+TEST(CompositeKeyCodec, EmptyPrimaryKeyAndAttr) {
+  std::string key = CompositeIndex::MakeCompositeKey("", "");
+  Slice attr, pkey;
+  ASSERT_TRUE(CompositeIndex::SplitCompositeKey(Slice(key), &attr, &pkey));
+  EXPECT_TRUE(attr.empty());
+  EXPECT_TRUE(pkey.empty());
+}
+
+// ---- Eager posting-list maintenance ----
+
+TEST_F(VariantTest, EagerListStaysSortedAndDeduplicated) {
+  auto db = Open(IndexType::kEager);
+  ASSERT_TRUE(db->Put("t1", Doc("u1")).ok());
+  ASSERT_TRUE(db->Put("t2", Doc("u1")).ok());
+  ASSERT_TRUE(db->Put("t3", Doc("u1")).ok());
+  // Re-put t1 under the same user: its entry must move to the front, not
+  // duplicate.
+  ASSERT_TRUE(db->Put("t1", Doc("u1")).ok());
+
+  auto* eager = dynamic_cast<StandAloneIndex*>(db->index("UserID"));
+  ASSERT_NE(nullptr, eager);
+  std::string list;
+  ASSERT_TRUE(eager->index_db()->Get(ReadOptions(), "u1", &list).ok());
+  std::vector<PostingEntry> entries;
+  ASSERT_TRUE(PostingList::Parse(Slice(list), &entries));
+  ASSERT_EQ(3u, entries.size());
+  EXPECT_EQ("t1", entries[0].primary_key);  // Newest
+  EXPECT_EQ("t3", entries[1].primary_key);
+  EXPECT_EQ("t2", entries[2].primary_key);
+  for (size_t i = 1; i < entries.size(); i++) {
+    EXPECT_GT(entries[i - 1].seq, entries[i].seq);
+  }
+}
+
+TEST_F(VariantTest, EagerDeleteRemovesFromList) {
+  auto db = Open(IndexType::kEager);
+  ASSERT_TRUE(db->Put("t1", Doc("u1")).ok());
+  ASSERT_TRUE(db->Put("t2", Doc("u1")).ok());
+  ASSERT_TRUE(db->Delete("t1").ok());
+
+  auto* eager = dynamic_cast<StandAloneIndex*>(db->index("UserID"));
+  std::string list;
+  ASSERT_TRUE(eager->index_db()->Get(ReadOptions(), "u1", &list).ok());
+  std::vector<PostingEntry> entries;
+  ASSERT_TRUE(PostingList::Parse(Slice(list), &entries));
+  ASSERT_EQ(1u, entries.size());
+  EXPECT_EQ("t2", entries[0].primary_key);
+
+  // Deleting the last entry erases the list key entirely.
+  ASSERT_TRUE(db->Delete("t2").ok());
+  EXPECT_TRUE(
+      eager->index_db()->Get(ReadOptions(), "u1", &list).IsNotFound());
+}
+
+// ---- Lazy fragment behaviour ----
+
+TEST_F(VariantTest, LazyWritesAreFragmentsNotLists) {
+  auto db = Open(IndexType::kLazy);
+  // Lazy never reads the index table on writes: stats prove it.
+  auto* lazy = dynamic_cast<StandAloneIndex*>(db->index("UserID"));
+  ASSERT_NE(nullptr, lazy);
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(db->Put("t" + std::to_string(i), Doc("u1")).ok());
+  }
+  // All fragments still fit in the memtable: zero index-table block reads.
+  EXPECT_EQ(0u, lazy->index_statistics()->Get(kBlockRead));
+  // And the memtable-merged fragment holds all 100 entries.
+  std::string list;
+  ASSERT_TRUE(lazy->index_db()->Get(ReadOptions(), "u1", &list).ok());
+  std::vector<PostingEntry> entries;
+  ASSERT_TRUE(PostingList::Parse(Slice(list), &entries));
+  EXPECT_EQ(100u, entries.size());
+}
+
+TEST_F(VariantTest, EagerReadsOnEveryWrite) {
+  auto db = Open(IndexType::kEager);
+  auto* eager = dynamic_cast<StandAloneIndex*>(db->index("UserID"));
+  // Force the index list to disk, then watch a write read it back.
+  for (int i = 0; i < 50; i++) {
+    ASSERT_TRUE(db->Put("t" + std::to_string(i), Doc("u1")).ok());
+  }
+  ASSERT_TRUE(db->CompactAll().ok());
+  uint64_t reads_before = eager->index_statistics()->Get(kBlockRead);
+  ASSERT_TRUE(db->Put("t_new", Doc("u1")).ok());
+  EXPECT_GT(eager->index_statistics()->Get(kBlockRead), reads_before)
+      << "Eager OnPut must read the current posting list";
+}
+
+TEST_F(VariantTest, LazyDeletionMarkerShadowsAcrossLevels) {
+  auto db = Open(IndexType::kLazy);
+  ASSERT_TRUE(db->Put("t1", Doc("u1")).ok());
+  ASSERT_TRUE(db->Put("t2", Doc("u1")).ok());
+  ASSERT_TRUE(db->CompactAll().ok());  // Entries now on disk
+
+  ASSERT_TRUE(db->Delete("t1").ok());  // Marker in the index memtable
+  std::vector<QueryResult> results;
+  ASSERT_TRUE(db->Lookup("UserID", "u1", 0, &results).ok());
+  ASSERT_EQ(1u, results.size());
+  EXPECT_EQ("t2", results[0].primary_key);
+
+  // Compaction resolves marker + entry; the answer is unchanged.
+  ASSERT_TRUE(db->CompactAll().ok());
+  ASSERT_TRUE(db->Lookup("UserID", "u1", 0, &results).ok());
+  ASSERT_EQ(1u, results.size());
+  EXPECT_EQ("t2", results[0].primary_key);
+}
+
+// ---- Embedded early termination ----
+
+TEST_F(VariantTest, EmbeddedLookupStopsAtMemtableWhenPossible) {
+  auto db = Open(IndexType::kEmbedded);
+  // Old data on disk...
+  for (int i = 0; i < 2000; i++) {
+    ASSERT_TRUE(db->Put("old" + std::to_string(i), Doc("u1", i)).ok());
+  }
+  ASSERT_TRUE(db->CompactAll().ok());
+  // ...fresh matches in the memtable.
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(db->Put("new" + std::to_string(i), Doc("u1", 9000 + i)).ok());
+  }
+  Statistics* stats = db->primary_statistics();
+  uint64_t reads_before = stats->Get(kBlockRead);
+  std::vector<QueryResult> results;
+  ASSERT_TRUE(db->Lookup("UserID", "u1", 5, &results).ok());
+  ASSERT_EQ(5u, results.size());
+  for (const QueryResult& r : results) {
+    EXPECT_EQ(0u, r.primary_key.find("new")) << r.primary_key;
+  }
+  // Heap filled from the memtable; the disk was never touched.
+  EXPECT_EQ(reads_before, stats->Get(kBlockRead));
+}
+
+TEST_F(VariantTest, EmbeddedUnlimitedLookupMustScanAllLevels) {
+  auto db = Open(IndexType::kEmbedded);
+  for (int i = 0; i < 2000; i++) {
+    ASSERT_TRUE(db->Put("t" + std::to_string(i),
+                        Doc("u" + std::to_string(i % 5), i))
+                    .ok());
+  }
+  ASSERT_TRUE(db->CompactAll().ok());
+  std::vector<QueryResult> results;
+  ASSERT_TRUE(db->Lookup("UserID", "u2", 0, &results).ok());
+  EXPECT_EQ(400u, results.size());
+}
+
+// ---- Cross-variant: result payload identity ----
+
+TEST_F(VariantTest, AllVariantsReturnIdenticalPayloads) {
+  std::vector<std::unique_ptr<SecondaryDB>> dbs;
+  for (IndexType type :
+       {IndexType::kNoIndex, IndexType::kEmbedded, IndexType::kLazy,
+        IndexType::kEager, IndexType::kComposite}) {
+    dbs.push_back(Open(type));
+    for (int i = 0; i < 300; i++) {
+      ASSERT_TRUE(dbs.back()
+                      ->Put("t" + std::to_string(i),
+                            Doc("u" + std::to_string(i % 7), i))
+                      .ok());
+    }
+  }
+  std::vector<QueryResult> reference;
+  ASSERT_TRUE(dbs[0]->Lookup("UserID", "u3", 10, &reference).ok());
+  ASSERT_EQ(10u, reference.size());
+  for (size_t v = 1; v < dbs.size(); v++) {
+    std::vector<QueryResult> results;
+    ASSERT_TRUE(dbs[v]->Lookup("UserID", "u3", 10, &results).ok());
+    ASSERT_EQ(reference.size(), results.size()) << v;
+    for (size_t i = 0; i < results.size(); i++) {
+      EXPECT_EQ(reference[i].primary_key, results[i].primary_key);
+      EXPECT_EQ(reference[i].seq, results[i].seq);
+      EXPECT_EQ(reference[i].value, results[i].value);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace leveldbpp

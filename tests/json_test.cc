@@ -1,0 +1,104 @@
+#include "json/json.h"
+
+#include <gtest/gtest.h>
+
+namespace leveldbpp {
+namespace json {
+
+TEST(Json, ParseScalars) {
+  Value v;
+  ASSERT_TRUE(Parse("null", &v));
+  EXPECT_TRUE(v.is_null());
+  ASSERT_TRUE(Parse("true", &v));
+  EXPECT_TRUE(v.as_bool());
+  ASSERT_TRUE(Parse("false", &v));
+  EXPECT_FALSE(v.as_bool());
+  ASSERT_TRUE(Parse("42", &v));
+  EXPECT_EQ(42, v.as_int());
+  ASSERT_TRUE(Parse("-3.5", &v));
+  EXPECT_DOUBLE_EQ(-3.5, v.as_number());
+  ASSERT_TRUE(Parse("1e3", &v));
+  EXPECT_DOUBLE_EQ(1000.0, v.as_number());
+  ASSERT_TRUE(Parse("\"hello\"", &v));
+  EXPECT_EQ("hello", v.as_string());
+}
+
+TEST(Json, ParseStringEscapes) {
+  Value v;
+  ASSERT_TRUE(Parse(R"("a\"b\\c\/d\n\tA")", &v));
+  EXPECT_EQ("a\"b\\c/d\n\tA", v.as_string());
+}
+
+TEST(Json, ParseNested) {
+  Value v;
+  ASSERT_TRUE(Parse(R"({"a":[1,2,{"b":"c"}],"d":{"e":null}})", &v));
+  ASSERT_TRUE(v.is_object());
+  const Value& a = v["a"];
+  ASSERT_TRUE(a.is_array());
+  ASSERT_EQ(3u, a.as_array().size());
+  EXPECT_EQ(1, a.as_array()[0].as_int());
+  EXPECT_EQ("c", a.as_array()[2]["b"].as_string());
+  EXPECT_TRUE(v["d"]["e"].is_null());
+  EXPECT_TRUE(v["missing"].is_null());
+}
+
+TEST(Json, ParseWhitespace) {
+  Value v;
+  ASSERT_TRUE(Parse("  {  \"a\" :\n [ 1 , 2 ]\t } ", &v));
+  EXPECT_EQ(2u, v["a"].as_array().size());
+}
+
+TEST(Json, RejectsMalformed) {
+  Value v;
+  EXPECT_FALSE(Parse("", &v));
+  EXPECT_FALSE(Parse("{", &v));
+  EXPECT_FALSE(Parse("[1,", &v));
+  EXPECT_FALSE(Parse("\"unterminated", &v));
+  EXPECT_FALSE(Parse("{\"a\":}", &v));
+  EXPECT_FALSE(Parse("tru", &v));
+  EXPECT_FALSE(Parse("1 2", &v));  // Trailing garbage
+  EXPECT_FALSE(Parse("{'a':1}", &v));  // Single quotes
+}
+
+TEST(Json, SerializeRoundTrip) {
+  const char* docs[] = {
+      R"({"Body":"text","UserID":"u1"})",
+      R"([["t1",100],["t2",99,1]])",
+      R"({"nested":{"arr":[1,2,3],"s":"x"}})",
+      "[]",
+      "{}",
+  };
+  for (const char* doc : docs) {
+    Value v;
+    ASSERT_TRUE(Parse(doc, &v)) << doc;
+    EXPECT_EQ(doc, v.ToString()) << doc;
+  }
+}
+
+TEST(Json, IntegersSerializeExactly) {
+  // Sequence numbers up to 2^53 must round-trip exactly.
+  Value v;
+  ASSERT_TRUE(Parse("9007199254740992", &v));
+  EXPECT_EQ("9007199254740992", v.ToString());
+  ASSERT_TRUE(Parse("123456789012345", &v));
+  EXPECT_EQ(123456789012345LL, v.as_int());
+}
+
+TEST(Json, SerializeEscapes) {
+  Value v(std::string("line1\nline2\t\"quoted\""));
+  EXPECT_EQ(R"("line1\nline2\t\"quoted\"")", v.ToString());
+}
+
+TEST(Json, BuildProgrammatically) {
+  Object obj;
+  obj["name"] = Value(std::string("bob"));
+  obj["count"] = Value(static_cast<int64_t>(7));
+  Array arr;
+  arr.push_back(Value(true));
+  obj["flags"] = Value(std::move(arr));
+  Value v(std::move(obj));
+  EXPECT_EQ(R"({"count":7,"flags":[true],"name":"bob"})", v.ToString());
+}
+
+}  // namespace json
+}  // namespace leveldbpp

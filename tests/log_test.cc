@@ -1,0 +1,190 @@
+// WAL writer/reader round-trip and crash-tolerance tests.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "env/env.h"
+#include "util/random.h"
+#include "wal/log_reader.h"
+#include "wal/log_writer.h"
+
+namespace leveldbpp {
+namespace log {
+
+class LogTest : public testing::Test {
+ protected:
+  LogTest() : env_(NewMemEnv()) {}
+
+  void WriteRecords(const std::vector<std::string>& records) {
+    std::unique_ptr<WritableFile> file;
+    ASSERT_TRUE(env_->NewWritableFile("/log", &file).ok());
+    Writer writer(file.get());
+    for (const std::string& r : records) {
+      ASSERT_TRUE(writer.AddRecord(Slice(r)).ok());
+    }
+    ASSERT_TRUE(file->Close().ok());
+  }
+
+  std::vector<std::string> ReadAll(size_t* dropped_bytes = nullptr) {
+    struct Reporter : public Reader::Reporter {
+      size_t dropped = 0;
+      void Corruption(size_t bytes, const Status&) override {
+        dropped += bytes;
+      }
+    };
+    std::unique_ptr<SequentialFile> file;
+    EXPECT_TRUE(env_->NewSequentialFile("/log", &file).ok());
+    Reporter reporter;
+    Reader reader(file.get(), &reporter, true);
+    std::vector<std::string> out;
+    Slice record;
+    std::string scratch;
+    while (reader.ReadRecord(&record, &scratch)) {
+      out.push_back(record.ToString());
+    }
+    if (dropped_bytes != nullptr) *dropped_bytes = reporter.dropped;
+    return out;
+  }
+
+  void CorruptLog(size_t offset, char new_byte) {
+    // Rewrite the file with one byte flipped.
+    std::unique_ptr<SequentialFile> in;
+    ASSERT_TRUE(env_->NewSequentialFile("/log", &in).ok());
+    std::string contents;
+    char scratch[4096];
+    Slice chunk;
+    while (in->Read(sizeof(scratch), &chunk, scratch).ok() &&
+           !chunk.empty()) {
+      contents.append(chunk.data(), chunk.size());
+    }
+    ASSERT_LT(offset, contents.size());
+    contents[offset] = new_byte;
+    std::unique_ptr<WritableFile> out;
+    ASSERT_TRUE(env_->NewWritableFile("/log", &out).ok());
+    ASSERT_TRUE(out->Append(contents).ok());
+    ASSERT_TRUE(out->Close().ok());
+  }
+
+  void TruncateLog(size_t new_size) {
+    std::unique_ptr<SequentialFile> in;
+    ASSERT_TRUE(env_->NewSequentialFile("/log", &in).ok());
+    std::string contents;
+    char scratch[1 << 20];
+    Slice chunk;
+    while (in->Read(sizeof(scratch), &chunk, scratch).ok() &&
+           !chunk.empty()) {
+      contents.append(chunk.data(), chunk.size());
+    }
+    contents.resize(std::min(new_size, contents.size()));
+    std::unique_ptr<WritableFile> out;
+    ASSERT_TRUE(env_->NewWritableFile("/log", &out).ok());
+    ASSERT_TRUE(out->Append(contents).ok());
+    ASSERT_TRUE(out->Close().ok());
+  }
+
+  std::unique_ptr<Env> env_;
+};
+
+TEST_F(LogTest, Empty) {
+  WriteRecords({});
+  EXPECT_TRUE(ReadAll().empty());
+}
+
+TEST_F(LogTest, SmallRecords) {
+  WriteRecords({"foo", "bar", "", "xxxx"});
+  std::vector<std::string> got = ReadAll();
+  ASSERT_EQ(4u, got.size());
+  EXPECT_EQ("foo", got[0]);
+  EXPECT_EQ("bar", got[1]);
+  EXPECT_EQ("", got[2]);
+  EXPECT_EQ("xxxx", got[3]);
+}
+
+TEST_F(LogTest, RecordsSpanningBlocks) {
+  // Records larger than the 32KB block get fragmented and reassembled.
+  std::vector<std::string> records = {
+      std::string(10000, 'a'),
+      std::string(100000, 'b'),  // Spans multiple blocks
+      std::string(1000, 'c'),
+  };
+  WriteRecords(records);
+  std::vector<std::string> got = ReadAll();
+  ASSERT_EQ(records.size(), got.size());
+  for (size_t i = 0; i < records.size(); i++) {
+    EXPECT_EQ(records[i], got[i]) << i;
+  }
+}
+
+TEST_F(LogTest, ManyRandomRecords) {
+  Random64 rnd(301);
+  std::vector<std::string> records;
+  for (int i = 0; i < 300; i++) {
+    std::string r;
+    size_t len = rnd.Uniform(5000);
+    for (size_t j = 0; j < len; j++) {
+      r.push_back(static_cast<char>(rnd.Next() & 0xFF));
+    }
+    records.push_back(std::move(r));
+  }
+  WriteRecords(records);
+  std::vector<std::string> got = ReadAll();
+  ASSERT_EQ(records.size(), got.size());
+  for (size_t i = 0; i < records.size(); i++) {
+    EXPECT_EQ(records[i], got[i]) << i;
+  }
+}
+
+TEST_F(LogTest, ChecksumMismatchDetected) {
+  WriteRecords({"payload-one", "payload-two"});
+  // Flip a byte inside the first record's payload.
+  CorruptLog(10, 'X');
+  size_t dropped = 0;
+  std::vector<std::string> got = ReadAll(&dropped);
+  // First record is dropped, second one may also be lost (buffer drop);
+  // the reader must report the corruption and not return garbage.
+  EXPECT_GT(dropped, 0u);
+  for (const std::string& r : got) {
+    EXPECT_TRUE(r == "payload-two") << "unexpected record: " << r;
+  }
+}
+
+TEST_F(LogTest, TruncatedTailIsNotCorruption) {
+  WriteRecords({"first", std::string(50000, 'z')});
+  // Chop the file mid-way through the second record, simulating a crash.
+  TruncateLog(40000);
+  size_t dropped = 0;
+  std::vector<std::string> got = ReadAll(&dropped);
+  ASSERT_EQ(1u, got.size());
+  EXPECT_EQ("first", got[0]);
+  EXPECT_EQ(0u, dropped);  // Torn tail != corruption
+}
+
+TEST_F(LogTest, ReopenedWriterContinuesAtBlockBoundary) {
+  WriteRecords({"one"});
+  uint64_t size;
+  ASSERT_TRUE(env_->GetFileSize("/log", &size).ok());
+  // Re-open for append is not supported by MemEnv's NewWritableFile
+  // (truncates); emulate by re-writing and using the dest_length ctor.
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env_->NewWritableFile("/log2", &file).ok());
+  Writer w1(file.get());
+  ASSERT_TRUE(w1.AddRecord("one").ok());
+  Writer w2(file.get(), size);
+  ASSERT_TRUE(w2.AddRecord("two").ok());
+  ASSERT_TRUE(file->Close().ok());
+
+  std::unique_ptr<SequentialFile> in;
+  ASSERT_TRUE(env_->NewSequentialFile("/log2", &in).ok());
+  Reader reader(in.get(), nullptr, true);
+  Slice record;
+  std::string scratch;
+  ASSERT_TRUE(reader.ReadRecord(&record, &scratch));
+  EXPECT_EQ("one", record.ToString());
+  ASSERT_TRUE(reader.ReadRecord(&record, &scratch));
+  EXPECT_EQ("two", record.ToString());
+  ASSERT_FALSE(reader.ReadRecord(&record, &scratch));
+}
+
+}  // namespace log
+}  // namespace leveldbpp

@@ -1,0 +1,163 @@
+#include "db/memtable.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/document.h"
+#include "json/json.h"
+
+namespace leveldbpp {
+
+class MemTableTest : public testing::Test {
+ protected:
+  MemTableTest()
+      : icmp_(BytewiseComparator()),
+        mem_(new MemTable(icmp_, {"UserID"},
+                          JsonAttributeExtractor::Instance())) {
+    mem_->Ref();
+  }
+  ~MemTableTest() override { mem_->Unref(); }
+
+  static std::string Doc(const std::string& user) {
+    return "{\"UserID\":\"" + user + "\"}";
+  }
+
+  InternalKeyComparator icmp_;
+  MemTable* mem_;
+};
+
+TEST_F(MemTableTest, AddAndGet) {
+  mem_->Add(1, kTypeValue, "k1", Doc("u1"));
+  mem_->Add(2, kTypeValue, "k2", Doc("u2"));
+
+  LookupKey lkey("k1", kMaxSequenceNumber);
+  std::string value;
+  Status s;
+  ASSERT_TRUE(mem_->Get(lkey, &value, &s));
+  ASSERT_EQ(Doc("u1"), value);
+
+  LookupKey missing("nope", kMaxSequenceNumber);
+  ASSERT_FALSE(mem_->Get(missing, &value, &s));
+}
+
+TEST_F(MemTableTest, VersionsNewestWins) {
+  mem_->Add(1, kTypeValue, "k", Doc("old"));
+  mem_->Add(5, kTypeValue, "k", Doc("new"));
+
+  std::string value;
+  SequenceNumber seq;
+  bool deleted;
+  ASSERT_TRUE(mem_->GetNewest("k", &value, &seq, &deleted));
+  ASSERT_EQ(5u, seq);
+  ASSERT_FALSE(deleted);
+  ASSERT_EQ(Doc("new"), value);
+}
+
+TEST_F(MemTableTest, DeletionVisible) {
+  mem_->Add(1, kTypeValue, "k", Doc("u"));
+  mem_->Add(2, kTypeDeletion, "k", Slice());
+
+  LookupKey lkey("k", kMaxSequenceNumber);
+  std::string value;
+  Status s;
+  ASSERT_TRUE(mem_->Get(lkey, &value, &s));
+  ASSERT_TRUE(s.IsNotFound());
+
+  SequenceNumber seq;
+  bool deleted;
+  ASSERT_TRUE(mem_->GetNewest("k", &value, &seq, &deleted));
+  ASSERT_TRUE(deleted);
+  ASSERT_EQ(2u, seq);
+}
+
+TEST_F(MemTableTest, SnapshotReadsOlderVersion) {
+  mem_->Add(1, kTypeValue, "k", Doc("v1"));
+  mem_->Add(9, kTypeValue, "k", Doc("v9"));
+  // A lookup as of sequence 5 must see v1.
+  LookupKey lkey("k", 5);
+  std::string value;
+  Status s;
+  ASSERT_TRUE(mem_->Get(lkey, &value, &s));
+  ASSERT_EQ(Doc("v1"), value);
+}
+
+TEST_F(MemTableTest, SecondaryLookupFindsAllVersions) {
+  mem_->Add(1, kTypeValue, "t1", Doc("alice"));
+  mem_->Add(2, kTypeValue, "t2", Doc("bob"));
+  mem_->Add(3, kTypeValue, "t3", Doc("alice"));
+  mem_->Add(4, kTypeValue, "t1", Doc("bob"));  // t1 switches to bob
+
+  std::multimap<std::string, SequenceNumber> hits;
+  mem_->SecondaryLookup("UserID", "alice", "alice",
+                        [&](const Slice& key, SequenceNumber seq,
+                            const Slice&) {
+                          hits.emplace(key.ToString(), seq);
+                        });
+  // Stale (t1, seq1) entry is still reported — validity checks are the
+  // caller's job, as in the paper.
+  ASSERT_EQ(2u, hits.size());
+  ASSERT_EQ(1u, hits.count("t1"));
+  ASSERT_EQ(1u, hits.count("t3"));
+}
+
+TEST_F(MemTableTest, SecondaryLookupRange) {
+  mem_->Add(1, kTypeValue, "t1", Doc("a"));
+  mem_->Add(2, kTypeValue, "t2", Doc("c"));
+  mem_->Add(3, kTypeValue, "t3", Doc("e"));
+
+  std::vector<std::string> keys;
+  mem_->SecondaryLookup("UserID", "b", "d",
+                        [&](const Slice& key, SequenceNumber,
+                            const Slice&) { keys.push_back(key.ToString()); });
+  ASSERT_EQ(1u, keys.size());
+  ASSERT_EQ("t2", keys[0]);
+
+  keys.clear();
+  mem_->SecondaryLookup("UserID", "a", "e",
+                        [&](const Slice& key, SequenceNumber,
+                            const Slice&) { keys.push_back(key.ToString()); });
+  ASSERT_EQ(3u, keys.size());
+}
+
+TEST_F(MemTableTest, SecondaryLookupUnknownAttribute) {
+  mem_->Add(1, kTypeValue, "t1", Doc("a"));
+  int calls = 0;
+  mem_->SecondaryLookup("Nope", "a", "z",
+                        [&](const Slice&, SequenceNumber, const Slice&) {
+                          calls++;
+                        });
+  ASSERT_EQ(0, calls);
+}
+
+TEST_F(MemTableTest, IteratorOrdering) {
+  mem_->Add(2, kTypeValue, "b", Doc("x"));
+  mem_->Add(1, kTypeValue, "a", Doc("y"));
+  mem_->Add(3, kTypeValue, "a", Doc("z"));  // Newer version of "a"
+
+  std::unique_ptr<Iterator> it(mem_->NewIterator());
+  it->SeekToFirst();
+  // "a" seq 3 first (newest first within a user key), then "a" seq 1,
+  // then "b".
+  ASSERT_TRUE(it->Valid());
+  ASSERT_EQ("a", ExtractUserKey(it->key()).ToString());
+  ASSERT_EQ(3u, ExtractSequence(it->key()));
+  it->Next();
+  ASSERT_EQ("a", ExtractUserKey(it->key()).ToString());
+  ASSERT_EQ(1u, ExtractSequence(it->key()));
+  it->Next();
+  ASSERT_EQ("b", ExtractUserKey(it->key()).ToString());
+  it->Next();
+  ASSERT_FALSE(it->Valid());
+}
+
+TEST_F(MemTableTest, MemoryUsageGrows) {
+  size_t before = mem_->ApproximateMemoryUsage();
+  for (int i = 0; i < 1000; i++) {
+    mem_->Add(i + 1, kTypeValue, "key" + std::to_string(i),
+              std::string(100, 'v'));
+  }
+  ASSERT_GT(mem_->ApproximateMemoryUsage(), before + 100 * 1000);
+}
+
+}  // namespace leveldbpp

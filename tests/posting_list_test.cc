@@ -1,0 +1,142 @@
+#include "core/posting_list.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace leveldbpp {
+
+TEST(PostingList, SerializeParseRoundTrip) {
+  std::vector<PostingEntry> entries = {
+      {"t4", 97, false},
+      {"t1", 55, false},
+      {"t9", 12, true},
+  };
+  std::string data;
+  PostingList::Serialize(entries, &data);
+  EXPECT_EQ(R"([["t4",97],["t1",55],["t9",12,1]])", data);
+
+  std::vector<PostingEntry> parsed;
+  ASSERT_TRUE(PostingList::Parse(Slice(data), &parsed));
+  ASSERT_EQ(3u, parsed.size());
+  EXPECT_EQ("t4", parsed[0].primary_key);
+  EXPECT_EQ(97u, parsed[0].seq);
+  EXPECT_FALSE(parsed[0].deleted);
+  EXPECT_TRUE(parsed[2].deleted);
+}
+
+TEST(PostingList, ParseRejectsGarbage) {
+  std::vector<PostingEntry> parsed;
+  EXPECT_FALSE(PostingList::Parse(Slice("not json"), &parsed));
+  EXPECT_FALSE(PostingList::Parse(Slice("{\"a\":1}"), &parsed));
+  EXPECT_FALSE(PostingList::Parse(Slice("[[1,2]]"), &parsed));   // Key not str
+  EXPECT_FALSE(PostingList::Parse(Slice("[[\"k\"]]"), &parsed)); // No seq
+}
+
+TEST(PostingList, EmptyList) {
+  std::string data;
+  PostingList::Serialize({}, &data);
+  EXPECT_EQ("[]", data);
+  std::vector<PostingEntry> parsed;
+  ASSERT_TRUE(PostingList::Parse(Slice(data), &parsed));
+  EXPECT_TRUE(parsed.empty());
+}
+
+TEST(PostingList, MergeNewestWinsPerKey) {
+  std::vector<std::vector<PostingEntry>> fragments = {
+      {{"t3", 30, false}, {"t1", 25, false}},   // Newest fragment
+      {{"t2", 20, false}, {"t1", 10, false}},   // Older: t1@10 shadowed
+  };
+  std::vector<PostingEntry> merged;
+  PostingList::Merge(fragments, false, &merged);
+  ASSERT_EQ(3u, merged.size());
+  EXPECT_EQ("t3", merged[0].primary_key);
+  EXPECT_EQ("t1", merged[1].primary_key);
+  EXPECT_EQ(25u, merged[1].seq);  // The newer t1
+  EXPECT_EQ("t2", merged[2].primary_key);
+}
+
+TEST(PostingList, MergeDeletionMarkers) {
+  std::vector<std::vector<PostingEntry>> fragments = {
+      {{"t1", 40, true}},                       // Marker for t1
+      {{"t1", 10, false}, {"t2", 5, false}},    // Old entry for t1
+  };
+  std::vector<PostingEntry> merged;
+
+  // Not at bottom: the marker must survive (older fragments may exist in
+  // lower levels).
+  PostingList::Merge(fragments, /*drop_deletions=*/false, &merged);
+  ASSERT_EQ(2u, merged.size());
+  EXPECT_EQ("t1", merged[0].primary_key);
+  EXPECT_TRUE(merged[0].deleted);
+  EXPECT_EQ("t2", merged[1].primary_key);
+
+  // At bottom: marker (and its shadowed entry) vanish.
+  PostingList::Merge(fragments, /*drop_deletions=*/true, &merged);
+  ASSERT_EQ(1u, merged.size());
+  EXPECT_EQ("t2", merged[0].primary_key);
+}
+
+TEST(PostingList, MergeOutputSortedBySeqDesc) {
+  Random64 rnd(9);
+  std::vector<std::vector<PostingEntry>> fragments(4);
+  uint64_t seq = 1000;
+  for (int f = 0; f < 4; f++) {
+    for (int i = 0; i < 20; i++) {
+      fragments[f].push_back(
+          {"k" + std::to_string(rnd.Uniform(200)), seq--, false});
+    }
+  }
+  std::vector<PostingEntry> merged;
+  PostingList::Merge(fragments, false, &merged);
+  for (size_t i = 1; i < merged.size(); i++) {
+    EXPECT_GE(merged[i - 1].seq, merged[i].seq);
+  }
+  // No duplicate keys.
+  std::set<std::string> keys;
+  for (const PostingEntry& e : merged) {
+    EXPECT_TRUE(keys.insert(e.primary_key).second) << e.primary_key;
+  }
+}
+
+TEST(PostingListMerger, MergesFragmentValues) {
+  std::string frag_new, frag_old;
+  PostingList::Serialize({{"t5", 50, false}}, &frag_new);
+  PostingList::Serialize({{"t4", 40, false}, {"t3", 30, false}}, &frag_old);
+  std::vector<Slice> values = {Slice(frag_new), Slice(frag_old)};
+  std::string out;
+  ASSERT_TRUE(
+      PostingListMerger::Instance()->Merge("u1", values, false, &out));
+  std::vector<PostingEntry> merged;
+  ASSERT_TRUE(PostingList::Parse(Slice(out), &merged));
+  ASSERT_EQ(3u, merged.size());
+  EXPECT_EQ("t5", merged[0].primary_key);
+}
+
+TEST(PostingListMerger, FullyDeletedListDroppedAtBottom) {
+  std::string marker, entry;
+  PostingList::Serialize({{"t1", 50, true}}, &marker);
+  PostingList::Serialize({{"t1", 10, false}}, &entry);
+  std::vector<Slice> values = {Slice(marker), Slice(entry)};
+  std::string out;
+  // At bottom: list becomes empty -> key dropped entirely.
+  EXPECT_FALSE(
+      PostingListMerger::Instance()->Merge("u1", values, true, &out));
+  // Above bottom: marker must be preserved.
+  ASSERT_TRUE(
+      PostingListMerger::Instance()->Merge("u1", values, false, &out));
+  std::vector<PostingEntry> merged;
+  ASSERT_TRUE(PostingList::Parse(Slice(out), &merged));
+  ASSERT_EQ(1u, merged.size());
+  EXPECT_TRUE(merged[0].deleted);
+}
+
+TEST(PostingListMerger, UnparseableValueKeptVerbatim) {
+  std::vector<Slice> values = {Slice("garbage"), Slice("[]")};
+  std::string out;
+  ASSERT_TRUE(
+      PostingListMerger::Instance()->Merge("u1", values, true, &out));
+  EXPECT_EQ("garbage", out);  // Never drop data on parse failure
+}
+
+}  // namespace leveldbpp

@@ -1,0 +1,90 @@
+#include "compress/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/random.h"
+
+namespace leveldbpp {
+namespace {
+
+std::string RoundTrip(const std::string& input) {
+  std::string compressed;
+  simplelz::Compress(Slice(input), &compressed);
+  uint32_t ulen = 0;
+  EXPECT_TRUE(simplelz::GetUncompressedLength(Slice(compressed), &ulen));
+  EXPECT_EQ(input.size(), ulen);
+  std::string output(ulen, '\0');
+  EXPECT_TRUE(simplelz::Uncompress(Slice(compressed), output.data()));
+  return output;
+}
+
+TEST(SimpleLZ, Empty) { EXPECT_EQ("", RoundTrip("")); }
+
+TEST(SimpleLZ, Short) { EXPECT_EQ("abc", RoundTrip("abc")); }
+
+TEST(SimpleLZ, RepetitiveCompresses) {
+  std::string input;
+  for (int i = 0; i < 1000; i++) {
+    input += "the quick brown fox jumps over the lazy dog ";
+  }
+  std::string compressed;
+  simplelz::Compress(Slice(input), &compressed);
+  EXPECT_LT(compressed.size(), input.size() / 4);
+  EXPECT_EQ(input, RoundTrip(input));
+}
+
+TEST(SimpleLZ, RunLengthOverlap) {
+  // Overlapping copies (offset < length) exercise the byte-wise copy path.
+  std::string input(5000, 'a');
+  std::string compressed;
+  simplelz::Compress(Slice(input), &compressed);
+  EXPECT_LT(compressed.size(), 300u);
+  EXPECT_EQ(input, RoundTrip(input));
+}
+
+TEST(SimpleLZ, IncompressibleRoundTrips) {
+  Random64 rnd(42);
+  std::string input;
+  for (int i = 0; i < 10000; i++) {
+    input.push_back(static_cast<char>(rnd.Next() & 0xFF));
+  }
+  EXPECT_EQ(input, RoundTrip(input));
+}
+
+TEST(SimpleLZ, RandomizedStructuredData) {
+  Random64 rnd(7);
+  for (int trial = 0; trial < 50; trial++) {
+    std::string input;
+    int pieces = 1 + static_cast<int>(rnd.Uniform(40));
+    for (int i = 0; i < pieces; i++) {
+      if (rnd.Uniform(2) == 0) {
+        input.append(static_cast<size_t>(rnd.Uniform(100)),
+                     static_cast<char>('a' + rnd.Uniform(4)));
+      } else {
+        for (uint64_t j = rnd.Uniform(50); j > 0; j--) {
+          input.push_back(static_cast<char>(rnd.Next() & 0xFF));
+        }
+      }
+    }
+    EXPECT_EQ(input, RoundTrip(input));
+  }
+}
+
+TEST(SimpleLZ, RejectsTruncated) {
+  std::string input(1000, 'x');
+  std::string compressed;
+  simplelz::Compress(Slice(input), &compressed);
+  std::string output(1000, '\0');
+  for (size_t cut = 1; cut < compressed.size(); cut += 3) {
+    Slice truncated(compressed.data(), compressed.size() - cut);
+    uint32_t ulen;
+    if (simplelz::GetUncompressedLength(truncated, &ulen)) {
+      EXPECT_FALSE(simplelz::Uncompress(truncated, output.data()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace leveldbpp

@@ -1,0 +1,77 @@
+#include "core/topk.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace leveldbpp {
+
+static QueryResult QR(const std::string& key, SequenceNumber seq) {
+  QueryResult r;
+  r.primary_key = key;
+  r.seq = seq;
+  return r;
+}
+
+TEST(TopK, UnlimitedCollectsEverything) {
+  TopKCollector heap(0);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_TRUE(heap.WouldAdmit(i));
+    heap.Add(QR("k" + std::to_string(i), i));
+  }
+  EXPECT_FALSE(heap.Full());
+  auto results = heap.TakeSortedNewestFirst();
+  ASSERT_EQ(100u, results.size());
+  for (size_t i = 1; i < results.size(); i++) {
+    EXPECT_GT(results[i - 1].seq, results[i].seq);
+  }
+}
+
+TEST(TopK, KeepsKNewest) {
+  TopKCollector heap(3);
+  Random64 rnd(1);
+  std::vector<SequenceNumber> seqs;
+  for (int i = 0; i < 200; i++) {
+    SequenceNumber s = rnd.Uniform(100000);
+    seqs.push_back(s);
+    heap.Add(QR("k", s));
+  }
+  std::sort(seqs.rbegin(), seqs.rend());
+  auto results = heap.TakeSortedNewestFirst();
+  ASSERT_EQ(3u, results.size());
+  EXPECT_EQ(seqs[0], results[0].seq);
+  EXPECT_EQ(seqs[1], results[1].seq);
+  EXPECT_EQ(seqs[2], results[2].seq);
+}
+
+TEST(TopK, AdmissionCheck) {
+  TopKCollector heap(2);
+  heap.Add(QR("a", 100));
+  heap.Add(QR("b", 200));
+  EXPECT_TRUE(heap.Full());
+  // Older than the heap's root: rejected without mutation.
+  EXPECT_FALSE(heap.WouldAdmit(50));
+  EXPECT_FALSE(heap.Add(QR("c", 50)));
+  // Equal to the oldest retained: also rejected (strictly newer required).
+  EXPECT_FALSE(heap.WouldAdmit(100));
+  // Newer: displaces the oldest.
+  EXPECT_TRUE(heap.WouldAdmit(150));
+  EXPECT_TRUE(heap.Add(QR("d", 150)));
+  auto results = heap.TakeSortedNewestFirst();
+  ASSERT_EQ(2u, results.size());
+  EXPECT_EQ("b", results[0].primary_key);
+  EXPECT_EQ("d", results[1].primary_key);
+}
+
+TEST(TopK, NotFullUntilK) {
+  TopKCollector heap(5);
+  for (int i = 0; i < 4; i++) {
+    EXPECT_FALSE(heap.Full());
+    heap.Add(QR("k", i));
+  }
+  EXPECT_FALSE(heap.Full());
+  heap.Add(QR("k", 4));
+  EXPECT_TRUE(heap.Full());
+}
+
+}  // namespace leveldbpp

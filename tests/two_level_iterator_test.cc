@@ -1,0 +1,110 @@
+// Two-level iterator: index-entry -> block materialization, empty-block
+// skipping, and seek behaviour, driven end-to-end through a multi-block
+// table.
+
+#include "table/two_level_iterator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "env/env.h"
+#include "table/table.h"
+#include "table/table_builder.h"
+
+namespace leveldbpp {
+namespace {
+
+class TwoLevelIteratorTest : public testing::Test {
+ protected:
+  TwoLevelIteratorTest() : env_(NewMemEnv()) {}
+
+  void BuildTable(int num_entries) {
+    options_.env = env_.get();
+    options_.block_size = 256;  // Tiny blocks -> deep two-level structure
+    std::unique_ptr<WritableFile> file;
+    ASSERT_TRUE(env_->NewWritableFile("/t", &file).ok());
+    TableBuilder builder(options_, file.get());
+    for (int i = 0; i < num_entries; i++) {
+      char key[32];
+      std::snprintf(key, sizeof(key), "key%06d", i * 2);  // Even keys only
+      std::string value = "val" + std::to_string(i) + std::string(40, 'x');
+      builder.Add(key, value);
+      entries_[key] = value;
+    }
+    ASSERT_TRUE(builder.Finish().ok());
+    uint64_t size = builder.FileSize();
+    ASSERT_TRUE(file->Close().ok());
+
+    ASSERT_TRUE(env_->NewRandomAccessFile("/t", &raf_).ok());
+    Table* table = nullptr;
+    ASSERT_TRUE(Table::Open(options_, raf_.get(), size, &table).ok());
+    table_.reset(table);
+    ASSERT_GT(table_->NumDataBlocks(), 4u);  // Actually multi-block
+  }
+
+  Options options_;
+  std::unique_ptr<Env> env_;
+  std::map<std::string, std::string> entries_;
+  std::unique_ptr<RandomAccessFile> raf_;
+  std::unique_ptr<Table> table_;
+};
+
+TEST_F(TwoLevelIteratorTest, FullForwardScan) {
+  BuildTable(500);
+  std::unique_ptr<Iterator> it(table_->NewIterator(ReadOptions()));
+  auto mit = entries_.begin();
+  for (it->SeekToFirst(); it->Valid(); it->Next(), ++mit) {
+    ASSERT_TRUE(mit != entries_.end());
+    EXPECT_EQ(mit->first, it->key().ToString());
+    EXPECT_EQ(mit->second, it->value().ToString());
+  }
+  EXPECT_TRUE(mit == entries_.end());
+  EXPECT_TRUE(it->status().ok());
+}
+
+TEST_F(TwoLevelIteratorTest, SeeksAcrossBlockBoundaries) {
+  BuildTable(500);
+  std::unique_ptr<Iterator> it(table_->NewIterator(ReadOptions()));
+  // Seek to every present key.
+  for (const auto& [key, value] : entries_) {
+    it->Seek(key);
+    ASSERT_TRUE(it->Valid()) << key;
+    EXPECT_EQ(key, it->key().ToString());
+  }
+  // Seek to absent (odd) keys: lands on the next even key.
+  for (int i = 1; i < 999; i += 97) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "key%06d", i);
+    it->Seek(key);
+    auto expect = entries_.lower_bound(key);
+    if (expect == entries_.end()) {
+      EXPECT_FALSE(it->Valid());
+    } else {
+      ASSERT_TRUE(it->Valid());
+      EXPECT_EQ(expect->first, it->key().ToString());
+    }
+  }
+}
+
+TEST_F(TwoLevelIteratorTest, SeekPastEndInvalid) {
+  BuildTable(100);
+  std::unique_ptr<Iterator> it(table_->NewIterator(ReadOptions()));
+  it->Seek("zzz");
+  EXPECT_FALSE(it->Valid());
+  EXPECT_TRUE(it->status().ok());
+}
+
+TEST_F(TwoLevelIteratorTest, ScanAfterSeekReachesEnd) {
+  BuildTable(200);
+  std::unique_ptr<Iterator> it(table_->NewIterator(ReadOptions()));
+  it->Seek("key000300");  // Middle
+  int count = 0;
+  for (; it->Valid(); it->Next()) count++;
+  // Entries at/after key000300: keys 300..398 even = 50 of first 200*2.
+  EXPECT_EQ(static_cast<int>(entries_.size()) - 150, count);
+}
+
+}  // namespace
+}  // namespace leveldbpp

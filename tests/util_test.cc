@@ -1,0 +1,245 @@
+// Tests for the utility kernel: Slice, Status, Arena, Histogram,
+// Comparator, merging iterator.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "table/iterator.h"
+#include "table/merger.h"
+#include "util/arena.h"
+#include "util/comparator.h"
+#include "util/histogram.h"
+#include "util/random.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace leveldbpp {
+
+TEST(SliceTest, Basics) {
+  Slice empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(0u, empty.size());
+
+  Slice s("hello");
+  EXPECT_EQ(5u, s.size());
+  EXPECT_EQ('h', s[0]);
+  EXPECT_EQ("hello", s.ToString());
+  EXPECT_TRUE(s.starts_with("he"));
+  EXPECT_FALSE(s.starts_with("hello!"));
+
+  s.remove_prefix(2);
+  EXPECT_EQ("llo", s.ToString());
+
+  EXPECT_LT(Slice("abc").compare("abd"), 0);
+  EXPECT_GT(Slice("abcd").compare("abc"), 0);
+  EXPECT_EQ(0, Slice("x").compare("x"));
+  EXPECT_TRUE(Slice("a") == Slice("a"));
+  EXPECT_TRUE(Slice("a") != Slice("b"));
+  EXPECT_TRUE(Slice("a") < Slice("b"));
+}
+
+TEST(StatusTest, Basics) {
+  Status ok = Status::OK();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ("OK", ok.ToString());
+
+  Status nf = Status::NotFound("key", "missing");
+  EXPECT_FALSE(nf.ok());
+  EXPECT_TRUE(nf.IsNotFound());
+  EXPECT_EQ("NotFound: key: missing", nf.ToString());
+
+  Status copy = nf;  // Copyable
+  EXPECT_TRUE(copy.IsNotFound());
+
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+}
+
+TEST(ArenaTest, Basics) {
+  Arena arena;
+  EXPECT_EQ(0u, arena.MemoryUsage());
+  char* p = arena.Allocate(100);
+  ASSERT_NE(nullptr, p);
+  memset(p, 'x', 100);
+  EXPECT_GE(arena.MemoryUsage(), 100u);
+}
+
+TEST(ArenaTest, RandomizedAllocationsStayIntact) {
+  Arena arena;
+  Random64 rnd(301);
+  std::vector<std::pair<size_t, char*>> allocated;
+  size_t bytes = 0;
+  for (int i = 0; i < 2000; i++) {
+    size_t s = (rnd.Uniform(10) == 0) ? 1 + rnd.Uniform(6000)
+                                      : 1 + rnd.Uniform(100);
+    char* r = (rnd.Uniform(2) == 0) ? arena.AllocateAligned(s)
+                                    : arena.Allocate(s);
+    for (size_t b = 0; b < s; b++) {
+      r[b] = static_cast<char>(i % 256);
+    }
+    bytes += s;
+    allocated.emplace_back(s, r);
+    ASSERT_GE(arena.MemoryUsage(), bytes);
+    ASSERT_LT(arena.MemoryUsage(), bytes * 1.10 + 8192);
+  }
+  for (size_t i = 0; i < allocated.size(); i++) {
+    for (size_t b = 0; b < allocated[i].first; b++) {
+      ASSERT_EQ(static_cast<char>(i % 256), allocated[i].second[b]);
+    }
+  }
+}
+
+TEST(ArenaTest, AlignedAllocationsAreAligned) {
+  Arena arena;
+  Random64 rnd(7);
+  for (int i = 0; i < 200; i++) {
+    arena.Allocate(1 + rnd.Uniform(7));  // Misalign the bump pointer
+    char* p = arena.AllocateAligned(16);
+    EXPECT_EQ(0u, reinterpret_cast<uintptr_t>(p) % 8);
+  }
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  EXPECT_EQ(0u, h.Count());
+  for (int i = 1; i <= 100; i++) {
+    h.Add(i);
+  }
+  EXPECT_EQ(100u, h.Count());
+  EXPECT_NEAR(50.5, h.Average(), 0.01);
+  EXPECT_NEAR(50, h.Median(), 5);
+  EXPECT_NEAR(25, h.Percentile(25), 5);
+  EXPECT_NEAR(75, h.Percentile(75), 5);
+  EXPECT_EQ(1, h.Min());
+  EXPECT_EQ(100, h.Max());
+}
+
+TEST(HistogramTest, BoxPlotWhiskersClampToData) {
+  Histogram h;
+  for (int i = 0; i < 100; i++) h.Add(100);
+  h.Add(101);
+  auto bp = h.GetBoxPlot();
+  EXPECT_GE(bp.lo_whisker, 100);
+  EXPECT_LE(bp.hi_whisker, 110);  // Bucketized, near data max
+  EXPECT_LE(bp.q1, bp.median);
+  EXPECT_LE(bp.median, bp.q3);
+}
+
+TEST(HistogramTest, Merge) {
+  Histogram a, b;
+  for (int i = 0; i < 50; i++) a.Add(10);
+  for (int i = 0; i < 50; i++) b.Add(1000);
+  a.Merge(b);
+  EXPECT_EQ(100u, a.Count());
+  EXPECT_EQ(10, a.Min());
+  EXPECT_EQ(1000, a.Max());
+  EXPECT_NEAR(505, a.Average(), 1);
+}
+
+TEST(ComparatorTest, ShortestSeparator) {
+  const Comparator* cmp = BytewiseComparator();
+  std::string s = "abcdefghij";
+  cmp->FindShortestSeparator(&s, "abzzzzzzzz");
+  EXPECT_EQ("abd", s);  // Shortened and still in (start, limit)
+
+  s = "abc";
+  cmp->FindShortestSeparator(&s, "abcd");  // Prefix: unchanged
+  EXPECT_EQ("abc", s);
+
+  s = "zzz";
+  cmp->FindShortestSeparator(&s, "aaa");  // Misordered: unchanged
+  EXPECT_EQ("zzz", s);
+}
+
+TEST(ComparatorTest, ShortSuccessor) {
+  const Comparator* cmp = BytewiseComparator();
+  std::string s = "abc";
+  cmp->FindShortSuccessor(&s);
+  EXPECT_EQ("b", s);
+
+  s = "\xff\xff";
+  cmp->FindShortSuccessor(&s);
+  EXPECT_EQ("\xff\xff", s);  // All-0xff: unchanged
+}
+
+// ---- Merging iterator ----
+
+namespace {
+class VectorIterator : public Iterator {
+ public:
+  explicit VectorIterator(std::vector<std::pair<std::string, std::string>> kv)
+      : kv_(std::move(kv)), index_(kv_.size()) {}
+  bool Valid() const override { return index_ < kv_.size(); }
+  void SeekToFirst() override { index_ = 0; }
+  void Seek(const Slice& target) override {
+    index_ = 0;
+    while (index_ < kv_.size() && Slice(kv_[index_].first) < target) {
+      index_++;
+    }
+  }
+  void Next() override { index_++; }
+  Slice key() const override { return kv_[index_].first; }
+  Slice value() const override { return kv_[index_].second; }
+  Status status() const override { return Status::OK(); }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> kv_;
+  size_t index_;
+};
+}  // namespace
+
+TEST(MergerTest, MergesSortedSources) {
+  Iterator* children[3] = {
+      new VectorIterator({{"a", "1"}, {"d", "4"}, {"g", "7"}}),
+      new VectorIterator({{"b", "2"}, {"e", "5"}}),
+      new VectorIterator({{"c", "3"}, {"f", "6"}, {"h", "8"}}),
+  };
+  std::unique_ptr<Iterator> merged(
+      NewMergingIterator(BytewiseComparator(), children, 3));
+  std::string keys;
+  for (merged->SeekToFirst(); merged->Valid(); merged->Next()) {
+    keys += merged->key().ToString();
+  }
+  EXPECT_EQ("abcdefgh", keys);
+
+  merged->Seek("e");
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ("e", merged->key().ToString());
+}
+
+TEST(MergerTest, EarlierChildWinsTies) {
+  Iterator* children[2] = {
+      new VectorIterator(std::vector<std::pair<std::string, std::string>>{{"k", "newer"}}),
+      new VectorIterator(std::vector<std::pair<std::string, std::string>>{{"k", "older"}}),
+  };
+  std::unique_ptr<Iterator> merged(
+      NewMergingIterator(BytewiseComparator(), children, 2));
+  merged->SeekToFirst();
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ("newer", merged->value().ToString());
+  merged->Next();
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ("older", merged->value().ToString());
+  merged->Next();
+  EXPECT_FALSE(merged->Valid());
+}
+
+TEST(MergerTest, ZeroAndOneChild) {
+  std::unique_ptr<Iterator> empty(
+      NewMergingIterator(BytewiseComparator(), nullptr, 0));
+  empty->SeekToFirst();
+  EXPECT_FALSE(empty->Valid());
+
+  Iterator* one[1] = {new VectorIterator(std::vector<std::pair<std::string, std::string>>{{"a", "1"}})};
+  std::unique_ptr<Iterator> single(
+      NewMergingIterator(BytewiseComparator(), one, 1));
+  single->SeekToFirst();
+  ASSERT_TRUE(single->Valid());
+  EXPECT_EQ("a", single->key().ToString());
+}
+
+}  // namespace leveldbpp

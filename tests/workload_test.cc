@@ -1,0 +1,169 @@
+// Workload generator tests: distribution shape (Figure 7), time
+// correlation, operation-mix ratios, and document well-formedness.
+
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/document.h"
+#include "json/json.h"
+#include "workload/zipf.h"
+
+namespace leveldbpp {
+
+TEST(Zipf, RanksAreSkewed) {
+  ZipfGenerator zipf(1000, 1.0, 42);
+  std::map<uint64_t, uint64_t> counts;
+  const int kSamples = 100000;
+  for (int i = 0; i < kSamples; i++) {
+    counts[zipf.Next()]++;
+  }
+  // Rank 0 should dominate; roughly 1/H(1000) ~ 13% of samples.
+  EXPECT_GT(counts[0], kSamples / 10u);
+  // Monotone-ish decay between well-separated ranks.
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[200]);
+  // All ranks in range.
+  for (const auto& [rank, unused] : counts) {
+    EXPECT_LT(rank, 1000u);
+  }
+}
+
+TEST(Zipf, Deterministic) {
+  ZipfGenerator a(100, 1.0, 7), b(100, 1.0, 7);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(TweetGen, DocumentsAreValidJson) {
+  TweetGenerator gen(TweetGeneratorOptions{});
+  for (int i = 0; i < 100; i++) {
+    Tweet t = gen.Next();
+    json::Value doc;
+    ASSERT_TRUE(json::Parse(Slice(t.ToJson()), &doc)) << t.ToJson();
+    EXPECT_EQ(t.user_id, doc["UserID"].as_string());
+    EXPECT_EQ(t.creation_time, doc["CreationTime"].as_string());
+    EXPECT_EQ(t.tweet_id, doc["TweetID"].as_string());
+    // The extractor used by the engine agrees.
+    std::string extracted;
+    ASSERT_TRUE(JsonAttributeExtractor::Instance()->Extract(
+        Slice(t.ToJson()), "UserID", &extracted));
+    EXPECT_EQ(t.user_id, extracted);
+  }
+}
+
+TEST(TweetGen, TweetIdsAreMonotonic) {
+  TweetGenerator gen(TweetGeneratorOptions{});
+  std::string prev;
+  for (int i = 0; i < 1000; i++) {
+    Tweet t = gen.Next();
+    EXPECT_GT(t.tweet_id, prev);
+    prev = t.tweet_id;
+  }
+}
+
+TEST(TweetGen, CreationTimeIsTimeCorrelated) {
+  // The property zone maps exploit: CreationTime never decreases with
+  // insertion order (as a fixed-width string, also bytewise).
+  TweetGenerator gen(TweetGeneratorOptions{});
+  std::string prev = gen.Next().creation_time;
+  for (int i = 0; i < 5000; i++) {
+    Tweet t = gen.Next();
+    EXPECT_GE(t.creation_time, prev);
+    EXPECT_EQ(12u, t.creation_time.size());
+    prev = t.creation_time;
+  }
+}
+
+TEST(TweetGen, TweetsPerSecondBounded) {
+  TweetGeneratorOptions options;
+  options.mean_tweets_per_second = 10;
+  TweetGenerator gen(options);
+  std::map<std::string, int> per_second;
+  for (int i = 0; i < 20000; i++) {
+    per_second[gen.Next().creation_time]++;
+  }
+  for (const auto& [ts, count] : per_second) {
+    EXPECT_LE(count, 2 * 10);  // Uniform in [0, 2*mean]
+  }
+}
+
+TEST(Workload, MixedRatiosApproximatelyRespected) {
+  WorkloadGenerator gen(TweetGeneratorOptions{}, 5);
+  MixedRatios ratios = MixedRatios::ReadHeavy();  // 20/70/10
+  int puts = 0, gets = 0, lookups = 0;
+  const int kOps = 20000;
+  for (int i = 0; i < kOps; i++) {
+    Operation op = gen.NextMixed(ratios, 10);
+    switch (op.type) {
+      case OpType::kPut:
+        puts++;
+        break;
+      case OpType::kGet:
+        gets++;
+        break;
+      case OpType::kLookup:
+        lookups++;
+        break;
+      default:
+        FAIL();
+    }
+  }
+  EXPECT_NEAR(0.20, static_cast<double>(puts) / kOps, 0.02);
+  EXPECT_NEAR(0.70, static_cast<double>(gets) / kOps, 0.02);
+  EXPECT_NEAR(0.10, static_cast<double>(lookups) / kOps, 0.02);
+}
+
+TEST(Workload, UpdatesTargetExistingKeys) {
+  WorkloadGenerator gen(TweetGeneratorOptions{}, 5);
+  std::set<std::string> inserted;
+  for (int i = 0; i < 100; i++) {
+    inserted.insert(gen.NextPut().key);
+  }
+  for (int i = 0; i < 50; i++) {
+    Operation op = gen.NextUpdate();
+    EXPECT_EQ(OpType::kPut, op.type);
+    EXPECT_TRUE(inserted.count(op.key)) << op.key;
+    EXPECT_FALSE(op.document.empty());
+  }
+}
+
+TEST(Workload, QueryConditionsComeFromInsertedData) {
+  WorkloadGenerator gen(TweetGeneratorOptions{}, 5);
+  std::set<std::string> users;
+  for (int i = 0; i < 500; i++) {
+    Operation op = gen.NextPut();
+    json::Value doc;
+    ASSERT_TRUE(json::Parse(Slice(op.document), &doc));
+    users.insert(doc["UserID"].as_string());
+  }
+  for (int i = 0; i < 100; i++) {
+    Operation op = gen.NextUserLookup(10);
+    EXPECT_EQ(OpType::kLookup, op.type);
+    EXPECT_EQ("UserID", op.attribute);
+    EXPECT_TRUE(users.count(op.lo)) << op.lo;
+    EXPECT_EQ(op.lo, op.hi);
+    EXPECT_EQ(10u, op.k);
+  }
+}
+
+TEST(Workload, RangeBoundsWellFormed) {
+  WorkloadGenerator gen(TweetGeneratorOptions{}, 5);
+  for (int i = 0; i < 200; i++) gen.NextPut();
+
+  for (int i = 0; i < 50; i++) {
+    Operation op = gen.NextUserRangeLookup(10, 5);
+    EXPECT_EQ(OpType::kRangeLookup, op.type);
+    EXPECT_LE(op.lo, op.hi);
+
+    Operation top = gen.NextTimeRangeLookup(5, 0);
+    EXPECT_LE(top.lo, top.hi);
+    EXPECT_EQ(12u, top.lo.size());
+    EXPECT_EQ(12u, top.hi.size());
+  }
+}
+
+}  // namespace leveldbpp
