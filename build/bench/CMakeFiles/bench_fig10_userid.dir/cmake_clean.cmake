@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_userid.dir/bench_fig10_userid.cc.o"
+  "CMakeFiles/bench_fig10_userid.dir/bench_fig10_userid.cc.o.d"
+  "bench_fig10_userid"
+  "bench_fig10_userid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_userid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

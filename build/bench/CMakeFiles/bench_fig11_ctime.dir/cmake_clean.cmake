@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_ctime.dir/bench_fig11_ctime.cc.o"
+  "CMakeFiles/bench_fig11_ctime.dir/bench_fig11_ctime.cc.o.d"
+  "bench_fig11_ctime"
+  "bench_fig11_ctime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_ctime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_15_mixed_io.dir/bench_fig13_15_mixed_io.cc.o"
+  "CMakeFiles/bench_fig13_15_mixed_io.dir/bench_fig13_15_mixed_io.cc.o.d"
+  "bench_fig13_15_mixed_io"
+  "bench_fig13_15_mixed_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_15_mixed_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_static.dir/bench_fig8_static.cc.o"
+  "CMakeFiles/bench_fig8_static.dir/bench_fig8_static.cc.o.d"
+  "bench_fig8_static"
+  "bench_fig8_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/lru_cache.cc" "src/CMakeFiles/leveldbpp.dir/cache/lru_cache.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/cache/lru_cache.cc.o.d"
+  "/root/repo/src/compress/simple_lz.cc" "src/CMakeFiles/leveldbpp.dir/compress/simple_lz.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/compress/simple_lz.cc.o.d"
+  "/root/repo/src/core/composite_index.cc" "src/CMakeFiles/leveldbpp.dir/core/composite_index.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/core/composite_index.cc.o.d"
+  "/root/repo/src/core/document.cc" "src/CMakeFiles/leveldbpp.dir/core/document.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/core/document.cc.o.d"
+  "/root/repo/src/core/eager_index.cc" "src/CMakeFiles/leveldbpp.dir/core/eager_index.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/core/eager_index.cc.o.d"
+  "/root/repo/src/core/embedded_index.cc" "src/CMakeFiles/leveldbpp.dir/core/embedded_index.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/core/embedded_index.cc.o.d"
+  "/root/repo/src/core/lazy_index.cc" "src/CMakeFiles/leveldbpp.dir/core/lazy_index.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/core/lazy_index.cc.o.d"
+  "/root/repo/src/core/noindex_index.cc" "src/CMakeFiles/leveldbpp.dir/core/noindex_index.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/core/noindex_index.cc.o.d"
+  "/root/repo/src/core/posting_list.cc" "src/CMakeFiles/leveldbpp.dir/core/posting_list.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/core/posting_list.cc.o.d"
+  "/root/repo/src/core/secondary_db.cc" "src/CMakeFiles/leveldbpp.dir/core/secondary_db.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/core/secondary_db.cc.o.d"
+  "/root/repo/src/core/secondary_index.cc" "src/CMakeFiles/leveldbpp.dir/core/secondary_index.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/core/secondary_index.cc.o.d"
+  "/root/repo/src/core/standalone_index.cc" "src/CMakeFiles/leveldbpp.dir/core/standalone_index.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/core/standalone_index.cc.o.d"
+  "/root/repo/src/db/builder.cc" "src/CMakeFiles/leveldbpp.dir/db/builder.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/db/builder.cc.o.d"
+  "/root/repo/src/db/db_impl.cc" "src/CMakeFiles/leveldbpp.dir/db/db_impl.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/db/db_impl.cc.o.d"
+  "/root/repo/src/db/db_iter.cc" "src/CMakeFiles/leveldbpp.dir/db/db_iter.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/db/db_iter.cc.o.d"
+  "/root/repo/src/db/dbformat.cc" "src/CMakeFiles/leveldbpp.dir/db/dbformat.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/db/dbformat.cc.o.d"
+  "/root/repo/src/db/filename.cc" "src/CMakeFiles/leveldbpp.dir/db/filename.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/db/filename.cc.o.d"
+  "/root/repo/src/db/memtable.cc" "src/CMakeFiles/leveldbpp.dir/db/memtable.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/db/memtable.cc.o.d"
+  "/root/repo/src/db/table_cache.cc" "src/CMakeFiles/leveldbpp.dir/db/table_cache.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/db/table_cache.cc.o.d"
+  "/root/repo/src/db/version_edit.cc" "src/CMakeFiles/leveldbpp.dir/db/version_edit.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/db/version_edit.cc.o.d"
+  "/root/repo/src/db/version_set.cc" "src/CMakeFiles/leveldbpp.dir/db/version_set.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/db/version_set.cc.o.d"
+  "/root/repo/src/db/write_batch.cc" "src/CMakeFiles/leveldbpp.dir/db/write_batch.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/db/write_batch.cc.o.d"
+  "/root/repo/src/env/env_posix.cc" "src/CMakeFiles/leveldbpp.dir/env/env_posix.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/env/env_posix.cc.o.d"
+  "/root/repo/src/env/mem_env.cc" "src/CMakeFiles/leveldbpp.dir/env/mem_env.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/env/mem_env.cc.o.d"
+  "/root/repo/src/env/page_cache_env.cc" "src/CMakeFiles/leveldbpp.dir/env/page_cache_env.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/env/page_cache_env.cc.o.d"
+  "/root/repo/src/env/statistics.cc" "src/CMakeFiles/leveldbpp.dir/env/statistics.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/env/statistics.cc.o.d"
+  "/root/repo/src/json/json.cc" "src/CMakeFiles/leveldbpp.dir/json/json.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/json/json.cc.o.d"
+  "/root/repo/src/table/block.cc" "src/CMakeFiles/leveldbpp.dir/table/block.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/table/block.cc.o.d"
+  "/root/repo/src/table/block_builder.cc" "src/CMakeFiles/leveldbpp.dir/table/block_builder.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/table/block_builder.cc.o.d"
+  "/root/repo/src/table/bloom.cc" "src/CMakeFiles/leveldbpp.dir/table/bloom.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/table/bloom.cc.o.d"
+  "/root/repo/src/table/filter_block.cc" "src/CMakeFiles/leveldbpp.dir/table/filter_block.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/table/filter_block.cc.o.d"
+  "/root/repo/src/table/format.cc" "src/CMakeFiles/leveldbpp.dir/table/format.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/table/format.cc.o.d"
+  "/root/repo/src/table/iterator.cc" "src/CMakeFiles/leveldbpp.dir/table/iterator.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/table/iterator.cc.o.d"
+  "/root/repo/src/table/merger.cc" "src/CMakeFiles/leveldbpp.dir/table/merger.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/table/merger.cc.o.d"
+  "/root/repo/src/table/table.cc" "src/CMakeFiles/leveldbpp.dir/table/table.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/table/table.cc.o.d"
+  "/root/repo/src/table/table_builder.cc" "src/CMakeFiles/leveldbpp.dir/table/table_builder.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/table/table_builder.cc.o.d"
+  "/root/repo/src/table/two_level_iterator.cc" "src/CMakeFiles/leveldbpp.dir/table/two_level_iterator.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/table/two_level_iterator.cc.o.d"
+  "/root/repo/src/table/zonemap_block.cc" "src/CMakeFiles/leveldbpp.dir/table/zonemap_block.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/table/zonemap_block.cc.o.d"
+  "/root/repo/src/util/arena.cc" "src/CMakeFiles/leveldbpp.dir/util/arena.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/util/arena.cc.o.d"
+  "/root/repo/src/util/coding.cc" "src/CMakeFiles/leveldbpp.dir/util/coding.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/util/coding.cc.o.d"
+  "/root/repo/src/util/comparator.cc" "src/CMakeFiles/leveldbpp.dir/util/comparator.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/util/comparator.cc.o.d"
+  "/root/repo/src/util/crc32c.cc" "src/CMakeFiles/leveldbpp.dir/util/crc32c.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/util/crc32c.cc.o.d"
+  "/root/repo/src/util/hash.cc" "src/CMakeFiles/leveldbpp.dir/util/hash.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/util/hash.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/CMakeFiles/leveldbpp.dir/util/histogram.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/util/histogram.cc.o.d"
+  "/root/repo/src/wal/log_reader.cc" "src/CMakeFiles/leveldbpp.dir/wal/log_reader.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/wal/log_reader.cc.o.d"
+  "/root/repo/src/wal/log_writer.cc" "src/CMakeFiles/leveldbpp.dir/wal/log_writer.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/wal/log_writer.cc.o.d"
+  "/root/repo/src/workload/tweet_generator.cc" "src/CMakeFiles/leveldbpp.dir/workload/tweet_generator.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/workload/tweet_generator.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/CMakeFiles/leveldbpp.dir/workload/workload.cc.o" "gcc" "src/CMakeFiles/leveldbpp.dir/workload/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_config_matrix_test.dir/index_config_matrix_test.cc.o"
+  "CMakeFiles/index_config_matrix_test.dir/index_config_matrix_test.cc.o.d"
+  "index_config_matrix_test"
+  "index_config_matrix_test.pdb"
+  "index_config_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_config_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

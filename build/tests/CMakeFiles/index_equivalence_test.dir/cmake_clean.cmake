@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_equivalence_test.dir/index_equivalence_test.cc.o"
+  "CMakeFiles/index_equivalence_test.dir/index_equivalence_test.cc.o.d"
+  "index_equivalence_test"
+  "index_equivalence_test.pdb"
+  "index_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_variants_test.dir/index_variants_test.cc.o"
+  "CMakeFiles/index_variants_test.dir/index_variants_test.cc.o.d"
+  "index_variants_test"
+  "index_variants_test.pdb"
+  "index_variants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_variants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

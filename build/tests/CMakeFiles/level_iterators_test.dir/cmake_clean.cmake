@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/level_iterators_test.dir/level_iterators_test.cc.o"
+  "CMakeFiles/level_iterators_test.dir/level_iterators_test.cc.o.d"
+  "level_iterators_test"
+  "level_iterators_test.pdb"
+  "level_iterators_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/level_iterators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

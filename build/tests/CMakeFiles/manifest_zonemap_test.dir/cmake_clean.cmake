@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manifest_zonemap_test.dir/manifest_zonemap_test.cc.o"
+  "CMakeFiles/manifest_zonemap_test.dir/manifest_zonemap_test.cc.o.d"
+  "manifest_zonemap_test"
+  "manifest_zonemap_test.pdb"
+  "manifest_zonemap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manifest_zonemap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

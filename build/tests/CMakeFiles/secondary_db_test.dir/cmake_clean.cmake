@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secondary_db_test.dir/secondary_db_test.cc.o"
+  "CMakeFiles/secondary_db_test.dir/secondary_db_test.cc.o.d"
+  "secondary_db_test"
+  "secondary_db_test.pdb"
+  "secondary_db_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secondary_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

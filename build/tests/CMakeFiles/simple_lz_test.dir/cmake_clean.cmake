@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simple_lz_test.dir/simple_lz_test.cc.o"
+  "CMakeFiles/simple_lz_test.dir/simple_lz_test.cc.o.d"
+  "simple_lz_test"
+  "simple_lz_test.pdb"
+  "simple_lz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simple_lz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_merger_db_test.dir/value_merger_db_test.cc.o"
+  "CMakeFiles/value_merger_db_test.dir/value_merger_db_test.cc.o.d"
+  "value_merger_db_test"
+  "value_merger_db_test.pdb"
+  "value_merger_db_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_merger_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

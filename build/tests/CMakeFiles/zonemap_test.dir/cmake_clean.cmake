@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zonemap_test.dir/zonemap_test.cc.o"
+  "CMakeFiles/zonemap_test.dir/zonemap_test.cc.o.d"
+  "zonemap_test"
+  "zonemap_test.pdb"
+  "zonemap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zonemap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
