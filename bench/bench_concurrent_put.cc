@@ -1,0 +1,206 @@
+// Concurrent Put throughput: group-commit writer queue + background
+// compaction vs. the synchronous paper mode, across 1/2/4/8 writer threads.
+//
+// This bench is NOT one of the paper's figures — the paper deliberately
+// measures a single-threaded engine. It quantifies what the opt-in
+// concurrent write path buys: writers share WAL appends through the
+// group-commit queue and never pay flush/compaction latency inline
+// (they stall only through the slowdown/stop ladder).
+//
+// Foreground throughput is reported over the Put() calls only; the
+// remaining background compaction debt is then drained and reported
+// separately, so the output shows both the latency writers observed and the
+// total work the engine did.
+//
+// Output: one JSON object per line, e.g.
+//   {"bench":"concurrent_put","mode":"background","threads":4,...}
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "harness.h"
+
+#include "db/db_impl.h"
+#include "env/statistics.h"
+
+namespace leveldbpp {
+namespace bench {
+namespace {
+
+struct Result {
+  uint64_t put_micros = 0;    // Wall time of the foreground Put phase
+  uint64_t drain_micros = 0;  // Draining leftover background debt
+  uint64_t stall_micros = 0;
+  uint64_t slowdown_micros = 0;
+  uint64_t group_batches = 0;
+  uint64_t group_writes = 0;
+  uint64_t flushes = 0;
+  uint64_t compactions = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t compaction_bytes_written = 0;
+  // Split of compaction bytes: done during the Put window vs. in the drain.
+  uint64_t compaction_bytes_in_window = 0;
+};
+
+struct Geometry {
+  size_t write_buffer_size = 1 << 20;
+  size_t max_file_size = 512 << 10;
+  uint64_t max_bytes_for_level_base = 2 << 20;
+  // Generous stall-ladder headroom (bg mode only; sync mode has no ladder).
+  // The background thread naturally batches the accumulated L0 files into
+  // one L1 rewrite, where the synchronous mode rewrites L1 once per
+  // l0_compaction_trigger flushes. A write-only workload tolerates a deep
+  // L0 (nothing reads it mid-run); each 1 ms slowdown sleep also donates
+  // the CPU to the compactor, so a low trigger throttles writers twice.
+  int l0_slowdown = 44;
+  int l0_stop = 68;
+};
+
+Result RunOnce(bool background, int threads, uint64_t total_ops,
+               size_t value_size, const Geometry& geo) {
+  std::string path = ScratchRoot() + "/concput_" +
+                     (background ? "bg" : "sync") + "_" +
+                     std::to_string(threads);
+  DestroyTree(path);
+
+  Statistics stats;
+  Options options;
+  options.create_if_missing = true;
+  // Small memtables against a large L1 budget: this is where inline
+  // compaction hurts most (sync mode rewrites the L1 overlap once per L0
+  // trigger; the background thread absorbs several more L0 files per
+  // rewrite because the stall ladder lets them accumulate).
+  options.write_buffer_size = geo.write_buffer_size;
+  options.max_file_size = geo.max_file_size;
+  options.max_bytes_for_level_base = geo.max_bytes_for_level_base;
+  options.l0_slowdown_writes_trigger = geo.l0_slowdown;
+  options.l0_stop_writes_trigger = geo.l0_stop;
+  options.background_compaction = background;
+  options.statistics = &stats;
+
+  DBImpl* raw = nullptr;
+  CheckOk(DBImpl::Open(options, path, &raw), "open");
+  std::unique_ptr<DBImpl> db(raw);
+
+  const uint64_t per_thread = total_ops / threads;
+  const std::string value(value_size, 'v');
+
+  Timer timer;
+  std::vector<std::thread> workers;
+  std::atomic<bool> failed{false};
+  for (int t = 0; t < threads; t++) {
+    workers.emplace_back([&, t]() {
+      char key[32];
+      for (uint64_t i = 0; i < per_thread && !failed.load(); i++) {
+        // fillrandom: keys scattered over the whole space, so every flushed
+        // file overlaps every level and compactions are real merges, never
+        // trivial moves (sequential keys would make compaction nearly free
+        // and hide the cost the background thread takes off the write path).
+        uint64_t x = (i * static_cast<uint64_t>(threads) + t) * 2654435761u;
+        std::snprintf(key, sizeof(key), "key%016llu",
+                      static_cast<unsigned long long>(x % 100000000));
+        if (!db->Put(WriteOptions(), key, value).ok()) {
+          failed.store(true);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  Result r;
+  r.put_micros = timer.ElapsedMicros();
+  r.compaction_bytes_in_window = stats.Get(kCompactionBytesWritten);
+  if (failed.load()) {
+    std::fprintf(stderr, "put failed\n");
+    std::exit(1);
+  }
+
+  timer.Reset();
+  CheckOk(db->WaitForBackgroundWork(), "drain");
+  r.drain_micros = timer.ElapsedMicros();
+
+  r.stall_micros = stats.Get(kWriteStallMicros);
+  r.slowdown_micros = stats.Get(kWriteSlowdownMicros);
+  r.group_batches = stats.Get(kGroupCommitBatches);
+  r.group_writes = stats.Get(kGroupCommitWrites);
+  r.flushes = stats.Get(kFlushCount);
+  r.compactions = stats.Get(kCompactionCount);
+  r.wal_bytes = stats.Get(kWalBytesWritten);
+  r.compaction_bytes_written = stats.Get(kCompactionBytesWritten);
+
+  db.reset();
+  DestroyTree(path);
+  return r;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace leveldbpp
+
+int main(int argc, char** argv) {
+  using namespace leveldbpp;
+  using namespace leveldbpp::bench;
+
+  Flags flags(argc, argv);
+  const uint64_t total_ops = flags.GetInt("ops", 150000);
+  const size_t value_size = flags.GetInt("value_size", 512);
+  Geometry geo;
+  geo.write_buffer_size = flags.GetInt("write_buffer", geo.write_buffer_size);
+  geo.max_file_size = flags.GetInt("max_file_size", geo.max_file_size);
+  geo.max_bytes_for_level_base =
+      flags.GetInt("level_base", geo.max_bytes_for_level_base);
+  geo.l0_slowdown = static_cast<int>(flags.GetInt("l0_slowdown", geo.l0_slowdown));
+  geo.l0_stop = static_cast<int>(flags.GetInt("l0_stop", geo.l0_stop));
+  std::vector<int> thread_counts;
+  {
+    std::string spec = flags.GetString("threads", "1,2,4,8");
+    size_t pos = 0;
+    while (pos < spec.size()) {
+      size_t comma = spec.find(',', pos);
+      if (comma == std::string::npos) comma = spec.size();
+      int n = std::atoi(spec.substr(pos, comma - pos).c_str());
+      if (n > 0) thread_counts.push_back(n);
+      pos = comma + 1;
+    }
+    if (thread_counts.empty()) {
+      std::fprintf(stderr, "bad --threads spec \"%s\" (want e.g. 1,2,4)\n",
+                   spec.c_str());
+      return 1;
+    }
+  }
+
+  for (bool background : {false, true}) {
+    for (int threads : thread_counts) {
+      // Sync mode is measured multi-threaded too (the queue makes it safe);
+      // the gap against background mode is the point of the bench.
+      const uint64_t ops = (total_ops / threads) * threads;  // evenly split
+      Result r = RunOnce(background, threads, ops, value_size, geo);
+      const double put_secs = r.put_micros / 1e6;
+      const double kops = put_secs > 0 ? (ops / 1000.0) / put_secs : 0;
+      std::printf(
+          "{\"bench\":\"concurrent_put\",\"mode\":\"%s\",\"threads\":%d,"
+          "\"ops\":%llu,\"value_size\":%zu,\"put_micros\":%llu,"
+          "\"drain_micros\":%llu,\"kops_per_sec\":%.1f,"
+          "\"stall_micros\":%llu,\"slowdown_micros\":%llu,"
+          "\"group_batches\":%llu,\"group_writes\":%llu,"
+          "\"flushes\":%llu,\"compactions\":%llu,"
+          "\"wal_bytes\":%llu,\"compaction_bytes_written\":%llu,"
+          "\"compaction_bytes_in_window\":%llu}\n",
+          background ? "background" : "sync", threads,
+          static_cast<unsigned long long>(ops), value_size,
+          static_cast<unsigned long long>(r.put_micros),
+          static_cast<unsigned long long>(r.drain_micros), kops,
+          static_cast<unsigned long long>(r.stall_micros),
+          static_cast<unsigned long long>(r.slowdown_micros),
+          static_cast<unsigned long long>(r.group_batches),
+          static_cast<unsigned long long>(r.group_writes),
+          static_cast<unsigned long long>(r.flushes),
+          static_cast<unsigned long long>(r.compactions),
+          static_cast<unsigned long long>(r.wal_bytes),
+          static_cast<unsigned long long>(r.compaction_bytes_written),
+          static_cast<unsigned long long>(r.compaction_bytes_in_window));
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Full pre-merge check: release build + tests, then a ThreadSanitizer build
+# running the concurrency-sensitive tests.
+#
+# Usage: scripts/check.sh [--tsan-all]
+#   --tsan-all  run the entire test suite (not just concurrency tests)
+#               under TSan; slow.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TSAN_FILTER="-R Concurrency"
+if [[ "${1:-}" == "--tsan-all" ]]; then
+  TSAN_FILTER=""
+fi
+
+echo "==> Release build"
+cmake --preset release
+cmake --build --preset release -j "$(nproc)"
+
+echo "==> Release tests"
+ctest --preset release -j "$(nproc)"
+
+echo "==> TSan build"
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)"
+
+echo "==> TSan tests (${TSAN_FILTER:-full suite})"
+# halt_on_error so a race fails the run instead of just printing.
+TSAN_OPTIONS="halt_on_error=1" ctest --preset tsan ${TSAN_FILTER}
+
+echo "==> All checks passed"

@@ -10,9 +10,24 @@
 #include "table/merger.h"
 #include "table/table_builder.h"
 #include "util/coding.h"
+#include "util/mutexlock.h"
 #include "wal/log_reader.h"
 
 namespace leveldbpp {
+
+// One parked Write() call. The queue head writes the whole group's combined
+// batch; everyone else waits on their own condvar until the head marks them
+// done (or they become the head after a partial group).
+struct DBImpl::Writer {
+  explicit Writer(port::Mutex* mu)
+      : batch(nullptr), sync(false), done(false), cv(mu) {}
+
+  Status status;
+  WriteBatch* batch;
+  bool sync;
+  bool done;
+  port::CondVar cv;
+};
 
 namespace {
 
@@ -34,6 +49,9 @@ Options SanitizeOptions(const InternalKeyComparator* icmp,
   ClipToRange(&result.write_buffer_size, 64 << 10, 1 << 30);
   ClipToRange(&result.max_file_size, 16 << 10, 1 << 30);
   ClipToRange(&result.block_size, 1 << 10, 4 << 20);
+  if (result.l0_slowdown_writes_trigger > result.l0_stop_writes_trigger) {
+    result.l0_slowdown_writes_trigger = result.l0_stop_writes_trigger;
+  }
   if (!result.secondary_attributes.empty() &&
       result.attribute_extractor == nullptr) {
     // Secondary meta cannot be built without an extractor; drop the attrs
@@ -57,6 +75,7 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
                                raw_options)),
       dbname_(dbname),
       table_cache_(new TableCache(dbname_, options_, 10000)),
+      background_work_finished_signal_(&mutex_),
       mem_(nullptr),
       imm_(nullptr),
       logfile_number_(0),
@@ -64,6 +83,17 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
                                &internal_comparator_)) {}
 
 DBImpl::~DBImpl() {
+  // Wait for any in-flight background flush/compaction. A work item that is
+  // scheduled but not yet running will still run; it observes shutting_down_
+  // and exits without touching the tree.
+  mutex_.Lock();
+  shutting_down_.store(true, std::memory_order_release);
+  while (background_compaction_scheduled_ || compaction_token_held_ ||
+         flush_in_progress_) {
+    background_work_finished_signal_.Wait();
+  }
+  mutex_.Unlock();
+
   if (mem_ != nullptr) mem_->Unref();
   if (imm_ != nullptr) imm_->Unref();
 }
@@ -79,6 +109,7 @@ Status DBImpl::Open(const Options& options, const std::string& dbname,
                     DBImpl** dbptr) {
   *dbptr = nullptr;
   DBImpl* impl = new DBImpl(options, dbname);
+  impl->mutex_.Lock();
   VersionEdit edit;
   Status s = impl->Recover(&edit);
   if (s.ok() && impl->mem_ == nullptr) {
@@ -103,6 +134,11 @@ Status DBImpl::Open(const Options& options, const std::string& dbname,
   }
   if (s.ok()) {
     impl->RemoveObsoleteFiles();
+  }
+  impl->mutex_.Unlock();
+  if (s.ok()) {
+    // Drain any compaction debt left by recovery before handing the DB out
+    // (both modes; keeps Open deterministic).
     s = impl->MaybeCompact();
   }
   if (s.ok()) {
@@ -114,6 +150,7 @@ Status DBImpl::Open(const Options& options, const std::string& dbname,
 }
 
 Status DBImpl::Recover(VersionEdit* edit) {
+  mutex_.AssertHeld();
   env_->CreateDir(dbname_);
 
   if (!env_->FileExists(CurrentFileName(dbname_))) {
@@ -185,6 +222,7 @@ Status DBImpl::Recover(VersionEdit* edit) {
 
 Status DBImpl::RecoverLogFile(uint64_t log_number, VersionEdit* edit,
                               SequenceNumber* max_sequence) {
+  mutex_.AssertHeld();
   struct LogReporter : public log::Reader::Reporter {
     Status* status;
     void Corruption(size_t, const Status& s) override {
@@ -244,12 +282,22 @@ Status DBImpl::RecoverLogFile(uint64_t log_number, VersionEdit* edit,
 }
 
 Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit) {
+  mutex_.AssertHeld();
   FileMetaData meta;
   meta.number = versions_->NewFileNumber();
+  pending_outputs_.insert(meta.number);
   Iterator* iter = mem->NewIterator();
+
+  // The build reads only `mem` (pinned by the caller's reference) and
+  // writes a file no Version knows about yet (pinned via pending_outputs_),
+  // so the mutex can be released for the duration of the I/O.
+  mutex_.Unlock();
   Status s = BuildTable(dbname_, env_, options_, internal_comparator_,
                         table_cache_.get(), iter, &meta);
   delete iter;
+  mutex_.Lock();
+
+  pending_outputs_.erase(meta.number);
   if (s.ok() && meta.file_size > 0) {
     edit->AddFile(0, meta);
   }
@@ -293,65 +341,308 @@ Status DBImpl::Delete(const WriteOptions& o, const Slice& key) {
 }
 
 Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
-  if (!bg_error_.ok()) return bg_error_;
+  Writer w(&mutex_);
+  w.batch = updates;
+  w.sync = options.sync;
+  w.done = false;
 
-  Status s = MakeRoomForWrite();
-  if (!s.ok()) return s;
-
-  const SequenceNumber last_sequence = versions_->LastSequence();
-  WriteBatchInternal::SetSequence(updates, last_sequence + 1);
-  versions_->SetLastSequence(last_sequence +
-                             WriteBatchInternal::Count(updates));
-
-  s = log_->AddRecord(WriteBatchInternal::Contents(updates));
-  if (options_.statistics != nullptr) {
-    options_.statistics->Record(kWalBytesWritten,
-                                WriteBatchInternal::ByteSize(updates));
+  MutexLock l(&mutex_);
+  writers_.push_back(&w);
+  while (!w.done && &w != writers_.front()) {
+    w.cv.Wait();
   }
-  if (s.ok() && options.sync) {
-    s = logfile_->Sync();
+  if (w.done) {
+    return w.status;
   }
-  if (s.ok()) {
-    s = WriteBatchInternal::InsertInto(updates, mem_, options_.value_merger);
+
+  // This writer is the queue head: write on behalf of the whole group.
+  Status status = bg_error_;
+  if (status.ok()) {
+    status = MakeRoomForWrite(updates == nullptr);
+  }
+  uint64_t last_sequence = versions_->LastSequence();
+  Writer* last_writer = &w;
+  if (status.ok() && updates != nullptr) {
+    int group_size = 0;
+    WriteBatch* write_batch = BuildBatchGroup(&last_writer, &group_size);
+    WriteBatchInternal::SetSequence(write_batch, last_sequence + 1);
+    last_sequence += WriteBatchInternal::Count(write_batch);
+
+    // Release the mutex for the WAL append + memtable insert: new writers
+    // may enqueue meanwhile, but only the queue head touches log_ and
+    // mem_, and the memtable skiplist supports one writer alongside
+    // concurrent readers. LastSequence is bumped only after the insert, so
+    // followers never build on an unpublished sequence window.
+    MemTable* mem = mem_;
+    {
+      mutex_.Unlock();
+      status = log_->AddRecord(WriteBatchInternal::Contents(write_batch));
+      if (options_.statistics != nullptr) {
+        options_.statistics->Record(kWalBytesWritten,
+                                    WriteBatchInternal::ByteSize(write_batch));
+        options_.statistics->Record(kGroupCommitBatches);
+        options_.statistics->Record(kGroupCommitWrites, group_size);
+      }
+      if (status.ok() && options.sync) {
+        status = logfile_->Sync();
+      }
+      if (status.ok()) {
+        status = WriteBatchInternal::InsertInto(write_batch, mem,
+                                                options_.value_merger);
+      }
+      mutex_.Lock();
+    }
+    if (write_batch == &tmp_batch_) tmp_batch_.Clear();
+    versions_->SetLastSequence(last_sequence);
+  }
+
+  while (true) {
+    Writer* ready = writers_.front();
+    writers_.pop_front();
+    if (ready != &w) {
+      ready->status = status;
+      ready->done = true;
+      ready->cv.Signal();
+    }
+    if (ready == last_writer) break;
+  }
+  if (!writers_.empty()) {
+    writers_.front()->cv.Signal();
+  }
+  return status;
+}
+
+WriteBatch* DBImpl::BuildBatchGroup(Writer** last_writer, int* group_size) {
+  mutex_.AssertHeld();
+  assert(!writers_.empty());
+  Writer* first = writers_.front();
+  WriteBatch* result = first->batch;
+  assert(result != nullptr);
+
+  size_t size = WriteBatchInternal::ByteSize(first->batch);
+
+  // Allow the group to grow up to a maximum size, but if the head write is
+  // small, limit the growth so we do not slow down the small write too much.
+  size_t max_size = 1 << 20;
+  if (size <= (128 << 10)) {
+    max_size = size + (128 << 10);
+  }
+
+  *group_size = 1;
+  *last_writer = first;
+  for (auto iter = writers_.begin() + 1; iter != writers_.end(); ++iter) {
+    Writer* w = *iter;
+    if (w->sync && !first->sync) {
+      // Do not include a sync write into a batch handled by a non-sync
+      // write: its durability requirement would be silently dropped.
+      break;
+    }
+    if (w->batch == nullptr) {
+      // A forced-rotation marker (Write(nullptr)) must become the queue
+      // head so it runs MakeRoomForWrite(force) itself.
+      break;
+    }
+    size += WriteBatchInternal::ByteSize(w->batch);
+    if (size > max_size) {
+      break;  // Do not make the batch too big.
+    }
+    if (result == first->batch) {
+      // Switch to the reusable side batch on the first join; the head
+      // writer's own batch must not be mutated.
+      result = &tmp_batch_;
+      assert(WriteBatchInternal::Count(result) == 0);
+      WriteBatchInternal::Append(result, first->batch);
+    }
+    WriteBatchInternal::Append(result, w->batch);
+    (*group_size)++;
+    *last_writer = w;
+  }
+  return result;
+}
+
+Status DBImpl::MakeRoomForWrite(bool force) {
+  mutex_.AssertHeld();
+  assert(!writers_.empty());
+  Statistics* stats = options_.statistics;
+
+  if (force && mem_->NumEntries() == 0) {
+    return Status::OK();  // Nothing to rotate.
+  }
+
+  if (!options_.background_compaction) {
+    // ---- Synchronous paper mode: the seed's deterministic inline design.
+    if (!force &&
+        mem_->ApproximateMemoryUsage() <= options_.write_buffer_size) {
+      return Status::OK();
+    }
+
+    // Switch to a fresh memtable + log file, flush the old one inline, then
+    // (for size-triggered rotations) drive any triggered compactions to
+    // quiescence. Forced rotations (CompactAll) skip the drain, exactly as
+    // the seed did: CompactRange follows and does the full merge itself.
+    uint64_t new_log_number = versions_->NewFileNumber();
+    std::unique_ptr<WritableFile> lfile;
+    Status s = env_->NewWritableFile(LogFileName(dbname_, new_log_number),
+                                     &lfile);
+    if (!s.ok()) {
+      versions_->ReuseFileNumber(new_log_number);
+      return s;
+    }
+    logfile_ = std::move(lfile);
+    logfile_number_ = new_log_number;
+    log_ = std::make_unique<log::Writer>(logfile_.get());
+    imm_ = mem_;
+    mem_ = new MemTable(internal_comparator_, options_.secondary_attributes,
+                        options_.attribute_extractor);
+    mem_->Ref();
+
+    AcquireCompactionToken();
+    s = CompactMemTable();
+    if (s.ok() && !force) {
+      while (s.ok() && versions_->NeedsCompaction()) {
+        s = BackgroundCompaction();
+      }
+    }
+    ReleaseCompactionToken();
+    if (!s.ok()) {
+      bg_error_ = s;
+    }
+    return s;
+  }
+
+  // ---- Background mode: the classic LevelDB slowdown/stop ladder. The
+  // write path never compacts; it rotates memtables and, when the engine
+  // falls behind, first delays then parks writers until the background
+  // thread catches up.
+  bool allow_delay = !force;
+  Status s;
+  while (true) {
+    if (!bg_error_.ok()) {
+      s = bg_error_;
+      break;
+    }
+    if (allow_delay && versions_->NumLevelFiles(0) >=
+                           options_.l0_slowdown_writes_trigger) {
+      // Soft limit: surrender the CPU (and the mutex) for 1ms so the
+      // compactor gains ground; pay the penalty once per write.
+      mutex_.Unlock();
+      env_->SleepForMicroseconds(1000);
+      if (stats != nullptr) stats->Record(kWriteSlowdownMicros, 1000);
+      allow_delay = false;
+      mutex_.Lock();
+    } else if (!force &&
+               mem_->ApproximateMemoryUsage() <= options_.write_buffer_size) {
+      break;  // There is room in the current memtable.
+    } else if (imm_ != nullptr) {
+      if (!flush_in_progress_) {
+        // Flush imm_ ourselves instead of queueing behind whatever
+        // compaction the background thread is running: the flush only
+        // appends an L0 file, so it is safe alongside an in-flight merge,
+        // and the write path resumes as soon as it completes.
+        Status fs = CompactMemTable();
+        if (!fs.ok()) {
+          bg_error_ = fs;
+        }
+      } else {
+        // Another thread is already flushing: stop-stall until it lands.
+        const uint64_t start = env_->NowMicros();
+        background_work_finished_signal_.Wait();
+        if (stats != nullptr) {
+          stats->Record(kWriteStallMicros, env_->NowMicros() - start);
+        }
+      }
+    } else if (versions_->NumLevelFiles(0) >=
+               options_.l0_stop_writes_trigger) {
+      // Hard L0 limit: stop-stall until a compaction retires L0 files.
+      const uint64_t start = env_->NowMicros();
+      background_work_finished_signal_.Wait();
+      if (stats != nullptr) {
+        stats->Record(kWriteStallMicros, env_->NowMicros() - start);
+      }
+    } else {
+      // Rotate to a fresh memtable + log and hand the full one to the
+      // background thread.
+      uint64_t new_log_number = versions_->NewFileNumber();
+      std::unique_ptr<WritableFile> lfile;
+      s = env_->NewWritableFile(LogFileName(dbname_, new_log_number), &lfile);
+      if (!s.ok()) {
+        versions_->ReuseFileNumber(new_log_number);
+        break;
+      }
+      logfile_ = std::move(lfile);
+      logfile_number_ = new_log_number;
+      log_ = std::make_unique<log::Writer>(logfile_.get());
+      imm_ = mem_;
+      mem_ = new MemTable(internal_comparator_, options_.secondary_attributes,
+                          options_.attribute_extractor);
+      mem_->Ref();
+      force = false;
+      MaybeScheduleCompaction();
+    }
   }
   return s;
 }
 
-Status DBImpl::MakeRoomForWrite() {
-  if (mem_->ApproximateMemoryUsage() <= options_.write_buffer_size) {
-    return Status::OK();
-  }
+void DBImpl::MaybeScheduleCompaction() {
+  mutex_.AssertHeld();
+  if (!options_.background_compaction) return;  // Sync mode works inline.
+  if (background_compaction_scheduled_) return;
+  if (shutting_down_.load(std::memory_order_acquire)) return;
+  if (!bg_error_.ok()) return;
+  if (imm_ == nullptr && !versions_->NeedsCompaction()) return;
+  background_compaction_scheduled_ = true;
+  env_->Schedule(&DBImpl::BGWork, this);
+}
 
-  // Switch to a fresh memtable + log file, flush the old one inline, then
-  // drive any triggered compactions to quiescence (synchronous design).
-  uint64_t new_log_number = versions_->NewFileNumber();
-  std::unique_ptr<WritableFile> lfile;
-  Status s = env_->NewWritableFile(LogFileName(dbname_, new_log_number),
-                                   &lfile);
-  if (!s.ok()) {
-    versions_->ReuseFileNumber(new_log_number);
-    return s;
-  }
-  logfile_ = std::move(lfile);
-  logfile_number_ = new_log_number;
-  log_ = std::make_unique<log::Writer>(logfile_.get());
-  imm_ = mem_;
-  mem_ = new MemTable(internal_comparator_, options_.secondary_attributes,
-                      options_.attribute_extractor);
-  mem_->Ref();
+void DBImpl::BGWork(void* db) {
+  reinterpret_cast<DBImpl*>(db)->BackgroundCall();
+}
 
-  s = CompactMemTable();
-  if (s.ok()) {
-    s = MaybeCompact();
+void DBImpl::BackgroundCall() {
+  MutexLock l(&mutex_);
+  assert(background_compaction_scheduled_);
+  if (!shutting_down_.load(std::memory_order_acquire) && bg_error_.ok()) {
+    AcquireCompactionToken();
+    // Re-check under the token: a manual compaction or a stalled writer's
+    // inline flush may have drained the work while this call waited.
+    Status s;
+    if (imm_ != nullptr && !flush_in_progress_) {
+      s = CompactMemTable();
+    } else if (versions_->NeedsCompaction()) {
+      s = BackgroundCompaction();
+    }
+    ReleaseCompactionToken();
+    if (!s.ok()) {
+      bg_error_ = s;
+    }
   }
-  if (!s.ok()) {
-    bg_error_ = s;
+  background_compaction_scheduled_ = false;
+  // One unit of work per call: reschedule if more is pending so the queue
+  // stays responsive, then wake stalled writers / waiting destructors.
+  MaybeScheduleCompaction();
+  background_work_finished_signal_.SignalAll();
+}
+
+void DBImpl::AcquireCompactionToken() {
+  mutex_.AssertHeld();
+  while (compaction_token_held_) {
+    background_work_finished_signal_.Wait();
   }
-  return s;
+  compaction_token_held_ = true;
+}
+
+void DBImpl::ReleaseCompactionToken() {
+  mutex_.AssertHeld();
+  assert(compaction_token_held_);
+  compaction_token_held_ = false;
+  background_work_finished_signal_.SignalAll();
 }
 
 Status DBImpl::CompactMemTable() {
+  mutex_.AssertHeld();
   assert(imm_ != nullptr);
+  assert(!flush_in_progress_);
+  flush_in_progress_ = true;
   VersionEdit edit;
   Status s = WriteLevel0Table(imm_, &edit);
   if (s.ok()) {
@@ -363,18 +654,40 @@ Status DBImpl::CompactMemTable() {
     imm_ = nullptr;
     RemoveObsoleteFiles();
   }
+  flush_in_progress_ = false;
+  // Wake writers parked on the "imm_ still flushing" rung (and error
+  // waiters: they re-check bg_error_).
+  background_work_finished_signal_.SignalAll();
   return s;
 }
 
 Status DBImpl::MaybeCompact() {
+  MutexLock l(&mutex_);
+  AcquireCompactionToken();
   Status s;
   while (s.ok() && versions_->NeedsCompaction()) {
     s = BackgroundCompaction();
   }
+  ReleaseCompactionToken();
   return s;
 }
 
+Status DBImpl::WaitForBackgroundWork() {
+  MutexLock l(&mutex_);
+  if (!options_.background_compaction) {
+    return bg_error_;
+  }
+  MaybeScheduleCompaction();  // In case pending work was never scheduled.
+  while (bg_error_.ok() &&
+         (imm_ != nullptr || background_compaction_scheduled_ ||
+          compaction_token_held_ || flush_in_progress_)) {
+    background_work_finished_signal_.Wait();
+  }
+  return bg_error_;
+}
+
 Status DBImpl::BackgroundCompaction() {
+  mutex_.AssertHeld();
   std::unique_ptr<Compaction> c(versions_->PickCompaction());
   if (c == nullptr) return Status::OK();
 
@@ -410,6 +723,7 @@ struct RunState {
 }  // namespace
 
 Status DBImpl::DoCompactionWork(Compaction* c) {
+  mutex_.AssertHeld();
   Statistics* stats = options_.statistics;
   if (stats != nullptr) {
     stats->Record(kCompactionCount);
@@ -419,6 +733,12 @@ Status DBImpl::DoCompactionWork(Compaction* c) {
       }
     }
   }
+
+  // The merge loop runs with the mutex released: the inputs are pinned by
+  // the compaction's input-version reference, and the outputs are invisible
+  // to every Version until LogAndApply (protected from garbage collection
+  // via pending_outputs_). Only file-number allocation retakes the mutex.
+  mutex_.Unlock();
 
   std::unique_ptr<Iterator> input(versions_->MakeInputIterator(c));
   input->SeekToFirst();
@@ -433,7 +753,11 @@ Status DBImpl::DoCompactionWork(Compaction* c) {
 
   auto open_output = [&]() -> Status {
     FileMetaData meta;
-    meta.number = versions_->NewFileNumber();
+    {
+      MutexLock l(&mutex_);
+      meta.number = versions_->NewFileNumber();
+      pending_outputs_.insert(meta.number);
+    }
     outputs.push_back(meta);
     std::string fname = TableFileName(dbname_, meta.number);
     Status s = env_->NewWritableFile(fname, &outfile);
@@ -579,6 +903,7 @@ Status DBImpl::DoCompactionWork(Compaction* c) {
     outfile.reset();
   }
 
+  mutex_.Lock();
   if (status.ok()) {
     c->AddInputDeletions(c->edit());
     for (const FileMetaData& out : outputs) {
@@ -588,22 +913,28 @@ Status DBImpl::DoCompactionWork(Compaction* c) {
     }
     status = versions_->LogAndApply(c->edit());
   }
+  for (const FileMetaData& out : outputs) {
+    pending_outputs_.erase(out.number);
+  }
   return status;
 }
 
 void DBImpl::RemoveObsoleteFiles() {
+  mutex_.AssertHeld();
   if (!bg_error_.ok()) {
     // After a background error, we don't know whether a new version may
     // or may not have been committed, so we cannot safely garbage collect.
     return;
   }
 
-  // Make a set of all of the live files
-  std::set<uint64_t> live;
+  // Make a set of all of the live files: everything referenced by some
+  // version plus in-progress flush/compaction outputs.
+  std::set<uint64_t> live = pending_outputs_;
   versions_->AddLiveFiles(&live);
 
   std::vector<std::string> filenames;
   env_->GetChildren(dbname_, &filenames);  // Ignoring errors on purpose
+  std::vector<std::string> files_to_delete;
   uint64_t number;
   FileType type;
   for (const std::string& filename : filenames) {
@@ -632,10 +963,18 @@ void DBImpl::RemoveObsoleteFiles() {
         if (type == kTableFile) {
           table_cache_->Evict(number);
         }
-        env_->RemoveFile(dbname_ + "/" + filename);
+        files_to_delete.push_back(filename);
       }
     }
   }
+
+  // The deletions can run unlocked: everything in files_to_delete is
+  // unreferenced by now, so nobody can observe the files disappearing.
+  mutex_.Unlock();
+  for (const std::string& filename : files_to_delete) {
+    env_->RemoveFile(dbname_ + "/" + filename);
+  }
+  mutex_.Lock();
 }
 
 Status DBImpl::Get(const ReadOptions& options, const Slice& key,
@@ -646,35 +985,56 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
 
 Status DBImpl::GetWithMeta(const ReadOptions& options, const Slice& key,
                            std::string* value, RecordLocation* loc) {
+  MemTable* mem;
+  MemTable* imm;
+  Version* current;
+  {
+    MutexLock l(&mutex_);
+    mem = mem_;
+    mem->Ref();
+    imm = imm_;
+    if (imm != nullptr) imm->Ref();
+    current = versions_->current();
+    current->Ref();
+  }
+
   Status s;
+  bool found = false;
   SequenceNumber snapshot = versions_->LastSequence();
   LookupKey lkey(key, snapshot);
   std::string mem_value;
   SequenceNumber seq;
   bool deleted;
-  if (mem_->GetNewest(key, &mem_value, &seq, &deleted)) {
+  if (mem->GetNewest(key, &mem_value, &seq, &deleted)) {
     loc->seq = seq;
     loc->level = -1;
-    if (deleted) return Status::NotFound(Slice());
-    value->swap(mem_value);
-    return Status::OK();
+    s = deleted ? Status::NotFound(Slice()) : Status::OK();
+    if (!deleted) value->swap(mem_value);
+    found = true;
   }
-  if (imm_ != nullptr && imm_->GetNewest(key, &mem_value, &seq, &deleted)) {
+  if (!found && imm != nullptr &&
+      imm->GetNewest(key, &mem_value, &seq, &deleted)) {
     loc->seq = seq;
     loc->level = -2;
-    if (deleted) return Status::NotFound(Slice());
-    value->swap(mem_value);
-    return Status::OK();
+    s = deleted ? Status::NotFound(Slice()) : Status::OK();
+    if (!deleted) value->swap(mem_value);
+    found = true;
   }
-  Version* current = versions_->current();
-  current->Ref();
-  int level = -1;
-  s = current->Get(options, lkey, value, &seq, &level);
-  current->Unref();
-  if (s.ok()) {
-    loc->seq = seq;
-    loc->level = level;
+  if (!found) {
+    int level = -1;
+    s = current->Get(options, lkey, value, &seq, &level);
+    if (s.ok()) {
+      loc->seq = seq;
+      loc->level = level;
+    }
   }
+
+  {
+    MutexLock l(&mutex_);
+    current->Unref();
+  }
+  mem->Unref();
+  if (imm != nullptr) imm->Unref();
   return s;
 }
 
@@ -683,131 +1043,176 @@ bool DBImpl::IsNewestVersion(const Slice& key, SequenceNumber seq,
   Statistics* stats = options_.statistics;
   if (stats != nullptr) stats->Record(kGetLiteCalls);
 
-  std::string unused;
-  SequenceNumber found_seq;
-  bool deleted;
-  if (mem_->GetNewest(key, &unused, &found_seq, &deleted)) {
-    return found_seq <= seq;
-  }
-  if (imm_ != nullptr &&
-      imm_->GetNewest(key, &unused, &found_seq, &deleted)) {
-    return found_seq <= seq;
-  }
-  if (record_level < 0) {
-    // The record lives in a memtable; nothing on disk can be newer.
-    return true;
+  MemTable* mem;
+  MemTable* imm;
+  Version* current;
+  {
+    MutexLock l(&mutex_);
+    mem = mem_;
+    mem->Ref();
+    imm = imm_;
+    if (imm != nullptr) imm->Ref();
+    current = versions_->current();
+    current->Ref();
   }
 
-  Version* current = versions_->current();
-  current->Ref();
-  const Comparator* ucmp = internal_comparator_.user_comparator();
-  LookupKey lkey(key, kMaxSequenceNumber);
-  Slice ikey = lkey.internal_key();
   bool result = true;
   bool resolved = false;
 
-  auto check_file = [&](FileMetaData* f) -> bool /* keep scanning */ {
-    // Metadata-only probe first (this is the GetLite saving).
-    bool may_exist = true;
-    table_cache_->WithTable(f->number, f->file_size, [&](Table* t) {
-      // The table's index block and filters are keyed on internal keys.
-      may_exist = t->KeyMayExistNoIO(ikey);
-    });
-    if (!may_exist) return true;
-    // Bloom positive: confirming bounded read of one block.
-    if (stats != nullptr) stats->Record(kGetLiteConfirmReads);
-    struct Ctx {
-      const Comparator* ucmp;
-      Slice key;
-      bool found = false;
-      SequenceNumber seq = 0;
-    } ctx{ucmp, key};
-    table_cache_->Get(
-        ReadOptions(), f->number, f->file_size, ikey, &ctx,
-        [](void* arg, const Slice& found_key, const Slice&) {
-          Ctx* c = reinterpret_cast<Ctx*>(arg);
-          ParsedInternalKey parsed;
-          if (ParseInternalKey(found_key, &parsed) &&
-              c->ucmp->Compare(parsed.user_key, c->key) == 0) {
-            c->found = true;
-            c->seq = parsed.sequence;
-          }
-        });
-    if (ctx.found) {
-      result = (ctx.seq <= seq);
-      resolved = true;
-      return false;
-    }
-    return true;
-  };
+  std::string unused;
+  SequenceNumber found_seq;
+  bool deleted;
+  if (mem->GetNewest(key, &unused, &found_seq, &deleted)) {
+    result = found_seq <= seq;
+    resolved = true;
+  }
+  if (!resolved && imm != nullptr &&
+      imm->GetNewest(key, &unused, &found_seq, &deleted)) {
+    result = found_seq <= seq;
+    resolved = true;
+  }
+  if (!resolved && record_level < 0) {
+    // The record lives in a memtable; nothing on disk can be newer.
+    resolved = true;
+  }
 
-  // L0 newest-to-oldest, then deeper levels, but only residences STRICTLY
-  // NEWER than the record's own: for an L0 record that means L0 files with
-  // a higher file number; for a level-i record it means all of L0 plus
-  // levels 1..i-1. The first version found while walking downward is the
-  // newest in the store.
-  std::vector<FileMetaData*> l0;
-  for (FileMetaData* f : current->files(0)) {
-    if (record_level == 0 && f->number <= record_file) {
-      continue;  // The record's own flush, or an older one.
-    }
-    if (ucmp->Compare(key, f->smallest.user_key()) >= 0 &&
-        ucmp->Compare(key, f->largest.user_key()) <= 0) {
-      l0.push_back(f);
-    }
-  }
-  std::sort(l0.begin(), l0.end(), [](FileMetaData* a, FileMetaData* b) {
-    return a->number > b->number;
-  });
-  for (FileMetaData* f : l0) {
-    if (!check_file(f)) break;
-  }
   if (!resolved) {
-    const int max_level = std::min(record_level, current->NumLevels());
-    for (int level = 1; level < max_level; level++) {
-      const auto& files = current->files(level);
-      if (files.empty()) continue;
-      int index = FindFile(internal_comparator_, files, ikey);
-      if (index >= static_cast<int>(files.size())) continue;
-      FileMetaData* f = files[index];
-      if (ucmp->Compare(key, f->smallest.user_key()) < 0) continue;
+    const Comparator* ucmp = internal_comparator_.user_comparator();
+    LookupKey lkey(key, kMaxSequenceNumber);
+    Slice ikey = lkey.internal_key();
+
+    auto check_file = [&](FileMetaData* f) -> bool /* keep scanning */ {
+      // Metadata-only probe first (this is the GetLite saving).
+      bool may_exist = true;
+      table_cache_->WithTable(f->number, f->file_size, [&](Table* t) {
+        // The table's index block and filters are keyed on internal keys.
+        may_exist = t->KeyMayExistNoIO(ikey);
+      });
+      if (!may_exist) return true;
+      // Bloom positive: confirming bounded read of one block.
+      if (stats != nullptr) stats->Record(kGetLiteConfirmReads);
+      struct Ctx {
+        const Comparator* ucmp;
+        Slice key;
+        bool found = false;
+        SequenceNumber seq = 0;
+      } ctx{ucmp, key};
+      table_cache_->Get(
+          ReadOptions(), f->number, f->file_size, ikey, &ctx,
+          [](void* arg, const Slice& found_key, const Slice&) {
+            Ctx* c = reinterpret_cast<Ctx*>(arg);
+            ParsedInternalKey parsed;
+            if (ParseInternalKey(found_key, &parsed) &&
+                c->ucmp->Compare(parsed.user_key, c->key) == 0) {
+              c->found = true;
+              c->seq = parsed.sequence;
+            }
+          });
+      if (ctx.found) {
+        result = (ctx.seq <= seq);
+        resolved = true;
+        return false;
+      }
+      return true;
+    };
+
+    // L0 newest-to-oldest, then deeper levels, but only residences STRICTLY
+    // NEWER than the record's own: for an L0 record that means L0 files with
+    // a higher file number; for a level-i record it means all of L0 plus
+    // levels 1..i-1. The first version found while walking downward is the
+    // newest in the store.
+    std::vector<FileMetaData*> l0;
+    for (FileMetaData* f : current->files(0)) {
+      if (record_level == 0 && f->number <= record_file) {
+        continue;  // The record's own flush, or an older one.
+      }
+      if (ucmp->Compare(key, f->smallest.user_key()) >= 0 &&
+          ucmp->Compare(key, f->largest.user_key()) <= 0) {
+        l0.push_back(f);
+      }
+    }
+    std::sort(l0.begin(), l0.end(), [](FileMetaData* a, FileMetaData* b) {
+      return a->number > b->number;
+    });
+    for (FileMetaData* f : l0) {
       if (!check_file(f)) break;
     }
+    if (!resolved) {
+      const int max_level = std::min(record_level, current->NumLevels());
+      for (int level = 1; level < max_level; level++) {
+        const auto& files = current->files(level);
+        if (files.empty()) continue;
+        int index = FindFile(internal_comparator_, files, ikey);
+        if (index >= static_cast<int>(files.size())) continue;
+        FileMetaData* f = files[index];
+        if (ucmp->Compare(key, f->smallest.user_key()) < 0) continue;
+        if (!check_file(f)) break;
+      }
+    }
   }
-  current->Unref();
+
+  {
+    MutexLock l(&mutex_);
+    current->Unref();
+  }
+  mem->Unref();
+  if (imm != nullptr) imm->Unref();
   return result;
 }
 
 Status DBImpl::GetFragments(
     const ReadOptions& options, const Slice& key,
     const std::function<bool(int, SequenceNumber, bool, const Slice&)>& fn) {
+  MemTable* mem;
+  MemTable* imm;
+  Version* current;
+  {
+    MutexLock l(&mutex_);
+    mem = mem_;
+    mem->Ref();
+    imm = imm_;
+    if (imm != nullptr) imm->Ref();
+    current = versions_->current();
+    current->Ref();
+  }
+
+  Status s;
+  bool stopped = false;
   int rank = 0;
   std::string value;
   SequenceNumber seq;
   bool deleted;
-  if (mem_->GetNewest(key, &value, &seq, &deleted)) {
-    if (!fn(rank, seq, deleted, Slice(value))) return Status::OK();
+  if (mem->GetNewest(key, &value, &seq, &deleted)) {
+    if (!fn(rank, seq, deleted, Slice(value))) stopped = true;
   }
   rank++;
-  if (imm_ != nullptr && imm_->GetNewest(key, &value, &seq, &deleted)) {
-    if (!fn(rank, seq, deleted, Slice(value))) return Status::OK();
+  if (!stopped && imm != nullptr &&
+      imm->GetNewest(key, &value, &seq, &deleted)) {
+    if (!fn(rank, seq, deleted, Slice(value))) stopped = true;
   }
   rank++;
 
-  Version* current = versions_->current();
-  current->Ref();
-  Status s = current->GetFragments(
-      options, key,
-      [&](int level, SequenceNumber fseq, bool fdel, const Slice& fval) {
-        return fn(rank + level, fseq, fdel, fval);
-      });
-  current->Unref();
+  if (!stopped) {
+    s = current->GetFragments(
+        options, key,
+        [&](int level, SequenceNumber fseq, bool fdel, const Slice& fval) {
+          return fn(rank + level, fseq, fdel, fval);
+        });
+  }
+
+  {
+    MutexLock l(&mutex_);
+    current->Unref();
+  }
+  mem->Unref();
+  if (imm != nullptr) imm->Unref();
   return s;
 }
 
 Iterator* DBImpl::NewInternalIterator(
     const ReadOptions& options, SequenceNumber* latest_snapshot,
     std::vector<std::function<void()>>* cleanups) {
+  MutexLock l(&mutex_);
   *latest_snapshot = versions_->LastSequence();
 
   std::vector<Iterator*> list;
@@ -824,7 +1229,12 @@ Iterator* DBImpl::NewInternalIterator(
   Version* current = versions_->current();
   current->AddIterators(options, &list);
   current->Ref();
-  cleanups->push_back([current]() { current->Unref(); });
+  // Version refs are only safe to drop under the DB mutex (Unref may unlink
+  // the version and delete obsolete files' metadata).
+  cleanups->push_back([this, current]() {
+    MutexLock cleanup_lock(&mutex_);
+    current->Unref();
+  });
 
   return NewMergingIterator(&internal_comparator_, list.data(),
                             static_cast<int>(list.size()));
@@ -850,6 +1260,7 @@ DBImpl::LevelIterators::~LevelIterators() {
 
 Status DBImpl::NewLevelIterators(const ReadOptions& options,
                                  LevelIterators* out) {
+  MutexLock l(&mutex_);
   out->iters.push_back(mem_->NewIterator());
   mem_->Ref();
   MemTable* mem = mem_;
@@ -864,7 +1275,10 @@ Status DBImpl::NewLevelIterators(const ReadOptions& options,
 
   Version* current = versions_->current();
   current->Ref();
-  out->cleanups_.push_back([current]() { current->Unref(); });
+  out->cleanups_.push_back([this, current]() {
+    MutexLock cleanup_lock(&mutex_);
+    current->Unref();
+  });
 
   std::vector<FileMetaData*> l0 = current->files(0);
   std::sort(l0.begin(), l0.end(), [](FileMetaData* a, FileMetaData* b) {
@@ -887,8 +1301,12 @@ Status DBImpl::EmbeddedScan(
     const Slice& hi,
     const std::function<void(Table*, size_t, int, uint64_t)>& block_visitor,
     const std::function<bool()>& level_boundary) {
-  Version* current = versions_->current();
-  current->Ref();
+  Version* current;
+  {
+    MutexLock l(&mutex_);
+    current = versions_->current();
+    current->Ref();
+  }
   const bool point = (lo == hi);
   Status s;
   bool stopped = false;
@@ -944,7 +1362,11 @@ Status DBImpl::EmbeddedScan(
       if (!level_boundary()) break;
     }
   }
-  current->Unref();
+
+  {
+    MutexLock l(&mutex_);
+    current->Unref();
+  }
   return s;
 }
 
@@ -978,31 +1400,39 @@ Status DBImpl::ScanAll(
 void DBImpl::MemTableSecondaryLookup(const std::string& attr, const Slice& lo,
                                      const Slice& hi,
                                      const MemTable::SecondaryMatchFn& fn) {
-  mem_->SecondaryLookup(attr, lo, hi, fn);
-  if (imm_ != nullptr) {
-    imm_->SecondaryLookup(attr, lo, hi, fn);
+  MemTable* mem;
+  MemTable* imm;
+  {
+    MutexLock l(&mutex_);
+    mem = mem_;
+    mem->Ref();
+    imm = imm_;
+    if (imm != nullptr) imm->Ref();
   }
+  mem->SecondaryLookup(attr, lo, hi, fn);
+  if (imm != nullptr) {
+    imm->SecondaryLookup(attr, lo, hi, fn);
+  }
+  mem->Unref();
+  if (imm != nullptr) imm->Unref();
 }
 
 Status DBImpl::CompactAll() {
-  Status s;
-  if (mem_->NumEntries() > 0) {
-    // Force a memtable rotation + flush regardless of size.
-    uint64_t new_log_number = versions_->NewFileNumber();
-    std::unique_ptr<WritableFile> lfile;
-    s = env_->NewWritableFile(LogFileName(dbname_, new_log_number), &lfile);
-    if (!s.ok()) return s;
-    logfile_ = std::move(lfile);
-    logfile_number_ = new_log_number;
-    log_ = std::make_unique<log::Writer>(logfile_.get());
-    imm_ = mem_;
-    mem_ = new MemTable(internal_comparator_, options_.secondary_attributes,
-                        options_.attribute_extractor);
-    mem_->Ref();
-    s = CompactMemTable();
+  bool need_rotate;
+  {
+    MutexLock l(&mutex_);
+    need_rotate = (mem_->NumEntries() > 0);
+  }
+  if (need_rotate) {
+    // Force the rotation through the writer queue so it cannot race an
+    // in-flight group commit.
+    Status s = Write(WriteOptions(), nullptr);
     if (!s.ok()) return s;
   }
+  Status s = WaitForBackgroundWork();  // No-op in synchronous mode.
+  if (!s.ok()) return s;
   CompactRange(nullptr, nullptr);
+  MutexLock l(&mutex_);
   return bg_error_;
 }
 
@@ -1018,6 +1448,22 @@ void DBImpl::CompactRange(const Slice* begin, const Slice* end) {
     end_storage = InternalKey(*end, 0, static_cast<ValueType>(0));
     end_key = &end_storage;
   }
+
+  MutexLock l(&mutex_);
+  AcquireCompactionToken();
+  // A writer may be flushing imm_ inline right now; it does not need the
+  // token, so waiting here cannot deadlock.
+  while (flush_in_progress_) {
+    background_work_finished_signal_.Wait();
+  }
+  Status s;
+  if (imm_ != nullptr) {
+    // Background mode: an unflushed immutable memtable would be invisible
+    // to the range merge; flush it first (sync mode never gets here with
+    // one pending).
+    s = CompactMemTable();
+  }
+
   // Find the highest level with overlapping files and compact everything
   // above it down into it (LevelDB semantics) — do NOT push data into
   // deeper, empty levels.
@@ -1030,23 +1476,24 @@ void DBImpl::CompactRange(const Slice* begin, const Slice* end) {
       }
     }
   }
-  for (int level = 0; level < max_level_with_files; level++) {
-    while (true) {
+  for (int level = 0; s.ok() && level < max_level_with_files; level++) {
+    while (s.ok()) {
       std::unique_ptr<Compaction> c(
           versions_->CompactRange(level, begin_key, end_key));
       if (c == nullptr) break;
-      Status s = DoCompactionWork(c.get());
+      s = DoCompactionWork(c.get());
       c->ReleaseInputs();
       RemoveObsoleteFiles();
-      if (!s.ok()) {
-        bg_error_ = s;
-        return;
-      }
     }
+  }
+  ReleaseCompactionToken();
+  if (!s.ok()) {
+    bg_error_ = s;
   }
 }
 
 uint64_t DBImpl::TotalSizeBytes() {
+  MutexLock l(&mutex_);
   uint64_t total = mem_->ApproximateMemoryUsage();
   if (imm_ != nullptr) total += imm_->ApproximateMemoryUsage();
   for (int level = 0; level < options_.num_levels; level++) {
@@ -1062,6 +1509,7 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
   if (!in.starts_with(prefix)) return false;
   in.remove_prefix(prefix.size());
 
+  MutexLock l(&mutex_);
   if (in.starts_with("num-files-at-level")) {
     in.remove_prefix(strlen("num-files-at-level"));
     uint64_t level = 0;
@@ -1079,7 +1527,12 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
     current->Unref();
     return true;
   } else if (in == Slice("total-bytes")) {
-    *value = std::to_string(TotalSizeBytes());
+    uint64_t total = mem_->ApproximateMemoryUsage();
+    if (imm_ != nullptr) total += imm_->ApproximateMemoryUsage();
+    for (int level = 0; level < options_.num_levels; level++) {
+      total += static_cast<uint64_t>(versions_->NumLevelBytes(level));
+    }
+    *value = std::to_string(total);
     return true;
   } else if (in == Slice("approximate-memory-usage")) {
     uint64_t total = mem_->ApproximateMemoryUsage();
@@ -1088,6 +1541,12 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
     return true;
   } else if (in == Slice("levels")) {
     *value = versions_->LevelSummary();
+    return true;
+  } else if (in == Slice("stats")) {
+    // Write-stall / group-commit / I/O tickers (engine-wide counters
+    // attached via Options::statistics).
+    if (options_.statistics == nullptr) return false;
+    *value = options_.statistics->ToString();
     return true;
   }
   return false;

@@ -1,8 +1,22 @@
-// DBImpl: the LSM engine. Single-writer, synchronous-compaction design (the
-// paper deliberately picked single-threaded LevelDB "so we can easily
-// isolate and explain the performance differences of the various indexing
-// methods"); compaction work is performed inline when a trigger is hit,
-// making runs deterministic and I/O attribution exact.
+// DBImpl: the LSM engine. Thread-safe, with two write-path modes:
+//
+//  * Synchronous (default, Options::background_compaction == false): the
+//    paper's deterministic design (single-threaded LevelDB "so we can easily
+//    isolate and explain the performance differences of the various indexing
+//    methods") — memtable flushes and multi-level compactions run inline on
+//    the writing thread when a trigger is hit, making runs deterministic and
+//    I/O attribution exact.
+//  * Background (Options::background_compaction == true): flushes and
+//    size-triggered compactions run on Env's background thread; Write
+//    stalls through the classic slowdown/stop ladder instead of compacting
+//    inline.
+//
+// Both modes share one concurrency protocol: a single mutex_ guards all
+// mutable state, concurrent writers park on a LevelDB-style group-commit
+// queue (the front writer builds one combined batch, appends it to the WAL
+// once, and applies it to the memtable), and readers pin memtables /
+// versions by reference count so they never block on compaction I/O. See
+// DESIGN.md "Concurrency model".
 //
 // Beyond the public DB surface, DBImpl exposes the internal hooks the
 // secondary-index layer needs:
@@ -17,6 +31,7 @@
 #ifndef LEVELDBPP_DB_DB_IMPL_H_
 #define LEVELDBPP_DB_DB_IMPL_H_
 
+#include <atomic>
 #include <deque>
 #include <memory>
 #include <set>
@@ -28,6 +43,8 @@
 #include "db/version_set.h"
 #include "db/write_batch.h"
 #include "env/statistics.h"
+#include "port/port.h"
+#include "port/thread_annotations.h"
 #include "wal/log_writer.h"
 
 namespace leveldbpp {
@@ -47,6 +64,8 @@ class DBImpl : public DB {
   Status Put(const WriteOptions&, const Slice& key,
              const Slice& value) override;
   Status Delete(const WriteOptions&, const Slice& key) override;
+  /// Apply `updates` atomically. `updates == nullptr` forces a memtable
+  /// rotation + flush through the writer queue (internal use: CompactAll).
   Status Write(const WriteOptions& options, WriteBatch* updates) override;
   Status Get(const ReadOptions& options, const Slice& key,
              std::string* value) override;
@@ -144,6 +163,11 @@ class DBImpl : public DB {
   /// Drive pending size-triggered compactions to quiescence.
   Status MaybeCompact();
 
+  /// Block until the background thread has flushed the immutable memtable
+  /// and drained pending size-triggered compactions (no-op in synchronous
+  /// mode, where triggers never outlive the write that tripped them).
+  Status WaitForBackgroundWork();
+
   /// Total bytes across all SSTables plus the live memtable (Figure 8a).
   uint64_t TotalSizeBytes();
 
@@ -155,15 +179,39 @@ class DBImpl : public DB {
  private:
   friend class DB;
 
-  Status Recover(VersionEdit* edit);
+  // One parked Write() call; the queue head performs the combined write.
+  struct Writer;
+
+  Status Recover(VersionEdit* edit) EXCLUSIVE_LOCKS_REQUIRED(mutex_);
   Status RecoverLogFile(uint64_t log_number, VersionEdit* edit,
-                        SequenceNumber* max_sequence);
-  Status WriteLevel0Table(MemTable* mem, VersionEdit* edit);
-  Status MakeRoomForWrite();
-  Status CompactMemTable();
-  Status BackgroundCompaction();
-  Status DoCompactionWork(Compaction* c);
-  void RemoveObsoleteFiles();
+                        SequenceNumber* max_sequence)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+  Status WriteLevel0Table(MemTable* mem, VersionEdit* edit)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+
+  /// Blocks until mem_ has room (rotating / flushing / stalling as the mode
+  /// dictates). `force` rotates even a non-full memtable.
+  Status MakeRoomForWrite(bool force) EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+
+  /// Collapse queued writers into one batch; see db_impl.cc.
+  WriteBatch* BuildBatchGroup(Writer** last_writer, int* group_size)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+
+  /// Schedule background work if any is pending (background mode only).
+  void MaybeScheduleCompaction() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+  static void BGWork(void* db);
+  void BackgroundCall();
+
+  /// Serialize flush/compaction work: at most one thread (front writer,
+  /// background worker, or manual-compaction caller) may run
+  /// CompactMemTable / DoCompactionWork at a time.
+  void AcquireCompactionToken() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+  void ReleaseCompactionToken() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+
+  Status CompactMemTable() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+  Status BackgroundCompaction() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+  Status DoCompactionWork(Compaction* c) EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+  void RemoveObsoleteFiles() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
   Iterator* NewInternalIterator(const ReadOptions&, SequenceNumber* seq,
                                 std::vector<std::function<void()>>* cleanups);
   /// Apply the Lazy-index memtable-local merge to a Put value. Returns the
@@ -179,15 +227,41 @@ class DBImpl : public DB {
 
   std::unique_ptr<TableCache> table_cache_;
 
+  // Guards all mutable state below. Flush/compaction I/O and the WAL append
+  // + memtable insert of the front writer run with the mutex RELEASED;
+  // in-flight state is protected by memtable/version refs, the writer
+  // queue, pending_outputs_, and the compaction token.
+  port::Mutex mutex_;
+  std::atomic<bool> shutting_down_{false};
+  // Signalled when background work finishes, the compaction token is
+  // released, or an imm_ flush completes (the stall ladder waits here).
+  port::CondVar background_work_finished_signal_;
+
   MemTable* mem_;
-  MemTable* imm_;  // Memtable being flushed (only mid-flush; usually null)
+  MemTable* imm_ GUARDED_BY(mutex_);  // Memtable being flushed (or null)
   std::unique_ptr<WritableFile> logfile_;
-  uint64_t logfile_number_;
+  uint64_t logfile_number_ GUARDED_BY(mutex_);
   std::unique_ptr<log::Writer> log_;
 
-  std::unique_ptr<VersionSet> versions_;
+  // Group-commit writer queue (protocol in DBImpl::Write).
+  std::deque<Writer*> writers_ GUARDED_BY(mutex_);
+  WriteBatch tmp_batch_ GUARDED_BY(mutex_);
 
-  Status bg_error_;  // Sticky error from a failed flush/compaction
+  std::unique_ptr<VersionSet> versions_ GUARDED_BY(mutex_);
+
+  // Table files being written by an in-progress flush/compaction; these are
+  // in no Version yet, so RemoveObsoleteFiles must not delete them.
+  std::set<uint64_t> pending_outputs_ GUARDED_BY(mutex_);
+
+  bool background_compaction_scheduled_ GUARDED_BY(mutex_) = false;
+  bool compaction_token_held_ GUARDED_BY(mutex_) = false;
+  // Set while CompactMemTable is flushing imm_. A flush only appends an L0
+  // file, so it may run concurrently with a compaction merge (the mutex
+  // serializes the MANIFEST updates); this flag just prevents two threads
+  // from flushing the same imm_. See MakeRoomForWrite's inline-flush rung.
+  bool flush_in_progress_ GUARDED_BY(mutex_) = false;
+
+  Status bg_error_ GUARDED_BY(mutex_);  // Sticky error from flush/compaction
 
   std::string merge_scratch_;
 };

@@ -1,5 +1,7 @@
 #include "db/memtable.h"
 
+#include <mutex>
+
 #include "util/coding.h"
 
 namespace leveldbpp {
@@ -100,6 +102,7 @@ void MemTable::Add(SequenceNumber s, ValueType type, const Slice& key,
   // Maintain the in-memory secondary index over unflushed records.
   if (type == kTypeValue && extractor_ != nullptr) {
     std::string attr_value;
+    std::unique_lock<std::shared_mutex> lock(secondary_mutex_);
     for (size_t i = 0; i < attributes_.size(); i++) {
       if (extractor_->Extract(value, attributes_[i], &attr_value)) {
         secondary_[i].emplace(attr_value, buf);
@@ -172,6 +175,7 @@ bool MemTable::GetNewest(const Slice& user_key, std::string* value,
 void MemTable::SecondaryLookup(const std::string& attr, const Slice& lo,
                                const Slice& hi,
                                const SecondaryMatchFn& fn) const {
+  std::shared_lock<std::shared_mutex> lock(secondary_mutex_);
   for (size_t i = 0; i < attributes_.size(); i++) {
     if (attributes_[i] != attr) continue;
     const auto& index = secondary_[i];

@@ -9,8 +9,10 @@
 #ifndef LEVELDBPP_DB_MEMTABLE_H_
 #define LEVELDBPP_DB_MEMTABLE_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -35,11 +37,13 @@ class MemTable {
   MemTable(const MemTable&) = delete;
   MemTable& operator=(const MemTable&) = delete;
 
-  void Ref() { ++refs_; }
+  // Ref counting is atomic: readers pin a memtable under the DB mutex but
+  // may drop their pin from any thread (e.g. iterator cleanups) without it.
+  void Ref() { refs_.fetch_add(1, std::memory_order_relaxed); }
   void Unref() {
-    --refs_;
-    assert(refs_ >= 0);
-    if (refs_ <= 0) {
+    int previous = refs_.fetch_sub(1, std::memory_order_acq_rel);
+    assert(previous >= 1);
+    if (previous == 1) {
       delete this;
     }
   }
@@ -79,7 +83,9 @@ class MemTable {
                        const Slice& hi, const SecondaryMatchFn& fn) const;
 
   /// Number of entries added.
-  uint64_t NumEntries() const { return num_entries_; }
+  uint64_t NumEntries() const {
+    return num_entries_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class MemTableIterator;
@@ -95,15 +101,18 @@ class MemTable {
   ~MemTable();  // Private since only Unref() should be used to delete it
 
   KeyComparator comparator_;
-  int refs_;
+  std::atomic<int> refs_;
   Arena arena_;
-  Table table_;
-  uint64_t num_entries_;
+  Table table_;  // Skiplist: single writer, lock-free concurrent readers.
+  std::atomic<uint64_t> num_entries_;
 
   std::vector<std::string> attributes_;
   const AttributeExtractor* extractor_;
   // Per attribute: attr value -> pointer to the skiplist entry buffer.
-  // Lookup decodes key/seq/value from the entry.
+  // Lookup decodes key/seq/value from the entry. Unlike the skiplist, the
+  // multimap is not safe for concurrent read/insert, so it has its own
+  // reader-writer lock (writers are already serialized by the writer queue).
+  mutable std::shared_mutex secondary_mutex_;
   std::vector<std::multimap<std::string, const char*>> secondary_;
 };
 

@@ -13,6 +13,7 @@
 #ifndef LEVELDBPP_DB_VERSION_SET_H_
 #define LEVELDBPP_DB_VERSION_SET_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <set>
@@ -154,10 +155,15 @@ class VersionSet {
   int NumLevelFiles(int level) const;
   int64_t NumLevelBytes(int level) const;
 
-  SequenceNumber LastSequence() const { return last_sequence_; }
+  // last_sequence_ is atomic so readers (snapshot selection, the index
+  // layer's LastSequence()) can load it without the DB mutex; all stores
+  // still happen under the DB mutex, preserving monotonicity.
+  SequenceNumber LastSequence() const {
+    return last_sequence_.load(std::memory_order_acquire);
+  }
   void SetLastSequence(SequenceNumber s) {
-    assert(s >= last_sequence_);
-    last_sequence_ = s;
+    assert(s >= last_sequence_.load(std::memory_order_relaxed));
+    last_sequence_.store(s, std::memory_order_release);
   }
 
   uint64_t LogNumber() const { return log_number_; }
@@ -216,7 +222,7 @@ class VersionSet {
   const InternalKeyComparator icmp_;
   uint64_t next_file_number_;
   uint64_t manifest_file_number_;
-  SequenceNumber last_sequence_;
+  std::atomic<SequenceNumber> last_sequence_;
   uint64_t log_number_;
 
   // Opened lazily

@@ -82,6 +82,24 @@ class Env {
   /// Microseconds since some fixed epoch; monotonic enough for latency
   /// measurement.
   virtual uint64_t NowMicros() = 0;
+
+  // ---- Threading (background compaction support) ----
+  //
+  // The default implementations (shared by PosixEnv and the in-memory test
+  // env) run scheduled work on one lazily started, process-wide background
+  // thread — the single-compactor model DBImpl's concurrent mode relies on.
+
+  /// Arrange to run (*function)(arg) once on the background thread. Work
+  /// items run in FIFO order; the thread is started on first use and lives
+  /// for the rest of the process.
+  virtual void Schedule(void (*function)(void* arg), void* arg);
+
+  /// Start a new detached thread running (*function)(arg).
+  virtual void StartThread(void (*function)(void* arg), void* arg);
+
+  /// Block the calling thread for roughly `micros` microseconds (write
+  /// slowdown ladder).
+  virtual void SleepForMicroseconds(int micros);
 };
 
 /// In-memory filesystem for tests. Caller owns the result.

@@ -1,13 +1,19 @@
 #include <dirent.h>
 #include <fcntl.h>
+#include <sys/resource.h>
 #include <sys/stat.h>
 #include <sys/time.h>
 #include <sys/types.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
 
 #include "env/env.h"
 
@@ -271,7 +277,70 @@ class PosixEnv final : public Env {
   }
 };
 
+// Process-wide FIFO work queue drained by one lazily started background
+// thread. Shared by every Env (PosixEnv, MemEnv, wrappers) so that all DB
+// instances funnel background compactions through a single compactor thread,
+// matching LevelDB's threading model.
+class BackgroundScheduler {
+ public:
+  static BackgroundScheduler* Instance() {
+    static BackgroundScheduler* scheduler = new BackgroundScheduler();
+    return scheduler;
+  }
+
+  void Schedule(void (*function)(void*), void* arg) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) {
+      started_ = true;
+      std::thread([this]() { Run(); }).detach();
+    }
+    queue_.push_back(Item{function, arg});
+    cv_.notify_one();
+  }
+
+ private:
+  struct Item {
+    void (*function)(void*);
+    void* arg;
+  };
+
+  [[noreturn]] void Run() {
+    // Background maintenance (flushes, compactions) should yield the CPU to
+    // foreground writers; on Linux setpriority(PRIO_PROCESS, 0, ...) applies
+    // to the calling thread only. Deferred work is then paid in
+    // WaitForBackgroundWork / idle time rather than on the write path.
+    ::setpriority(PRIO_PROCESS, 0, 19);
+    while (true) {
+      Item item;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this]() { return !queue_.empty(); });
+        item = queue_.front();
+        queue_.pop_front();
+      }
+      (*item.function)(item.arg);
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Item> queue_;
+  bool started_ = false;
+};
+
 }  // namespace
+
+void Env::Schedule(void (*function)(void* arg), void* arg) {
+  BackgroundScheduler::Instance()->Schedule(function, arg);
+}
+
+void Env::StartThread(void (*function)(void* arg), void* arg) {
+  std::thread(function, arg).detach();
+}
+
+void Env::SleepForMicroseconds(int micros) {
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
 
 Env* Env::Posix() {
   static PosixEnv env;

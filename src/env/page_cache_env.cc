@@ -164,6 +164,15 @@ class PageCacheSimEnv final : public Env {
     return base_->RenameFile(src, dst);
   }
   uint64_t NowMicros() override { return base_->NowMicros(); }
+  void Schedule(void (*function)(void*), void* arg) override {
+    base_->Schedule(function, arg);
+  }
+  void StartThread(void (*function)(void*), void* arg) override {
+    base_->StartThread(function, arg);
+  }
+  void SleepForMicroseconds(int micros) override {
+    base_->SleepForMicroseconds(micros);
+  }
 
  private:
   Env* base_;

@@ -25,6 +25,10 @@ const char* TickerName(Ticker t) {
     case kGetLiteCalls: return "getlite.calls";
     case kGetLiteConfirmReads: return "getlite.confirm.reads";
     case kSeekDiskReads: return "seek.disk.reads";
+    case kWriteStallMicros: return "write.stall.micros";
+    case kWriteSlowdownMicros: return "write.slowdown.micros";
+    case kGroupCommitBatches: return "groupcommit.batches";
+    case kGroupCommitWrites: return "groupcommit.writes";
     case kTickerCount: break;
   }
   return "unknown";

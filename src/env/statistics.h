@@ -36,6 +36,10 @@ enum Ticker : uint32_t {
   kGetLiteCalls,
   kGetLiteConfirmReads,   // rare confirming reads after a bloom positive
   kSeekDiskReads,         // blocks read while seeking iterators
+  kWriteStallMicros,      // writers parked on the stop ladder (imm full / L0)
+  kWriteSlowdownMicros,   // 1ms delays injected at the L0 slowdown trigger
+  kGroupCommitBatches,    // combined WAL appends issued by the writer queue
+  kGroupCommitWrites,     // Write() calls satisfied by those appends
   kTickerCount,
 };
 

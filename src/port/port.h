@@ -1,0 +1,68 @@
+// port: the engine's synchronization layer (LevelDB-style thin wrappers over
+// <mutex> / <condition_variable> carrying clang thread-safety annotations).
+//
+// DBImpl's concurrency protocol is expressed entirely in these two types:
+// one port::Mutex protects all mutable DB state, and port::CondVar is used
+// for the group-commit writer queue and the background-work stall ladder.
+
+#ifndef LEVELDBPP_PORT_PORT_H_
+#define LEVELDBPP_PORT_PORT_H_
+
+#include <cassert>
+#include <condition_variable>
+#include <mutex>
+
+#include "port/thread_annotations.h"
+
+namespace leveldbpp {
+namespace port {
+
+class CondVar;
+
+/// Wraps std::mutex; annotated so -Wthread-safety can check GUARDED_BY
+/// members statically.
+class LOCKABLE Mutex {
+ public:
+  Mutex() = default;
+  ~Mutex() = default;
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() EXCLUSIVE_LOCK_FUNCTION() { mu_.lock(); }
+  void Unlock() UNLOCK_FUNCTION() { mu_.unlock(); }
+  void AssertHeld() ASSERT_EXCLUSIVE_LOCK() {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Condition variable bound to a Mutex at construction (LevelDB idiom: the
+/// writer queue parks each waiter on its own CondVar over the DB mutex).
+class CondVar {
+ public:
+  explicit CondVar(Mutex* mu) : mu_(mu) { assert(mu != nullptr); }
+  ~CondVar() = default;
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// REQUIRES: the bound mutex is held by the caller.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+  Mutex* const mu_;
+};
+
+}  // namespace port
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_PORT_PORT_H_

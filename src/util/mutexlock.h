@@ -1,0 +1,27 @@
+// MutexLock: RAII helper holding a port::Mutex for a scope.
+
+#ifndef LEVELDBPP_UTIL_MUTEXLOCK_H_
+#define LEVELDBPP_UTIL_MUTEXLOCK_H_
+
+#include "port/port.h"
+#include "port/thread_annotations.h"
+
+namespace leveldbpp {
+
+class SCOPED_LOCKABLE MutexLock {
+ public:
+  explicit MutexLock(port::Mutex* mu) EXCLUSIVE_LOCK_FUNCTION(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~MutexLock() UNLOCK_FUNCTION() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  port::Mutex* const mu_;
+};
+
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_UTIL_MUTEXLOCK_H_
