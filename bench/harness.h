@@ -134,16 +134,23 @@ struct VariantConfig {
   uint64_t max_bytes_for_level_base = 4 << 20;
   int embedded_bits_per_key = 20;
   CompressionType compression = kSimpleLZCompression;
+  // 0 = the paper's sequential read path; > 1 fans candidate resolution
+  // out over the shared pool.
+  int read_parallelism = 0;
+  // Override the Env (nullptr = Env::Posix()); benches use this to inject
+  // storage latency.
+  Env* env = nullptr;
 };
 
 inline std::unique_ptr<SecondaryDB> OpenVariant(const VariantConfig& config,
                                                 const std::string& path) {
   SecondaryDBOptions options;
-  options.base.env = Env::Posix();
+  options.base.env = config.env != nullptr ? config.env : Env::Posix();
   options.base.write_buffer_size = config.write_buffer_size;
   options.base.max_file_size = config.max_file_size;
   options.base.max_bytes_for_level_base = config.max_bytes_for_level_base;
   options.base.compression = config.compression;
+  options.base.read_parallelism = config.read_parallelism;
   options.index_type = config.type;
   options.indexed_attributes = config.attributes;
   options.embedded_bloom_bits_per_key = config.embedded_bits_per_key;
@@ -215,6 +222,61 @@ inline void PrintBoxPlotRow(const char* variant, const Histogram& h) {
 }
 
 inline const char* Name(IndexType t) { return IndexTypeName(t); }
+
+// ---- JSON emission ----
+
+/// Builds one machine-readable JSON object and prints it as a single line;
+/// benches emit one per measurement so results pipe straight into jq.
+class JsonLine {
+ public:
+  explicit JsonLine(const std::string& bench) { Str("bench", bench); }
+
+  JsonLine& Str(const std::string& key, const std::string& value) {
+    Key(key);
+    out_.push_back('"');
+    for (char c : value) {
+      if (c == '"' || c == '\\') out_.push_back('\\');
+      out_.push_back(c);
+    }
+    out_.push_back('"');
+    return *this;
+  }
+
+  JsonLine& Int(const std::string& key, uint64_t value) {
+    Key(key);
+    out_ += std::to_string(value);
+    return *this;
+  }
+
+  JsonLine& Double(const std::string& key, double value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", value);
+    Key(key);
+    out_ += buf;
+    return *this;
+  }
+
+  JsonLine& Bool(const std::string& key, bool value) {
+    Key(key);
+    out_ += value ? "true" : "false";
+    return *this;
+  }
+
+  void Emit() {
+    printf("{%s}\n", out_.c_str());
+    fflush(stdout);
+  }
+
+ private:
+  void Key(const std::string& key) {
+    if (!out_.empty()) out_.push_back(',');
+    out_.push_back('"');
+    out_ += key;
+    out_ += "\":";
+  }
+
+  std::string out_;
+};
 
 }  // namespace bench
 }  // namespace leveldbpp

@@ -1,17 +1,20 @@
 #!/usr/bin/env bash
-# Full pre-merge check: release build + tests, then a ThreadSanitizer build
-# running the concurrency-sensitive tests.
+# Full pre-merge check: release build + tests, then ThreadSanitizer and
+# Address+UB Sanitizer builds running the concurrency/parallel-read tests.
 #
-# Usage: scripts/check.sh [--tsan-all]
-#   --tsan-all  run the entire test suite (not just concurrency tests)
-#               under TSan; slow.
+# Usage: scripts/check.sh [--sanitize-all]
+#   --sanitize-all  run the entire test suite (not just the concurrency and
+#                   parallel-read tests) under TSan and ASan; slow.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-TSAN_FILTER="-R Concurrency"
-if [[ "${1:-}" == "--tsan-all" ]]; then
-  TSAN_FILTER=""
+# The tests that exercise cross-thread code paths: the group-commit writer
+# queue and background compaction (Concurrency*), and the parallel query
+# engine (MultiGet*, ParallelQuery*).
+SAN_FILTER="-R Concurrency|MultiGet|ParallelQuery"
+if [[ "${1:-}" == "--sanitize-all" || "${1:-}" == "--tsan-all" ]]; then
+  SAN_FILTER=""
 fi
 
 echo "==> Release build"
@@ -25,8 +28,15 @@ echo "==> TSan build"
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)"
 
-echo "==> TSan tests (${TSAN_FILTER:-full suite})"
+echo "==> TSan tests (${SAN_FILTER:-full suite})"
 # halt_on_error so a race fails the run instead of just printing.
-TSAN_OPTIONS="halt_on_error=1" ctest --preset tsan ${TSAN_FILTER}
+TSAN_OPTIONS="halt_on_error=1" ctest --preset tsan ${SAN_FILTER:+-R "${SAN_FILTER#-R }"}
+
+echo "==> ASan build"
+cmake --preset asan
+cmake --build --preset asan -j "$(nproc)"
+
+echo "==> ASan tests (${SAN_FILTER:-full suite})"
+ASAN_OPTIONS="halt_on_error=1" ctest --preset asan ${SAN_FILTER:+-R "${SAN_FILTER#-R }"}
 
 echo "==> All checks passed"

@@ -105,12 +105,35 @@ Status CompositeIndex::RangeLookup(const Slice& lo, const Slice& hi,
             });
   TopKCollector heap(k);
   std::set<std::string> seen;
-  for (const Candidate& c : candidates) {
-    if (heap.Full()) break;  // Descending seq: nothing below can displace.
-    if (!seen.insert(c.primary_key).second) continue;
-    QueryResult r;
-    if (FetchAndValidate(Slice(c.primary_key), lo, hi, &r)) {
-      heap.Add(std::move(r));
+  if (!parallel_reads()) {
+    for (const Candidate& c : candidates) {
+      if (heap.Full()) break;  // Descending seq: nothing below can displace.
+      if (!seen.insert(c.primary_key).second) continue;
+      QueryResult r;
+      if (FetchAndValidate(Slice(c.primary_key), lo, hi, &r)) {
+        heap.Add(std::move(r));
+      }
+    }
+  } else {
+    // Parallel path: validate the seq-descending candidates in chunks, one
+    // MultiGet per chunk. A chunk may validate entries past the point where
+    // the sequential scan stops; those are older than everything the full
+    // heap retains, so Add() rejects them and the final heap is identical.
+    const size_t chunk = BatchChunk(k);
+    size_t idx = 0;
+    while (idx < candidates.size() && !heap.Full()) {
+      std::vector<std::string> cand;
+      while (idx < candidates.size() && cand.size() < chunk) {
+        const Candidate& c = candidates[idx++];
+        if (!seen.insert(c.primary_key).second) continue;
+        cand.push_back(c.primary_key);
+      }
+      std::vector<QueryResult> fetched;
+      std::vector<char> valid;
+      FetchAndValidateBatch(cand, lo, hi, &fetched, &valid);
+      for (size_t i = 0; i < cand.size() && !heap.Full(); i++) {
+        if (valid[i]) heap.Add(std::move(fetched[i]));
+      }
     }
   }
   *results = heap.TakeSortedNewestFirst();

@@ -82,13 +82,37 @@ Status EagerIndex::Lookup(const Slice& value, size_t k,
   }
   TopKCollector heap(k);
   std::set<std::string> seen;
-  for (const PostingEntry& e : entries) {
-    if (e.deleted) continue;
-    if (!seen.insert(e.primary_key).second) continue;
-    QueryResult r;
-    if (FetchAndValidate(Slice(e.primary_key), value, value, &r)) {
-      heap.Add(std::move(r));
-      if (heap.Full()) break;  // List is newest-first: we can stop.
+  if (!parallel_reads()) {
+    for (const PostingEntry& e : entries) {
+      if (e.deleted) continue;
+      if (!seen.insert(e.primary_key).second) continue;
+      QueryResult r;
+      if (FetchAndValidate(Slice(e.primary_key), value, value, &r)) {
+        heap.Add(std::move(r));
+        if (heap.Full()) break;  // List is newest-first: we can stop.
+      }
+    }
+  } else {
+    // Parallel path: validate the seq-descending list in chunks, each chunk
+    // one MultiGet. A chunk may run past the entry where the sequential
+    // scan stops, but those extras are older than everything the full heap
+    // retains, so Add() rejects them and the final heap is identical.
+    const size_t chunk = BatchChunk(k);
+    size_t idx = 0;
+    while (idx < entries.size() && !heap.Full()) {
+      std::vector<std::string> cand;
+      while (idx < entries.size() && cand.size() < chunk) {
+        const PostingEntry& e = entries[idx++];
+        if (e.deleted) continue;
+        if (!seen.insert(e.primary_key).second) continue;
+        cand.push_back(e.primary_key);
+      }
+      std::vector<QueryResult> fetched;
+      std::vector<char> valid;
+      FetchAndValidateBatch(cand, value, value, &fetched, &valid);
+      for (size_t i = 0; i < cand.size() && !heap.Full(); i++) {
+        if (valid[i]) heap.Add(std::move(fetched[i]));
+      }
     }
   }
   *results = heap.TakeSortedNewestFirst();
@@ -102,6 +126,24 @@ Status EagerIndex::RangeLookup(const Slice& lo, const Slice& hi, size_t k,
   // across all matching lists with the min-heap.
   TopKCollector heap(k);
   std::set<std::string> seen;
+  // Parallel path: survivors of the pruning below accumulate into chunks,
+  // each resolved with one MultiGet. The stale heap makes WouldAdmit fetch
+  // a superset of the sequential run's candidates; Add()'s exact predicate
+  // then rejects anything the sequential heap would have, so the final
+  // top-K is identical.
+  const bool batched = parallel_reads();
+  const size_t chunk = BatchChunk(k);
+  std::vector<std::string> cand;
+  auto flush = [&]() {
+    if (cand.empty()) return;
+    std::vector<QueryResult> fetched;
+    std::vector<char> valid;
+    FetchAndValidateBatch(cand, lo, hi, &fetched, &valid);
+    for (size_t i = 0; i < cand.size(); i++) {
+      if (valid[i]) heap.Add(std::move(fetched[i]));
+    }
+    cand.clear();
+  };
   std::unique_ptr<Iterator> it(index_db_->NewIterator(ReadOptions()));
   for (it->Seek(lo); it->Valid() && it->key().compare(hi) <= 0; it->Next()) {
     std::vector<PostingEntry> entries;
@@ -110,12 +152,18 @@ Status EagerIndex::RangeLookup(const Slice& lo, const Slice& hi, size_t k,
       if (e.deleted) continue;
       if (!heap.WouldAdmit(e.seq)) break;  // List is seq-descending
       if (!seen.insert(e.primary_key).second) continue;
+      if (batched) {
+        cand.push_back(e.primary_key);
+        if (cand.size() >= chunk) flush();
+        continue;
+      }
       QueryResult r;
       if (FetchAndValidate(Slice(e.primary_key), lo, hi, &r)) {
         heap.Add(std::move(r));
       }
     }
   }
+  flush();
   if (!it->status().ok()) return it->status();
   *results = heap.TakeSortedNewestFirst();
   return Status::OK();

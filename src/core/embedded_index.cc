@@ -1,11 +1,42 @@
 #include "core/embedded_index.h"
 
+#include <algorithm>
+#include <functional>
 #include <memory>
 #include <set>
+#include <utility>
 
 #include "core/document.h"
+#include "env/thread_pool.h"
 
 namespace leveldbpp {
+
+namespace {
+
+// A match that is the FIRST entry of its block may have a newer same-file
+// version ending the previous block (versions sort newest-first and can
+// straddle a block boundary). One same-table probe resolves it.
+bool SupersededWithinTable(Table* table, const ReadOptions& read_options,
+                           const ParsedInternalKey& ikey) {
+  LookupKey lk(ikey.user_key, kMaxSequenceNumber);
+  struct Ctx {
+    Slice user_key;
+    SequenceNumber newest = 0;
+  } ctx;
+  ctx.user_key = ikey.user_key;
+  table->InternalGet(read_options, lk.internal_key(), &ctx,
+                     [](void* arg, const Slice& k, const Slice&) {
+                       Ctx* c = reinterpret_cast<Ctx*>(arg);
+                       ParsedInternalKey p;
+                       if (ParseInternalKey(k, &p) &&
+                           p.user_key == c->user_key) {
+                         c->newest = p.sequence;
+                       }
+                     });
+  return ctx.newest > ikey.sequence;
+}
+
+}  // namespace
 
 Status EmbeddedIndex::Scan(const Slice& lo, const Slice& hi, size_t k,
                            std::vector<QueryResult>* results) {
@@ -60,62 +91,153 @@ Status EmbeddedIndex::Scan(const Slice& lo, const Slice& hi, size_t k,
   //    embedded per-block bloom filters (point lookups) and zone maps.
   ReadOptions read_options;
   std::string prev_user_key;  // In-block adjacency dedup (versions adjacent)
-  Status scan_status = primary_->EmbeddedScan(
-      read_options, attribute_, lo, hi,
-      [&](Table* table, size_t block, int level, uint64_t file) {
-        std::unique_ptr<Iterator> it(
-            table->NewDataBlockIterator(read_options, block));
-        prev_user_key.clear();
-        bool first_entry = true;
-        for (it->SeekToFirst(); it->Valid(); it->Next()) {
-          ParsedInternalKey ikey;
-          if (!ParseInternalKey(it->key(), &ikey)) continue;
-          // Versions of one user key sort adjacent, newest first; only the
-          // first can be the live version.
-          if (!prev_user_key.empty() &&
-              Slice(prev_user_key) == ikey.user_key) {
+  Status scan_status;
+  if (!parallel_reads()) {
+    scan_status = primary_->EmbeddedScan(
+        read_options, attribute_, lo, hi,
+        [&](Table* table, size_t block, int level, uint64_t file) {
+          std::unique_ptr<Iterator> it(
+              table->NewDataBlockIterator(read_options, block));
+          prev_user_key.clear();
+          bool first_entry = true;
+          for (it->SeekToFirst(); it->Valid(); it->Next()) {
+            ParsedInternalKey ikey;
+            if (!ParseInternalKey(it->key(), &ikey)) continue;
+            // Versions of one user key sort adjacent, newest first; only
+            // the first can be the live version.
+            if (!prev_user_key.empty() &&
+                Slice(prev_user_key) == ikey.user_key) {
+              first_entry = false;
+              continue;
+            }
+            prev_user_key.assign(ikey.user_key.data(), ikey.user_key.size());
+            if (ikey.type == kTypeValue) {
+              // Edge case: if the match is the FIRST entry of its block, a
+              // newer same-file version may end the previous block (versions
+              // sort newest-first and can straddle a block boundary). One
+              // same-table probe resolves it.
+              bool superseded =
+                  first_entry && block > 0 &&
+                  SupersededWithinTable(table, read_options, ikey);
+              if (!superseded) {
+                consider(ikey.user_key, ikey.sequence, it->value(), level,
+                         file);
+              }
+            }
             first_entry = false;
-            continue;
           }
-          prev_user_key.assign(ikey.user_key.data(), ikey.user_key.size());
-          if (ikey.type == kTypeValue) {
-            // Edge case: if the match is the FIRST entry of its block, a
-            // newer same-file version may end the previous block (versions
-            // sort newest-first and can straddle a block boundary). One
-            // same-table probe resolves it.
-            bool superseded = false;
-            if (first_entry && block > 0) {
-              LookupKey lk(ikey.user_key, kMaxSequenceNumber);
-              struct Ctx {
-                Slice user_key;
-                SequenceNumber newest = 0;
-              } ctx;
-              ctx.user_key = ikey.user_key;
-              table->InternalGet(
-                  read_options, lk.internal_key(), &ctx,
-                  [](void* arg, const Slice& k, const Slice&) {
-                    Ctx* c = reinterpret_cast<Ctx*>(arg);
-                    ParsedInternalKey p;
-                    if (ParseInternalKey(k, &p) &&
-                        p.user_key == c->user_key) {
-                      c->newest = p.sequence;
+        },
+        [&]() {
+          // Level boundary: records within a level are not time-ordered, so
+          // termination is only checked here (Algorithm 5).
+          return !heap.Full();
+        });
+  } else {
+    // Parallel path: within one recency bucket the candidate blocks are
+    // read and pre-filtered concurrently. Everything a task computes —
+    // block decode, supersede probe, attribute extract + range check, and
+    // the GetLite validity check — is a pure function of the pinned,
+    // immutable store state, so it can run on any thread. The stateful
+    // admission (WouldAdmit, admitted-set dedup, heap Add) is replayed on
+    // the calling thread in the exact (file, block, entry) order the
+    // sequential scan uses, making the final heap byte-identical.
+    struct Match {
+      std::string user_key;
+      SequenceNumber seq;
+      std::string record;
+    };
+    const int parallelism = primary_->options().read_parallelism;
+    scan_status = primary_->EmbeddedScanBuckets(
+        read_options, attribute_, lo, hi,
+        [&](const std::vector<DBImpl::BlockCandidate>& cands) {
+          // The bucket is processed in WAVES of a few blocks per executor:
+          // the merge below runs between waves, so the heap the tasks
+          // consult for pruning is at most one wave stale. One big
+          // ParallelRun over the whole bucket would see an empty heap and
+          // extract/validate every in-range entry the sequential scan
+          // prunes.
+          const size_t wave_size = static_cast<size_t>(parallelism) * 4;
+          for (size_t wave = 0; wave < cands.size(); wave += wave_size) {
+          const size_t wave_end = std::min(cands.size(), wave + wave_size);
+          std::vector<std::vector<Match>> block_matches(wave_end - wave);
+          // Coarse tasks (a contiguous run of blocks each) so the pool
+          // dispatch overhead amortizes over several block reads.
+          const size_t ntasks = std::min(
+              wave_end - wave, static_cast<size_t>(parallelism) * 2);
+          std::vector<std::function<void()>> tasks;
+          tasks.reserve(ntasks);
+          for (size_t t = 0; t < ntasks; t++) {
+            const size_t begin = wave + (wave_end - wave) * t / ntasks;
+            const size_t end = wave + (wave_end - wave) * (t + 1) / ntasks;
+            tasks.push_back([this, &cands, &block_matches, wave, begin, end,
+                             &read_options, &lo, &hi, &heap, extractor]() {
+              std::string prev_key;
+              std::string attr_scratch;
+              for (size_t ci = begin; ci < end; ci++) {
+                const DBImpl::BlockCandidate& c = cands[ci];
+                std::vector<Match>* out = &block_matches[ci - wave];
+                std::unique_ptr<Iterator> it(
+                    c.table->NewDataBlockIterator(read_options, c.block));
+                prev_key.clear();
+                bool first_entry = true;
+                for (it->SeekToFirst(); it->Valid(); it->Next()) {
+                  ParsedInternalKey ikey;
+                  if (!ParseInternalKey(it->key(), &ikey)) continue;
+                  if (!prev_key.empty() &&
+                      Slice(prev_key) == ikey.user_key) {
+                    first_entry = false;
+                    continue;
+                  }
+                  prev_key.assign(ikey.user_key.data(),
+                                  ikey.user_key.size());
+                  const bool was_first = first_entry;
+                  first_entry = false;
+                  if (ikey.type != kTypeValue) continue;
+                  // Safe cross-thread pruning: the heap is frozen while
+                  // ParallelRun is in flight (the merge below runs after),
+                  // so this reads the wave-start state — a conservative
+                  // subset of the pruning the sequential interleaving
+                  // applies, skipped entries are skipped by both.
+                  if (!heap.WouldAdmit(ikey.sequence)) continue;
+                  bool superseded =
+                      was_first && c.block > 0 &&
+                      SupersededWithinTable(c.table, read_options, ikey);
+                  if (!superseded &&
+                      extractor->Extract(it->value(), attribute_,
+                                         &attr_scratch)) {
+                    Slice av(attr_scratch);
+                    if (av.compare(lo) >= 0 && av.compare(hi) <= 0 &&
+                        primary_->IsNewestVersion(ikey.user_key,
+                                                  ikey.sequence, c.level,
+                                                  c.file)) {
+                      out->push_back(Match{ikey.user_key.ToString(),
+                                           ikey.sequence,
+                                           it->value().ToString()});
                     }
-                  });
-              superseded = ctx.newest > ikey.sequence;
-            }
-            if (!superseded) {
-              consider(ikey.user_key, ikey.sequence, it->value(), level,
-                       file);
+                  }
+                }
+              }
+            });
+          }
+          ParallelRun(&tasks, parallelism, primary_->statistics());
+          for (std::vector<Match>& matches : block_matches) {
+            for (Match& m : matches) {
+              if (!heap.WouldAdmit(m.seq)) continue;
+              auto id = std::make_pair(std::move(m.user_key), m.seq);
+              if (admitted.count(id) != 0) continue;
+              QueryResult r;
+              r.primary_key = id.first;
+              r.seq = m.seq;
+              r.value = std::move(m.record);
+              if (heap.Add(std::move(r))) {
+                admitted.insert(std::move(id));
+              }
             }
           }
-          first_entry = false;
-        }
-      },
-      [&]() {
-        // Level boundary: records within a level are not time-ordered, so
-        // termination is only checked here (Algorithm 5).
-        return !heap.Full();
-      });
+          }  // wave
+        },
+        [&]() { return !heap.Full(); });
+  }
 
   if (!scan_status.ok()) return scan_status;
   *results = heap.TakeSortedNewestFirst();

@@ -50,6 +50,7 @@ Status LazyIndex::Lookup(const Slice& value, size_t k,
   // at the first level boundary where the heap is full.
   TopKCollector heap(k);
   std::set<std::string> seen;  // Shadowing: newer fragments win per key
+  const bool batched = parallel_reads();
   Status s = index_db_->GetFragments(
       ReadOptions(), value,
       [&](int /*rank*/, SequenceNumber /*fseq*/, bool frag_deleted,
@@ -59,14 +60,43 @@ Status LazyIndex::Lookup(const Slice& value, size_t k,
         }
         std::vector<PostingEntry> entries;
         if (PostingList::Parse(fragment, &entries)) {
-          for (const PostingEntry& e : entries) {
-            if (!seen.insert(e.primary_key).second) continue;
-            if (e.deleted) continue;  // Marker shadows older occurrences
-            if (!heap.WouldAdmit(e.seq)) continue;
-            QueryResult r;
-            if (FetchAndValidate(Slice(e.primary_key), value, value, &r)) {
-              heap.Add(std::move(r));
+          if (!batched) {
+            for (const PostingEntry& e : entries) {
+              if (!seen.insert(e.primary_key).second) continue;
+              if (e.deleted) continue;  // Marker shadows older occurrences
+              if (!heap.WouldAdmit(e.seq)) continue;
+              QueryResult r;
+              if (FetchAndValidate(Slice(e.primary_key), value, value, &r)) {
+                heap.Add(std::move(r));
+              }
             }
+          } else {
+            // Parallel path: identical pruning in identical order, but the
+            // surviving candidates resolve through chunked MultiGets.
+            // WouldAdmit sees the heap as of the last chunk boundary —
+            // staler than the sequential interleaving, so it fetches a
+            // bounded superset (at most one chunk of extras); Add() applies
+            // the exact admission predicate afterwards, in the same entry
+            // order, so the final heap is identical.
+            const size_t chunk = BatchChunk(k);
+            std::vector<std::string> cand;
+            auto flush = [&]() {
+              std::vector<QueryResult> fetched;
+              std::vector<char> valid;
+              FetchAndValidateBatch(cand, value, value, &fetched, &valid);
+              for (size_t i = 0; i < cand.size(); i++) {
+                if (valid[i]) heap.Add(std::move(fetched[i]));
+              }
+              cand.clear();
+            };
+            for (const PostingEntry& e : entries) {
+              if (!seen.insert(e.primary_key).second) continue;
+              if (e.deleted) continue;
+              if (!heap.WouldAdmit(e.seq)) continue;
+              cand.push_back(e.primary_key);
+              if (cand.size() >= chunk) flush();
+            }
+            flush();
           }
         }
         return !heap.Full();  // Stop descending once top-K is complete.
@@ -98,7 +128,22 @@ Status LazyIndex::RangeLookup(const Slice& lo, const Slice& hi, size_t k,
   std::string seek_key;
   AppendInternalKey(&seek_key, ParsedInternalKey(lo, kMaxSequenceNumber,
                                                  kValueTypeForSeek));
+  const bool batched = parallel_reads();
+  const size_t chunk = BatchChunk(k);
   for (Iterator* it : levels.iters) {
+    // Parallel path: candidates surviving this bucket's pruning, validated
+    // through chunked MultiGets (see Lookup for why the final heap is
+    // identical to the sequential interleaving).
+    std::vector<std::string> cand;
+    auto flush = [&]() {
+      std::vector<QueryResult> fetched;
+      std::vector<char> valid;
+      FetchAndValidateBatch(cand, lo, hi, &fetched, &valid);
+      for (size_t i = 0; i < cand.size(); i++) {
+        if (valid[i]) heap.Add(std::move(fetched[i]));
+      }
+      cand.clear();
+    };
     // Within one recency bucket a secondary key may still have several
     // versions (unflushed memtable history); internal ordering puts the
     // newest first, and only it reflects the bucket's fragment.
@@ -131,6 +176,11 @@ Status LazyIndex::RangeLookup(const Slice& lo, const Slice& hi, size_t k,
         if (e.deleted) continue;
         if (!heap.WouldAdmit(e.seq)) continue;
         if (!checked.insert(e.primary_key).second) continue;
+        if (batched) {
+          cand.push_back(e.primary_key);
+          if (cand.size() >= chunk) flush();
+          continue;
+        }
         QueryResult r;
         if (FetchAndValidate(Slice(e.primary_key), lo, hi, &r)) {
           heap.Add(std::move(r));
@@ -138,6 +188,7 @@ Status LazyIndex::RangeLookup(const Slice& lo, const Slice& hi, size_t k,
       }
     }
     if (!it->status().ok()) return it->status();
+    if (!cand.empty()) flush();
     if (heap.Full()) break;  // Level boundary: lower levels are older.
   }
   *results = heap.TakeSortedNewestFirst();

@@ -37,4 +37,34 @@ bool SecondaryIndex::FetchAndValidate(const Slice& primary_key,
   return true;
 }
 
+void SecondaryIndex::FetchAndValidateBatch(
+    const std::vector<std::string>& keys, const Slice& lo, const Slice& hi,
+    std::vector<QueryResult>* out, std::vector<char>* valid) {
+  const size_t n = keys.size();
+  out->assign(n, QueryResult());
+  valid->assign(n, 0);
+  if (n == 0) return;
+  std::vector<Slice> key_slices(keys.begin(), keys.end());
+  std::vector<std::string> values;
+  std::vector<DBImpl::RecordLocation> locs;
+  std::vector<Status> statuses;
+  primary_->MultiGetWithMeta(ReadOptions(), key_slices, &values, &locs,
+                             &statuses);
+  for (size_t i = 0; i < n; i++) {
+    if (!statuses[i].ok()) continue;  // Deleted or missing: stale entry
+    std::string attr_value;
+    if (!JsonAttributeExtractor::Instance()->Extract(Slice(values[i]),
+                                                     attribute_,
+                                                     &attr_value)) {
+      continue;
+    }
+    Slice av(attr_value);
+    if (av.compare(lo) < 0 || av.compare(hi) > 0) continue;
+    (*out)[i].primary_key = keys[i];
+    (*out)[i].seq = locs[i].seq;
+    (*out)[i].value = std::move(values[i]);
+    (*valid)[i] = 1;
+  }
+}
+
 }  // namespace leveldbpp

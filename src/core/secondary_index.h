@@ -89,6 +89,28 @@ class SecondaryIndex {
   bool FetchAndValidate(const Slice& primary_key, const Slice& lo,
                         const Slice& hi, QueryResult* out);
 
+  /// Batched FetchAndValidate over one posting-list level's candidates,
+  /// resolved through DBImpl::MultiGetWithMeta (parallel when
+  /// Options::read_parallelism > 1). (*valid)[i] is nonzero iff keys[i]
+  /// validated, in which case (*out)[i] is filled.
+  void FetchAndValidateBatch(const std::vector<std::string>& keys,
+                             const Slice& lo, const Slice& hi,
+                             std::vector<QueryResult>* out,
+                             std::vector<char>* valid);
+
+  /// True when the primary table opts queries into batched, fanned-out
+  /// candidate resolution.
+  bool parallel_reads() const {
+    return primary_->options().read_parallelism > 1;
+  }
+
+  /// Chunk size for batched candidate validation: enough keys to fill the
+  /// heap (and the pool) per round without unbounded overfetch.
+  size_t BatchChunk(size_t k) const {
+    size_t p = static_cast<size_t>(primary_->options().read_parallelism);
+    return k != 0 ? std::max(k, p) : std::max<size_t>(64, p);
+  }
+
   std::string attribute_;
   DBImpl* primary_;
 };

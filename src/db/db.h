@@ -8,6 +8,7 @@
 #define LEVELDBPP_DB_DB_H_
 
 #include <string>
+#include <vector>
 
 #include "db/options.h"
 #include "table/iterator.h"
@@ -45,6 +46,17 @@ class DB {
   /// value in *value. Returns NotFound if there is no entry.
   virtual Status Get(const ReadOptions& options, const Slice& key,
                      std::string* value) = 0;
+
+  /// Batched point lookup: for each keys[i], (*values)[i] and
+  /// (*statuses)[i] receive what Get(options, keys[i], &value) would have
+  /// produced, against one consistent snapshot of the store. Returns the
+  /// first per-key error that is not NotFound (OK otherwise). The base
+  /// implementation is a plain Get loop; DBImpl batches table probes and,
+  /// with Options::read_parallelism > 1, fans them out in parallel.
+  virtual Status MultiGet(const ReadOptions& options,
+                          const std::vector<Slice>& keys,
+                          std::vector<std::string>* values,
+                          std::vector<Status>* statuses);
 
   /// Heap-allocated forward iterator over the DB's user keys (newest
   /// visible version of each key; deletions hidden). Caller owns it.

@@ -1,12 +1,15 @@
 #include "db/db_impl.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <map>
 #include <vector>
 
 #include "db/builder.h"
 #include "db/db_iter.h"
 #include "db/filename.h"
 #include "db/value_merger.h"
+#include "env/thread_pool.h"
 #include "table/merger.h"
 #include "table/table_builder.h"
 #include "util/coding.h"
@@ -64,6 +67,23 @@ Options SanitizeOptions(const InternalKeyComparator* icmp,
 }  // namespace
 
 DB::~DB() = default;
+
+Status DB::MultiGet(const ReadOptions& options, const std::vector<Slice>& keys,
+                    std::vector<std::string>* values,
+                    std::vector<Status>* statuses) {
+  // Default: a plain Get loop. DBImpl overrides this with the batched,
+  // optionally parallel implementation.
+  values->assign(keys.size(), std::string());
+  statuses->assign(keys.size(), Status::OK());
+  Status result;
+  for (size_t i = 0; i < keys.size(); i++) {
+    (*statuses)[i] = Get(options, keys[i], &(*values)[i]);
+    if (result.ok() && !(*statuses)[i].ok() && !(*statuses)[i].IsNotFound()) {
+      result = (*statuses)[i];
+    }
+  }
+  return result;
+}
 
 DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
     : env_(raw_options.env != nullptr ? raw_options.env : Env::Posix()),
@@ -1038,6 +1058,308 @@ Status DBImpl::GetWithMeta(const ReadOptions& options, const Slice& key,
   return s;
 }
 
+namespace {
+
+// Result of probing one SSTable for one key (MultiGet's per-(key,file) unit).
+struct ProbeResult {
+  enum State { kProbeNotFound, kProbeFound, kProbeDeleted, kProbeCorrupt };
+  State state = kProbeNotFound;
+  SequenceNumber seq = 0;
+  std::string value;
+  Status io;  // Status of the table open / block reads themselves
+};
+
+struct ProbeSaver {
+  const Comparator* ucmp;
+  Slice user_key;
+  ProbeResult* out;
+};
+
+void SaveProbe(void* arg, const Slice& ikey, const Slice& v) {
+  ProbeSaver* s = reinterpret_cast<ProbeSaver*>(arg);
+  ParsedInternalKey parsed;
+  if (!ParseInternalKey(ikey, &parsed)) {
+    s->out->state = ProbeResult::kProbeCorrupt;
+  } else if (s->ucmp->Compare(parsed.user_key, s->user_key) == 0) {
+    s->out->state = (parsed.type == kTypeValue) ? ProbeResult::kProbeFound
+                                                : ProbeResult::kProbeDeleted;
+    s->out->seq = parsed.sequence;
+    if (parsed.type == kTypeValue) s->out->value.assign(v.data(), v.size());
+  }
+}
+
+// Sub-task size when splitting a level's per-file probe groups: aim for ~2
+// tasks per executor so the barrier stays balanced. In sequential mode one
+// chunk per group (ParallelRun inlines the tasks in order regardless).
+size_t SplitGroupSize(size_t total_probes, int read_parallelism) {
+  if (read_parallelism <= 1) return std::max<size_t>(total_probes, 1);
+  return std::max<size_t>(
+      1, total_probes / (static_cast<size_t>(read_parallelism) * 2));
+}
+
+}  // namespace
+
+Status DBImpl::MultiGet(const ReadOptions& options,
+                        const std::vector<Slice>& keys,
+                        std::vector<std::string>* values,
+                        std::vector<Status>* statuses) {
+  std::vector<RecordLocation> locs;
+  return MultiGetWithMeta(options, keys, values, &locs, statuses);
+}
+
+Status DBImpl::MultiGetWithMeta(const ReadOptions& options,
+                                const std::vector<Slice>& keys,
+                                std::vector<std::string>* values,
+                                std::vector<RecordLocation>* locs,
+                                std::vector<Status>* statuses) {
+  const size_t n = keys.size();
+  values->assign(n, std::string());
+  locs->assign(n, RecordLocation());
+  statuses->assign(n, Status::NotFound(Slice()));
+  if (n == 0) return Status::OK();
+
+  Statistics* stats = options_.statistics;
+  if (stats != nullptr) {
+    stats->Record(kMultiGetBatches);
+    stats->Record(kMultiGetKeys, n);
+  }
+
+  MemTable* mem;
+  MemTable* imm;
+  Version* current;
+  {
+    MutexLock l(&mutex_);
+    mem = mem_;
+    mem->Ref();
+    imm = imm_;
+    if (imm != nullptr) imm->Ref();
+    current = versions_->current();
+    current->Ref();
+  }
+  const SequenceNumber snapshot = versions_->LastSequence();
+  const Comparator* ucmp = internal_comparator_.user_comparator();
+
+  // Phase 1 (sequential — memtable probes are pure in-memory work): keys
+  // answered by the live or immutable memtable never touch disk.
+  std::vector<char> resolved(n, 0);
+  for (size_t i = 0; i < n; i++) {
+    std::string mem_value;
+    SequenceNumber seq;
+    bool deleted;
+    if (mem->GetNewest(keys[i], &mem_value, &seq, &deleted)) {
+      (*locs)[i].seq = seq;
+      (*locs)[i].level = -1;
+    } else if (imm != nullptr &&
+               imm->GetNewest(keys[i], &mem_value, &seq, &deleted)) {
+      (*locs)[i].seq = seq;
+      (*locs)[i].level = -2;
+    } else {
+      continue;
+    }
+    (*statuses)[i] = deleted ? Status::NotFound(Slice()) : Status::OK();
+    if (!deleted) (*values)[i].swap(mem_value);
+    resolved[i] = 1;
+  }
+
+  // Keys still pending go to disk, sorted by user key so that grouping and
+  // the per-table probe order are deterministic regardless of caller order.
+  std::vector<size_t> pending;
+  pending.reserve(n);
+  for (size_t i = 0; i < n; i++) {
+    if (!resolved[i]) pending.push_back(i);
+  }
+  std::sort(pending.begin(), pending.end(), [&](size_t a, size_t b) {
+    int c = ucmp->Compare(keys[a], keys[b]);
+    if (c != 0) return c < 0;
+    return a < b;  // Duplicate keys keep caller order
+  });
+
+  std::vector<std::unique_ptr<LookupKey>> lkeys(n);
+  for (size_t i : pending) {
+    lkeys[i] = std::make_unique<LookupKey>(keys[i], snapshot);
+  }
+
+  // Applies one probe's outcome to key `i`; returns true once the key's
+  // answer is final (found / deleted / error), mirroring Version::Get.
+  auto apply = [&](size_t i, ProbeResult& r, int level) -> bool {
+    if (!r.io.ok()) {
+      (*statuses)[i] = r.io;
+      return true;
+    }
+    switch (r.state) {
+      case ProbeResult::kProbeNotFound:
+        return false;  // Keep searching deeper
+      case ProbeResult::kProbeFound:
+        (*statuses)[i] = Status::OK();
+        (*values)[i] = std::move(r.value);
+        (*locs)[i].seq = r.seq;
+        (*locs)[i].level = level;
+        return true;
+      case ProbeResult::kProbeDeleted:
+        (*statuses)[i] = Status::NotFound(Slice());
+        return true;
+      case ProbeResult::kProbeCorrupt:
+        (*statuses)[i] = Status::Corruption("corrupted key for ", keys[i]);
+        return true;
+    }
+    return false;
+  };
+
+  // Phase 2: level 0. Files overlap, so one key may probe several files;
+  // group the (key, file) probes per file (table pinned once per group),
+  // run all of a level's groups — possibly in parallel — then resolve each
+  // key newest-file-first after the barrier. The barrier is what keeps the
+  // newest-residence-wins rule exact: no key consults level L+1 until every
+  // probe at level L has reported.
+  if (!pending.empty() && current->NumFiles(0) > 0) {
+    struct L0Group {
+      FileMetaData* f = nullptr;
+      std::vector<std::pair<size_t, size_t>> probes;  // (key idx, file rank)
+    };
+    std::map<uint64_t, L0Group> groups;
+    std::vector<std::vector<FileMetaData*>> kfiles(n);
+    std::vector<std::vector<ProbeResult>> results(n);
+    for (size_t i : pending) {
+      current->OverlappingL0Files(keys[i], &kfiles[i]);
+      results[i].resize(kfiles[i].size());
+      for (size_t p = 0; p < kfiles[i].size(); p++) {
+        L0Group& g = groups[kfiles[i][p]->number];
+        g.f = kfiles[i][p];
+        g.probes.emplace_back(i, p);
+      }
+    }
+    if (!groups.empty()) {
+      // Probes are independent point gets writing disjoint result slots, so
+      // a big group is further split across tasks: secondary-index
+      // candidates cluster heavily (one user's records usually live in one
+      // or two tables), and an unsplit group would serialize them behind a
+      // single executor while the rest of the pool idles.
+      size_t total_probes = 0;
+      for (const auto& entry : groups) {
+        total_probes += entry.second.probes.size();
+      }
+      const size_t per_task =
+          SplitGroupSize(total_probes, options_.read_parallelism);
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(groups.size());
+      for (auto& entry : groups) {
+        L0Group* g = &entry.second;
+        for (size_t begin = 0; begin < g->probes.size(); begin += per_task) {
+          const size_t end = std::min(g->probes.size(), begin + per_task);
+          tasks.push_back([this, g, begin, end, &options, &keys, &lkeys,
+                           &results, ucmp]() {
+            Table* t = nullptr;
+            Cache::Handle* h = nullptr;
+            Status ts =
+                table_cache_->Pin(g->f->number, g->f->file_size, &t, &h);
+            for (size_t j = begin; j < end; j++) {
+              const auto& pr = g->probes[j];
+              ProbeResult& r = results[pr.first][pr.second];
+              if (!ts.ok()) {
+                r.io = ts;
+                continue;
+              }
+              ProbeSaver saver{ucmp, keys[pr.first], &r};
+              r.io = t->InternalGet(options, lkeys[pr.first]->internal_key(),
+                                    &saver, SaveProbe);
+            }
+            if (h != nullptr) table_cache_->Unpin(h);
+          });
+        }
+      }
+      ParallelRun(&tasks, options_.read_parallelism, stats);
+      std::vector<size_t> still;
+      for (size_t i : pending) {
+        bool done = false;
+        for (size_t p = 0; p < results[i].size() && !done; p++) {
+          done = apply(i, results[i][p], 0);
+        }
+        if (!done) still.push_back(i);
+      }
+      pending.swap(still);
+    }
+  }
+
+  // Phase 3: levels >= 1. Disjoint files mean at most one file per key, so
+  // a group is simply the keys that binary-search into the same file. One
+  // barrier per level.
+  for (int level = 1; level < current->NumLevels() && !pending.empty();
+       level++) {
+    if (current->NumFiles(level) == 0) continue;
+    struct LevelGroup {
+      FileMetaData* f = nullptr;
+      std::vector<size_t> key_idx;
+    };
+    std::map<uint64_t, LevelGroup> groups;
+    for (size_t i : pending) {
+      FileMetaData* f =
+          current->FileForKey(level, keys[i], lkeys[i]->internal_key());
+      if (f == nullptr) continue;
+      LevelGroup& g = groups[f->number];
+      g.f = f;
+      g.key_idx.push_back(i);
+    }
+    if (groups.empty()) continue;
+    // Same group splitting as level 0 (see above): clustered keys must not
+    // serialize behind one executor.
+    size_t total_keys = 0;
+    for (const auto& entry : groups) {
+      total_keys += entry.second.key_idx.size();
+    }
+    const size_t per_task =
+        SplitGroupSize(total_keys, options_.read_parallelism);
+    std::vector<ProbeResult> results(n);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(groups.size());
+    for (auto& entry : groups) {
+      LevelGroup* g = &entry.second;
+      for (size_t begin = 0; begin < g->key_idx.size(); begin += per_task) {
+        const size_t end = std::min(g->key_idx.size(), begin + per_task);
+        tasks.push_back([this, g, begin, end, &options, &keys, &lkeys,
+                         &results, ucmp]() {
+          Table* t = nullptr;
+          Cache::Handle* h = nullptr;
+          Status ts = table_cache_->Pin(g->f->number, g->f->file_size, &t, &h);
+          for (size_t j = begin; j < end; j++) {
+            const size_t i = g->key_idx[j];
+            ProbeResult& r = results[i];
+            if (!ts.ok()) {
+              r.io = ts;
+              continue;
+            }
+            ProbeSaver saver{ucmp, keys[i], &r};
+            r.io = t->InternalGet(options, lkeys[i]->internal_key(), &saver,
+                                  SaveProbe);
+          }
+          if (h != nullptr) table_cache_->Unpin(h);
+        });
+      }
+    }
+    ParallelRun(&tasks, options_.read_parallelism, stats);
+    std::vector<size_t> still;
+    for (size_t i : pending) {
+      if (!apply(i, results[i], level)) still.push_back(i);
+    }
+    pending.swap(still);
+  }
+
+  {
+    MutexLock l(&mutex_);
+    current->Unref();
+  }
+  mem->Unref();
+  if (imm != nullptr) imm->Unref();
+
+  // Keys never found anywhere keep their initial NotFound status. The
+  // aggregate result is the first (in caller order) non-NotFound error.
+  for (size_t i = 0; i < n; i++) {
+    if (!(*statuses)[i].ok() && !(*statuses)[i].IsNotFound()) {
+      return (*statuses)[i];
+    }
+  }
+  return Status::OK();
+}
+
 bool DBImpl::IsNewestVersion(const Slice& key, SequenceNumber seq,
                              int record_level, uint64_t record_file) {
   Statistics* stats = options_.statistics;
@@ -1370,6 +1692,130 @@ Status DBImpl::EmbeddedScan(
   return s;
 }
 
+Status DBImpl::EmbeddedScanBuckets(
+    const ReadOptions&, const std::string& attr, const Slice& lo,
+    const Slice& hi,
+    const std::function<void(const std::vector<BlockCandidate>&)>&
+        bucket_visitor,
+    const std::function<bool()>& level_boundary) {
+  Version* current;
+  {
+    MutexLock l(&mutex_);
+    current = versions_->current();
+    current->Ref();
+  }
+  const bool point = (lo == hi);
+  Status s;
+
+  size_t attr_idx = options_.secondary_attributes.size();
+  for (size_t i = 0; i < options_.secondary_attributes.size(); i++) {
+    if (options_.secondary_attributes[i] == attr) {
+      attr_idx = i;
+      break;
+    }
+  }
+
+  // One file of a bucket: pinned table + its candidate block ordinals. The
+  // filter/zone-map probes are pure functions of the (immutable) table, so
+  // they can run concurrently; the visitor then sees candidates in the same
+  // (file, block) order EmbeddedScan would have produced them.
+  struct PinnedFile {
+    FileMetaData* f = nullptr;
+    int level = 0;
+    Table* table = nullptr;
+    Cache::Handle* handle = nullptr;
+    std::vector<size_t> blocks;
+    Status status;
+  };
+
+  auto run_bucket =
+      [&](const std::vector<std::pair<FileMetaData*, int>>& files) -> bool {
+    std::vector<PinnedFile> pins;
+    pins.reserve(files.size());
+    for (const auto& fl : files) {
+      // File-level zone map (persisted in the MANIFEST metadata) prunes the
+      // file without opening it at all.
+      if (attr_idx < fl.first->zone_ranges.size() &&
+          !fl.first->zone_ranges[attr_idx].Overlaps(lo, hi)) {
+        if (options_.statistics != nullptr) {
+          options_.statistics->Record(kZoneMapFilePruned);
+        }
+        continue;
+      }
+      PinnedFile pf;
+      pf.f = fl.first;
+      pf.level = fl.second;
+      pins.push_back(std::move(pf));
+    }
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(pins.size());
+    for (PinnedFile& pf : pins) {
+      PinnedFile* p = &pf;
+      tasks.push_back([this, p, &attr, &lo, &hi, point]() {
+        p->status =
+            table_cache_->Pin(p->f->number, p->f->file_size, &p->table,
+                              &p->handle);
+        if (!p->status.ok()) return;
+        const size_t nblocks = p->table->NumDataBlocks();
+        for (size_t b = 0; b < nblocks; b++) {
+          bool may = point ? p->table->SecondaryBlockMayContain(attr, lo, b)
+                           : p->table->SecondaryBlockMayOverlap(attr, lo, hi,
+                                                                b);
+          if (may) p->blocks.push_back(b);
+        }
+      });
+    }
+    ParallelRun(&tasks, options_.read_parallelism, options_.statistics);
+    std::vector<BlockCandidate> candidates;
+    for (const PinnedFile& pf : pins) {
+      if (!pf.status.ok()) {
+        if (s.ok()) s = pf.status;
+        continue;
+      }
+      for (size_t b : pf.blocks) {
+        candidates.push_back(BlockCandidate{pf.table, b, pf.level,
+                                            pf.f->number});
+      }
+    }
+    bucket_visitor(candidates);
+    for (const PinnedFile& pf : pins) {
+      if (pf.handle != nullptr) table_cache_->Unpin(pf.handle);
+    }
+    return level_boundary();
+  };
+
+  // Each L0 file is its own recency bucket (newest first); every deeper
+  // level is one bucket whose files can be probed concurrently.
+  bool stopped = false;
+  std::vector<FileMetaData*> l0 = current->files(0);
+  std::sort(l0.begin(), l0.end(), [](FileMetaData* a, FileMetaData* b) {
+    return a->number > b->number;
+  });
+  for (FileMetaData* f : l0) {
+    if (!run_bucket({{f, 0}})) {
+      stopped = true;
+      break;
+    }
+  }
+  if (!stopped) {
+    for (int level = 1; level < current->NumLevels(); level++) {
+      if (current->NumFiles(level) == 0) continue;
+      std::vector<std::pair<FileMetaData*, int>> files;
+      files.reserve(current->files(level).size());
+      for (FileMetaData* f : current->files(level)) {
+        files.emplace_back(f, level);
+      }
+      if (!run_bucket(files)) break;
+    }
+  }
+
+  {
+    MutexLock l(&mutex_);
+    current->Unref();
+  }
+  return s;
+}
+
 Status DBImpl::ScanAll(
     const ReadOptions& options,
     const std::function<bool(const Slice&, SequenceNumber, const Slice&)>&
@@ -1544,9 +1990,26 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
     return true;
   } else if (in == Slice("stats")) {
     // Write-stall / group-commit / I/O tickers (engine-wide counters
-    // attached via Options::statistics).
+    // attached via Options::statistics), plus block-cache occupancy and
+    // hit ratio when a cache is configured.
     if (options_.statistics == nullptr) return false;
     *value = options_.statistics->ToString();
+    char buf[128];
+    const uint64_t hits = options_.statistics->Get(kBlockCacheHit);
+    const uint64_t misses = options_.statistics->Get(kBlockCacheMiss);
+    if (hits + misses > 0) {
+      std::snprintf(buf, sizeof(buf), "%-28s %12.4f\n",
+                    "block.cache.hit.ratio",
+                    static_cast<double>(hits) /
+                        static_cast<double>(hits + misses));
+      value->append(buf);
+    }
+    if (options_.block_cache != nullptr) {
+      std::snprintf(buf, sizeof(buf), "%-28s %12llu\n", "block.cache.charge",
+                    static_cast<unsigned long long>(
+                        options_.block_cache->TotalCharge()));
+      value->append(buf);
+    }
     return true;
   }
   return false;

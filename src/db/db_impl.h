@@ -69,6 +69,14 @@ class DBImpl : public DB {
   Status Write(const WriteOptions& options, WriteBatch* updates) override;
   Status Get(const ReadOptions& options, const Slice& key,
              std::string* value) override;
+  /// Batched Get: one version/memtable pin for the whole batch, keys
+  /// grouped by SSTable within each level (each table resolved and pinned
+  /// once per group), groups dispatched onto the shared read pool when
+  /// Options::read_parallelism > 1. Level boundaries are barriers, so the
+  /// newest-residence-wins rule is exactly Get's.
+  Status MultiGet(const ReadOptions& options, const std::vector<Slice>& keys,
+                  std::vector<std::string>* values,
+                  std::vector<Status>* statuses) override;
   Iterator* NewIterator(const ReadOptions&) override;
   bool GetProperty(const Slice& property, std::string* value) override;
   void CompactRange(const Slice* begin, const Slice* end) override;
@@ -84,6 +92,14 @@ class DBImpl : public DB {
   /// Get that also reports the winning record's sequence number and level.
   Status GetWithMeta(const ReadOptions& options, const Slice& key,
                      std::string* value, RecordLocation* loc);
+
+  /// Batched GetWithMeta (same grouping/parallelism as MultiGet). The
+  /// stand-alone indexes' batched candidate resolution is built on this.
+  Status MultiGetWithMeta(const ReadOptions& options,
+                          const std::vector<Slice>& keys,
+                          std::vector<std::string>* values,
+                          std::vector<RecordLocation>* locs,
+                          std::vector<Status>* statuses);
 
   /// The paper's GetLite: determine whether the record (key, seq) is still
   /// the newest version of `key`, preferring in-memory metadata (file
@@ -140,6 +156,29 @@ class DBImpl : public DB {
       const Slice& hi,
       const std::function<void(Table*, size_t /*block*/, int /*level*/,
                                uint64_t /*file*/)>& block_visitor,
+      const std::function<bool()>& level_boundary);
+
+  /// One candidate data block surfaced by the embedded per-block filters.
+  struct BlockCandidate {
+    Table* table;  // Pinned for the duration of the bucket visitor
+    size_t block;
+    int level;
+    uint64_t file;
+  };
+
+  /// Batched variant of EmbeddedScan for the parallel read path: per
+  /// recency bucket (one L0 file, or one whole level >= 1), collects every
+  /// candidate block — probing the bucket's files' bloom/zone-map meta
+  /// concurrently when Options::read_parallelism > 1 — and hands the
+  /// bucket's candidates to `bucket_visitor` in (file, block) order with
+  /// all tables pinned. `level_boundary` runs after each bucket exactly as
+  /// in EmbeddedScan, keeping Algorithm 5's level-boundary termination as
+  /// the only early-exit point.
+  Status EmbeddedScanBuckets(
+      const ReadOptions& options, const std::string& attr, const Slice& lo,
+      const Slice& hi,
+      const std::function<void(const std::vector<BlockCandidate>&)>&
+          bucket_visitor,
       const std::function<bool()>& level_boundary);
 
   /// Full scan of the newest visible version of every key, exposing each

@@ -100,6 +100,17 @@ struct Options {
   /// modes via the group-commit writer queue.
   bool background_compaction = false;
 
+  /// Opt-in parallel read path. When > 1, MultiGet batches, the
+  /// stand-alone indexes' candidate resolution, and the Embedded index's
+  /// block scans fan out onto a shared fixed-size thread pool with up to
+  /// this many concurrent executors (the calling thread included). The
+  /// default (0, like 1) keeps every read strictly sequential on the
+  /// calling thread, preserving the paper benches' deterministic ordering
+  /// and exact I/O attribution. Parallel mode returns byte-identical
+  /// results; only wall-clock and scheduling change. See DESIGN.md
+  /// "Parallel read path".
+  int read_parallelism = 0;
+
   /// Size ratio between adjacent levels (paper/LevelDB: 10).
   int level_size_multiplier = 10;
 

@@ -28,26 +28,47 @@ Status TableCache::FindTable(uint64_t file_number, uint64_t file_size,
   EncodeFixed64(buf, file_number);
   Slice key(buf, sizeof(buf));
   *handle = cache_->Lookup(key);
-  if (*handle == nullptr) {
-    std::string fname = TableFileName(dbname_, file_number);
-    std::unique_ptr<RandomAccessFile> file;
-    Table* table = nullptr;
-    s = options_.env->NewRandomAccessFile(fname, &file);
-    if (s.ok()) {
-      s = Table::Open(options_, file.get(), file_size, &table);
-    }
+  if (*handle != nullptr) return s;
 
-    if (!s.ok()) {
-      assert(table == nullptr);
-      // We do not cache error results so that if the error is transient,
-      // or somebody repairs the file, we recover automatically.
-    } else {
-      TableAndFile* tf = new TableAndFile;
-      tf->file = std::move(file);
-      tf->table.reset(table);
-      *handle = cache_->Insert(key, tf, 1, &DeleteEntry);
+  // Miss. Win the right to open the file, or wait for the winner: without
+  // this, concurrent readers hitting a cold file would each open + parse it
+  // and insert duplicate entries (the losers' work thrown away at eviction).
+  {
+    std::unique_lock<std::mutex> lock(open_mu_);
+    while (opening_.count(file_number) != 0) {
+      opened_cv_.wait(lock);
     }
+    // The winner may have inserted while we waited (or between our Lookup
+    // and the lock); re-check before claiming the open.
+    *handle = cache_->Lookup(key);
+    if (*handle != nullptr) return s;
+    opening_.insert(file_number);
   }
+
+  std::string fname = TableFileName(dbname_, file_number);
+  std::unique_ptr<RandomAccessFile> file;
+  Table* table = nullptr;
+  s = options_.env->NewRandomAccessFile(fname, &file);
+  if (s.ok()) {
+    s = Table::Open(options_, file.get(), file_size, &table);
+  }
+
+  if (!s.ok()) {
+    assert(table == nullptr);
+    // We do not cache error results so that if the error is transient,
+    // or somebody repairs the file, we recover automatically.
+  } else {
+    TableAndFile* tf = new TableAndFile;
+    tf->file = std::move(file);
+    tf->table.reset(table);
+    *handle = cache_->Insert(key, tf, 1, &DeleteEntry);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(open_mu_);
+    opening_.erase(file_number);
+  }
+  opened_cv_.notify_all();
   return s;
 }
 
@@ -102,6 +123,20 @@ Status TableCache::WithTable(uint64_t file_number, uint64_t file_size,
   }
   return s;
 }
+
+Status TableCache::Pin(uint64_t file_number, uint64_t file_size,
+                       Table** table, Cache::Handle** handle) {
+  *table = nullptr;
+  *handle = nullptr;
+  Status s = FindTable(file_number, file_size, handle);
+  if (s.ok()) {
+    *table =
+        reinterpret_cast<TableAndFile*>(cache_->Value(*handle))->table.get();
+  }
+  return s;
+}
+
+void TableCache::Unpin(Cache::Handle* handle) { cache_->Release(handle); }
 
 void TableCache::Evict(uint64_t file_number) {
   char buf[sizeof(file_number)];

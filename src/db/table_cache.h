@@ -1,10 +1,18 @@
 // TableCache: cache of open SSTable readers, keyed by file number.
+//
+// Thread-safe, and the open path is SINGLE-FLIGHT: when several readers miss
+// on the same file number simultaneously (common once queries fan out onto
+// the read pool), exactly one thread opens the file and the others wait for
+// its cache insert instead of each opening + parsing the table redundantly.
 
 #ifndef LEVELDBPP_DB_TABLE_CACHE_H_
 #define LEVELDBPP_DB_TABLE_CACHE_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <set>
 #include <string>
 
 #include "cache/cache.h"
@@ -42,6 +50,13 @@ class TableCache {
   Status WithTable(uint64_t file_number, uint64_t file_size,
                    const std::function<void(Table*)>& fn);
 
+  /// Explicitly pin the opened Table for a file: *table stays valid until
+  /// the returned handle is passed to Unpin. Used where one pin must span a
+  /// multi-table batch (MultiGet probe groups, embedded bucket scans).
+  Status Pin(uint64_t file_number, uint64_t file_size, Table** table,
+             Cache::Handle** handle);
+  void Unpin(Cache::Handle* handle);
+
   /// Evict any entry for the specified file number (file being deleted).
   void Evict(uint64_t file_number);
 
@@ -51,6 +66,13 @@ class TableCache {
   const std::string dbname_;
   const Options& options_;
   std::unique_ptr<Cache> cache_;
+
+  // Single-flight state for FindTable: file numbers currently being opened.
+  // A thread that misses while its file is in `opening_` waits on
+  // `opened_cv_` and re-checks the cache instead of opening a duplicate.
+  std::mutex open_mu_;
+  std::condition_variable opened_cv_;
+  std::set<uint64_t> opening_;
 };
 
 }  // namespace leveldbpp

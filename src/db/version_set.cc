@@ -255,6 +255,34 @@ void SaveValue(void* arg, const Slice& ikey, const Slice& v) {
 
 }  // namespace
 
+void Version::OverlappingL0Files(const Slice& user_key,
+                                 std::vector<FileMetaData*>* out) const {
+  const Comparator* ucmp = vset_->icmp_.user_comparator();
+  for (FileMetaData* f : files_[0]) {
+    if (ucmp->Compare(user_key, f->smallest.user_key()) >= 0 &&
+        ucmp->Compare(user_key, f->largest.user_key()) <= 0) {
+      out->push_back(f);
+    }
+  }
+  std::sort(out->begin(), out->end(), [](FileMetaData* a, FileMetaData* b) {
+    return a->number > b->number;
+  });
+}
+
+FileMetaData* Version::FileForKey(int level, const Slice& user_key,
+                                  const Slice& ikey) const {
+  assert(level >= 1);
+  const std::vector<FileMetaData*>& files = files_[level];
+  if (files.empty()) return nullptr;
+  // Binary search to find earliest file whose largest key >= ikey.
+  int index = FindFile(vset_->icmp_, files, ikey);
+  if (index >= static_cast<int>(files.size())) return nullptr;
+  FileMetaData* f = files[index];
+  const Comparator* ucmp = vset_->icmp_.user_comparator();
+  if (ucmp->Compare(user_key, f->smallest.user_key()) < 0) return nullptr;
+  return f;
+}
+
 Status Version::Get(const ReadOptions& options, const LookupKey& k,
                     std::string* value, SequenceNumber* seq_out,
                     int* level_out) {
@@ -266,15 +294,7 @@ Status Version::Get(const ReadOptions& options, const LookupKey& k,
   // covers the key and search newest-to-oldest.
   std::vector<FileMetaData*> tmp;
   tmp.reserve(files_[0].size());
-  for (FileMetaData* f : files_[0]) {
-    if (ucmp->Compare(user_key, f->smallest.user_key()) >= 0 &&
-        ucmp->Compare(user_key, f->largest.user_key()) <= 0) {
-      tmp.push_back(f);
-    }
-  }
-  std::sort(tmp.begin(), tmp.end(), [](FileMetaData* a, FileMetaData* b) {
-    return a->number > b->number;
-  });
+  OverlappingL0Files(user_key, &tmp);
 
   for (int level = 0; level < NumLevels(); level++) {
     const std::vector<FileMetaData*>* candidates = nullptr;
@@ -283,14 +303,8 @@ Status Version::Get(const ReadOptions& options, const LookupKey& k,
       if (tmp.empty()) continue;
       candidates = &tmp;
     } else {
-      size_t num_files = files_[level].size();
-      if (num_files == 0) continue;
-      // Binary search to find earliest file whose largest key >= ikey.
-      int index = FindFile(vset_->icmp_, files_[level], ikey);
-      if (index >= static_cast<int>(num_files)) continue;
-      FileMetaData* f = files_[level][index];
-      if (ucmp->Compare(user_key, f->smallest.user_key()) < 0) continue;
-      single = f;
+      single = FileForKey(level, user_key, ikey);
+      if (single == nullptr) continue;
     }
 
     const int num_candidates =

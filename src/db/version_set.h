@@ -66,6 +66,17 @@ class Version {
       const ReadOptions&, const Slice& user_key,
       const std::function<bool(int, SequenceNumber, bool, const Slice&)>& fn);
 
+  /// Append to *out every L0 file whose key range covers `user_key`,
+  /// newest first (descending file number). Batched lookups (MultiGet)
+  /// use this to build per-file probe groups.
+  void OverlappingL0Files(const Slice& user_key,
+                          std::vector<FileMetaData*>* out) const;
+
+  /// The single file at `level` (>= 1) that may contain `user_key`, or
+  /// nullptr. `ikey` must be an internal-key encoding of `user_key`.
+  FileMetaData* FileForKey(int level, const Slice& user_key,
+                           const Slice& ikey) const;
+
   void Ref();
   void Unref();
 

@@ -29,6 +29,10 @@ const char* TickerName(Ticker t) {
     case kWriteSlowdownMicros: return "write.slowdown.micros";
     case kGroupCommitBatches: return "groupcommit.batches";
     case kGroupCommitWrites: return "groupcommit.writes";
+    case kMultiGetBatches: return "multiget.batches";
+    case kMultiGetKeys: return "multiget.keys";
+    case kParallelTasks: return "query.parallel.tasks";
+    case kParallelWaitMicros: return "query.parallel.wait.micros";
     case kTickerCount: break;
   }
   return "unknown";

@@ -40,6 +40,10 @@ enum Ticker : uint32_t {
   kWriteSlowdownMicros,   // 1ms delays injected at the L0 slowdown trigger
   kGroupCommitBatches,    // combined WAL appends issued by the writer queue
   kGroupCommitWrites,     // Write() calls satisfied by those appends
+  kMultiGetBatches,       // MultiGet calls
+  kMultiGetKeys,          // keys looked up across those calls
+  kParallelTasks,         // query tasks executed on pool workers
+  kParallelWaitMicros,    // caller time blocked on the fan-out barrier
   kTickerCount,
 };
 

@@ -1,0 +1,186 @@
+#include "env/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+
+#include "env/statistics.h"
+
+namespace leveldbpp {
+
+namespace {
+
+// Spinning is only useful when a spare hardware thread exists to observe it;
+// on a single-CPU host every cycle spent polling is stolen from the thread
+// doing the actual work.
+bool SpinUseful() {
+  static const bool useful = std::thread::hardware_concurrency() > 1;
+  return useful;
+}
+
+// How long an idle worker polls for new work before parking on the condvar.
+// Back-to-back ParallelRun regions (one per level barrier, one per MultiGet
+// chunk) arrive well inside this window, so steady-state dispatch costs a
+// single atomic load instead of a condvar wake.
+constexpr auto kIdleSpin = std::chrono::microseconds(100);
+
+}  // namespace
+
+ThreadPool* ThreadPool::Shared(int min_threads) {
+  static ThreadPool* pool = new ThreadPool(0);
+  pool->EnsureThreads(min_threads);
+  return pool;
+}
+
+ThreadPool::ThreadPool(int num_threads) { EnsureThreads(num_threads); }
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_.store(true, std::memory_order_release);
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+    pending_.fetch_add(1, std::memory_order_release);
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::EnsureThreads(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (static_cast<int>(threads_.size()) < n) {
+    threads_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+int ThreadPool::NumThreads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(threads_.size());
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    // Spin-then-park (see the class comment): poll the lock-free pending
+    // count for a bounded window before taking the mutex. cv_.wait's
+    // predicate re-check means a task spotted here is claimed without
+    // sleeping.
+    if (SpinUseful() && pending_.load(std::memory_order_acquire) == 0 &&
+        !shutting_down_.load(std::memory_order_acquire)) {
+      const auto park_at = std::chrono::steady_clock::now() + kIdleSpin;
+      while (pending_.load(std::memory_order_acquire) == 0 &&
+             !shutting_down_.load(std::memory_order_acquire) &&
+             std::chrono::steady_clock::now() < park_at) {
+      }
+    }
+    std::function<void()> fn;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this]() {
+        return shutting_down_.load(std::memory_order_relaxed) ||
+               !queue_.empty();
+      });
+      if (queue_.empty()) return;  // Only on shutdown
+      fn = std::move(queue_.front());
+      queue_.pop_front();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    fn();
+  }
+}
+
+void ParallelRun(std::vector<std::function<void()>>* tasks, int parallelism,
+                 Statistics* stats) {
+  const size_t n = tasks->size();
+  if (n == 0) return;
+  if (parallelism <= 1 || n == 1) {
+    // Sequential fast path: in-order, on the caller, no synchronization.
+    for (auto& task : *tasks) task();
+    return;
+  }
+
+  // Work-sharing: the caller plus (helpers) pool workers drain one shared
+  // counter, so a slow task never leaves the other executors idle while
+  // queued tasks remain.
+  const int helpers =
+      static_cast<int>(std::min<size_t>(parallelism - 1, n - 1));
+  ThreadPool* pool = ThreadPool::Shared(helpers);
+
+  // Heap-allocated, refcounted control block. The caller waits only until
+  // every task has FINISHED, not until every helper has arrived — a helper
+  // showing up after the region drained sees next >= n and touches nothing
+  // but this block, so the caller's stack (and `tasks`) may be long gone.
+  struct Region {
+    std::vector<std::function<void()>>* tasks;
+    size_t n;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto region = std::make_shared<Region>();
+  region->tasks = tasks;
+  region->n = n;
+
+  auto drain = [](Region* r) {
+    while (true) {
+      const size_t i = r->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= r->n) break;
+      (*r->tasks)[i]();
+      // Release so the caller's acquire-load of `done` publishes everything
+      // this task wrote.
+      if (r->done.fetch_add(1, std::memory_order_release) + 1 == r->n) {
+        // Last task overall: wake the caller if it parked. Taking the lock
+        // before notifying closes the race with the caller's predicate
+        // check.
+        std::lock_guard<std::mutex> lock(r->mu);
+        r->cv.notify_all();
+      }
+    }
+  };
+  for (int h = 0; h < helpers; h++) {
+    // `region` captured by value: keeps the block alive past the caller's
+    // return.
+    pool->Submit([region, drain]() { drain(region.get()); });
+  }
+  drain(region.get());
+
+  const auto wait_start = std::chrono::steady_clock::now();
+  if (region->done.load(std::memory_order_acquire) < n) {
+    // The remaining work is at most one in-flight task per helper
+    // (unclaimed tasks would have been claimed by the caller's drain).
+    // Spin briefly for the common a-few-microseconds-left case, then park;
+    // tasks that block on real I/O wake us via the region condvar.
+    if (SpinUseful()) {
+      const auto park_at =
+          std::chrono::steady_clock::now() + std::chrono::microseconds(20);
+      while (region->done.load(std::memory_order_acquire) < n &&
+             std::chrono::steady_clock::now() < park_at) {
+      }
+    }
+    if (region->done.load(std::memory_order_acquire) < n) {
+      std::unique_lock<std::mutex> lock(region->mu);
+      region->cv.wait(lock, [&]() {
+        return region->done.load(std::memory_order_acquire) >= n;
+      });
+    }
+  }
+  if (stats != nullptr) {
+    const auto waited = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - wait_start);
+    // Total tasks executed inside a parallel region (caller + helpers) —
+    // which thread ran each one is a race, the count is not.
+    stats->Record(kParallelTasks, static_cast<uint64_t>(n));
+    stats->Record(kParallelWaitMicros,
+                  static_cast<uint64_t>(waited.count()));
+  }
+}
+
+}  // namespace leveldbpp

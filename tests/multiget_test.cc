@@ -1,0 +1,380 @@
+// DBImpl::MultiGet: batched point lookups must answer exactly like a loop
+// of Get() calls — across memtable / immutable memtable / L0 / deeper
+// levels, through deletes and overwrites, at every read_parallelism — and
+// the TableCache open path must stay single-flight when concurrent readers
+// miss on the same cold file.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "db/db_impl.h"
+#include "db/filename.h"
+#include "env/env.h"
+#include "env/statistics.h"
+#include "table/filter_policy.h"
+
+namespace leveldbpp {
+
+namespace {
+
+std::string Key(int i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "key%06d", i);
+  return buf;
+}
+
+std::string Value(int i, int version) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "{\"Attr\":\"%06d\",\"v\":\"%d\"}", i,
+                version);
+  return buf;
+}
+
+// Forwarding Env that counts NewRandomAccessFile calls per file name; the
+// single-flight regression asserts each cold table file is opened once even
+// under concurrent readers.
+class CountingEnv : public Env {
+ public:
+  explicit CountingEnv(Env* base) : base_(base) {}
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override {
+    return base_->NewSequentialFile(fname, result);
+  }
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override {
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      opens_[fname]++;
+    }
+    return base_->NewRandomAccessFile(fname, result);
+  }
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override {
+    return base_->NewWritableFile(fname, result);
+  }
+  bool FileExists(const std::string& fname) override {
+    return base_->FileExists(fname);
+  }
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override {
+    return base_->GetChildren(dir, result);
+  }
+  Status RemoveFile(const std::string& fname) override {
+    return base_->RemoveFile(fname);
+  }
+  Status CreateDir(const std::string& dirname) override {
+    return base_->CreateDir(dirname);
+  }
+  Status RemoveDir(const std::string& dirname) override {
+    return base_->RemoveDir(dirname);
+  }
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    return base_->GetFileSize(fname, size);
+  }
+  Status RenameFile(const std::string& src,
+                    const std::string& target) override {
+    return base_->RenameFile(src, target);
+  }
+  uint64_t NowMicros() override { return base_->NowMicros(); }
+
+  int MaxTableFileOpens() {
+    std::lock_guard<std::mutex> l(mu_);
+    int max_opens = 0;
+    for (const auto& [fname, count] : opens_) {
+      if (fname.size() > 4 &&
+          fname.compare(fname.size() - 4, 4, ".ldb") == 0) {
+        max_opens = std::max(max_opens, count);
+      }
+    }
+    return max_opens;
+  }
+
+  void ResetCounts() {
+    std::lock_guard<std::mutex> l(mu_);
+    opens_.clear();
+  }
+
+ private:
+  Env* base_;
+  std::mutex mu_;
+  std::map<std::string, int> opens_;
+};
+
+}  // namespace
+
+class MultiGetTest : public testing::Test {
+ protected:
+  MultiGetTest() : env_(NewMemEnv()), dbname_("/multiget_test") {
+    filter_policy_.reset(NewBloomFilterPolicy(10));
+  }
+
+  ~MultiGetTest() override {
+    db_.reset();
+    Options options;
+    options.env = env_.get();
+    DestroyDB(dbname_, options);
+  }
+
+  Options BaseOptions() {
+    Options options;
+    options.env = env_.get();
+    options.create_if_missing = true;
+    options.write_buffer_size = 64 << 10;  // Small: spread keys over levels
+    options.max_file_size = 16 << 10;
+    options.max_bytes_for_level_base = 64 << 10;
+    options.filter_policy = filter_policy_.get();
+    options.statistics = &stats_;
+    return options;
+  }
+
+  void Open(const Options& options) {
+    db_.reset();
+    DBImpl* raw = nullptr;
+    Status s = DBImpl::Open(options, dbname_, &raw);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    db_.reset(raw);
+  }
+
+  // Layered fixture: old values compacted to deeper levels, overwrites and
+  // deletes in L0, the freshest writes still in the memtable.
+  void BuildLayeredDB(int n) {
+    for (int i = 0; i < n; i++) {
+      ASSERT_TRUE(
+          db_->Put(WriteOptions(), Key(i), Value(i, 1)).ok());
+    }
+    ASSERT_TRUE(db_->CompactAll().ok());  // Everything at the bottom
+    for (int i = 0; i < n; i += 3) {
+      ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), Value(i, 2)).ok());
+    }
+    for (int i = 1; i < n; i += 7) {
+      ASSERT_TRUE(db_->Delete(WriteOptions(), Key(i)).ok());
+    }
+    // Force a flush so the overwrites/deletes land in L0, then write a few
+    // more that stay in the memtable.
+    ASSERT_TRUE(db_->Write(WriteOptions(), nullptr).ok());
+    for (int i = 2; i < n; i += 11) {
+      ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), Value(i, 3)).ok());
+    }
+  }
+
+  void CheckMultiGetMatchesGet(const std::vector<std::string>& key_strs) {
+    std::vector<Slice> keys(key_strs.begin(), key_strs.end());
+    std::vector<std::string> values;
+    std::vector<Status> statuses;
+    Status s = db_->MultiGet(ReadOptions(), keys, &values, &statuses);
+    ASSERT_EQ(keys.size(), values.size());
+    ASSERT_EQ(keys.size(), statuses.size());
+    bool any_error = false;
+    for (size_t i = 0; i < keys.size(); i++) {
+      std::string expected;
+      Status gs = db_->Get(ReadOptions(), keys[i], &expected);
+      ASSERT_EQ(gs.ok(), statuses[i].ok())
+          << "key " << key_strs[i] << ": Get=" << gs.ToString()
+          << " MultiGet=" << statuses[i].ToString();
+      if (gs.ok()) {
+        ASSERT_EQ(expected, values[i]) << "key " << key_strs[i];
+      } else {
+        ASSERT_TRUE(statuses[i].IsNotFound()) << statuses[i].ToString();
+      }
+      any_error |= (!statuses[i].ok() && !statuses[i].IsNotFound());
+    }
+    ASSERT_EQ(any_error, !s.ok());
+  }
+
+  Statistics stats_;
+  std::unique_ptr<Env> env_;
+  std::string dbname_;
+  std::unique_ptr<const FilterPolicy> filter_policy_;
+  std::unique_ptr<DBImpl> db_;
+};
+
+TEST_F(MultiGetTest, MatchesGetAcrossResidences) {
+  const int n = 600;
+  for (int parallelism : {0, 2, 4}) {
+    Options options = BaseOptions();
+    options.read_parallelism = parallelism;
+    Open(options);
+    BuildLayeredDB(n);
+
+    // All present keys, plus misses, plus duplicates, in scrambled order.
+    std::vector<std::string> batch;
+    for (int i = n - 1; i >= 0; i--) batch.push_back(Key(i));
+    batch.push_back("absent-low");
+    batch.push_back("zzz-absent-high");
+    batch.push_back(Key(0));   // Duplicate
+    batch.push_back(Key(42));  // Duplicate
+    CheckMultiGetMatchesGet(batch);
+
+    db_.reset();
+    Options destroy;
+    destroy.env = env_.get();
+    ASSERT_TRUE(DestroyDB(dbname_, destroy).ok());
+  }
+}
+
+TEST_F(MultiGetTest, RecordsTickers) {
+  Options options = BaseOptions();
+  options.read_parallelism = 2;
+  // The tiny JSON values compress so well that a compacted level can fit in
+  // ONE table file, which would leave nothing to fan out over. Force several
+  // files so the batch really spans multiple probe groups.
+  options.compression = kNoCompression;
+  options.max_file_size = 4 << 10;
+  Open(options);
+  BuildLayeredDB(600);
+  ASSERT_TRUE(db_->CompactAll().ok());
+
+  stats_.Reset();
+  // Step across the whole key space so the batch spans several SSTables
+  // (one probe group each).
+  std::vector<std::string> key_strs;
+  for (int i = 0; i < 600; i += 12) key_strs.push_back(Key(i));
+  std::vector<Slice> keys(key_strs.begin(), key_strs.end());
+  std::vector<std::string> values;
+  std::vector<Status> statuses;
+  ASSERT_TRUE(db_->MultiGet(ReadOptions(), keys, &values, &statuses).ok());
+  EXPECT_EQ(1u, stats_.Get(kMultiGetBatches));
+  EXPECT_EQ(key_strs.size(), stats_.Get(kMultiGetKeys));
+  // With everything compacted below L0 and parallelism 2, at least one
+  // probe group should have run on a pool worker.
+  EXPECT_GT(stats_.Get(kParallelTasks), 0u);
+}
+
+TEST_F(MultiGetTest, SequentialModeRunsNoPoolTasks) {
+  Options options = BaseOptions();
+  options.read_parallelism = 0;
+  Open(options);
+  BuildLayeredDB(100);
+
+  stats_.Reset();
+  std::vector<std::string> key_strs;
+  for (int i = 0; i < 50; i++) key_strs.push_back(Key(i));
+  std::vector<Slice> keys(key_strs.begin(), key_strs.end());
+  std::vector<std::string> values;
+  std::vector<Status> statuses;
+  ASSERT_TRUE(db_->MultiGet(ReadOptions(), keys, &values, &statuses).ok());
+  EXPECT_EQ(0u, stats_.Get(kParallelTasks));
+  EXPECT_EQ(0u, stats_.Get(kParallelWaitMicros));
+}
+
+TEST_F(MultiGetTest, EmptyBatch) {
+  Open(BaseOptions());
+  std::vector<Slice> keys;
+  std::vector<std::string> values;
+  std::vector<Status> statuses;
+  ASSERT_TRUE(db_->MultiGet(ReadOptions(), keys, &values, &statuses).ok());
+  EXPECT_TRUE(values.empty());
+  EXPECT_TRUE(statuses.empty());
+}
+
+TEST_F(MultiGetTest, AllMissing) {
+  Options options = BaseOptions();
+  options.read_parallelism = 4;
+  Open(options);
+  BuildLayeredDB(50);
+  std::vector<std::string> key_strs = {"nope1", "nope2", "nope3"};
+  std::vector<Slice> keys(key_strs.begin(), key_strs.end());
+  std::vector<std::string> values;
+  std::vector<Status> statuses;
+  ASSERT_TRUE(db_->MultiGet(ReadOptions(), keys, &values, &statuses).ok());
+  for (const Status& s : statuses) EXPECT_TRUE(s.IsNotFound());
+}
+
+// Every key of a batch is answered from ONE pinned version + memtable pair:
+// a writer racing the batch may or may not be visible, but per key the
+// answer must be one of that key's committed values, and keys written
+// before the batch started must never regress.
+TEST_F(MultiGetTest, ConcurrencyWithWriters) {
+  Options options = BaseOptions();
+  options.read_parallelism = 4;
+  options.background_compaction = true;
+  Open(options);
+
+  const int n = 200;
+  for (int i = 0; i < n; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), Value(i, 1)).ok());
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&]() {
+    int version = 2;
+    while (!stop.load(std::memory_order_acquire)) {
+      for (int i = 0; i < n; i += 5) {
+        db_->Put(WriteOptions(), Key(i), Value(i, version));
+      }
+      version++;
+    }
+  });
+
+  std::vector<std::string> key_strs;
+  for (int i = 0; i < n; i++) key_strs.push_back(Key(i));
+  std::vector<Slice> keys(key_strs.begin(), key_strs.end());
+  for (int round = 0; round < 50; round++) {
+    std::vector<std::string> values;
+    std::vector<Status> statuses;
+    Status s = db_->MultiGet(ReadOptions(), keys, &values, &statuses);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    for (int i = 0; i < n; i++) {
+      ASSERT_TRUE(statuses[i].ok()) << statuses[i].ToString();
+      // Value must be a committed version of THIS key.
+      ASSERT_EQ(0u, values[i].find("{\"Attr\":\""))
+          << "key " << i << " value " << values[i];
+      char attr[16];
+      std::snprintf(attr, sizeof(attr), "%06d", i);
+      ASSERT_NE(std::string::npos, values[i].find(attr));
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  writer.join();
+  ASSERT_TRUE(db_->WaitForBackgroundWork().ok());
+}
+
+// Regression: concurrent readers missing on the same cold table file must
+// open it exactly once (single-flight), not once per thread.
+TEST_F(MultiGetTest, TableCacheSingleFlightOpens) {
+  CountingEnv counting_env(env_.get());
+  Options options = BaseOptions();
+  options.env = &counting_env;
+  options.read_parallelism = 0;
+  Open(options);
+
+  const int n = 400;
+  for (int i = 0; i < n; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), Value(i, 1)).ok());
+  }
+  ASSERT_TRUE(db_->CompactAll().ok());
+
+  // Reopen: fresh TableCache, every table file cold.
+  Open(options);
+  counting_env.ResetCounts();
+
+  const int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < n; i++) {
+        std::string value;
+        Status s = db_->Get(ReadOptions(), Key(i), &value);
+        if (!s.ok() || value != Value(i, 1)) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(0, failures.load());
+  EXPECT_EQ(1, counting_env.MaxTableFileOpens());
+  db_.reset();  // Must not outlive the stack-scoped env
+}
+
+}  // namespace leveldbpp
