@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Full pre-merge check: release build + tests, then ThreadSanitizer and
-# Address+UB Sanitizer builds running the concurrency/parallel-read tests.
+# Address+UB Sanitizer builds running the concurrency/parallel-read tests
+# and a "faults" step running the fault-injection / crash-recovery suites
+# under both sanitizers.
 #
 # Usage: scripts/check.sh [--sanitize-all]
 #   --sanitize-all  run the entire test suite (not just the concurrency and
@@ -38,5 +40,18 @@ cmake --build --preset asan -j "$(nproc)"
 
 echo "==> ASan tests (${SAN_FILTER:-full suite})"
 ASAN_OPTIONS="halt_on_error=1" ctest --preset asan ${SAN_FILTER:+-R "${SAN_FILTER#-R }"}
+
+# Crash-consistency: the FaultInjection / CrashRecovery / RandomizedCrash
+# suites drive every index variant through write -> crash -> reopen cycles.
+# Run them under both sanitizers (they are quick but memory-intensive, so
+# they are not part of the default SAN_FILTER above). Skipped when
+# --sanitize-all already ran the full suites.
+FAULT_FILTER="FaultInjection|CrashRecovery|RandomizedCrash"
+if [[ -n "${SAN_FILTER}" ]]; then
+  echo "==> TSan fault-injection tests"
+  TSAN_OPTIONS="halt_on_error=1" ctest --preset tsan -R "${FAULT_FILTER}"
+  echo "==> ASan fault-injection tests"
+  ASAN_OPTIONS="halt_on_error=1" ctest --preset asan -R "${FAULT_FILTER}"
+fi
 
 echo "==> All checks passed"

@@ -107,7 +107,13 @@ Status CompositeIndex::RangeLookup(const Slice& lo, const Slice& hi,
   std::set<std::string> seen;
   if (!parallel_reads()) {
     for (const Candidate& c : candidates) {
-      if (heap.Full()) break;  // Descending seq: nothing below can displace.
+      // Stop on the STORED seq bound, not on a full heap: a crash-stale
+      // entry (index written ahead of a primary put that never committed)
+      // can validate at a lower primary seq than it stored, so a full heap
+      // may still be displaced by later candidates — but never by one whose
+      // stored seq is at or below the heap floor, since a validated
+      // result's seq never exceeds the stored seq that produced it.
+      if (!heap.WouldAdmit(c.seq)) break;  // Candidates are seq-descending
       if (!seen.insert(c.primary_key).second) continue;
       QueryResult r;
       if (FetchAndValidate(Slice(c.primary_key), lo, hi, &r)) {
@@ -121,7 +127,10 @@ Status CompositeIndex::RangeLookup(const Slice& lo, const Slice& hi,
     // heap retains, so Add() rejects them and the final heap is identical.
     const size_t chunk = BatchChunk(k);
     size_t idx = 0;
-    while (idx < candidates.size() && !heap.Full()) {
+    // Chunk boundaries stop on the next candidate's STORED seq (see the
+    // sequential path: a full heap alone is not a sound cutoff when
+    // crash-stale entries validate below their stored seq).
+    while (idx < candidates.size() && heap.WouldAdmit(candidates[idx].seq)) {
       std::vector<std::string> cand;
       while (idx < candidates.size() && cand.size() < chunk) {
         const Candidate& c = candidates[idx++];
@@ -131,7 +140,7 @@ Status CompositeIndex::RangeLookup(const Slice& lo, const Slice& hi,
       std::vector<QueryResult> fetched;
       std::vector<char> valid;
       FetchAndValidateBatch(cand, lo, hi, &fetched, &valid);
-      for (size_t i = 0; i < cand.size() && !heap.Full(); i++) {
+      for (size_t i = 0; i < cand.size(); i++) {
         if (valid[i]) heap.Add(std::move(fetched[i]));
       }
     }

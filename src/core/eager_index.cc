@@ -84,12 +84,18 @@ Status EagerIndex::Lookup(const Slice& value, size_t k,
   std::set<std::string> seen;
   if (!parallel_reads()) {
     for (const PostingEntry& e : entries) {
+      // Stop on the STORED seq bound, not on a full heap: a crash-stale
+      // entry (written index-first, primary never committed) can validate
+      // at a lower primary seq than it stored, so a full heap may still be
+      // displaced by later entries — but never by one whose stored seq is
+      // already at or below the heap floor, since a validated result's seq
+      // never exceeds the stored seq of the entry that produced it.
+      if (!heap.WouldAdmit(e.seq)) break;  // List is stored-seq-descending
       if (e.deleted) continue;
       if (!seen.insert(e.primary_key).second) continue;
       QueryResult r;
       if (FetchAndValidate(Slice(e.primary_key), value, value, &r)) {
         heap.Add(std::move(r));
-        if (heap.Full()) break;  // List is newest-first: we can stop.
       }
     }
   } else {
@@ -99,7 +105,10 @@ Status EagerIndex::Lookup(const Slice& value, size_t k,
     // retains, so Add() rejects them and the final heap is identical.
     const size_t chunk = BatchChunk(k);
     size_t idx = 0;
-    while (idx < entries.size() && !heap.Full()) {
+    // Chunk boundaries stop on the next entry's STORED seq (see the
+    // sequential path: a full heap alone is not a sound cutoff when
+    // crash-stale entries validate below their stored seq).
+    while (idx < entries.size() && heap.WouldAdmit(entries[idx].seq)) {
       std::vector<std::string> cand;
       while (idx < entries.size() && cand.size() < chunk) {
         const PostingEntry& e = entries[idx++];
@@ -110,7 +119,7 @@ Status EagerIndex::Lookup(const Slice& value, size_t k,
       std::vector<QueryResult> fetched;
       std::vector<char> valid;
       FetchAndValidateBatch(cand, value, value, &fetched, &valid);
-      for (size_t i = 0; i < cand.size() && !heap.Full(); i++) {
+      for (size_t i = 0; i < cand.size(); i++) {
         if (valid[i]) heap.Add(std::move(fetched[i]));
       }
     }

@@ -50,6 +50,12 @@ Status LazyIndex::Lookup(const Slice& value, size_t k,
   // at the first level boundary where the heap is full.
   TopKCollector heap(k);
   std::set<std::string> seen;  // Shadowing: newer fragments win per key
+  // A crash-stale entry (index fragment written ahead of a primary put that
+  // never committed) validates at a LOWER primary seq than it stored. Once
+  // such a result is admitted, "heap full" no longer proves that older
+  // fragments can't displace anything, so the level-boundary shortcut is
+  // disabled for the rest of the scan.
+  bool stale_admitted = false;
   const bool batched = parallel_reads();
   Status s = index_db_->GetFragments(
       ReadOptions(), value,
@@ -67,6 +73,7 @@ Status LazyIndex::Lookup(const Slice& value, size_t k,
               if (!heap.WouldAdmit(e.seq)) continue;
               QueryResult r;
               if (FetchAndValidate(Slice(e.primary_key), value, value, &r)) {
+                if (r.seq != e.seq) stale_admitted = true;
                 heap.Add(std::move(r));
               }
             }
@@ -80,26 +87,34 @@ Status LazyIndex::Lookup(const Slice& value, size_t k,
             // order, so the final heap is identical.
             const size_t chunk = BatchChunk(k);
             std::vector<std::string> cand;
+            std::vector<SequenceNumber> cand_seqs;  // Stored seq per cand
             auto flush = [&]() {
               std::vector<QueryResult> fetched;
               std::vector<char> valid;
               FetchAndValidateBatch(cand, value, value, &fetched, &valid);
               for (size_t i = 0; i < cand.size(); i++) {
-                if (valid[i]) heap.Add(std::move(fetched[i]));
+                if (valid[i]) {
+                  if (fetched[i].seq != cand_seqs[i]) stale_admitted = true;
+                  heap.Add(std::move(fetched[i]));
+                }
               }
               cand.clear();
+              cand_seqs.clear();
             };
             for (const PostingEntry& e : entries) {
               if (!seen.insert(e.primary_key).second) continue;
               if (e.deleted) continue;
               if (!heap.WouldAdmit(e.seq)) continue;
               cand.push_back(e.primary_key);
+              cand_seqs.push_back(e.seq);
               if (cand.size() >= chunk) flush();
             }
             flush();
           }
         }
-        return !heap.Full();  // Stop descending once top-K is complete.
+        // Stop descending once top-K is complete — unless a crash-stale
+        // admission broke the levels-are-older invariant (see above).
+        return !heap.Full() || stale_admitted;
       });
   if (!s.ok()) return s;
   *results = heap.TakeSortedNewestFirst();
@@ -115,6 +130,9 @@ Status LazyIndex::RangeLookup(const Slice& lo, const Slice& hi, size_t k,
   // every secondary key in [lo, hi]; per-key shadowing tracks which
   // (secondary key, primary key) pairs newer levels already decided.
   TopKCollector heap(k);
+  // Disables the level-boundary shortcut once a crash-stale entry (stored
+  // seq above the validated primary seq) has been admitted; see Lookup.
+  bool stale_admitted = false;
   std::set<std::pair<std::string, std::string>> seen;  // (attr val, key)
   // A record updated between two secondary keys both inside [lo, hi] has
   // live-looking entries under each; only one result may be emitted. The
@@ -135,14 +153,19 @@ Status LazyIndex::RangeLookup(const Slice& lo, const Slice& hi, size_t k,
     // through chunked MultiGets (see Lookup for why the final heap is
     // identical to the sequential interleaving).
     std::vector<std::string> cand;
+    std::vector<SequenceNumber> cand_seqs;  // Stored seq per candidate
     auto flush = [&]() {
       std::vector<QueryResult> fetched;
       std::vector<char> valid;
       FetchAndValidateBatch(cand, lo, hi, &fetched, &valid);
       for (size_t i = 0; i < cand.size(); i++) {
-        if (valid[i]) heap.Add(std::move(fetched[i]));
+        if (valid[i]) {
+          if (fetched[i].seq != cand_seqs[i]) stale_admitted = true;
+          heap.Add(std::move(fetched[i]));
+        }
       }
       cand.clear();
+      cand_seqs.clear();
     };
     // Within one recency bucket a secondary key may still have several
     // versions (unflushed memtable history); internal ordering puts the
@@ -178,18 +201,22 @@ Status LazyIndex::RangeLookup(const Slice& lo, const Slice& hi, size_t k,
         if (!checked.insert(e.primary_key).second) continue;
         if (batched) {
           cand.push_back(e.primary_key);
+          cand_seqs.push_back(e.seq);
           if (cand.size() >= chunk) flush();
           continue;
         }
         QueryResult r;
         if (FetchAndValidate(Slice(e.primary_key), lo, hi, &r)) {
+          if (r.seq != e.seq) stale_admitted = true;
           heap.Add(std::move(r));
         }
       }
     }
     if (!it->status().ok()) return it->status();
     if (!cand.empty()) flush();
-    if (heap.Full()) break;  // Level boundary: lower levels are older.
+    // Level boundary: lower levels are older — unless a crash-stale
+    // admission broke that invariant (see Lookup).
+    if (heap.Full() && !stale_admitted) break;
   }
   *results = heap.TakeSortedNewestFirst();
   return Status::OK();

@@ -30,8 +30,14 @@ Status SecondaryDB::Open(const SecondaryDBOptions& options,
   Status s = env->CreateDir(path);
   if (!s.ok()) return s;
 
+  // Crash-consistency mode syncs every table's WAL, the index tables'
+  // internal writes included — that is the whole point of routing the knob
+  // through Options instead of per-call WriteOptions.
+  Options base = options.base;
+  base.sync_writes = base.sync_writes || options.sync_writes;
+
   // Primary table.
-  Options primary_options = options.base;
+  Options primary_options = base;
   primary_options.env = env;
   primary_options.create_if_missing = true;
   primary_options.statistics = db->primary_stats_.get();
@@ -58,14 +64,13 @@ Status SecondaryDB::Open(const SecondaryDBOptions& options,
         index.reset(new EmbeddedIndex(attr, primary));
         break;
       case IndexType::kLazy:
-        s = LazyIndex::Open(attr, primary, options.base, index_path, &index);
+        s = LazyIndex::Open(attr, primary, base, index_path, &index);
         break;
       case IndexType::kEager:
-        s = EagerIndex::Open(attr, primary, options.base, index_path, &index);
+        s = EagerIndex::Open(attr, primary, base, index_path, &index);
         break;
       case IndexType::kComposite:
-        s = CompositeIndex::Open(attr, primary, options.base, index_path,
-                                 &index);
+        s = CompositeIndex::Open(attr, primary, base, index_path, &index);
         break;
     }
     if (!s.ok()) return s;
@@ -98,6 +103,22 @@ Status SecondaryDB::Put(const Slice& key, const Slice& json_value) {
         attr_values.emplace_back(index.get(), attr_value);
       }
     }
+  }
+
+  if (options_.sync_writes) {
+    // Crash-consistency ordering: durably write the index entries FIRST,
+    // tagged with the sequence number the primary write is about to be
+    // assigned (valid under the documented single-writer requirement). Any
+    // crash prefix then leaves at worst a stale posting — the primary
+    // either lacks the key or holds an older attribute value, and
+    // query-time validation filters both. The reverse order could lose an
+    // acknowledged-by-primary record from query results forever.
+    const SequenceNumber seq = primary_->LastSequence() + 1;
+    for (auto& [index, attr_value] : attr_values) {
+      Status s = index->OnPut(key, Slice(attr_value), seq);
+      if (!s.ok()) return s;
+    }
+    return primary_->Put(WriteOptions(), key, json_value);
   }
 
   Status s = primary_->Put(WriteOptions(), key, json_value);
@@ -135,6 +156,13 @@ Status SecondaryDB::Delete(const Slice& key) {
     }
   }
 
+  // Delete stays primary-first even in sync_writes mode — the OPPOSITE of
+  // Put's crash ordering, for the same reason. A Lazy deletion marker
+  // shadows every older posting for its key, so an index-first crash could
+  // leave a phantom marker hiding a record the primary still holds: a live
+  // record silently missing from query results, unfilterable. Primary-first
+  // instead leaves at worst a primary tombstone with lingering index
+  // postings, which validation filters (the primary Get misses).
   Status s = primary_->Delete(WriteOptions(), key);
   if (!s.ok()) return s;
   const SequenceNumber seq = primary_->LastSequence();

@@ -43,6 +43,17 @@ struct SecondaryDBOptions {
   /// Bloom bits/key for the Embedded index's per-block secondary filters
   /// (the paper uses 20 by default and sweeps 5..30 in Appendix C.1).
   int embedded_bloom_bits_per_key = 20;
+
+  /// Crash-consistency mode. Forces Options::sync_writes on the primary
+  /// table AND every stand-alone index table (each write fsyncs its WAL
+  /// before acknowledging), and flips Put to write index entries BEFORE
+  /// the primary record. With that ordering, a crash at any point leaves at
+  /// worst a stale index posting — which query-time validation against the
+  /// primary already filters — never a missing one; so an acknowledged Put
+  /// is always queryable after recovery. Requires a single writer thread
+  /// (Put predicts the primary's next sequence number). Default off: the
+  /// paper benches measure buffered writes.
+  bool sync_writes = false;
 };
 
 class SecondaryDB {

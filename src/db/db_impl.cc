@@ -267,6 +267,9 @@ Status DBImpl::RecoverLogFile(uint64_t log_number, VersionEdit* edit,
   WriteBatch batch;
   MemTable* mem = nullptr;
   while (reader.ReadRecord(&record, &scratch) && log_status.ok()) {
+    if (options_.statistics != nullptr) {
+      options_.statistics->Record(kRecoveryWalRecords);
+    }
     if (record.size() < 12) {
       continue;  // Too small to be a valid batch header
     }
@@ -293,6 +296,9 @@ Status DBImpl::RecoverLogFile(uint64_t log_number, VersionEdit* edit,
     }
   }
   if (s.ok() && !log_status.ok()) s = log_status;
+  if (options_.statistics != nullptr && reader.TornTailBytes() > 0) {
+    options_.statistics->Record(kRecoveryTornTailBytes, reader.TornTailBytes());
+  }
 
   if (s.ok() && mem != nullptr && mem->NumEntries() > 0) {
     s = WriteLevel0Table(mem, edit);
@@ -361,9 +367,10 @@ Status DBImpl::Delete(const WriteOptions& o, const Slice& key) {
 }
 
 Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
+  const bool sync = options.sync || options_.sync_writes;
   Writer w(&mutex_);
   w.batch = updates;
-  w.sync = options.sync;
+  w.sync = sync;
   w.done = false;
 
   MutexLock l(&mutex_);
@@ -403,7 +410,7 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
         options_.statistics->Record(kGroupCommitBatches);
         options_.statistics->Record(kGroupCommitWrites, group_size);
       }
-      if (status.ok() && options.sync) {
+      if (status.ok() && sync) {
         status = logfile_->Sync();
       }
       if (status.ok()) {
@@ -411,6 +418,15 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
                                                 options_.value_merger);
       }
       mutex_.Lock();
+      if (!status.ok()) {
+        // The WAL tail — or the memtable — is now in an unknown state
+        // relative to what callers were (or will be) told. Appending more
+        // records after a torn one could let a later replay surface writes
+        // the application saw fail, or drop writes it saw succeed. Make the
+        // error sticky: reject everything until a reopen re-derives a
+        // consistent tail from the log.
+        RecordBackgroundError(status);
+      }
     }
     if (write_batch == &tmp_batch_) tmp_batch_.Clear();
     versions_->SetLastSequence(last_sequence);
@@ -525,7 +541,7 @@ Status DBImpl::MakeRoomForWrite(bool force) {
     }
     ReleaseCompactionToken();
     if (!s.ok()) {
-      bg_error_ = s;
+      RecordBackgroundError(s);
     }
     return s;
   }
@@ -561,7 +577,7 @@ Status DBImpl::MakeRoomForWrite(bool force) {
         // and the write path resumes as soon as it completes.
         Status fs = CompactMemTable();
         if (!fs.ok()) {
-          bg_error_ = fs;
+          RecordBackgroundError(fs);
         }
       } else {
         // Another thread is already flushing: stop-stall until it lands.
@@ -603,6 +619,14 @@ Status DBImpl::MakeRoomForWrite(bool force) {
   return s;
 }
 
+void DBImpl::RecordBackgroundError(const Status& s) {
+  mutex_.AssertHeld();
+  if (bg_error_.ok()) {
+    bg_error_ = s;
+    background_work_finished_signal_.SignalAll();
+  }
+}
+
 void DBImpl::MaybeScheduleCompaction() {
   mutex_.AssertHeld();
   if (!options_.background_compaction) return;  // Sync mode works inline.
@@ -633,7 +657,7 @@ void DBImpl::BackgroundCall() {
     }
     ReleaseCompactionToken();
     if (!s.ok()) {
-      bg_error_ = s;
+      RecordBackgroundError(s);
     }
   }
   background_compaction_scheduled_ = false;
@@ -1934,7 +1958,7 @@ void DBImpl::CompactRange(const Slice* begin, const Slice* end) {
   }
   ReleaseCompactionToken();
   if (!s.ok()) {
-    bg_error_ = s;
+    RecordBackgroundError(s);
   }
 }
 

@@ -236,6 +236,11 @@ class DBImpl : public DB {
   WriteBatch* BuildBatchGroup(Writer** last_writer, int* group_size)
       EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
+  /// Make `s` the sticky background error (first error wins) and wake every
+  /// stalled waiter. Once set, Put/Delete/Write reject immediately with it;
+  /// only reopening the DB clears the state.
+  void RecordBackgroundError(const Status& s) EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+
   /// Schedule background work if any is pending (background mode only).
   void MaybeScheduleCompaction() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
   static void BGWork(void* db);

@@ -111,6 +111,15 @@ struct Options {
   /// "Parallel read path".
   int read_parallelism = 0;
 
+  /// Force every write through the WriteOptions{sync=true} path, fsyncing
+  /// the WAL before the write is acknowledged. This is how SecondaryDB's
+  /// crash-consistency mode makes its internal index-table writes durable
+  /// without threading a WriteOptions through every index hook; it is also
+  /// what the fault-injection crash tests flip on so that "acknowledged"
+  /// equals "survives power loss". Default off: the paper benches measure
+  /// the buffered write path.
+  bool sync_writes = false;
+
   /// Size ratio between adjacent levels (paper/LevelDB: 10).
   int level_size_multiplier = 10;
 

@@ -1,0 +1,284 @@
+#include "env/fault_injection_env.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace leveldbpp {
+
+namespace {
+
+// Read a whole file from `env` into *contents (files here are small: WALs,
+// MANIFESTs, scaled-down SSTables).
+Status ReadWholeFile(Env* env, const std::string& fname,
+                     std::string* contents) {
+  contents->clear();
+  std::unique_ptr<SequentialFile> file;
+  Status s = env->NewSequentialFile(fname, &file);
+  if (!s.ok()) return s;
+  char scratch[1 << 16];
+  Slice chunk;
+  do {
+    s = file->Read(sizeof(scratch), &chunk, scratch);
+    if (!s.ok()) return s;
+    contents->append(chunk.data(), chunk.size());
+  } while (!chunk.empty());
+  return Status::OK();
+}
+
+}  // namespace
+
+// Forwards to the base WritableFile, reporting appends/syncs to the env for
+// durability tracking and consulting it for injected errors. An injected
+// error performs no base-file side effect.
+class FaultInjectionWritableFile final : public WritableFile {
+ public:
+  FaultInjectionWritableFile(FaultInjectionEnv* env, std::string fname,
+                             std::unique_ptr<WritableFile> base)
+      : env_(env), fname_(std::move(fname)), base_(std::move(base)) {}
+
+  Status Append(const Slice& data) override {
+    Status s = env_->MaybeInjectError(FaultInjectionEnv::kOpAppend);
+    if (!s.ok()) return s;
+    s = base_->Append(data);
+    if (s.ok()) env_->OnAppend(fname_, data.size());
+    return s;
+  }
+
+  Status Close() override { return base_->Close(); }
+
+  Status Flush() override {
+    // Flush moves data from the process to the OS, not to the device: it
+    // counts as an append-class op for injection but does NOT mark bytes
+    // durable.
+    Status s = env_->MaybeInjectError(FaultInjectionEnv::kOpAppend);
+    if (!s.ok()) return s;
+    return base_->Flush();
+  }
+
+  Status Sync() override {
+    Status s = env_->MaybeInjectError(FaultInjectionEnv::kOpSync);
+    if (!s.ok()) return s;
+    s = base_->Sync();
+    if (s.ok()) env_->OnSync(fname_);
+    return s;
+  }
+
+ private:
+  FaultInjectionEnv* const env_;
+  const std::string fname_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+FaultInjectionEnv::FaultInjectionEnv(Env* base, uint32_t seed,
+                                     Statistics* stats)
+    : base_(base), stats_(stats), rnd_(seed) {}
+
+void FaultInjectionEnv::FailAfter(uint64_t n, uint32_t mask) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_mask_ = mask;
+  ops_until_failure_ = n;
+  counting_ = true;
+  fail_one_in_ = 0;
+  tripped_ = false;
+}
+
+void FaultInjectionEnv::FailWithProbability(uint32_t one_in, uint32_t mask) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_mask_ = mask;
+  counting_ = false;
+  fail_one_in_ = one_in;
+  tripped_ = false;
+}
+
+void FaultInjectionEnv::ClearFaults() {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_mask_ = 0;
+  counting_ = false;
+  fail_one_in_ = 0;
+  tripped_ = false;
+}
+
+bool FaultInjectionEnv::FaultsTripped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tripped_;
+}
+
+uint64_t FaultInjectionEnv::op_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return op_count_;
+}
+
+void FaultInjectionEnv::ResetOpCount() {
+  std::lock_guard<std::mutex> lock(mu_);
+  op_count_ = 0;
+}
+
+Status FaultInjectionEnv::MaybeInjectError(uint32_t kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  op_count_++;
+  if ((fail_mask_ & kind) == 0) return Status::OK();
+  bool fail = false;
+  if (tripped_) {
+    fail = true;  // Sticky: the "device" stays gone.
+  } else if (counting_) {
+    if (ops_until_failure_ == 0) {
+      tripped_ = true;
+      fail = true;
+    } else {
+      ops_until_failure_--;
+    }
+  } else if (fail_one_in_ > 0) {
+    if (rnd_.OneIn(static_cast<int>(fail_one_in_))) {
+      tripped_ = true;  // Probabilistic failures are sticky too.
+      fail = true;
+    }
+  }
+  if (!fail) return Status::OK();
+  if (stats_ != nullptr) stats_->Record(kFaultInjectedErrors);
+  return Status::IOError("injected fault");
+}
+
+void FaultInjectionEnv::OnAppend(const std::string& fname, uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_[fname].length += bytes;
+}
+
+void FaultInjectionEnv::OnSync(const std::string& fname) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FileState& fs = files_[fname];
+  fs.synced_length = fs.length;
+}
+
+Status FaultInjectionEnv::SimulateCrash(CrashMode mode) {
+  // Snapshot the tracking map, then rewrite outside the lock (the rewrite
+  // goes through base_ directly, so it is neither counted nor failed).
+  std::vector<std::pair<std::string, FileState>> tracked;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tracked.assign(files_.begin(), files_.end());
+  }
+
+  Status result;
+  for (const auto& [fname, state] : tracked) {
+    uint64_t keep = state.synced_length;
+    if (mode == CrashMode::kTornTail && state.length > state.synced_length) {
+      const uint64_t unsynced = state.length - state.synced_length;
+      std::lock_guard<std::mutex> lock(mu_);
+      keep += rnd_.Uniform(
+          static_cast<int>(std::min<uint64_t>(unsynced, 0x7ffffffe)) + 1);
+    }
+
+    std::string contents;
+    Status s = ReadWholeFile(base_, fname, &contents);
+    if (s.IsNotFound()) continue;  // Removed after being tracked: fine.
+    if (!s.ok()) {
+      if (result.ok()) result = s;
+      continue;
+    }
+    // The file may be longer than our byte count if it predates tracking;
+    // never grow it, only cut the tracked-unsynced suffix.
+    const uint64_t untracked_prefix =
+        contents.size() >= state.length ? contents.size() - state.length : 0;
+    const uint64_t new_size =
+        std::min<uint64_t>(contents.size(), untracked_prefix + keep);
+    contents.resize(new_size);
+
+    std::unique_ptr<WritableFile> out;
+    s = base_->NewWritableFile(fname, &out);
+    if (s.ok()) s = out->Append(Slice(contents));
+    if (s.ok()) s = out->Sync();
+    if (s.ok()) s = out->Close();
+    if (!s.ok() && result.ok()) result = s;
+  }
+
+  // Post-crash, everything that survived is durable.
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.clear();
+  return result;
+}
+
+void FaultInjectionEnv::UntrackAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.clear();
+}
+
+Status FaultInjectionEnv::NewSequentialFile(
+    const std::string& fname, std::unique_ptr<SequentialFile>* result) {
+  return base_->NewSequentialFile(fname, result);
+}
+
+Status FaultInjectionEnv::NewRandomAccessFile(
+    const std::string& fname, std::unique_ptr<RandomAccessFile>* result) {
+  return base_->NewRandomAccessFile(fname, result);
+}
+
+Status FaultInjectionEnv::NewWritableFile(
+    const std::string& fname, std::unique_ptr<WritableFile>* result) {
+  Status s = MaybeInjectError(kOpNewWritable);
+  if (!s.ok()) return s;
+  std::unique_ptr<WritableFile> base_file;
+  s = base_->NewWritableFile(fname, &base_file);
+  if (!s.ok()) return s;
+  {
+    // Creation truncates: fresh, fully-volatile state.
+    std::lock_guard<std::mutex> lock(mu_);
+    files_[fname] = FileState();
+  }
+  result->reset(
+      new FaultInjectionWritableFile(this, fname, std::move(base_file)));
+  return Status::OK();
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& fname) {
+  return base_->FileExists(fname);
+}
+
+Status FaultInjectionEnv::GetChildren(const std::string& dir,
+                                      std::vector<std::string>* result) {
+  return base_->GetChildren(dir, result);
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& fname) {
+  Status s = MaybeInjectError(kOpRemove);
+  if (!s.ok()) return s;
+  s = base_->RemoveFile(fname);
+  if (s.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    files_.erase(fname);
+  }
+  return s;
+}
+
+Status FaultInjectionEnv::CreateDir(const std::string& dirname) {
+  return base_->CreateDir(dirname);
+}
+
+Status FaultInjectionEnv::RemoveDir(const std::string& dirname) {
+  return base_->RemoveDir(dirname);
+}
+
+Status FaultInjectionEnv::GetFileSize(const std::string& fname,
+                                      uint64_t* size) {
+  return base_->GetFileSize(fname, size);
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& src,
+                                     const std::string& target) {
+  Status s = MaybeInjectError(kOpRename);
+  if (!s.ok()) return s;
+  s = base_->RenameFile(src, target);
+  if (s.ok()) {
+    // The durability state travels with the contents.
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(src);
+    if (it != files_.end()) {
+      files_[target] = it->second;
+      files_.erase(it);
+    } else {
+      files_.erase(target);
+    }
+  }
+  return s;
+}
+
+}  // namespace leveldbpp

@@ -1,0 +1,167 @@
+// FaultInjectionEnv: an Env wrapper that simulates crashes and injects I/O
+// errors, for the crash-recovery harness (tests/fault_injection_test.cc,
+// tests/crash_recovery_test.cc, tests/randomized_crash_test.cc).
+//
+// Three capabilities, composable and independent:
+//
+//  1. Crash simulation. Every file written through the wrapper tracks how
+//     many of its bytes have been Sync()ed. SimulateCrash() rewrites every
+//     tracked file in the base Env down to its durable prefix:
+//       * kDropUnsynced — keep exactly the synced bytes (clean power loss),
+//       * kTornTail    — additionally keep a seeded-random prefix of the
+//                        unsynced tail, cut at an arbitrary byte boundary
+//                        (a torn write: the device persisted part of the
+//                        in-flight data). Prefix semantics are preserved —
+//                        synced data always survives, and what survives of
+//                        the unsynced tail is always a contiguous prefix.
+//     Rename carries the durability state to the new name (the engine only
+//     renames fully-synced files, e.g. CURRENT installation); Remove forgets
+//     it. Metadata operations themselves (create/rename/remove) are treated
+//     as immediately durable — the engine's recovery protocol must not
+//     depend on unsynced *data*, which is exactly what the harness checks.
+//
+//  2. Deterministic error injection. FailAfter(n, mask) lets the next n
+//     operations matching `mask` succeed; the (n+1)th and every later
+//     matching operation fails with Status::IOError, until ClearFaults().
+//     Counting is deterministic, so "crash at syscall N" test matrices are
+//     reproducible. FailWithProbability(one_in, mask) is the seeded
+//     randomized variant. Injected failures perform NO side effect on the
+//     base Env (the append/sync/create never happens).
+//
+//  3. Accounting. op_count() says how many matching operations ran (probe
+//     a workload once to learn its syscall range, then sweep crash points
+//     across it). Injected errors are counted in the optional Statistics as
+//     kFaultInjectedErrors.
+//
+// Thread-safe. Does not take ownership of the base Env.
+
+#ifndef LEVELDBPP_ENV_FAULT_INJECTION_ENV_H_
+#define LEVELDBPP_ENV_FAULT_INJECTION_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "env/env.h"
+#include "env/statistics.h"
+#include "util/random.h"
+
+namespace leveldbpp {
+
+class FaultInjectionEnv : public Env {
+ public:
+  /// Operation classes for FailAfter/FailWithProbability masks.
+  enum OpKind : uint32_t {
+    kOpAppend = 1u << 0,       // WritableFile::Append / Flush
+    kOpSync = 1u << 1,         // WritableFile::Sync
+    kOpNewWritable = 1u << 2,  // Env::NewWritableFile
+    kOpRename = 1u << 3,       // Env::RenameFile
+    kOpRemove = 1u << 4,       // Env::RemoveFile
+    kOpAllWrites = 0xffffffffu,
+  };
+
+  enum class CrashMode {
+    kDropUnsynced,  // Keep exactly the synced prefix of every file.
+    kTornTail,      // Also keep a random prefix of each unsynced tail.
+  };
+
+  /// `stats`, when non-null, receives kFaultInjectedErrors. `seed` drives
+  /// kTornTail cut points and probabilistic failures.
+  explicit FaultInjectionEnv(Env* base, uint32_t seed = 301,
+                             Statistics* stats = nullptr);
+
+  // ---- Fault control ----
+
+  /// Let `n` more operations matching `mask` succeed; fail every matching
+  /// operation after that (sticky) until ClearFaults(). n == 0 fails the
+  /// next matching operation.
+  void FailAfter(uint64_t n, uint32_t mask = kOpAllWrites);
+
+  /// Fail each matching operation with probability 1/one_in (seeded).
+  void FailWithProbability(uint32_t one_in, uint32_t mask = kOpAllWrites);
+
+  /// Stop injecting errors (tracked durability state is kept).
+  void ClearFaults();
+
+  /// True once an injected failure has tripped (the "disk is gone" state).
+  bool FaultsTripped() const;
+
+  /// Number of interceptable operations (append/flush/sync/create/rename/
+  /// remove) observed so far, successful or failed, regardless of the
+  /// armed mask. Counts from construction or the last ResetOpCount. Probe a
+  /// workload once to learn its op range, then FailAfter(n, kOpAllWrites)
+  /// sweeps crash points across exactly this counter.
+  uint64_t op_count() const;
+  void ResetOpCount();
+
+  /// Rewrite every tracked file in the base Env to its post-crash content.
+  /// All open handles must be closed first (destroy the DB before calling).
+  Status SimulateCrash(CrashMode mode);
+
+  /// Forget all durability tracking (files become "fully durable as-is").
+  void UntrackAll();
+
+  // ---- Env interface (forwards to base, with injection/tracking) ----
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override;
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override;
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override;
+  bool FileExists(const std::string& fname) override;
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override;
+  Status RemoveFile(const std::string& fname) override;
+  Status CreateDir(const std::string& dirname) override;
+  Status RemoveDir(const std::string& dirname) override;
+  Status GetFileSize(const std::string& fname, uint64_t* size) override;
+  Status RenameFile(const std::string& src, const std::string& target) override;
+  uint64_t NowMicros() override { return base_->NowMicros(); }
+  void Schedule(void (*function)(void*), void* arg) override {
+    base_->Schedule(function, arg);
+  }
+  void StartThread(void (*function)(void*), void* arg) override {
+    base_->StartThread(function, arg);
+  }
+  void SleepForMicroseconds(int micros) override {
+    base_->SleepForMicroseconds(micros);
+  }
+
+ private:
+  friend class FaultInjectionWritableFile;
+
+  // Durability bookkeeping for one tracked file.
+  struct FileState {
+    uint64_t length = 0;       // Bytes appended through the wrapper
+    uint64_t synced_length = 0;  // Prefix known durable
+  };
+
+  /// Returns the injected error for one matching operation, or OK. Counts
+  /// the operation either way.
+  Status MaybeInjectError(uint32_t kind);
+
+  // Called by FaultInjectionWritableFile under mu_.
+  void OnAppend(const std::string& fname, uint64_t bytes);
+  void OnSync(const std::string& fname);
+
+  Env* const base_;
+  Statistics* const stats_;
+
+  mutable std::mutex mu_;
+  Random rnd_;                             // Guarded by mu_
+  std::map<std::string, FileState> files_;  // Guarded by mu_
+
+  // Error-injection state (guarded by mu_).
+  uint32_t fail_mask_ = 0;
+  uint64_t ops_until_failure_ = 0;  // Meaningful when counting_ is true
+  bool counting_ = false;           // FailAfter armed
+  uint32_t fail_one_in_ = 0;        // Probabilistic mode when > 0
+  bool tripped_ = false;            // Sticky failure engaged
+  uint64_t op_count_ = 0;
+};
+
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_ENV_FAULT_INJECTION_ENV_H_

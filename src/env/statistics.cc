@@ -33,6 +33,9 @@ const char* TickerName(Ticker t) {
     case kMultiGetKeys: return "multiget.keys";
     case kParallelTasks: return "query.parallel.tasks";
     case kParallelWaitMicros: return "query.parallel.wait.micros";
+    case kFaultInjectedErrors: return "fault.injected.errors";
+    case kRecoveryWalRecords: return "recovery.wal.records";
+    case kRecoveryTornTailBytes: return "recovery.torn.tail.bytes";
     case kTickerCount: break;
   }
   return "unknown";

@@ -44,6 +44,9 @@ enum Ticker : uint32_t {
   kMultiGetKeys,          // keys looked up across those calls
   kParallelTasks,         // query tasks executed on pool workers
   kParallelWaitMicros,    // caller time blocked on the fan-out barrier
+  kFaultInjectedErrors,   // I/O errors injected by FaultInjectionEnv
+  kRecoveryWalRecords,    // WAL batch records replayed during recovery
+  kRecoveryTornTailBytes, // trailing WAL bytes skipped as a torn tail
   kTickerCount,
 };
 

@@ -69,6 +69,7 @@ bool Reader::ReadRecord(Slice* record, std::string* scratch) {
           // This can be caused by the writer dying immediately after writing
           // a physical record but before completing the next one; don't
           // treat it as corruption, just ignore the entire logical record.
+          torn_tail_bytes_ += scratch->size();
           scratch->clear();
         }
         return false;
@@ -126,6 +127,7 @@ unsigned int Reader::ReadPhysicalRecord(Slice* result) {
         // the end of the file, which can be caused by the writer crashing in
         // the middle of writing the header. Instead of considering this an
         // error, just report EOF.
+        torn_tail_bytes_ += buffer_.size();
         buffer_.clear();
         return kEof;
       }
@@ -147,6 +149,7 @@ unsigned int Reader::ReadPhysicalRecord(Slice* result) {
       // If the end of the file has been reached without reading |length|
       // bytes of payload, assume the writer died in the middle of writing
       // the record. Don't report a corruption.
+      torn_tail_bytes_ += drop_size;
       return kEof;
     }
 

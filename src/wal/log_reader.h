@@ -41,6 +41,14 @@ class Reader {
   /// *scratch or the next ReadRecord call.
   bool ReadRecord(Slice* record, std::string* scratch);
 
+  /// Bytes silently skipped at the end of the file as a torn tail: a
+  /// truncated header, a physical record cut short of its length field, or
+  /// complete leading fragments of a logical record whose last fragment
+  /// never made it out. These are crash artifacts, not corruption, so they
+  /// are not reported to the Reporter — this counter is how recovery
+  /// observes them (ticker recovery.torn.tail.bytes).
+  uint64_t TornTailBytes() const { return torn_tail_bytes_; }
+
  private:
   // Extend record types with the following special values.
   enum {
@@ -60,6 +68,7 @@ class Reader {
   char* const backing_store_;
   Slice buffer_;
   bool eof_;  // Last Read() indicated EOF by returning < kBlockSize
+  uint64_t torn_tail_bytes_ = 0;
 };
 
 }  // namespace log

@@ -36,10 +36,13 @@ Status Writer::AddRecord(const Slice& slice) {
     const int leftover = kBlockSize - block_offset_;
     assert(leftover >= 0);
     if (leftover < kHeaderSize) {
-      // Switch to a new block; fill trailer with zeroes.
+      // Switch to a new block; fill trailer with zeroes. A failed trailer
+      // write must surface: continuing would emit a record the reader can
+      // never line up with its block math.
       if (leftover > 0) {
         static_assert(kHeaderSize == 7, "");
-        dest_->Append(Slice("\x00\x00\x00\x00\x00\x00", leftover));
+        s = dest_->Append(Slice("\x00\x00\x00\x00\x00\x00", leftover));
+        if (!s.ok()) return s;
       }
       block_offset_ = 0;
     }

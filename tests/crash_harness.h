@@ -1,0 +1,280 @@
+// Shared crash-recovery harness for the fault-injection test suites
+// (crash_recovery_test.cc, randomized_crash_test.cc).
+//
+// The cycle under test, for one crash point `crash_at`:
+//
+//   1. Open a SecondaryDB in crash-consistency mode (sync_writes) on a
+//      FaultInjectionEnv over a fresh MemEnv.
+//   2. Arm FailAfter(crash_at): the env fails every write-class operation
+//      after the first `crash_at`, simulating the device vanishing at an
+//      exact syscall count.
+//   3. Apply a workload until the first failed operation, maintaining a
+//      golden model of every ACKNOWLEDGED op. Failed ops must stay failed
+//      (sticky error) and leave no acknowledged state behind.
+//   4. Destroy the DB object (process "exit"), SimulateCrash (discard
+//      unsynced file bytes — optionally keeping a seeded-random torn
+//      prefix), clear the faults, and reopen.
+//   5. Verify: (a) the primary table matches the model exactly for every
+//      key except the single in-flight op's, which may hold either its
+//      pre- or post-op state; (b) every index variant's Lookup/RangeLookup
+//      returns EXACTLY the records derivable from the recovered primary
+//      table — same keys, same sequence numbers, same values, newest
+//      first — with no phantom and no missing postings.
+//
+// Everything is deterministic given (workload, crash_at, mode, seed), so a
+// failing point reproduces from its printed parameters.
+
+#ifndef LEVELDBPP_TESTS_CRASH_HARNESS_H_
+#define LEVELDBPP_TESTS_CRASH_HARNESS_H_
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/document.h"
+#include "core/secondary_db.h"
+#include "env/fault_injection_env.h"
+
+namespace leveldbpp {
+namespace crash {
+
+struct Op {
+  enum Kind { kPut, kDelete };
+  Kind kind;
+  std::string key;
+  std::string doc;   // kPut only
+  std::string user;  // The doc's UserID (kPut only)
+};
+
+inline std::string UserDoc(const std::string& user, uint64_t ts,
+                           size_t pad = 256) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%012llu",
+                static_cast<unsigned long long>(ts));
+  return "{\"CreationTime\":\"" + std::string(buf) + "\",\"Pad\":\"" +
+         std::string(pad, 'p') + "\",\"UserID\":\"" + user + "\"}";
+}
+
+inline Op PutOp(std::string key, std::string user, uint64_t ts,
+                size_t pad = 256) {
+  return Op{Op::kPut, std::move(key), UserDoc(user, ts, pad), std::move(user)};
+}
+
+inline Op DeleteOp(std::string key) {
+  return Op{Op::kDelete, std::move(key), "", ""};
+}
+
+/// Golden model of acknowledged state: key -> document.
+using Model = std::map<std::string, std::string>;
+
+inline SecondaryDBOptions MakeCrashOptions(Env* env, IndexType type) {
+  SecondaryDBOptions options;
+  options.base.env = env;
+  // Small enough that the workload crosses flush (and WAL rotation)
+  // boundaries, so crash points land inside them too.
+  options.base.write_buffer_size = 64 << 10;
+  options.base.max_file_size = 32 << 10;
+  options.sync_writes = true;
+  options.index_type = type;
+  options.indexed_attributes = {"UserID"};
+  return options;
+}
+
+/// Apply ops in order until the first failure, recording every acknowledged
+/// op in *model. Returns the number of acknowledged ops; *hit_error tells
+/// whether a failure stopped the run (vs. the workload completing).
+inline size_t ApplyOps(SecondaryDB* db, const std::vector<Op>& ops,
+                       Model* model, bool* hit_error) {
+  *hit_error = false;
+  size_t acked = 0;
+  for (const Op& op : ops) {
+    Status s = (op.kind == Op::kPut) ? db->Put(op.key, op.doc)
+                                     : db->Delete(op.key);
+    if (!s.ok()) {
+      *hit_error = true;
+      break;
+    }
+    if (op.kind == Op::kPut) {
+      (*model)[op.key] = op.doc;
+    } else {
+      model->erase(op.key);
+    }
+    acked++;
+  }
+  return acked;
+}
+
+/// Probe run: apply the whole workload fault-free and return how many
+/// interceptable env operations it issues. Crash points sweep [0, T).
+inline uint64_t CountEnvOps(IndexType type, const std::vector<Op>& ops) {
+  std::unique_ptr<Env> base(NewMemEnv());
+  FaultInjectionEnv env(base.get());
+  std::unique_ptr<SecondaryDB> db;
+  EXPECT_TRUE(
+      SecondaryDB::Open(MakeCrashOptions(&env, type), "/crash", &db).ok());
+  env.ResetOpCount();  // Exclude Open's own writes: faults arm post-Open.
+  Model model;
+  bool hit_error = false;
+  size_t acked = ApplyOps(db.get(), ops, &model, &hit_error);
+  EXPECT_FALSE(hit_error);
+  EXPECT_EQ(ops.size(), acked);
+  return env.op_count();
+}
+
+/// Post-recovery verification against the golden model. `in_flight` is the
+/// op that was executing when the crash hit (nullptr if the workload
+/// completed): the one op whose outcome is legitimately two-valued.
+inline void VerifyRecovered(SecondaryDB* db, const std::vector<Op>& ops,
+                            const Model& model, const Op* in_flight,
+                            const std::string& trace) {
+  // ---- 1. Primary table vs. the acknowledged model.
+  std::set<std::string> keys;
+  std::set<std::string> users;
+  for (const Op& op : ops) {
+    keys.insert(op.key);
+    if (op.kind == Op::kPut) users.insert(op.user);
+  }
+  for (const std::string& key : keys) {
+    std::string value;
+    Status s = db->Get(key, &value);
+    auto it = model.find(key);
+    const bool matches_model = (it == model.end())
+                                   ? s.IsNotFound()
+                                   : (s.ok() && value == it->second);
+    if (in_flight != nullptr && key == in_flight->key) {
+      // The crash hit mid-op: pre-state (op never landed) and post-state
+      // (its durable prefix happened to cover the decisive write) are both
+      // legal. Anything else — a third value, an error — is not.
+      const bool matches_post =
+          (in_flight->kind == Op::kPut)
+              ? (s.ok() && value == in_flight->doc)
+              : s.IsNotFound();
+      ASSERT_TRUE(matches_model || matches_post)
+          << trace << " in-flight key=" << key << " status=" << s.ToString();
+    } else {
+      ASSERT_TRUE(matches_model)
+          << trace << " key=" << key << " status=" << s.ToString()
+          << (it == model.end() ? " (model: absent)" : " (model: present)");
+    }
+  }
+
+  // ---- 2. Index queries vs. the recovered primary state. Whatever state
+  // recovery produced (the in-flight ambiguity included), every variant's
+  // answers must now be EXACTLY derivable from the primary table: the live
+  // records carrying the queried attribute value, newest-first by the
+  // primary's sequence numbers, with the primary's values.
+  struct Rec {
+    SequenceNumber seq;
+    std::string key;
+    std::string value;
+    std::string user;
+  };
+  std::vector<Rec> live;
+  for (const std::string& key : keys) {
+    std::string value;
+    DBImpl::RecordLocation loc;
+    if (!db->primary()->GetWithMeta(ReadOptions(), key, &value, &loc).ok()) {
+      continue;
+    }
+    std::string user;
+    if (!JsonAttributeExtractor::Instance()->Extract(Slice(value), "UserID",
+                                                     &user)) {
+      continue;
+    }
+    live.push_back(Rec{loc.seq, key, std::move(value), std::move(user)});
+  }
+  std::sort(live.begin(), live.end(),
+            [](const Rec& a, const Rec& b) { return a.seq > b.seq; });
+
+  auto expected_in = [&](const std::string& lo, const std::string& hi) {
+    std::vector<const Rec*> out;
+    for (const Rec& r : live) {
+      if (r.user >= lo && r.user <= hi) out.push_back(&r);
+    }
+    return out;
+  };
+  auto check = [&](const std::vector<QueryResult>& got,
+                   const std::vector<const Rec*>& want, size_t k,
+                   const std::string& what) {
+    const size_t n = (k == 0 || want.size() < k) ? want.size() : k;
+    ASSERT_EQ(n, got.size()) << trace << " " << what;
+    for (size_t i = 0; i < n; i++) {
+      EXPECT_EQ(want[i]->key, got[i].primary_key)
+          << trace << " " << what << " [" << i << "]";
+      EXPECT_EQ(want[i]->seq, got[i].seq)
+          << trace << " " << what << " [" << i << "]";
+      EXPECT_EQ(want[i]->value, got[i].value)
+          << trace << " " << what << " [" << i << "]";
+    }
+  };
+
+  std::vector<QueryResult> got;
+  for (const std::string& u : users) {
+    ASSERT_TRUE(db->Lookup("UserID", u, 0, &got).ok()) << trace;
+    check(got, expected_in(u, u), 0, "Lookup(" + u + ", all)");
+    ASSERT_TRUE(db->Lookup("UserID", u, 3, &got).ok()) << trace;
+    check(got, expected_in(u, u), 3, "Lookup(" + u + ", top3)");
+  }
+  if (!users.empty()) {
+    const std::string lo = *users.begin();
+    const std::string hi = *users.rbegin();
+    ASSERT_TRUE(db->RangeLookup("UserID", lo, hi, 0, &got).ok()) << trace;
+    check(got, expected_in(lo, hi), 0, "RangeLookup(all)");
+    ASSERT_TRUE(db->RangeLookup("UserID", lo, hi, 5, &got).ok()) << trace;
+    check(got, expected_in(lo, hi), 5, "RangeLookup(top5)");
+  }
+}
+
+/// One full write -> crash-at-op -> recover -> verify cycle.
+inline void RunCrashCycle(IndexType type, const std::vector<Op>& ops,
+                          uint64_t crash_at, FaultInjectionEnv::CrashMode mode,
+                          uint32_t seed, const std::string& trace) {
+  SCOPED_TRACE(trace);
+  std::unique_ptr<Env> base(NewMemEnv());
+  FaultInjectionEnv env(base.get(), seed);
+  Model model;
+  const Op* in_flight = nullptr;
+  {
+    std::unique_ptr<SecondaryDB> db;
+    ASSERT_TRUE(
+        SecondaryDB::Open(MakeCrashOptions(&env, type), "/crash", &db).ok())
+        << trace;
+    env.ResetOpCount();
+    env.FailAfter(crash_at, FaultInjectionEnv::kOpAllWrites);
+
+    bool hit_error = false;
+    size_t acked = ApplyOps(db.get(), ops, &model, &hit_error);
+    if (hit_error) {
+      in_flight = &ops[acked];
+      // Acknowledged-write semantics: once an op has failed, nothing may be
+      // silently accepted afterwards — the engines reject with a non-OK
+      // Status (env-level sticky fault here; DB-level stickiness is covered
+      // by FaultInjectionTest.WalWriteErrorIsStickyInTheDB).
+      Status s = db->Put("zzz-probe", UserDoc("u0", 999999));
+      ASSERT_FALSE(s.ok()) << trace << " write accepted after a failed op";
+    }
+    // DB object destroyed here: the "process" exits without further syncs.
+  }
+  ASSERT_TRUE(env.SimulateCrash(mode).ok()) << trace;
+  env.ClearFaults();
+
+  std::unique_ptr<SecondaryDB> db;
+  ASSERT_TRUE(
+      SecondaryDB::Open(MakeCrashOptions(&env, type), "/crash", &db).ok())
+      << trace << " reopen after crash failed";
+  VerifyRecovered(db.get(), ops, model, in_flight, trace);
+}
+
+inline const char* CrashModeName(FaultInjectionEnv::CrashMode mode) {
+  return mode == FaultInjectionEnv::CrashMode::kDropUnsynced ? "drop" : "torn";
+}
+
+}  // namespace crash
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_TESTS_CRASH_HARNESS_H_

@@ -44,6 +44,7 @@ class LogTest : public testing::Test {
       out.push_back(record.ToString());
     }
     if (dropped_bytes != nullptr) *dropped_bytes = reporter.dropped;
+    last_torn_tail_bytes_ = reader.TornTailBytes();
     return out;
   }
 
@@ -84,6 +85,7 @@ class LogTest : public testing::Test {
   }
 
   std::unique_ptr<Env> env_;
+  uint64_t last_torn_tail_bytes_ = 0;  // From the most recent ReadAll
 };
 
 TEST_F(LogTest, Empty) {
@@ -158,6 +160,76 @@ TEST_F(LogTest, TruncatedTailIsNotCorruption) {
   ASSERT_EQ(1u, got.size());
   EXPECT_EQ("first", got[0]);
   EXPECT_EQ(0u, dropped);  // Torn tail != corruption
+}
+
+// ---- Torn-tail accounting: every way a crash can cut the last record is
+// silently skipped (zero Reporter drops), with the skipped bytes reported
+// through Reader::TornTailBytes() instead. One test per cut shape.
+
+TEST_F(LogTest, TornTailTruncatedHeader) {
+  // "first" occupies 7+5=12 bytes; cut the second record 3 bytes into its
+  // header.
+  WriteRecords({"first", "second"});
+  TruncateLog(12 + 3);
+  size_t dropped = 0;
+  std::vector<std::string> got = ReadAll(&dropped);
+  ASSERT_EQ(1u, got.size());
+  EXPECT_EQ("first", got[0]);
+  EXPECT_EQ(0u, dropped);
+  EXPECT_EQ(3u, last_torn_tail_bytes_);
+}
+
+TEST_F(LogTest, TornTailTruncatedFullRecordPayload) {
+  // Complete header, payload cut 3 bytes into "second"'s 6: the reader
+  // skips header + partial payload (10 bytes) without reporting.
+  WriteRecords({"first", "second"});
+  TruncateLog(12 + kHeaderSize + 3);
+  size_t dropped = 0;
+  std::vector<std::string> got = ReadAll(&dropped);
+  ASSERT_EQ(1u, got.size());
+  EXPECT_EQ("first", got[0]);
+  EXPECT_EQ(0u, dropped);
+  EXPECT_EQ(static_cast<uint64_t>(kHeaderSize + 3), last_torn_tail_bytes_);
+}
+
+TEST_F(LogTest, TornTailMissingLastFragment) {
+  // "first" fills 12 bytes of block 0; the big record's kFirstType fragment
+  // completes the block exactly, and its kLastType fragment in block 1 is
+  // cut off entirely. The complete leading fragment is quietly discarded.
+  const size_t first_fragment = kBlockSize - 12 - kHeaderSize;
+  WriteRecords({"first", std::string(first_fragment + 1000, 'z')});
+  TruncateLog(kBlockSize);
+  size_t dropped = 0;
+  std::vector<std::string> got = ReadAll(&dropped);
+  ASSERT_EQ(1u, got.size());
+  EXPECT_EQ("first", got[0]);
+  EXPECT_EQ(0u, dropped);
+  EXPECT_EQ(first_fragment, last_torn_tail_bytes_);
+}
+
+TEST_F(LogTest, TornTailMidMiddleFragment) {
+  // A record spanning 4 blocks (kFirst/kMiddle/kMiddle/kLast), cut 1000
+  // bytes into the first kMiddleType payload: both the assembled kFirst
+  // fragment and the partial block are torn-tail bytes.
+  const size_t per_block = kBlockSize - kHeaderSize;
+  WriteRecords({std::string(3 * per_block + 100, 'z')});
+  TruncateLog(kBlockSize + kHeaderSize + 1000);
+  size_t dropped = 0;
+  std::vector<std::string> got = ReadAll(&dropped);
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(0u, dropped);
+  EXPECT_EQ(per_block + kHeaderSize + 1000, last_torn_tail_bytes_);
+}
+
+TEST_F(LogTest, MidFileCorruptionIsNotTornTail) {
+  // A checksum error in the middle of the file IS corruption: reported to
+  // the Reporter and NOT attributed to the torn-tail counter.
+  WriteRecords({"first", "second", "third"});
+  CorruptLog(12 + 2, 'X');  // Flip a CRC byte of "second"
+  size_t dropped = 0;
+  std::vector<std::string> got = ReadAll(&dropped);
+  EXPECT_GT(dropped, 0u);
+  EXPECT_EQ(0u, last_torn_tail_bytes_);
 }
 
 TEST_F(LogTest, ReopenedWriterContinuesAtBlockBoundary) {
