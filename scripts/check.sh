@@ -54,4 +54,15 @@ if [[ -n "${SAN_FILTER}" ]]; then
   ASAN_OPTIONS="halt_on_error=1" ctest --preset asan -R "${FAULT_FILTER}"
 fi
 
+# Corruption survival: the Corruption / Repair suites bit-flip every file
+# class a store owns (data/index/meta blocks, MANIFEST, CURRENT, WAL tail)
+# and run the RepairDB -> RebuildIndex -> verify drill across all five index
+# variants. The salvage path copies raw blocks around, so run it under ASan.
+# Skipped when --sanitize-all already ran the full suites.
+REPAIR_FILTER="Corruption|Repair"
+if [[ -n "${SAN_FILTER}" ]]; then
+  echo "==> ASan corruption/repair tests"
+  ASAN_OPTIONS="halt_on_error=1" ctest --preset asan -R "${REPAIR_FILTER}"
+fi
+
 echo "==> All checks passed"

@@ -1,5 +1,6 @@
 #include "core/eager_index.h"
 
+#include <algorithm>
 #include <set>
 
 #include "core/posting_list.h"
@@ -31,15 +32,18 @@ Status EagerIndex::OnPut(const Slice& primary_key, const Slice& attr_value,
     return s;
   }
   // Drop any previous occurrence of the key (an update re-inserting the
-  // same attribute value), then prepend the new entry (lists stay sorted
-  // by sequence descending).
+  // same attribute value), then splice the new entry into seq-descending
+  // position. On the write path the new seq is the store's newest so this
+  // is a front insert, but RebuildIndex replays records in KEY order and
+  // Lookup's top-k early break relies on the descending invariant.
   entries.erase(std::remove_if(entries.begin(), entries.end(),
                                [&](const PostingEntry& e) {
                                  return Slice(e.primary_key) == primary_key;
                                }),
                 entries.end());
-  entries.insert(entries.begin(),
-                 PostingEntry(primary_key.ToString(), seq, false));
+  auto pos = std::find_if(entries.begin(), entries.end(),
+                          [&](const PostingEntry& e) { return e.seq < seq; });
+  entries.insert(pos, PostingEntry(primary_key.ToString(), seq, false));
   std::string serialized;
   PostingList::Serialize(entries, &serialized);
   return index_db_->Put(WriteOptions(), attr_value, Slice(serialized));

@@ -92,6 +92,11 @@ Status EmbeddedIndex::Scan(const Slice& lo, const Slice& hi, size_t k,
   ReadOptions read_options;
   std::string prev_user_key;  // In-block adjacency dedup (versions adjacent)
   Status scan_status;
+  // A block that fails its checksum decodes to an error iterator (never
+  // Valid), so the scan naturally skips it — the quarantine fallthrough. In
+  // paranoid mode the error must surface instead (first one wins).
+  const bool paranoid = primary_->options().paranoid_checks;
+  Status block_error;
   if (!parallel_reads()) {
     scan_status = primary_->EmbeddedScan(
         read_options, attribute_, lo, hi,
@@ -125,6 +130,9 @@ Status EmbeddedIndex::Scan(const Slice& lo, const Slice& hi, size_t k,
               }
             }
             first_entry = false;
+          }
+          if (paranoid && block_error.ok() && !it->status().ok()) {
+            block_error = it->status();
           }
         },
         [&]() {
@@ -160,6 +168,7 @@ Status EmbeddedIndex::Scan(const Slice& lo, const Slice& hi, size_t k,
           for (size_t wave = 0; wave < cands.size(); wave += wave_size) {
           const size_t wave_end = std::min(cands.size(), wave + wave_size);
           std::vector<std::vector<Match>> block_matches(wave_end - wave);
+          std::vector<Status> block_status(wave_end - wave);
           // Coarse tasks (a contiguous run of blocks each) so the pool
           // dispatch overhead amortizes over several block reads.
           const size_t ntasks = std::min(
@@ -169,8 +178,9 @@ Status EmbeddedIndex::Scan(const Slice& lo, const Slice& hi, size_t k,
           for (size_t t = 0; t < ntasks; t++) {
             const size_t begin = wave + (wave_end - wave) * t / ntasks;
             const size_t end = wave + (wave_end - wave) * (t + 1) / ntasks;
-            tasks.push_back([this, &cands, &block_matches, wave, begin, end,
-                             &read_options, &lo, &hi, &heap, extractor]() {
+            tasks.push_back([this, &cands, &block_matches, &block_status,
+                             paranoid, wave, begin, end, &read_options, &lo,
+                             &hi, &heap, extractor]() {
               std::string prev_key;
               std::string attr_scratch;
               for (size_t ci = begin; ci < end; ci++) {
@@ -216,10 +226,16 @@ Status EmbeddedIndex::Scan(const Slice& lo, const Slice& hi, size_t k,
                     }
                   }
                 }
+                if (paranoid && !it->status().ok()) {
+                  block_status[ci - wave] = it->status();
+                }
               }
             });
           }
           ParallelRun(&tasks, parallelism, primary_->statistics());
+          for (const Status& bs : block_status) {
+            if (block_error.ok() && !bs.ok()) block_error = bs;
+          }
           for (std::vector<Match>& matches : block_matches) {
             for (Match& m : matches) {
               if (!heap.WouldAdmit(m.seq)) continue;
@@ -240,6 +256,7 @@ Status EmbeddedIndex::Scan(const Slice& lo, const Slice& hi, size_t k,
   }
 
   if (!scan_status.ok()) return scan_status;
+  if (!block_error.ok()) return block_error;
   *results = heap.TakeSortedNewestFirst();
   return Status::OK();
 }

@@ -34,13 +34,15 @@ Status SecondaryDB::Open(const SecondaryDBOptions& options,
   // internal writes included — that is the whole point of routing the knob
   // through Options instead of per-call WriteOptions.
   Options base = options.base;
+  base.env = env;
   base.sync_writes = base.sync_writes || options.sync_writes;
+  db->path_ = path;
+  db->index_base_ = base;
 
   // Primary table.
   Options primary_options = base;
-  primary_options.env = env;
   primary_options.create_if_missing = true;
-  primary_options.statistics = db->primary_stats_.get();
+  primary_options.statistics = db->primary_statistics();
   primary_options.filter_policy = db->primary_filter_.get();
   if (options.index_type == IndexType::kEmbedded) {
     primary_options.secondary_attributes = options.indexed_attributes;
@@ -55,30 +57,41 @@ Status SecondaryDB::Open(const SecondaryDBOptions& options,
   // Per-attribute index objects.
   for (const std::string& attr : options.indexed_attributes) {
     std::unique_ptr<SecondaryIndex> index;
-    const std::string index_path = path + "/index_" + attr;
-    switch (options.index_type) {
-      case IndexType::kNoIndex:
-        index.reset(new NoIndex(attr, primary));
-        break;
-      case IndexType::kEmbedded:
-        index.reset(new EmbeddedIndex(attr, primary));
-        break;
-      case IndexType::kLazy:
-        s = LazyIndex::Open(attr, primary, base, index_path, &index);
-        break;
-      case IndexType::kEager:
-        s = EagerIndex::Open(attr, primary, base, index_path, &index);
-        break;
-      case IndexType::kComposite:
-        s = CompositeIndex::Open(attr, primary, base, index_path, &index);
-        break;
-    }
+    s = db->OpenIndex(attr, &index);
     if (!s.ok()) return s;
     db->indexes_.push_back(std::move(index));
   }
 
   *dbptr = std::move(db);
   return Status::OK();
+}
+
+Status SecondaryDB::OpenIndex(const std::string& attr,
+                              std::unique_ptr<SecondaryIndex>* index) {
+  index->reset();
+  Status s;
+  const std::string index_path = path_ + "/index_" + attr;
+  switch (options_.index_type) {
+    case IndexType::kNoIndex:
+      index->reset(new NoIndex(attr, primary_.get()));
+      break;
+    case IndexType::kEmbedded:
+      index->reset(new EmbeddedIndex(attr, primary_.get()));
+      break;
+    case IndexType::kLazy:
+      s = LazyIndex::Open(attr, primary_.get(), index_base_, index_path,
+                          index);
+      break;
+    case IndexType::kEager:
+      s = EagerIndex::Open(attr, primary_.get(), index_base_, index_path,
+                           index);
+      break;
+    case IndexType::kComposite:
+      s = CompositeIndex::Open(attr, primary_.get(), index_base_, index_path,
+                               index);
+      break;
+  }
+  return s;
 }
 
 SecondaryIndex* SecondaryDB::index(const std::string& attribute) {
@@ -91,11 +104,8 @@ SecondaryIndex* SecondaryDB::index(const std::string& attribute) {
 Status SecondaryDB::Put(const Slice& key, const Slice& json_value) {
   // Extract indexed attributes up front (stand-alone variants need them;
   // the extraction also validates the document).
-  const bool standalone = (options_.index_type == IndexType::kLazy ||
-                           options_.index_type == IndexType::kEager ||
-                           options_.index_type == IndexType::kComposite);
   std::vector<std::pair<SecondaryIndex*, std::string>> attr_values;
-  if (standalone) {
+  if (standalone()) {
     std::string attr_value;
     for (auto& index : indexes_) {
       if (JsonAttributeExtractor::Instance()->Extract(
@@ -137,13 +147,10 @@ Status SecondaryDB::Get(const Slice& key, std::string* value) {
 }
 
 Status SecondaryDB::Delete(const Slice& key) {
-  const bool standalone = (options_.index_type == IndexType::kLazy ||
-                           options_.index_type == IndexType::kEager ||
-                           options_.index_type == IndexType::kComposite);
   // Stand-alone indexes must learn the victim's attribute values to target
   // the right index entries, which costs a primary-table read.
   std::vector<std::pair<SecondaryIndex*, std::string>> attr_values;
-  if (standalone) {
+  if (standalone()) {
     std::string old_value;
     if (primary_->Get(ReadOptions(), key, &old_value).ok()) {
       std::string attr_value;
@@ -214,8 +221,136 @@ uint64_t SecondaryDB::IndexSizeBytes() {
   return total;
 }
 
+Status SecondaryDB::Repair(const SecondaryDBOptions& options,
+                           const std::string& path) {
+  // Reconstruct the primary table's effective options exactly as Open
+  // would, so the repair rewrite regenerates the same blooms / zone maps.
+  std::unique_ptr<const FilterPolicy> primary_filter(
+      NewBloomFilterPolicy(options.primary_bloom_bits_per_key));
+  std::unique_ptr<const FilterPolicy> secondary_filter(
+      NewBloomFilterPolicy(options.embedded_bloom_bits_per_key));
+  Options primary_options = options.base;
+  if (primary_options.env == nullptr) primary_options.env = Env::Posix();
+  primary_options.filter_policy = primary_filter.get();
+  if (options.index_type == IndexType::kEmbedded) {
+    primary_options.secondary_attributes = options.indexed_attributes;
+    primary_options.attribute_extractor = JsonAttributeExtractor::Instance();
+    primary_options.secondary_filter_policy = secondary_filter.get();
+  }
+  Status s = RepairDB(path + "/primary", primary_options);
+  if (!s.ok()) return s;
+
+  // The stand-alone index tables are derived data and may themselves be
+  // damaged (a corrupt index MANIFEST would fail the next Open outright).
+  // Drop them; Open recreates empty tables and RebuildIndex() refills them
+  // from the repaired primary.
+  const bool has_standalone = options.index_type == IndexType::kLazy ||
+                              options.index_type == IndexType::kEager ||
+                              options.index_type == IndexType::kComposite;
+  if (has_standalone) {
+    for (const std::string& attr : options.indexed_attributes) {
+      Status d = DestroyDB(path + "/index_" + attr, primary_options);
+      if (!d.ok() && s.ok()) s = d;
+    }
+  }
+  return s;
+}
+
+Status SecondaryDB::VerifyIndexConsistency() {
+  if (!standalone()) return Status::OK();
+  const JsonAttributeExtractor* extractor = JsonAttributeExtractor::Instance();
+  std::string attr_value;
+  std::vector<QueryResult> results;
+  Status bad;
+  Status s = primary_->ScanAll(
+      ReadOptions(),
+      [&](const Slice& key, SequenceNumber, const Slice& value) {
+        for (auto& index : indexes_) {
+          if (!extractor->Extract(value, index->attribute(), &attr_value)) {
+            continue;
+          }
+          Status ls = index->Lookup(Slice(attr_value), 0, &results);
+          if (!ls.ok()) {
+            bad = ls;
+            return false;
+          }
+          bool reachable = false;
+          for (const QueryResult& r : results) {
+            if (Slice(r.primary_key) == key) {
+              reachable = true;
+              break;
+            }
+          }
+          if (!reachable) {
+            bad = Status::Corruption(
+                "index '" + index->attribute() + "' has no posting for key ",
+                key);
+            return false;
+          }
+        }
+        return true;
+      });
+  return s.ok() ? bad : s;
+}
+
+Status SecondaryDB::RebuildIndex() {
+  if (!standalone()) return Status::OK();
+
+  // Tear down: close the index tables (the objects own their DB handles),
+  // then wipe them from disk.
+  indexes_.clear();
+  Status s;
+  for (const std::string& attr : options_.indexed_attributes) {
+    s = DestroyDB(path_ + "/index_" + attr, index_base_);
+    if (!s.ok()) return s;
+  }
+  for (const std::string& attr : options_.indexed_attributes) {
+    std::unique_ptr<SecondaryIndex> index;
+    s = OpenIndex(attr, &index);
+    if (!s.ok()) return s;
+    indexes_.push_back(std::move(index));
+  }
+
+  // Refill from the primary: one posting per (newest visible record,
+  // covered attribute), carrying the record's REAL sequence number so
+  // query-time validation and GetLite treat rebuilt postings exactly like
+  // write-path ones. Older superseded versions get no postings — the
+  // rebuilt index starts with zero stale entries.
+  const JsonAttributeExtractor* extractor = JsonAttributeExtractor::Instance();
+  Statistics* stats = primary_statistics();
+  std::string attr_value;
+  Status put_error;
+  s = primary_->ScanAll(
+      ReadOptions(),
+      [&](const Slice& key, SequenceNumber seq, const Slice& value) {
+        for (auto& index : indexes_) {
+          if (!extractor->Extract(value, index->attribute(), &attr_value)) {
+            continue;
+          }
+          Status ps = index->OnPut(key, Slice(attr_value), seq);
+          if (!ps.ok()) {
+            put_error = ps;
+            return false;
+          }
+          if (stats != nullptr) stats->Record(kIndexRebuildEntries);
+        }
+        return true;
+      });
+  if (!s.ok()) return s;
+  return put_error;
+}
+
+Status SecondaryDB::Resume() {
+  Status s = primary_->Resume();
+  for (auto& index : indexes_) {
+    Status is = index->Resume();
+    if (s.ok() && !is.ok()) s = is;
+  }
+  return s;
+}
+
 uint64_t SecondaryDB::TotalTicker(Ticker t) {
-  uint64_t total = primary_stats_->Get(t);
+  uint64_t total = primary_statistics()->Get(t);
   for (auto& index : indexes_) {
     Statistics* stats = index->index_statistics();
     if (stats != nullptr) total += stats->Get(t);

@@ -95,12 +95,50 @@ class SecondaryDB {
   /// Drive any pending compactions (no forced flush).
   Status MaybeCompact();
 
+  // ---- Corruption survival ----
+
+  /// Best-effort salvage of a store that no longer opens: runs RepairDB on
+  /// the primary table (with the same effective options Open would use, so
+  /// rewritten tables regenerate identical filters / zone maps) and drops
+  /// the stand-alone index tables — they are derived data. Reopen the store
+  /// afterwards and call RebuildIndex() to regenerate them. The store must
+  /// not be open while this runs.
+  static Status Repair(const SecondaryDBOptions& options,
+                       const std::string& path);
+
+  /// Cross-check every index against the primary table: every newest
+  /// visible primary record must be reachable through each index that
+  /// covers one of its attributes. (Stale postings are normal — query-time
+  /// validation filters them — but a MISSING posting silently hides a live
+  /// record from query results.) Returns Corruption naming the first
+  /// unreachable record. Embedded/NoIndex read the primary data directly
+  /// and are trivially consistent.
+  Status VerifyIndexConsistency();
+
+  /// Regenerate the stand-alone index tables from a full primary scan: the
+  /// old index tables are destroyed, fresh ones opened, and one posting
+  /// written per (newest visible record, covered attribute) with the
+  /// record's real sequence number — so validation and GetLite behave
+  /// exactly as if the postings came from the write path. Counted as
+  /// index.rebuild.entries. Embedded/NoIndex: no separate table, no-op.
+  Status RebuildIndex();
+
+  /// Clear a transient sticky background error on the primary table and on
+  /// every stand-alone index table (see DB::Resume).
+  Status Resume();
+
   // ---- Introspection ----
   DBImpl* primary() { return primary_.get(); }
   SecondaryIndex* index(const std::string& attribute);
   IndexType index_type() const { return options_.index_type; }
 
-  Statistics* primary_statistics() { return primary_stats_.get(); }
+  Statistics* primary_statistics() {
+    // A caller-supplied Statistics (options.base.statistics) wins, so
+    // counters recorded before Open — e.g. Repair's salvage/drop tickers —
+    // show up in the reopened store's "leveldbpp.stats".
+    return options_.base.statistics != nullptr ? options_.base.statistics
+                                               : primary_stats_.get();
+  }
   uint64_t PrimarySizeBytes() { return primary_->TotalSizeBytes(); }
   /// Sum of all index tables' sizes (0 for Embedded/NoIndex).
   uint64_t IndexSizeBytes();
@@ -112,7 +150,20 @@ class SecondaryDB {
  private:
   SecondaryDB(const SecondaryDBOptions& options);
 
+  bool standalone() const {
+    return options_.index_type == IndexType::kLazy ||
+           options_.index_type == IndexType::kEager ||
+           options_.index_type == IndexType::kComposite;
+  }
+
+  /// Open (creating if missing) the index object for one attribute; the
+  /// per-type switch shared by Open and RebuildIndex.
+  Status OpenIndex(const std::string& attr,
+                   std::unique_ptr<SecondaryIndex>* index);
+
   SecondaryDBOptions options_;
+  std::string path_;
+  Options index_base_;  // Effective base options the index tables open with
   std::unique_ptr<Statistics> primary_stats_;
   std::unique_ptr<const FilterPolicy> primary_filter_;
   std::unique_ptr<const FilterPolicy> secondary_filter_;

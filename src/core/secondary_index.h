@@ -76,6 +76,10 @@ class SecondaryIndex {
   /// compaction). Embedded/NoIndex have no separate table: no-op.
   virtual Status CompactAll() { return Status::OK(); }
 
+  /// Clear a transient sticky background error on the index's own table
+  /// (see DB::Resume). Embedded/NoIndex have no separate table: no-op.
+  virtual Status Resume() { return Status::OK(); }
+
   /// Statistics of the index's own table (nullptr when none exists).
   virtual Statistics* index_statistics() { return nullptr; }
 

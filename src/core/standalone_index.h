@@ -18,6 +18,7 @@ class StandAloneIndex : public SecondaryIndex {
   ~StandAloneIndex() override;
 
   Status CompactAll() override;
+  Status Resume() override { return index_db_->Resume(); }
   Statistics* index_statistics() override { return stats_.get(); }
   uint64_t IndexSizeBytes() override;
 

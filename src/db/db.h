@@ -74,10 +74,28 @@ class DB {
   /// (nullptr = unbounded). Drives compaction until the range is fully
   /// merged downward.
   virtual void CompactRange(const Slice* begin, const Slice* end) = 0;
+
+  /// Attempt to clear a sticky background error and resume writes.
+  /// Transient errors (I/O failures that may have gone away, e.g. a full
+  /// disk after space was freed) are cleared: the WAL is rotated to a fresh
+  /// file and pending flush/compaction work is restarted. Permanent errors
+  /// (corruption) stay sticky and are returned unchanged — run RepairDB.
+  /// Returns OK if the database is writable afterwards.
+  virtual Status Resume() { return Status::OK(); }
 };
 
 /// Destroy the contents of the specified database (files and directory).
 Status DestroyDB(const std::string& name, const Options& options);
+
+/// Best-effort salvage of a database that fails to open (lost or corrupt
+/// MANIFEST/CURRENT, damaged tables). Scans the directory for SSTables and
+/// WALs, converts salvageable WALs to tables, drops tables (or individual
+/// blocks) that fail their checksums, archives unreadable files under
+/// `<name>/lost/`, and writes a fresh MANIFEST + CURRENT describing what
+/// survived. Some data may be lost, but never silently: drops are counted in
+/// options.statistics (repair.tables.salvaged / repair.tables.dropped).
+/// The database must not be open while RepairDB runs.
+Status RepairDB(const std::string& name, const Options& options);
 
 }  // namespace leveldbpp
 

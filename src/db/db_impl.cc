@@ -100,7 +100,9 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
       imm_(nullptr),
       logfile_number_(0),
       versions_(new VersionSet(dbname_, &options_, table_cache_.get(),
-                               &internal_comparator_)) {}
+                               &internal_comparator_)) {
+  table_cache_->SetQuarantine(&quarantine_);
+}
 
 DBImpl::~DBImpl() {
   // Wait for any in-flight background flush/compaction. A work item that is
@@ -424,7 +426,8 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
         // records after a torn one could let a later replay surface writes
         // the application saw fail, or drop writes it saw succeed. Make the
         // error sticky: reject everything until a reopen re-derives a
-        // consistent tail from the log.
+        // consistent tail from the log, or Resume() abandons the damaged
+        // WAL for a fresh one.
         RecordBackgroundError(status);
       }
     }
@@ -534,14 +537,22 @@ Status DBImpl::MakeRoomForWrite(bool force) {
 
     AcquireCompactionToken();
     s = CompactMemTable();
+    while (!s.ok() && MaybeRetryBackgroundError(s)) {
+      s = CompactMemTable();  // Transient failure absorbed: retry the flush
+    }
     if (s.ok() && !force) {
       while (s.ok() && versions_->NeedsCompaction()) {
         s = BackgroundCompaction();
+        while (!s.ok() && MaybeRetryBackgroundError(s)) {
+          s = BackgroundCompaction();
+        }
       }
     }
     ReleaseCompactionToken();
     if (!s.ok()) {
-      RecordBackgroundError(s);
+      RecordBackgroundError(s);  // No-op if the retry path already did
+    } else {
+      NoteBackgroundWorkSucceeded();
     }
     return s;
   }
@@ -577,7 +588,12 @@ Status DBImpl::MakeRoomForWrite(bool force) {
         // and the write path resumes as soon as it completes.
         Status fs = CompactMemTable();
         if (!fs.ok()) {
-          RecordBackgroundError(fs);
+          // If the failure is transient and retries remain, the backoff
+          // sleep happens here and the loop tries the flush again;
+          // otherwise this records the sticky error and the loop exits.
+          MaybeRetryBackgroundError(fs);
+        } else {
+          NoteBackgroundWorkSucceeded();
         }
       } else {
         // Another thread is already flushing: stop-stall until it lands.
@@ -627,6 +643,46 @@ void DBImpl::RecordBackgroundError(const Status& s) {
   }
 }
 
+namespace {
+
+// Transient errors may heal on their own (disk briefly full, EIO on a flaky
+// device); retrying is worthwhile. Permanent errors mean the bytes or the
+// request itself are bad — a retry reproduces the exact same failure.
+bool IsPermanentBackgroundError(const Status& s) {
+  return s.IsCorruption() || s.IsNotSupported() || s.IsInvalidArgument() ||
+         s.IsNotFound();
+}
+
+}  // namespace
+
+bool DBImpl::MaybeRetryBackgroundError(const Status& s) {
+  mutex_.AssertHeld();
+  assert(!s.ok());
+  if (IsPermanentBackgroundError(s) ||
+      bg_retry_attempts_ >= options_.bg_error_retries ||
+      shutting_down_.load(std::memory_order_acquire)) {
+    RecordBackgroundError(s);
+    return false;
+  }
+  const int attempt = bg_retry_attempts_++;
+  // 1ms, 2ms, 4ms, ... capped at ~1s per wait.
+  const int backoff_micros = 1000 << std::min(attempt, 10);
+  mutex_.Unlock();
+  env_->SleepForMicroseconds(backoff_micros);
+  mutex_.Lock();
+  return true;
+}
+
+void DBImpl::NoteBackgroundWorkSucceeded() {
+  mutex_.AssertHeld();
+  if (bg_retry_attempts_ > 0) {
+    bg_retry_attempts_ = 0;
+    if (options_.statistics != nullptr) {
+      options_.statistics->Record(kBgErrorAutorecovered);
+    }
+  }
+}
+
 void DBImpl::MaybeScheduleCompaction() {
   mutex_.AssertHeld();
   if (!options_.background_compaction) return;  // Sync mode works inline.
@@ -650,14 +706,21 @@ void DBImpl::BackgroundCall() {
     // Re-check under the token: a manual compaction or a stalled writer's
     // inline flush may have drained the work while this call waited.
     Status s;
+    bool did_work = false;
     if (imm_ != nullptr && !flush_in_progress_) {
+      did_work = true;
       s = CompactMemTable();
     } else if (versions_->NeedsCompaction()) {
+      did_work = true;
       s = BackgroundCompaction();
     }
     ReleaseCompactionToken();
     if (!s.ok()) {
-      RecordBackgroundError(s);
+      // Absorbed transient failures leave bg_error_ clear, so the
+      // reschedule below re-arms the same work after the backoff sleep.
+      MaybeRetryBackgroundError(s);
+    } else if (did_work) {
+      NoteBackgroundWorkSucceeded();
     }
   }
   background_compaction_scheduled_ = false;
@@ -728,6 +791,72 @@ Status DBImpl::WaitForBackgroundWork() {
     background_work_finished_signal_.Wait();
   }
   return bg_error_;
+}
+
+Status DBImpl::Resume() {
+  MutexLock l(&mutex_);
+  // Let any in-flight background work report its outcome before deciding.
+  while (compaction_token_held_ || flush_in_progress_ ||
+         background_compaction_scheduled_) {
+    background_work_finished_signal_.Wait();
+  }
+  if (bg_error_.ok()) {
+    return Status::OK();
+  }
+  if (IsPermanentBackgroundError(bg_error_)) {
+    return bg_error_;  // Corruption stays sticky: run RepairDB instead.
+  }
+  bg_error_ = Status::OK();
+  bg_retry_attempts_ = 0;
+
+  Status s;
+  AcquireCompactionToken();
+  // Flush the pending immutable memtable first (the failed flush left it
+  // behind) so the WAL rotation below keeps the invariant that mem_'s
+  // entries live in the current log.
+  if (imm_ != nullptr && !flush_in_progress_) {
+    s = CompactMemTable();
+  }
+  if (s.ok()) {
+    // Abandon the old WAL: the failure may have left a torn append in it,
+    // and records written after a torn one are unreadable at replay. A
+    // fresh log (plus rotating mem_ out so its entries get re-persisted as
+    // an SSTable) guarantees future acknowledged writes recover cleanly.
+    uint64_t new_log_number = versions_->NewFileNumber();
+    std::unique_ptr<WritableFile> lfile;
+    s = env_->NewWritableFile(LogFileName(dbname_, new_log_number), &lfile);
+    if (!s.ok()) {
+      versions_->ReuseFileNumber(new_log_number);
+    } else {
+      logfile_ = std::move(lfile);
+      logfile_number_ = new_log_number;
+      log_ = std::make_unique<log::Writer>(logfile_.get());
+      if (mem_->NumEntries() > 0) {
+        imm_ = mem_;
+        mem_ = new MemTable(internal_comparator_,
+                            options_.secondary_attributes,
+                            options_.attribute_extractor);
+        mem_->Ref();
+        s = CompactMemTable();
+      }
+    }
+  }
+  while (s.ok() && versions_->NeedsCompaction()) {
+    s = BackgroundCompaction();
+  }
+  ReleaseCompactionToken();
+  if (!s.ok()) {
+    RecordBackgroundError(s);
+    return s;
+  }
+  if (options_.statistics != nullptr) {
+    options_.statistics->Record(kBgErrorAutorecovered);
+  }
+  // Wake writers parked on the sticky error, and (background mode) re-arm
+  // the scheduler in case new work arrived while we held the token.
+  MaybeScheduleCompaction();
+  background_work_finished_signal_.SignalAll();
+  return Status::OK();
 }
 
 Status DBImpl::BackgroundCompaction() {
@@ -1207,6 +1336,11 @@ Status DBImpl::MultiGetWithMeta(const ReadOptions& options,
   // answer is final (found / deleted / error), mirroring Version::Get.
   auto apply = [&](size_t i, ProbeResult& r, int level) -> bool {
     if (!r.io.ok()) {
+      if (r.io.IsCorruption() && !options_.paranoid_checks) {
+        // Quarantined block (or unopenable table): same fallthrough as
+        // Version::Get — keep probing older residences for a valid copy.
+        return false;
+      }
       (*statuses)[i] = r.io;
       return true;
     }
@@ -1223,6 +1357,7 @@ Status DBImpl::MultiGetWithMeta(const ReadOptions& options,
         (*statuses)[i] = Status::NotFound(Slice());
         return true;
       case ProbeResult::kProbeCorrupt:
+        if (!options_.paranoid_checks) return false;
         (*statuses)[i] = Status::Corruption("corrupted key for ", keys[i]);
         return true;
     }
@@ -1862,6 +1997,13 @@ Status DBImpl::ScanAll(
     if (!fn(ikey.user_key, ikey.sequence, it->value())) stop = true;
   }
   Status s = it->status();
+  if (s.IsCorruption() && !options_.paranoid_checks) {
+    // Quarantine fallthrough, scan flavor: the two-level iterator already
+    // skipped past every unreadable block (their entries are simply absent
+    // from the scan), so surface the damage only in paranoid mode — same
+    // contract as Version::Get.
+    s = Status::OK();
+  }
   it.reset();
   for (auto& c : cleanups) c();
   return s;
@@ -2034,6 +2176,16 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
                         options_.block_cache->TotalCharge()));
       value->append(buf);
     }
+    if (quarantine_.Count() > 0) {
+      value->append("quarantined blocks: ");
+      value->append(quarantine_.Summary());
+      value->append("\n");
+    }
+    return true;
+  } else if (in == Slice("quarantine")) {
+    // Checksum-failed blocks reads are currently routing around; non-empty
+    // means the store needs RepairDB.
+    *value = quarantine_.Summary();
     return true;
   }
   return false;

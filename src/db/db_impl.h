@@ -45,6 +45,7 @@
 #include "env/statistics.h"
 #include "port/port.h"
 #include "port/thread_annotations.h"
+#include "table/quarantine.h"
 #include "wal/log_writer.h"
 
 namespace leveldbpp {
@@ -80,6 +81,10 @@ class DBImpl : public DB {
   Iterator* NewIterator(const ReadOptions&) override;
   bool GetProperty(const Slice& property, std::string* value) override;
   void CompactRange(const Slice* begin, const Slice* end) override;
+  /// Clear a transient sticky background error (rotating the WAL — the old
+  /// one may end in a torn append — and restarting pending flush/compaction
+  /// work). Permanent errors (corruption) are returned unchanged.
+  Status Resume() override;
 
   // ---- Extended surface for the secondary-index layer ----
 
@@ -238,8 +243,20 @@ class DBImpl : public DB {
 
   /// Make `s` the sticky background error (first error wins) and wake every
   /// stalled waiter. Once set, Put/Delete/Write reject immediately with it;
-  /// only reopening the DB clears the state.
+  /// only Resume() (transient errors) or reopening the DB clears the state.
   void RecordBackgroundError(const Status& s) EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+
+  /// Absorb one background-work failure: if `s` is transient (an I/O error,
+  /// not corruption) and the Options::bg_error_retries budget is not
+  /// exhausted, sleeps with exponential backoff (mutex released) and returns
+  /// true — the caller should retry the work. Otherwise records `s` as the
+  /// sticky background error and returns false.
+  bool MaybeRetryBackgroundError(const Status& s)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+
+  /// A successful unit of background work after >= 1 absorbed failures:
+  /// reset the retry budget and count the auto-recovery.
+  void NoteBackgroundWorkSucceeded() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
   /// Schedule background work if any is pending (background mode only).
   void MaybeScheduleCompaction() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
@@ -268,6 +285,12 @@ class DBImpl : public DB {
   const InternalFilterPolicy internal_filter_policy_;
   const Options options_;  // options_.comparator == &internal_comparator_
   const std::string dbname_;
+
+  // Checksum-failed (file, block) pairs seen by this DB's tables; reads
+  // fall through past quarantined blocks in non-paranoid mode. Declared
+  // before table_cache_ so it outlives the cached Tables that point at it
+  // (via Table::SetProvenance). Exposed in the "leveldbpp.stats" property.
+  BlockQuarantine quarantine_;
 
   std::unique_ptr<TableCache> table_cache_;
 
@@ -306,6 +329,8 @@ class DBImpl : public DB {
   bool flush_in_progress_ GUARDED_BY(mutex_) = false;
 
   Status bg_error_ GUARDED_BY(mutex_);  // Sticky error from flush/compaction
+  // Failed background attempts absorbed so far (Options::bg_error_retries).
+  int bg_retry_attempts_ GUARDED_BY(mutex_) = 0;
 
   std::string merge_scratch_;
 };

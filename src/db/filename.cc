@@ -111,6 +111,12 @@ Status SetCurrentFile(Env* env, const std::string& dbname,
   if (s.ok()) {
     s = env->RenameFile(tmp, CurrentFileName(dbname));
   }
+  if (s.ok()) {
+    // The rename is only durable once the directory entry itself is synced;
+    // without this, a power cut can roll CURRENT back to the previous
+    // manifest even though the rename "succeeded".
+    s = env->SyncDir(dbname);
+  }
   if (!s.ok()) {
     env->RemoveFile(tmp);
   }

@@ -52,6 +52,9 @@ Status TableCache::FindTable(uint64_t file_number, uint64_t file_size,
   if (s.ok()) {
     s = Table::Open(options_, file.get(), file_size, &table);
   }
+  if (s.ok()) {
+    table->SetProvenance(file_number, quarantine_);
+  }
 
   if (!s.ok()) {
     assert(table == nullptr);

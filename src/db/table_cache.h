@@ -60,11 +60,16 @@ class TableCache {
   /// Evict any entry for the specified file number (file being deleted).
   void Evict(uint64_t file_number);
 
+  /// Attach the DB-wide quarantine registry: every table opened from now on
+  /// records checksum-failed blocks there (see Table::SetProvenance).
+  void SetQuarantine(BlockQuarantine* quarantine) { quarantine_ = quarantine; }
+
  private:
   Status FindTable(uint64_t file_number, uint64_t file_size, Cache::Handle**);
 
   const std::string dbname_;
   const Options& options_;
+  BlockQuarantine* quarantine_ = nullptr;
   std::unique_ptr<Cache> cache_;
 
   // Single-flight state for FindTable: file numbers currently being opened.

@@ -319,7 +319,16 @@ Status Version::Get(const ReadOptions& options, const LookupKey& k,
       saver.seq = 0;
       Status s = vset_->table_cache_->Get(options, f->number, f->file_size,
                                           ikey, &saver, SaveValue);
-      if (!s.ok()) return s;
+      if (!s.ok()) {
+        // Quarantine fallthrough: a table whose open (footer/index) fails
+        // its checks is unreadable, but older levels may still hold the
+        // key. Skip it in non-paranoid mode — block-level damage inside a
+        // readable table took the same fallthrough inside InternalGet.
+        if (s.IsCorruption() && !vset_->options_->paranoid_checks) {
+          continue;
+        }
+        return s;
+      }
       switch (saver.state) {
         case kNotFound:
           break;  // Keep searching
@@ -381,7 +390,12 @@ Status Version::GetFragments(
     fs.user_key = user_key;
     Status s = vset_->table_cache_->Get(options, f->number, f->file_size, ikey,
                                         &fs, save);
-    if (!s.ok()) return s;
+    if (!s.ok()) {
+      // Same quarantine fallthrough as Version::Get: skip an unreadable
+      // table in non-paranoid mode, older fragments are still reachable.
+      if (s.IsCorruption() && !vset_->options_->paranoid_checks) continue;
+      return s;
+    }
     if (fs.found) {
       if (!fn(0, fs.seq, fs.deleted, Slice(fs.value))) return Status::OK();
     }
@@ -398,7 +412,10 @@ Status Version::GetFragments(
     fs.user_key = user_key;
     Status s = vset_->table_cache_->Get(options, f->number, f->file_size, ikey,
                                         &fs, save);
-    if (!s.ok()) return s;
+    if (!s.ok()) {
+      if (s.IsCorruption() && !vset_->options_->paranoid_checks) continue;
+      return s;
+    }
     if (fs.found) {
       if (!fn(level, fs.seq, fs.deleted, Slice(fs.value))) return Status::OK();
     }
@@ -865,7 +882,10 @@ void VersionSet::AddLiveFiles(std::set<uint64_t>* live) {
 
 Iterator* VersionSet::MakeInputIterator(Compaction* c) {
   ReadOptions options;
-  options.verify_checksums = options_->paranoid_checks;
+  // Compaction inputs are ALWAYS checksum-verified, regardless of the
+  // paranoid setting: rewriting a corrupt block into a fresh SSTable would
+  // launder the damage into a file whose checksums then all pass.
+  options.verify_checksums = true;
   options.fill_cache = false;
 
   // Level-0 files have to be merged together. For other levels, we will

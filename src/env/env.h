@@ -79,6 +79,16 @@ class Env {
   virtual Status RenameFile(const std::string& src,
                             const std::string& target) = 0;
 
+  /// Fsync the directory itself so that metadata operations inside it
+  /// (renames, file creations) survive power loss. POSIX requires this for
+  /// the CURRENT-file install protocol; filesystems without the concept
+  /// (and the in-memory env, whose metadata ops are atomic) use the
+  /// default no-op.
+  virtual Status SyncDir(const std::string& dirname) {
+    (void)dirname;
+    return Status::OK();
+  }
+
   /// Microseconds since some fixed epoch; monotonic enough for latency
   /// measurement.
   virtual uint64_t NowMicros() = 0;

@@ -270,6 +270,19 @@ class PosixEnv final : public Env {
     return Status::OK();
   }
 
+  Status SyncDir(const std::string& dirname) override {
+    int fd = ::open(dirname.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      return PosixError(dirname, errno);
+    }
+    Status status;
+    if (::fsync(fd) != 0) {
+      status = PosixError(dirname, errno);
+    }
+    ::close(fd);
+    return status;
+  }
+
   uint64_t NowMicros() override {
     struct ::timeval tv;
     ::gettimeofday(&tv, nullptr);

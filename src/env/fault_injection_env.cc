@@ -150,6 +150,39 @@ void FaultInjectionEnv::OnSync(const std::string& fname) {
 }
 
 Status FaultInjectionEnv::SimulateCrash(CrashMode mode) {
+  // Roll back renames whose parent directory was never SyncDir()ed, newest
+  // first (only populated under SetTrackMetadataSync). The restored files
+  // are their own pre-rename durable state, so they drop out of the
+  // truncation pass below.
+  std::vector<PendingRename> reverts;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    reverts.swap(pending_renames_);
+    for (const PendingRename& pr : reverts) {
+      files_.erase(pr.src);
+      files_.erase(pr.target);
+    }
+  }
+  Status revert_status;
+  for (auto it = reverts.rbegin(); it != reverts.rend(); ++it) {
+    const PendingRename& pr = *it;
+    std::unique_ptr<WritableFile> out;
+    Status s = base_->NewWritableFile(pr.src, &out);
+    if (s.ok()) s = out->Append(Slice(pr.src_content));
+    if (s.ok()) s = out->Close();
+    if (s.ok()) {
+      if (pr.target_existed) {
+        out.reset();
+        s = base_->NewWritableFile(pr.target, &out);
+        if (s.ok()) s = out->Append(Slice(pr.target_old_content));
+        if (s.ok()) s = out->Close();
+      } else {
+        s = base_->RemoveFile(pr.target);
+      }
+    }
+    if (!s.ok() && revert_status.ok()) revert_status = s;
+  }
+
   // Snapshot the tracking map, then rewrite outside the lock (the rewrite
   // goes through base_ directly, so it is neither counted nor failed).
   std::vector<std::pair<std::string, FileState>> tracked;
@@ -194,12 +227,44 @@ Status FaultInjectionEnv::SimulateCrash(CrashMode mode) {
   // Post-crash, everything that survived is durable.
   std::lock_guard<std::mutex> lock(mu_);
   files_.clear();
-  return result;
+  return result.ok() ? revert_status : result;
 }
 
 void FaultInjectionEnv::UntrackAll() {
   std::lock_guard<std::mutex> lock(mu_);
   files_.clear();
+  pending_renames_.clear();
+}
+
+Status FaultInjectionEnv::CorruptFile(const std::string& fname,
+                                      uint64_t offset, size_t nbytes) {
+  std::string contents;
+  Status s = ReadWholeFile(base_, fname, &contents);
+  if (!s.ok()) return s;
+  if (offset >= contents.size()) {
+    return Status::InvalidArgument("corruption offset past EOF: ", fname);
+  }
+  const size_t end =
+      std::min<uint64_t>(contents.size(), offset + nbytes);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = offset; i < end; i++) {
+      // A zero mask would leave the byte intact; draw from [1, 255].
+      contents[i] ^= static_cast<char>(1 + rnd_.Uniform(255));
+    }
+  }
+  std::unique_ptr<WritableFile> out;
+  s = base_->NewWritableFile(fname, &out);
+  if (s.ok()) s = out->Append(Slice(contents));
+  if (s.ok()) s = out->Sync();
+  if (s.ok()) s = out->Close();
+  return s;
+}
+
+void FaultInjectionEnv::SetTrackMetadataSync(bool track) {
+  std::lock_guard<std::mutex> lock(mu_);
+  track_metadata_sync_ = track;
+  if (!track) pending_renames_.clear();
 }
 
 Status FaultInjectionEnv::NewSequentialFile(
@@ -266,6 +331,28 @@ Status FaultInjectionEnv::RenameFile(const std::string& src,
                                      const std::string& target) {
   Status s = MaybeInjectError(kOpRename);
   if (!s.ok()) return s;
+
+  // Under the strict metadata model, capture both sides before the rename
+  // so SimulateCrash can roll it back if the directory is never synced.
+  bool track;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    track = track_metadata_sync_;
+  }
+  PendingRename pending;
+  if (track) {
+    const size_t slash = target.rfind('/');
+    pending.dir = (slash == std::string::npos) ? "" : target.substr(0, slash);
+    pending.src = src;
+    pending.target = target;
+    Status rs = ReadWholeFile(base_, src, &pending.src_content);
+    if (!rs.ok()) track = false;  // Untrackable (src unreadable): fall back.
+    if (track) {
+      rs = ReadWholeFile(base_, target, &pending.target_old_content);
+      pending.target_existed = rs.ok();
+    }
+  }
+
   s = base_->RenameFile(src, target);
   if (s.ok()) {
     // The durability state travels with the contents.
@@ -277,6 +364,27 @@ Status FaultInjectionEnv::RenameFile(const std::string& src,
     } else {
       files_.erase(target);
     }
+    if (track && track_metadata_sync_) {
+      pending_renames_.push_back(std::move(pending));
+    }
+  }
+  return s;
+}
+
+Status FaultInjectionEnv::SyncDir(const std::string& dirname) {
+  Status s = MaybeInjectError(kOpSyncDir);
+  if (!s.ok()) return s;
+  s = base_->SyncDir(dirname);
+  if (s.ok()) {
+    // The directory's metadata updates are durable now: renames inside it
+    // can no longer be rolled back.
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_renames_.erase(
+        std::remove_if(pending_renames_.begin(), pending_renames_.end(),
+                       [&](const PendingRename& pr) {
+                         return pr.dir == dirname;
+                       }),
+        pending_renames_.end());
   }
   return s;
 }

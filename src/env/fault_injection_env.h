@@ -19,6 +19,8 @@
 //     it. Metadata operations themselves (create/rename/remove) are treated
 //     as immediately durable — the engine's recovery protocol must not
 //     depend on unsynced *data*, which is exactly what the harness checks.
+//     SetTrackMetadataSync(true) opts into a stricter model where renames
+//     are volatile until the parent directory is SyncDir()ed.
 //
 //  2. Deterministic error injection. FailAfter(n, mask) lets the next n
 //     operations matching `mask` succeed; the (n+1)th and every later
@@ -42,6 +44,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "env/env.h"
 #include "env/statistics.h"
@@ -58,6 +61,7 @@ class FaultInjectionEnv : public Env {
     kOpNewWritable = 1u << 2,  // Env::NewWritableFile
     kOpRename = 1u << 3,       // Env::RenameFile
     kOpRemove = 1u << 4,       // Env::RemoveFile
+    kOpSyncDir = 1u << 5,      // Env::SyncDir
     kOpAllWrites = 0xffffffffu,
   };
 
@@ -102,6 +106,27 @@ class FaultInjectionEnv : public Env {
   /// Forget all durability tracking (files become "fully durable as-is").
   void UntrackAll();
 
+  // ---- Corruption injection ----
+
+  /// XOR `nbytes` bytes of `fname` starting at `offset` with seeded non-zero
+  /// masks (so every targeted byte really changes). Goes straight to the
+  /// base Env: the write is neither counted nor failed, and durability
+  /// tracking is untouched — this models bit rot on the medium, not an I/O
+  /// operation by the engine. Fails if `offset` is at or past EOF; `nbytes`
+  /// is clipped to the file end.
+  Status CorruptFile(const std::string& fname, uint64_t offset,
+                     size_t nbytes);
+
+  // ---- Directory-sync modeling ----
+
+  /// When enabled, a RenameFile is treated as volatile until the parent
+  /// directory is SyncDir()ed: SimulateCrash rolls unsynced renames back to
+  /// the pre-rename state (newest first), exactly the way a journaling FS
+  /// may order an un-fsynced directory update behind the crash. Default
+  /// off, preserving the original model where metadata ops are immediately
+  /// durable.
+  void SetTrackMetadataSync(bool track);
+
   // ---- Env interface (forwards to base, with injection/tracking) ----
   Status NewSequentialFile(const std::string& fname,
                            std::unique_ptr<SequentialFile>* result) override;
@@ -118,6 +143,7 @@ class FaultInjectionEnv : public Env {
   Status RemoveDir(const std::string& dirname) override;
   Status GetFileSize(const std::string& fname, uint64_t* size) override;
   Status RenameFile(const std::string& src, const std::string& target) override;
+  Status SyncDir(const std::string& dirname) override;
   uint64_t NowMicros() override { return base_->NowMicros(); }
   void Schedule(void (*function)(void*), void* arg) override {
     base_->Schedule(function, arg);
@@ -138,6 +164,18 @@ class FaultInjectionEnv : public Env {
     uint64_t synced_length = 0;  // Prefix known durable
   };
 
+  // A rename whose parent directory has not been SyncDir()ed yet (only
+  // recorded when SetTrackMetadataSync(true)). Holds everything needed to
+  // roll the rename back on SimulateCrash.
+  struct PendingRename {
+    std::string dir;      // Parent directory of `target`
+    std::string src;
+    std::string target;
+    std::string src_content;         // `src` bytes before the rename
+    std::string target_old_content;  // `target` bytes before (if it existed)
+    bool target_existed = false;
+  };
+
   /// Returns the injected error for one matching operation, or OK. Counts
   /// the operation either way.
   Status MaybeInjectError(uint32_t kind);
@@ -152,6 +190,8 @@ class FaultInjectionEnv : public Env {
   mutable std::mutex mu_;
   Random rnd_;                             // Guarded by mu_
   std::map<std::string, FileState> files_;  // Guarded by mu_
+  bool track_metadata_sync_ = false;        // Guarded by mu_
+  std::vector<PendingRename> pending_renames_;  // Guarded by mu_
 
   // Error-injection state (guarded by mu_).
   uint32_t fail_mask_ = 0;

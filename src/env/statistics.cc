@@ -36,6 +36,13 @@ const char* TickerName(Ticker t) {
     case kFaultInjectedErrors: return "fault.injected.errors";
     case kRecoveryWalRecords: return "recovery.wal.records";
     case kRecoveryTornTailBytes: return "recovery.torn.tail.bytes";
+    case kCorruptionBlocksDetected: return "corruption.blocks.detected";
+    case kCorruptionBlocksQuarantined:
+      return "corruption.blocks.quarantined";
+    case kRepairTablesSalvaged: return "repair.tables.salvaged";
+    case kRepairTablesDropped: return "repair.tables.dropped";
+    case kIndexRebuildEntries: return "index.rebuild.entries";
+    case kBgErrorAutorecovered: return "bg.error.autorecovered";
     case kTickerCount: break;
   }
   return "unknown";

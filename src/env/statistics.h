@@ -47,6 +47,12 @@ enum Ticker : uint32_t {
   kFaultInjectedErrors,   // I/O errors injected by FaultInjectionEnv
   kRecoveryWalRecords,    // WAL batch records replayed during recovery
   kRecoveryTornTailBytes, // trailing WAL bytes skipped as a torn tail
+  kCorruptionBlocksDetected,    // checksum mismatches seen by ReadBlock
+  kCorruptionBlocksQuarantined, // distinct blocks entered into quarantine
+  kRepairTablesSalvaged,  // tables RepairDB kept (possibly rewritten)
+  kRepairTablesDropped,   // tables RepairDB archived as unreadable
+  kIndexRebuildEntries,   // postings re-derived by RebuildIndex
+  kBgErrorAutorecovered,  // background errors cleared by retry/Resume
   kTickerCount,
 };
 

@@ -89,6 +89,7 @@ Status ReadBlock(RandomAccessFile* file, bool verify_checksums,
     const uint32_t actual = crc32c::Value(data, n + 1);
     if (actual != crc) {
       delete[] buf;
+      if (stats != nullptr) stats->Record(kCorruptionBlocksDetected);
       return Status::Corruption("block checksum mismatch");
     }
   }
@@ -113,12 +114,14 @@ Status ReadBlock(RandomAccessFile* file, bool verify_checksums,
       uint32_t ulength = 0;
       if (!simplelz::GetUncompressedLength(Slice(data, n), &ulength)) {
         delete[] buf;
+        if (stats != nullptr) stats->Record(kCorruptionBlocksDetected);
         return Status::Corruption("corrupted compressed block contents");
       }
       char* ubuf = new char[ulength];
       if (!simplelz::Uncompress(Slice(data, n), ubuf)) {
         delete[] buf;
         delete[] ubuf;
+        if (stats != nullptr) stats->Record(kCorruptionBlocksDetected);
         return Status::Corruption("corrupted compressed block contents");
       }
       delete[] buf;

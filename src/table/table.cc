@@ -5,6 +5,7 @@
 #include "table/block.h"
 #include "table/filter_block.h"
 #include "table/filter_policy.h"
+#include "table/quarantine.h"
 #include "table/two_level_iterator.h"
 #include "table/zonemap_block.h"
 #include "util/coding.h"
@@ -41,6 +42,11 @@ struct Table::Rep {
   BlockHandle metaindex_handle;
   Block* index_block = nullptr;
 
+  // Identity + DB-wide quarantine registry (set via SetProvenance; the
+  // registry stays null for tables opened outside a DB, e.g. by tools).
+  uint64_t file_number = 0;
+  BlockQuarantine* quarantine = nullptr;
+
   // Decoded data-block handles in file order (block ordinal -> handle),
   // giving the embedded scan O(1) access to any block.
   std::vector<BlockHandle> data_block_handles;
@@ -63,13 +69,11 @@ Status Table::Open(const Options& options, RandomAccessFile* file,
   s = footer.DecodeFrom(&footer_input);
   if (!s.ok()) return s;
 
-  // Read the index block.
+  // Read the index block. Always verified: a garbled index block would
+  // misdirect every lookup in the table, and open-time is the only chance
+  // to reject the file as a whole.
   BlockContents index_block_contents;
-  ReadOptions opt;
-  if (options.paranoid_checks) {
-    opt.verify_checksums = true;
-  }
-  s = ReadBlock(file, opt.verify_checksums, footer.index_handle(),
+  s = ReadBlock(file, /*verify_checksums=*/true, footer.index_handle(),
                 &index_block_contents, options.statistics);
   if (!s.ok()) return s;
 
@@ -93,9 +97,13 @@ Status Table::Open(const Options& options, RandomAccessFile* file,
 
 void Table::ReadMeta(const Footer& footer) {
   // Read the metaindex block regardless of filter configuration: zone maps
-  // have no policy dependency.
+  // have no policy dependency. Meta blocks are always verified — a corrupt
+  // filter parsed as garbage could answer "definitely absent" for keys the
+  // table holds; failing the read instead degrades to fail-open (no
+  // filter / no zone maps), which is merely slower, never wrong.
   BlockContents contents;
-  if (!ReadBlock(rep_->file, false, footer.metaindex_handle(), &contents,
+  if (!ReadBlock(rep_->file, /*verify_checksums=*/true,
+                 footer.metaindex_handle(), &contents,
                  rep_->options.statistics)
            .ok()) {
     return;  // Do not propagate errors since meta info is not needed
@@ -136,7 +144,7 @@ void Table::ReadMeta(const Footer& footer) {
     BlockHandle handle;
     if (handle.DecodeFrom(&v).ok()) {
       BlockContents zcontents;
-      if (ReadBlock(rep_->file, false, handle, &zcontents,
+      if (ReadBlock(rep_->file, /*verify_checksums=*/true, handle, &zcontents,
                     rep_->options.statistics)
               .ok()) {
         if (ZoneMapReader::Decode(zcontents.data, &rep_->zonemaps).ok()) {
@@ -163,7 +171,7 @@ void Table::ReadFilter(const Slice& filter_handle_value,
   }
 
   BlockContents block;
-  if (!ReadBlock(rep_->file, false, filter_handle, &block,
+  if (!ReadBlock(rep_->file, /*verify_checksums=*/true, filter_handle, &block,
                  rep_->options.statistics)
            .ok()) {
     return;
@@ -261,6 +269,13 @@ Iterator* Table::BlockReader(void* arg, const ReadOptions& options,
       });
     }
   } else {
+    if (s.IsCorruption() && table->rep_->quarantine != nullptr) {
+      if (table->rep_->quarantine->Add(table->rep_->file_number,
+                                       handle.offset())) {
+        Statistics* stats = table->rep_->options.statistics;
+        if (stats != nullptr) stats->Record(kCorruptionBlocksQuarantined);
+      }
+    }
     iter = NewErrorIterator(s);
   }
   return iter;
@@ -305,6 +320,15 @@ Status Table::InternalGet(const ReadOptions& options, const Slice& k,
       }
       s = block_iter->status();
       delete block_iter;
+      // Quarantine semantics (non-paranoid, registry attached): a
+      // checksum-failed block holds no trustworthy data, so treat it as
+      // holding none at all — the caller falls through to older levels.
+      // BlockReader already recorded the block; paranoid mode keeps the
+      // fail-fast error.
+      if (s.IsCorruption() && !rep_->options.paranoid_checks &&
+          rep_->quarantine != nullptr) {
+        s = Status::OK();
+      }
     }
   }
   if (s.ok()) {
@@ -401,6 +425,11 @@ bool Table::SecondaryFileMayOverlap(const std::string& attr, const Slice& lo,
     rep_->options.statistics->Record(kZoneMapFilePruned);
   }
   return may;
+}
+
+void Table::SetProvenance(uint64_t file_number, BlockQuarantine* quarantine) {
+  rep_->file_number = file_number;
+  rep_->quarantine = quarantine;
 }
 
 Iterator* Table::NewDataBlockIterator(const ReadOptions& options,

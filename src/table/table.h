@@ -24,6 +24,8 @@
 
 namespace leveldbpp {
 
+class BlockQuarantine;
+
 class Table {
  public:
   /// Open a table over [0, file_size) of `file`. On success stores a
@@ -74,6 +76,13 @@ class Table {
 
   /// Iterator over data block `block_idx`. Caller deletes.
   Iterator* NewDataBlockIterator(const ReadOptions&, size_t block_idx) const;
+
+  /// Attach the table's identity and the DB-wide quarantine registry
+  /// (called by TableCache right after Open). With a registry attached,
+  /// non-paranoid reads record checksum-failed blocks in it — and
+  /// InternalGet treats such a block as empty so the lookup can fall
+  /// through to older levels — instead of failing the query.
+  void SetProvenance(uint64_t file_number, BlockQuarantine* quarantine);
 
  private:
   struct Rep;

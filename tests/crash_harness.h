@@ -126,48 +126,16 @@ inline uint64_t CountEnvOps(IndexType type, const std::vector<Op>& ops) {
   return env.op_count();
 }
 
-/// Post-recovery verification against the golden model. `in_flight` is the
-/// op that was executing when the crash hit (nullptr if the workload
-/// completed): the one op whose outcome is legitimately two-valued.
-inline void VerifyRecovered(SecondaryDB* db, const std::vector<Op>& ops,
-                            const Model& model, const Op* in_flight,
-                            const std::string& trace) {
-  // ---- 1. Primary table vs. the acknowledged model.
-  std::set<std::string> keys;
-  std::set<std::string> users;
-  for (const Op& op : ops) {
-    keys.insert(op.key);
-    if (op.kind == Op::kPut) users.insert(op.user);
-  }
-  for (const std::string& key : keys) {
-    std::string value;
-    Status s = db->Get(key, &value);
-    auto it = model.find(key);
-    const bool matches_model = (it == model.end())
-                                   ? s.IsNotFound()
-                                   : (s.ok() && value == it->second);
-    if (in_flight != nullptr && key == in_flight->key) {
-      // The crash hit mid-op: pre-state (op never landed) and post-state
-      // (its durable prefix happened to cover the decisive write) are both
-      // legal. Anything else — a third value, an error — is not.
-      const bool matches_post =
-          (in_flight->kind == Op::kPut)
-              ? (s.ok() && value == in_flight->doc)
-              : s.IsNotFound();
-      ASSERT_TRUE(matches_model || matches_post)
-          << trace << " in-flight key=" << key << " status=" << s.ToString();
-    } else {
-      ASSERT_TRUE(matches_model)
-          << trace << " key=" << key << " status=" << s.ToString()
-          << (it == model.end() ? " (model: absent)" : " (model: present)");
-    }
-  }
-
-  // ---- 2. Index queries vs. the recovered primary state. Whatever state
-  // recovery produced (the in-flight ambiguity included), every variant's
-  // answers must now be EXACTLY derivable from the primary table: the live
-  // records carrying the queried attribute value, newest-first by the
-  // primary's sequence numbers, with the primary's values.
+/// Index queries vs. the current primary state: whatever state the primary
+/// table is in, every variant's answers must be EXACTLY derivable from it —
+/// the live records carrying the queried attribute value, newest-first by
+/// the primary's sequence numbers, with the primary's values. Shared by the
+/// crash-recovery suites (post-reopen) and the corruption/repair suite
+/// (post-RepairDB + RebuildIndex).
+inline void VerifyIndexesMatchPrimary(SecondaryDB* db,
+                                      const std::set<std::string>& keys,
+                                      const std::set<std::string>& users,
+                                      const std::string& trace) {
   struct Rec {
     SequenceNumber seq;
     std::string key;
@@ -228,6 +196,48 @@ inline void VerifyRecovered(SecondaryDB* db, const std::vector<Op>& ops,
     ASSERT_TRUE(db->RangeLookup("UserID", lo, hi, 5, &got).ok()) << trace;
     check(got, expected_in(lo, hi), 5, "RangeLookup(top5)");
   }
+}
+
+/// Post-recovery verification against the golden model. `in_flight` is the
+/// op that was executing when the crash hit (nullptr if the workload
+/// completed): the one op whose outcome is legitimately two-valued.
+inline void VerifyRecovered(SecondaryDB* db, const std::vector<Op>& ops,
+                            const Model& model, const Op* in_flight,
+                            const std::string& trace) {
+  // ---- 1. Primary table vs. the acknowledged model.
+  std::set<std::string> keys;
+  std::set<std::string> users;
+  for (const Op& op : ops) {
+    keys.insert(op.key);
+    if (op.kind == Op::kPut) users.insert(op.user);
+  }
+  for (const std::string& key : keys) {
+    std::string value;
+    Status s = db->Get(key, &value);
+    auto it = model.find(key);
+    const bool matches_model = (it == model.end())
+                                   ? s.IsNotFound()
+                                   : (s.ok() && value == it->second);
+    if (in_flight != nullptr && key == in_flight->key) {
+      // The crash hit mid-op: pre-state (op never landed) and post-state
+      // (its durable prefix happened to cover the decisive write) are both
+      // legal. Anything else — a third value, an error — is not.
+      const bool matches_post =
+          (in_flight->kind == Op::kPut)
+              ? (s.ok() && value == in_flight->doc)
+              : s.IsNotFound();
+      ASSERT_TRUE(matches_model || matches_post)
+          << trace << " in-flight key=" << key << " status=" << s.ToString();
+    } else {
+      ASSERT_TRUE(matches_model)
+          << trace << " key=" << key << " status=" << s.ToString()
+          << (it == model.end() ? " (model: absent)" : " (model: present)");
+    }
+  }
+
+  // ---- 2. Index queries vs. the recovered primary state (the in-flight
+  // ambiguity included): see VerifyIndexesMatchPrimary.
+  VerifyIndexesMatchPrimary(db, keys, users, trace);
 }
 
 /// One full write -> crash-at-op -> recover -> verify cycle.
