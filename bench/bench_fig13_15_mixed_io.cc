@@ -5,9 +5,12 @@
 //   (b) block reads performed by GET operations,
 //   (c) block reads performed by LOOKUP operations.
 //
-// The attribution works because the engine is synchronous: compaction only
-// runs inside PUTs, so block-read deltas measured across a GET or LOOKUP
-// are exactly that operation's reads.
+// Attribution comes from the thread-local PerfContext: resetting it before
+// a GET or LOOKUP and reading kBlockRead after yields exactly that
+// operation's reads, on any thread and at any read_parallelism. The older
+// global-ticker differencing (sound here because the engine is synchronous
+// and single-threaded in this bench) is kept as a cross-check — the run
+// aborts if the two attributions ever disagree.
 //
 // Usage: bench_fig13_15_mixed_io [--ops=60000] [--windows=10]
 //                                [--workload=write|read|update|all]
@@ -15,6 +18,7 @@
 #include <unistd.h>
 
 #include "harness.h"
+#include "util/perf_context.h"
 
 namespace leveldbpp {
 namespace bench {
@@ -35,6 +39,9 @@ IoSeries RunOne(IndexType type, const MixedRatios& ratios, uint64_t ops,
   WorkloadGenerator gen(TweetGeneratorOptions{}, 31);
   std::vector<QueryResult> scratch;
 
+  PerfContext* perf = GetPerfContext();
+  EnablePerfContext();
+
   const uint64_t window = ops / windows;
   IoSeries series;
   uint64_t get_reads = 0, lookup_reads = 0;
@@ -44,8 +51,18 @@ IoSeries RunOne(IndexType type, const MixedRatios& ratios, uint64_t ops,
       Operation op = gen.NextMixed(ratios, /*lookup_k=*/10);
       if (op.type == OpType::kGet || op.type == OpType::kLookup) {
         uint64_t before = db->TotalTicker(kBlockRead);
+        perf->Reset();
         CheckOk(Apply(db.get(), op, &scratch), "op");
-        uint64_t delta = db->TotalTicker(kBlockRead) - before;
+        uint64_t delta = perf->TickerValue(kBlockRead);
+        uint64_t global_delta = db->TotalTicker(kBlockRead) - before;
+        if (delta != global_delta) {
+          fprintf(stderr,
+                  "attribution mismatch: PerfContext saw %llu block reads, "
+                  "global tickers %llu\n",
+                  static_cast<unsigned long long>(delta),
+                  static_cast<unsigned long long>(global_delta));
+          abort();
+        }
         if (op.type == OpType::kGet) {
           get_reads += delta;
         } else {
@@ -63,6 +80,7 @@ IoSeries RunOne(IndexType type, const MixedRatios& ratios, uint64_t ops,
     series.get_reads.push_back(get_reads);
     series.lookup_reads.push_back(lookup_reads);
   }
+  DisablePerfContext();
   return series;
 }
 

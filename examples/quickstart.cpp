@@ -8,6 +8,7 @@
 
 #include "core/secondary_db.h"
 #include "json/json.h"
+#include "util/perf_context.h"
 
 using namespace leveldbpp;
 
@@ -61,5 +62,13 @@ int main(int argc, char** argv) {
   // 7. Inspect the store.
   printf("primary table: %.1f KB, index tables: %.1f KB\n",
          db->PrimarySizeBytes() / 1024.0, db->IndexSizeBytes() / 1024.0);
+
+  // 8. What does one query cost? PerfContext accumulates this thread's
+  //    share of every engine counter (docs/METRICS.md lists them all).
+  EnablePerfContext();
+  GetPerfContext()->Reset();
+  db->Lookup("UserID", "alice", 0, &results);
+  printf("that lookup cost:\n%s", GetPerfContext()->ToString().c_str());
+  DisablePerfContext();
   return 0;
 }

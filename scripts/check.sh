@@ -65,4 +65,19 @@ if [[ -n "${SAN_FILTER}" ]]; then
   ASAN_OPTIONS="halt_on_error=1" ctest --preset asan -R "${REPAIR_FILTER}"
 fi
 
+# Observability: PerfContext mirrors every Statistics::Record on the query
+# thread and ParallelRun merges task-local contexts across the pool, so the
+# suite is a natural race detector — run it under TSan. Skipped when
+# --sanitize-all already ran the full suites.
+if [[ -n "${SAN_FILTER}" ]]; then
+  echo "==> TSan observability tests"
+  TSAN_OPTIONS="halt_on_error=1" ctest --preset tsan -L observability
+fi
+
+# Docs drift: stats_doc_test cross-checks docs/METRICS.md against the code
+# registries in both directions (it is part of the release ctest run above,
+# but a dedicated step makes a doc-only failure obvious).
+echo "==> Metrics manual coverage"
+ctest --preset release -R StatsDocTest
+
 echo "==> All checks passed"

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "util/coding.h"
+#include "util/perf_context.h"
 
 namespace leveldbpp {
 
@@ -94,6 +95,10 @@ Status CompositeIndex::RangeLookup(const Slice& lo, const Slice& hi,
     candidates.push_back({seq, primary_key.ToString()});
   }
   if (!it->status().ok()) return it->status();
+  // One composite row is the analogue of one posting entry. Counted after
+  // the (always sequential) phase-1 scan, so the value is identical at
+  // every read_parallelism setting.
+  PerfCounterAdd(&PerfContext::posting_entries_scanned, candidates.size());
 
   // Phase 2 — validate newest-first: the stored sequence numbers order the
   // candidates by recency, so top-K completes after ~K data-table GETs

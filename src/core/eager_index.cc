@@ -4,6 +4,7 @@
 #include <set>
 
 #include "core/posting_list.h"
+#include "util/perf_context.h"
 
 namespace leveldbpp {
 
@@ -84,6 +85,9 @@ Status EagerIndex::Lookup(const Slice& value, size_t k,
   if (!PostingList::Parse(Slice(list_data), &entries)) {
     return Status::Corruption("bad posting list for ", value);
   }
+  // Counted at parse time (entries in the list this query read), so the
+  // value is identical at every read_parallelism setting.
+  PerfCounterAdd(&PerfContext::posting_entries_scanned, entries.size());
   TopKCollector heap(k);
   std::set<std::string> seen;
   if (!parallel_reads()) {
@@ -161,6 +165,7 @@ Status EagerIndex::RangeLookup(const Slice& lo, const Slice& hi, size_t k,
   for (it->Seek(lo); it->Valid() && it->key().compare(hi) <= 0; it->Next()) {
     std::vector<PostingEntry> entries;
     if (!PostingList::Parse(it->value(), &entries)) continue;
+    PerfCounterAdd(&PerfContext::posting_entries_scanned, entries.size());
     for (const PostingEntry& e : entries) {
       if (e.deleted) continue;
       if (!heap.WouldAdmit(e.seq)) break;  // List is seq-descending

@@ -8,6 +8,7 @@
 
 #include "core/document.h"
 #include "env/thread_pool.h"
+#include "util/perf_context.h"
 
 namespace leveldbpp {
 
@@ -77,6 +78,7 @@ Status EmbeddedIndex::Scan(const Slice& lo, const Slice& hi, size_t k,
   primary_->MemTableSecondaryLookup(
       attribute_, lo, hi,
       [&](const Slice& user_key, SequenceNumber seq, const Slice& record) {
+        PerfCounterAdd(&PerfContext::candidate_records_scanned, 1);
         consider(user_key, seq, record, /*level=*/-1, /*file=*/0);
       });
 
@@ -108,6 +110,9 @@ Status EmbeddedIndex::Scan(const Slice& lo, const Slice& hi, size_t k,
           for (it->SeekToFirst(); it->Valid(); it->Next()) {
             ParsedInternalKey ikey;
             if (!ParseInternalKey(it->key(), &ikey)) continue;
+            // Counted before any pruning, so the value depends only on the
+            // candidate blocks (identical at every read_parallelism).
+            PerfCounterAdd(&PerfContext::candidate_records_scanned, 1);
             // Versions of one user key sort adjacent, newest first; only
             // the first can be the live version.
             if (!prev_user_key.empty() &&
@@ -193,6 +198,9 @@ Status EmbeddedIndex::Scan(const Slice& lo, const Slice& hi, size_t k,
                 for (it->SeekToFirst(); it->Valid(); it->Next()) {
                   ParsedInternalKey ikey;
                   if (!ParseInternalKey(it->key(), &ikey)) continue;
+                  // Same pre-pruning point as the sequential scan, so the
+                  // per-query total matches it exactly.
+                  PerfCounterAdd(&PerfContext::candidate_records_scanned, 1);
                   if (!prev_key.empty() &&
                       Slice(prev_key) == ikey.user_key) {
                     first_entry = false;

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "core/posting_list.h"
+#include "util/perf_context.h"
 
 namespace leveldbpp {
 
@@ -66,6 +67,10 @@ Status LazyIndex::Lookup(const Slice& value, size_t k,
         }
         std::vector<PostingEntry> entries;
         if (PostingList::Parse(fragment, &entries)) {
+          // Counted at parse time (entries in the lists this query read), so
+          // the value is identical at every read_parallelism setting.
+          PerfCounterAdd(&PerfContext::posting_entries_scanned,
+                         entries.size());
           if (!batched) {
             for (const PostingEntry& e : entries) {
               if (!seen.insert(e.primary_key).second) continue;
@@ -192,6 +197,7 @@ Status LazyIndex::RangeLookup(const Slice& lo, const Slice& hi, size_t k,
       }
       std::vector<PostingEntry> entries;
       if (!PostingList::Parse(it->value(), &entries)) continue;
+      PerfCounterAdd(&PerfContext::posting_entries_scanned, entries.size());
       for (const PostingEntry& e : entries) {
         if (!seen.insert(std::make_pair(prev_attr, e.primary_key)).second) {
           continue;

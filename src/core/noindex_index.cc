@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "core/document.h"
+#include "util/perf_context.h"
 
 namespace leveldbpp {
 
@@ -20,6 +21,7 @@ Status NoIndex::Scan(const Slice& lo, const Slice& hi, size_t k,
   Status s = primary_->ScanAll(
       ReadOptions(),
       [&](const Slice& key, SequenceNumber seq, const Slice& record) {
+        PerfCounterAdd(&PerfContext::candidate_records_scanned, 1);
         if (extractor->Extract(record, attribute_, &attr_scratch)) {
           Slice av(attr_scratch);
           if (av.compare(lo) >= 0 && av.compare(hi) <= 0) {

@@ -6,9 +6,26 @@
 #include "core/embedded_index.h"
 #include "core/lazy_index.h"
 #include "core/noindex_index.h"
+#include "db/event_listener.h"
 #include "env/env.h"
+#include "util/perf_context.h"
 
 namespace leveldbpp {
+
+namespace {
+
+HistogramType LookupHistogram(IndexType type) {
+  switch (type) {
+    case IndexType::kNoIndex: return kHistLookupNoIndexMicros;
+    case IndexType::kEmbedded: return kHistLookupEmbeddedMicros;
+    case IndexType::kLazy: return kHistLookupLazyMicros;
+    case IndexType::kEager: return kHistLookupEagerMicros;
+    case IndexType::kComposite: return kHistLookupCompositeMicros;
+  }
+  return kHistLookupNoIndexMicros;
+}
+
+}  // namespace
 
 SecondaryDB::SecondaryDB(const SecondaryDBOptions& options)
     : options_(options),
@@ -187,7 +204,15 @@ Status SecondaryDB::Lookup(const std::string& attribute, const Slice& value,
   if (idx == nullptr) {
     return Status::InvalidArgument("attribute is not indexed: ", attribute);
   }
-  return idx->Lookup(value, k, results);
+  // Both lookup forms land in the variant's histogram: the paper's LOOKUP /
+  // RANGELOOKUP latency figures are per-variant distributions.
+  Env* env = index_base_.env != nullptr ? index_base_.env : Env::Posix();
+  const uint64_t start = env->NowMicros();
+  ScopedPerfTimer timer(&PerfContext::lookup_micros);
+  Status s = idx->Lookup(value, k, results);
+  primary_statistics()->RecordHistogram(LookupHistogram(options_.index_type),
+                                        env->NowMicros() - start);
+  return s;
 }
 
 Status SecondaryDB::RangeLookup(const std::string& attribute, const Slice& lo,
@@ -197,7 +222,13 @@ Status SecondaryDB::RangeLookup(const std::string& attribute, const Slice& lo,
   if (idx == nullptr) {
     return Status::InvalidArgument("attribute is not indexed: ", attribute);
   }
-  return idx->RangeLookup(lo, hi, k, results);
+  Env* env = index_base_.env != nullptr ? index_base_.env : Env::Posix();
+  const uint64_t start = env->NowMicros();
+  ScopedPerfTimer timer(&PerfContext::lookup_micros);
+  Status s = idx->RangeLookup(lo, hi, k, results);
+  primary_statistics()->RecordHistogram(LookupHistogram(options_.index_type),
+                                        env->NowMicros() - start);
+  return s;
 }
 
 Status SecondaryDB::CompactAll() {
@@ -320,24 +351,44 @@ Status SecondaryDB::RebuildIndex() {
   Statistics* stats = primary_statistics();
   std::string attr_value;
   Status put_error;
+  std::vector<uint64_t> entries_per_index(indexes_.size(), 0);
   s = primary_->ScanAll(
       ReadOptions(),
       [&](const Slice& key, SequenceNumber seq, const Slice& value) {
-        for (auto& index : indexes_) {
-          if (!extractor->Extract(value, index->attribute(), &attr_value)) {
+        for (size_t i = 0; i < indexes_.size(); i++) {
+          if (!extractor->Extract(value, indexes_[i]->attribute(),
+                                  &attr_value)) {
             continue;
           }
-          Status ps = index->OnPut(key, Slice(attr_value), seq);
+          Status ps = indexes_[i]->OnPut(key, Slice(attr_value), seq);
           if (!ps.ok()) {
             put_error = ps;
             return false;
           }
+          entries_per_index[i]++;
           if (stats != nullptr) stats->Record(kIndexRebuildEntries);
         }
         return true;
       });
-  if (!s.ok()) return s;
-  return put_error;
+  if (s.ok()) s = put_error;
+  if (s.ok() && !options_.base.listeners.empty()) {
+    // One event per rebuilt index, after its refill completed.
+    for (size_t i = 0; i < indexes_.size(); i++) {
+      IndexRebuildInfo info;
+      info.db_name = path_;
+      info.attribute = indexes_[i]->attribute();
+      info.entries = entries_per_index[i];
+      for (const std::shared_ptr<EventListener>& l : options_.base.listeners) {
+        if (l == nullptr) continue;
+        try {
+          l->OnIndexRebuild(info);
+        } catch (...) {
+          // Listener exceptions never propagate into the engine.
+        }
+      }
+    }
+  }
+  return s;
 }
 
 Status SecondaryDB::Resume() {

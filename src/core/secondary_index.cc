@@ -1,6 +1,7 @@
 #include "core/secondary_index.h"
 
 #include "core/document.h"
+#include "util/perf_context.h"
 
 namespace leveldbpp {
 
@@ -18,6 +19,8 @@ const char* IndexTypeName(IndexType type) {
 bool SecondaryIndex::FetchAndValidate(const Slice& primary_key,
                                       const Slice& lo, const Slice& hi,
                                       QueryResult* out) {
+  ScopedPerfTimer timer(&PerfContext::validate_micros);
+  PerfCounterAdd(&PerfContext::candidates_validated, 1);
   std::string value;
   DBImpl::RecordLocation loc;
   Status s = primary_->GetWithMeta(ReadOptions(), primary_key, &value, &loc);
@@ -31,6 +34,7 @@ bool SecondaryIndex::FetchAndValidate(const Slice& primary_key,
   if (av.compare(lo) < 0 || av.compare(hi) > 0) {
     return false;  // Updated record no longer carries the queried value
   }
+  PerfCounterAdd(&PerfContext::candidates_valid, 1);
   out->primary_key = primary_key.ToString();
   out->seq = loc.seq;
   out->value = std::move(value);
@@ -44,6 +48,8 @@ void SecondaryIndex::FetchAndValidateBatch(
   out->assign(n, QueryResult());
   valid->assign(n, 0);
   if (n == 0) return;
+  ScopedPerfTimer timer(&PerfContext::validate_micros);
+  PerfCounterAdd(&PerfContext::candidates_validated, n);
   std::vector<Slice> key_slices(keys.begin(), keys.end());
   std::vector<std::string> values;
   std::vector<DBImpl::RecordLocation> locs;
@@ -64,6 +70,7 @@ void SecondaryIndex::FetchAndValidateBatch(
     (*out)[i].seq = locs[i].seq;
     (*out)[i].value = std::move(values[i]);
     (*valid)[i] = 1;
+    PerfCounterAdd(&PerfContext::candidates_valid, 1);
   }
 }
 

@@ -7,13 +7,16 @@
 
 #include "db/builder.h"
 #include "db/db_iter.h"
+#include "db/event_listener.h"
 #include "db/filename.h"
 #include "db/value_merger.h"
 #include "env/thread_pool.h"
+#include "json/json.h"
 #include "table/merger.h"
 #include "table/table_builder.h"
 #include "util/coding.h"
 #include "util/mutexlock.h"
+#include "util/perf_context.h"
 #include "wal/log_reader.h"
 
 namespace leveldbpp {
@@ -102,6 +105,28 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
       versions_(new VersionSet(dbname_, &options_, table_cache_.get(),
                                &internal_comparator_)) {
   table_cache_->SetQuarantine(&quarantine_);
+  if (!options_.listeners.empty()) {
+    // Installed before any read can fail a checksum; BlockQuarantine fires
+    // the callback outside its own lock, and block reads never hold mutex_.
+    quarantine_.SetNotifyFn([this](uint64_t file, uint64_t offset) {
+      BlockQuarantinedInfo info;
+      info.db_name = dbname_;
+      info.file_number = file;
+      info.block_offset = offset;
+      NotifyListeners([&](EventListener* l) { l->OnBlockQuarantined(info); });
+    });
+  }
+}
+
+void DBImpl::NotifyListeners(const std::function<void(EventListener*)>& fn) {
+  for (const std::shared_ptr<EventListener>& l : options_.listeners) {
+    if (l == nullptr) continue;
+    try {
+      fn(l.get());
+    } catch (...) {
+      // A listener must never wedge the engine; its exception is dropped.
+    }
+  }
 }
 
 DBImpl::~DBImpl() {
@@ -309,7 +334,8 @@ Status DBImpl::RecoverLogFile(uint64_t log_number, VersionEdit* edit,
   return s;
 }
 
-Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit) {
+Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit,
+                                FileMetaData* meta_out) {
   mutex_.AssertHeld();
   FileMetaData meta;
   meta.number = versions_->NewFileNumber();
@@ -332,6 +358,7 @@ Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit) {
   if (options_.statistics != nullptr) {
     options_.statistics->Record(kFlushCount);
   }
+  if (meta_out != nullptr) *meta_out = meta;
   return s;
 }
 
@@ -370,6 +397,11 @@ Status DBImpl::Delete(const WriteOptions& o, const Slice& key) {
 
 Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
   const bool sync = options.sync || options_.sync_writes;
+  // Put latency includes queue wait: it is what the caller experiences.
+  // Memtable-rotation markers (updates == nullptr) are not Puts.
+  Statistics* const stats = options_.statistics;
+  const uint64_t put_start_micros =
+      (stats != nullptr && updates != nullptr) ? env_->NowMicros() : 0;
   Writer w(&mutex_);
   w.batch = updates;
   w.sync = sync;
@@ -381,6 +413,10 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
     w.cv.Wait();
   }
   if (w.done) {
+    if (stats != nullptr && updates != nullptr) {
+      stats->RecordHistogram(kHistPutMicros,
+                             env_->NowMicros() - put_start_micros);
+    }
     return w.status;
   }
 
@@ -413,7 +449,24 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
         options_.statistics->Record(kGroupCommitWrites, group_size);
       }
       if (status.ok() && sync) {
+        const bool observe_sync =
+            stats != nullptr || !options_.listeners.empty();
+        const uint64_t sync_start = observe_sync ? env_->NowMicros() : 0;
         status = logfile_->Sync();
+        if (observe_sync) {
+          const uint64_t sync_micros = env_->NowMicros() - sync_start;
+          if (stats != nullptr) {
+            stats->RecordHistogram(kHistWalSyncMicros, sync_micros);
+          }
+          if (!options_.listeners.empty()) {
+            WalSyncInfo info;
+            info.db_name = dbname_;
+            info.bytes = WriteBatchInternal::ByteSize(write_batch);
+            info.micros = sync_micros;
+            info.status = status;
+            NotifyListeners([&](EventListener* l) { l->OnWalSync(info); });
+          }
+        }
       }
       if (status.ok()) {
         status = WriteBatchInternal::InsertInto(write_batch, mem,
@@ -447,6 +500,10 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
   }
   if (!writers_.empty()) {
     writers_.front()->cv.Signal();
+  }
+  if (stats != nullptr && updates != nullptr) {
+    stats->RecordHistogram(kHistPutMicros,
+                           env_->NowMicros() - put_start_micros);
   }
   return status;
 }
@@ -640,6 +697,18 @@ void DBImpl::RecordBackgroundError(const Status& s) {
   if (bg_error_.ok()) {
     bg_error_ = s;
     background_work_finished_signal_.SignalAll();
+    if (!options_.listeners.empty()) {
+      // The sticky error is already published and waiters woken, so the
+      // state any concurrent thread observes during the unlock window is
+      // final; every caller tolerates an unlock here (MaybeRetryBackground-
+      // Error already releases the mutex to sleep).
+      BackgroundErrorInfo info;
+      info.db_name = dbname_;
+      info.status = s;
+      mutex_.Unlock();
+      NotifyListeners([&](EventListener* l) { l->OnBackgroundError(info); });
+      mutex_.Lock();
+    }
   }
 }
 
@@ -750,8 +819,21 @@ Status DBImpl::CompactMemTable() {
   assert(imm_ != nullptr);
   assert(!flush_in_progress_);
   flush_in_progress_ = true;
+  Statistics* const stats = options_.statistics;
+  const bool observe = stats != nullptr || !options_.listeners.empty();
+  const uint64_t start_micros = observe ? env_->NowMicros() : 0;
+  if (!options_.listeners.empty()) {
+    // flush_in_progress_ guards re-entry and pins this job's claim on imm_,
+    // so the mutex may be released to keep the no-lock-in-callback rule.
+    FlushJobInfo info;
+    info.db_name = dbname_;
+    mutex_.Unlock();
+    NotifyListeners([&](EventListener* l) { l->OnFlushBegin(info); });
+    mutex_.Lock();
+  }
   VersionEdit edit;
-  Status s = WriteLevel0Table(imm_, &edit);
+  FileMetaData meta;
+  Status s = WriteLevel0Table(imm_, &edit, &meta);
   if (s.ok()) {
     edit.SetLogNumber(logfile_number_);  // Earlier logs no longer needed
     s = versions_->LogAndApply(&edit);
@@ -760,6 +842,21 @@ Status DBImpl::CompactMemTable() {
     imm_->Unref();
     imm_ = nullptr;
     RemoveObsoleteFiles();
+  }
+  const uint64_t flush_micros = observe ? env_->NowMicros() - start_micros : 0;
+  if (stats != nullptr) {
+    stats->RecordHistogram(kHistFlushMicros, flush_micros);
+  }
+  if (!options_.listeners.empty()) {
+    FlushJobInfo info;
+    info.db_name = dbname_;
+    info.file_number = meta.number;
+    info.file_size = meta.file_size;
+    info.micros = flush_micros;
+    info.status = s;
+    mutex_.Unlock();
+    NotifyListeners([&](EventListener* l) { l->OnFlushEnd(info); });
+    mutex_.Lock();
   }
   flush_in_progress_ = false;
   // Wake writers parked on the "imm_ still flushing" rung (and error
@@ -898,20 +995,33 @@ struct RunState {
 Status DBImpl::DoCompactionWork(Compaction* c) {
   mutex_.AssertHeld();
   Statistics* stats = options_.statistics;
-  if (stats != nullptr) {
-    stats->Record(kCompactionCount);
-    for (int which = 0; which < 2; which++) {
-      for (int i = 0; i < c->num_input_files(which); i++) {
-        stats->Record(kCompactionBytesRead, c->input(which, i)->file_size);
-      }
+  CompactionJobInfo job_info;  // Filled for OnCompactionBegin, reused for End
+  job_info.db_name = dbname_;
+  job_info.level = c->level();
+  job_info.output_level = c->level() + 1;
+  for (int which = 0; which < 2; which++) {
+    job_info.input_files += c->num_input_files(which);
+    for (int i = 0; i < c->num_input_files(which); i++) {
+      job_info.input_bytes[which] += c->input(which, i)->file_size;
     }
   }
+  if (stats != nullptr) {
+    stats->Record(kCompactionCount);
+    stats->Record(kCompactionBytesRead,
+                  job_info.input_bytes[0] + job_info.input_bytes[1]);
+  }
+  const bool observe = stats != nullptr || !options_.listeners.empty();
 
   // The merge loop runs with the mutex released: the inputs are pinned by
   // the compaction's input-version reference, and the outputs are invisible
   // to every Version until LogAndApply (protected from garbage collection
   // via pending_outputs_). Only file-number allocation retakes the mutex.
   mutex_.Unlock();
+  const uint64_t start_micros = observe ? env_->NowMicros() : 0;
+  if (!options_.listeners.empty()) {
+    NotifyListeners(
+        [&](EventListener* l) { l->OnCompactionBegin(job_info); });
+  }
 
   std::unique_ptr<Iterator> input(versions_->MakeInputIterator(c));
   input->SeekToFirst();
@@ -952,6 +1062,8 @@ Status DBImpl::DoCompactionWork(Compaction* c) {
       if (stats != nullptr) {
         stats->Record(kCompactionBytesWritten, meta.file_size);
       }
+      job_info.bytes_written += meta.file_size;
+      job_info.output_files++;
     }
     builder.reset();
     if (s.ok()) s = outfile->Sync();
@@ -1089,6 +1201,19 @@ Status DBImpl::DoCompactionWork(Compaction* c) {
   for (const FileMetaData& out : outputs) {
     pending_outputs_.erase(out.number);
   }
+  const uint64_t micros = observe ? env_->NowMicros() - start_micros : 0;
+  if (stats != nullptr) {
+    stats->RecordHistogram(kHistCompactionMicros, micros);
+  }
+  if (!options_.listeners.empty()) {
+    // Fired after LogAndApply so listeners observe the final outcome; the
+    // compaction token (held by every caller) still serializes the job.
+    job_info.micros = micros;
+    job_info.status = status;
+    mutex_.Unlock();
+    NotifyListeners([&](EventListener* l) { l->OnCompactionEnd(job_info); });
+    mutex_.Lock();
+  }
   return status;
 }
 
@@ -1152,8 +1277,17 @@ void DBImpl::RemoveObsoleteFiles() {
 
 Status DBImpl::Get(const ReadOptions& options, const Slice& key,
                    std::string* value) {
+  // Public point lookups only: internal GetWithMeta callers (candidate
+  // validation) are timed as validate_micros, not get latency.
+  Statistics* const stats = options_.statistics;
+  const uint64_t start = stats != nullptr ? env_->NowMicros() : 0;
+  ScopedPerfTimer timer(&PerfContext::get_micros);
   RecordLocation loc;
-  return GetWithMeta(options, key, value, &loc);
+  Status s = GetWithMeta(options, key, value, &loc);
+  if (stats != nullptr) {
+    stats->RecordHistogram(kHistGetMicros, env_->NowMicros() - start);
+  }
+  return s;
 }
 
 Status DBImpl::GetWithMeta(const ReadOptions& options, const Slice& key,
@@ -1270,6 +1404,7 @@ Status DBImpl::MultiGetWithMeta(const ReadOptions& options,
   locs->assign(n, RecordLocation());
   statuses->assign(n, Status::NotFound(Slice()));
   if (n == 0) return Status::OK();
+  ScopedPerfTimer timer(&PerfContext::multiget_micros);
 
   Statistics* stats = options_.statistics;
   if (stats != nullptr) {
@@ -2181,6 +2316,44 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
       value->append(quarantine_.Summary());
       value->append("\n");
     }
+    value->append(options_.statistics->HistogramsToString());
+    return true;
+  } else if (in == Slice("stats.json")) {
+    // Machine-readable twin of "stats": every ticker (zeros included, so
+    // consumers need no schema discovery), per-histogram summaries, and the
+    // quarantine state, as one compact JSON object.
+    if (options_.statistics == nullptr) return false;
+    const Statistics* stats = options_.statistics;
+    json::Object tickers;
+    for (uint32_t i = 0; i < kTickerCount; i++) {
+      const Ticker t = static_cast<Ticker>(i);
+      tickers[TickerName(t)] =
+          json::Value(static_cast<int64_t>(stats->Get(t)));
+    }
+    json::Object hists;
+    for (uint32_t i = 0; i < kHistogramCount; i++) {
+      const HistogramType h = static_cast<HistogramType>(i);
+      const Histogram hist = stats->GetHistogram(h);
+      json::Object hj;
+      hj["count"] = json::Value(static_cast<int64_t>(hist.Count()));
+      hj["avg"] = json::Value(hist.Average());
+      hj["min"] = json::Value(hist.Min());
+      hj["max"] = json::Value(hist.Max());
+      hj["p25"] = json::Value(hist.Percentile(25));
+      hj["p50"] = json::Value(hist.Median());
+      hj["p75"] = json::Value(hist.Percentile(75));
+      hists[HistogramName(h)] = json::Value(std::move(hj));
+    }
+    json::Object quarantine;
+    quarantine["blocks"] =
+        json::Value(static_cast<int64_t>(quarantine_.Count()));
+    quarantine["files"] =
+        json::Value(static_cast<int64_t>(quarantine_.FileCount()));
+    json::Object root;
+    root["tickers"] = json::Value(std::move(tickers));
+    root["histograms"] = json::Value(std::move(hists));
+    root["quarantine"] = json::Value(std::move(quarantine));
+    *value = json::Value(std::move(root)).ToString();
     return true;
   } else if (in == Slice("quarantine")) {
     // Checksum-failed blocks reads are currently routing around; non-empty

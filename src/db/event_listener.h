@@ -1,0 +1,93 @@
+// EventListener: callbacks for background / lifecycle events.
+//
+// Register listeners via Options::listeners to observe flushes, compactions,
+// WAL syncs, background errors, block quarantines, and index rebuilds —
+// RocksDB-style, scaled to this engine. The built-in TraceWriter
+// (db/trace_writer.h) is an EventListener that appends each event as one
+// JSONL record.
+//
+// Threading & ordering guarantees (see DESIGN.md "Observability"):
+//  - Callbacks run on whichever thread performs the work: the writer thread
+//    in synchronous mode, the Env::Schedule background thread in
+//    background-compaction mode, and any reading thread for
+//    OnBlockQuarantined.
+//  - The DB mutex is NOT held during any callback, but the operation that
+//    fired it is still in flight: a listener must not call back into the DB
+//    that invoked it (deadlock-free is only guaranteed for passive
+//    observation), and must be thread-safe if the DB runs background work.
+//  - Begin/End pairs are ordered per job; events of independent jobs may
+//    interleave.
+//  - Exceptions thrown by a listener are swallowed by the engine: a broken
+//    listener can lose its own trace records but can never wedge the DB.
+
+#ifndef LEVELDBPP_DB_EVENT_LISTENER_H_
+#define LEVELDBPP_DB_EVENT_LISTENER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace leveldbpp {
+
+struct FlushJobInfo {
+  std::string db_name;
+  uint64_t file_number = 0;  // L0 table produced (0 in OnFlushBegin)
+  uint64_t file_size = 0;    // bytes (0 in OnFlushBegin)
+  uint64_t micros = 0;       // wall-clock flush duration (End only)
+  Status status;             // flush outcome (End only)
+};
+
+struct CompactionJobInfo {
+  std::string db_name;
+  int level = 0;         // input level
+  int output_level = 0;  // level + 1
+  int input_files = 0;   // across both input levels
+  uint64_t input_bytes[2] = {0, 0};  // bytes from level / level+1 inputs
+  uint64_t bytes_written = 0;        // output bytes (End only)
+  int output_files = 0;              // output tables (End only)
+  uint64_t micros = 0;               // wall-clock duration (End only)
+  Status status;                     // compaction outcome (End only)
+};
+
+struct WalSyncInfo {
+  std::string db_name;
+  uint64_t bytes = 0;   // size of the group-commit batch that was synced
+  uint64_t micros = 0;  // fsync duration
+  Status status;
+};
+
+struct BackgroundErrorInfo {
+  std::string db_name;
+  Status status;  // the error that became the sticky bg_error_
+};
+
+struct BlockQuarantinedInfo {
+  std::string db_name;
+  uint64_t file_number = 0;
+  uint64_t block_offset = 0;
+};
+
+struct IndexRebuildInfo {
+  std::string db_name;   // the SecondaryDB primary path
+  std::string attribute; // which index was rebuilt
+  uint64_t entries = 0;  // postings re-derived for this index
+};
+
+class EventListener {
+ public:
+  virtual ~EventListener() = default;
+
+  virtual void OnFlushBegin(const FlushJobInfo& /*info*/) {}
+  virtual void OnFlushEnd(const FlushJobInfo& /*info*/) {}
+  virtual void OnCompactionBegin(const CompactionJobInfo& /*info*/) {}
+  virtual void OnCompactionEnd(const CompactionJobInfo& /*info*/) {}
+  virtual void OnWalSync(const WalSyncInfo& /*info*/) {}
+  virtual void OnBackgroundError(const BackgroundErrorInfo& /*info*/) {}
+  virtual void OnBlockQuarantined(const BlockQuarantinedInfo& /*info*/) {}
+  virtual void OnIndexRebuild(const IndexRebuildInfo& /*info*/) {}
+};
+
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_DB_EVENT_LISTENER_H_

@@ -4,6 +4,7 @@
 #define LEVELDBPP_DB_OPTIONS_H_
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,7 @@ class AttributeExtractor;
 class Cache;
 class Comparator;
 class Env;
+class EventListener;
 class FilterPolicy;
 class Snapshot;
 class Statistics;
@@ -36,6 +38,13 @@ struct Options {
 
   /// Optional engine-wide counters; benches attribute I/O through this.
   Statistics* statistics = nullptr;
+
+  /// Observers of background / lifecycle events (flush, compaction, WAL
+  /// sync, background errors, block quarantine, index rebuild). Callbacks
+  /// run on the thread doing the work with the DB mutex released; listener
+  /// exceptions are swallowed. See db/event_listener.h for the contract.
+  /// Empty (default) costs nothing on any path.
+  std::vector<std::shared_ptr<EventListener>> listeners;
 
   /// Amount of data to build up in the memtable before flushing to an L0
   /// SSTable. The default is deliberately small (the paper's experiments are

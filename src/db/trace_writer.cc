@@ -1,0 +1,130 @@
+#include "db/trace_writer.h"
+
+#include "env/env.h"
+
+namespace leveldbpp {
+
+// Index-aligned with the EventListener callback that produces each record.
+const char* const kTraceEventNames[] = {
+    "flush.begin",    "flush.end",         "compaction.begin",
+    "compaction.end", "wal.sync",          "background.error",
+    "block.quarantined", "index.rebuild",
+};
+const size_t kNumTraceEvents =
+    sizeof(kTraceEventNames) / sizeof(kTraceEventNames[0]);
+
+Status TraceWriter::Open(Env* env, const std::string& path,
+                         std::shared_ptr<TraceWriter>* out) {
+  out->reset();
+  std::unique_ptr<WritableFile> file;
+  Status s = env->NewWritableFile(path, &file);
+  if (!s.ok()) return s;
+  out->reset(new TraceWriter(env, std::move(file)));
+  return Status::OK();
+}
+
+TraceWriter::TraceWriter(Env* env, std::unique_ptr<WritableFile> file)
+    : env_(env), file_(std::move(file)) {}
+
+TraceWriter::~TraceWriter() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) file_->Close();
+}
+
+Status TraceWriter::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return status_;
+}
+
+void TraceWriter::Emit(const char* event, json::Object fields) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  fields["event"] = json::Value(std::string(event));
+  fields["seq"] = json::Value(static_cast<int64_t>(next_seq_++));
+  fields["ts_micros"] = json::Value(static_cast<int64_t>(env_->NowMicros()));
+  std::string line = json::Value(std::move(fields)).ToString();
+  line.push_back('\n');
+  Status s = file_->Append(Slice(line));
+  if (s.ok()) s = file_->Flush();
+  if (!s.ok() && status_.ok()) status_ = s;  // Sticky first error
+}
+
+void TraceWriter::OnFlushBegin(const FlushJobInfo& info) {
+  json::Object f;
+  f["db"] = json::Value(info.db_name);
+  Emit("flush.begin", std::move(f));
+}
+
+void TraceWriter::OnFlushEnd(const FlushJobInfo& info) {
+  json::Object f;
+  f["db"] = json::Value(info.db_name);
+  f["file_number"] = json::Value(static_cast<int64_t>(info.file_number));
+  f["file_size"] = json::Value(static_cast<int64_t>(info.file_size));
+  f["micros"] = json::Value(static_cast<int64_t>(info.micros));
+  f["status"] = json::Value(info.status.ToString());
+  Emit("flush.end", std::move(f));
+}
+
+void TraceWriter::OnCompactionBegin(const CompactionJobInfo& info) {
+  json::Object f;
+  f["db"] = json::Value(info.db_name);
+  f["level"] = json::Value(static_cast<int64_t>(info.level));
+  f["output_level"] = json::Value(static_cast<int64_t>(info.output_level));
+  f["input_files"] = json::Value(static_cast<int64_t>(info.input_files));
+  f["input_bytes_level"] =
+      json::Value(static_cast<int64_t>(info.input_bytes[0]));
+  f["input_bytes_output_level"] =
+      json::Value(static_cast<int64_t>(info.input_bytes[1]));
+  Emit("compaction.begin", std::move(f));
+}
+
+void TraceWriter::OnCompactionEnd(const CompactionJobInfo& info) {
+  json::Object f;
+  f["db"] = json::Value(info.db_name);
+  f["level"] = json::Value(static_cast<int64_t>(info.level));
+  f["output_level"] = json::Value(static_cast<int64_t>(info.output_level));
+  f["input_files"] = json::Value(static_cast<int64_t>(info.input_files));
+  f["input_bytes_level"] =
+      json::Value(static_cast<int64_t>(info.input_bytes[0]));
+  f["input_bytes_output_level"] =
+      json::Value(static_cast<int64_t>(info.input_bytes[1]));
+  f["output_files"] = json::Value(static_cast<int64_t>(info.output_files));
+  f["bytes_written"] = json::Value(static_cast<int64_t>(info.bytes_written));
+  f["micros"] = json::Value(static_cast<int64_t>(info.micros));
+  f["status"] = json::Value(info.status.ToString());
+  Emit("compaction.end", std::move(f));
+}
+
+void TraceWriter::OnWalSync(const WalSyncInfo& info) {
+  json::Object f;
+  f["db"] = json::Value(info.db_name);
+  f["bytes"] = json::Value(static_cast<int64_t>(info.bytes));
+  f["micros"] = json::Value(static_cast<int64_t>(info.micros));
+  f["status"] = json::Value(info.status.ToString());
+  Emit("wal.sync", std::move(f));
+}
+
+void TraceWriter::OnBackgroundError(const BackgroundErrorInfo& info) {
+  json::Object f;
+  f["db"] = json::Value(info.db_name);
+  f["status"] = json::Value(info.status.ToString());
+  Emit("background.error", std::move(f));
+}
+
+void TraceWriter::OnBlockQuarantined(const BlockQuarantinedInfo& info) {
+  json::Object f;
+  f["db"] = json::Value(info.db_name);
+  f["file_number"] = json::Value(static_cast<int64_t>(info.file_number));
+  f["block_offset"] = json::Value(static_cast<int64_t>(info.block_offset));
+  Emit("block.quarantined", std::move(f));
+}
+
+void TraceWriter::OnIndexRebuild(const IndexRebuildInfo& info) {
+  json::Object f;
+  f["db"] = json::Value(info.db_name);
+  f["attribute"] = json::Value(info.attribute);
+  f["entries"] = json::Value(static_cast<int64_t>(info.entries));
+  Emit("index.rebuild", std::move(f));
+}
+
+}  // namespace leveldbpp

@@ -1,0 +1,69 @@
+// TraceWriter: the built-in EventListener that appends every engine event
+// as one JSON object per line (JSONL) through Env, e.g.:
+//
+//   {"event":"flush.end","seq":3,"ts_micros":1723047013042,"db":"/db/p",
+//    "file_number":7,"file_size":53211,"micros":1840,"status":"OK"}
+//
+// Records are flushed after every event so a trace survives a crash up to
+// the last completed line. Write failures are sticky and reported via
+// status(); they never propagate into the engine (the listener contract).
+// Thread-safe: events arriving from different threads are serialized by an
+// internal mutex, and `seq` gives a total order.
+
+#ifndef LEVELDBPP_DB_TRACE_WRITER_H_
+#define LEVELDBPP_DB_TRACE_WRITER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "db/event_listener.h"
+#include "json/json.h"
+
+namespace leveldbpp {
+
+class Env;
+class WritableFile;
+
+/// Canonical trace event names, one per EventListener callback, in
+/// callback-declaration order. docs/METRICS.md is checked against this
+/// list by stats_doc_test.
+extern const char* const kTraceEventNames[];
+extern const size_t kNumTraceEvents;
+
+class TraceWriter : public EventListener {
+ public:
+  /// Create (truncating) `path` and return a listener writing to it.
+  static Status Open(Env* env, const std::string& path,
+                     std::shared_ptr<TraceWriter>* out);
+  ~TraceWriter() override;
+
+  /// First write/flush error, if any (sticky).
+  Status status() const;
+
+  void OnFlushBegin(const FlushJobInfo& info) override;
+  void OnFlushEnd(const FlushJobInfo& info) override;
+  void OnCompactionBegin(const CompactionJobInfo& info) override;
+  void OnCompactionEnd(const CompactionJobInfo& info) override;
+  void OnWalSync(const WalSyncInfo& info) override;
+  void OnBackgroundError(const BackgroundErrorInfo& info) override;
+  void OnBlockQuarantined(const BlockQuarantinedInfo& info) override;
+  void OnIndexRebuild(const IndexRebuildInfo& info) override;
+
+ private:
+  TraceWriter(Env* env, std::unique_ptr<WritableFile> file);
+
+  /// Serialize {base fields + `fields`} as one line and append it.
+  void Emit(const char* event, json::Object fields);
+
+  Env* const env_;
+  mutable std::mutex mu_;
+  std::unique_ptr<WritableFile> file_;  // guarded by mu_
+  uint64_t next_seq_ = 0;               // guarded by mu_
+  Status status_;                       // guarded by mu_
+};
+
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_DB_TRACE_WRITER_H_

@@ -48,6 +48,41 @@ const char* TickerName(Ticker t) {
   return "unknown";
 }
 
+const char* HistogramName(HistogramType h) {
+  switch (h) {
+    case kHistPutMicros: return "put.micros";
+    case kHistGetMicros: return "get.micros";
+    case kHistLookupNoIndexMicros: return "lookup.noindex.micros";
+    case kHistLookupEmbeddedMicros: return "lookup.embedded.micros";
+    case kHistLookupLazyMicros: return "lookup.lazy.micros";
+    case kHistLookupEagerMicros: return "lookup.eager.micros";
+    case kHistLookupCompositeMicros: return "lookup.composite.micros";
+    case kHistFlushMicros: return "flush.micros";
+    case kHistCompactionMicros: return "compaction.micros";
+    case kHistWalSyncMicros: return "wal.sync.micros";
+    case kHistogramCount: break;
+  }
+  return "unknown";
+}
+
+std::string Statistics::HistogramsToString() const {
+  std::lock_guard<std::mutex> lock(hist_mu_);
+  std::string out;
+  char buf[256];
+  for (uint32_t i = 0; i < kHistogramCount; i++) {
+    const Histogram& h = histograms_[i];
+    if (h.Count() == 0) continue;
+    std::snprintf(buf, sizeof(buf),
+                  "%-28s count %8llu  avg %10.1f  p50 %10.1f  p75 %10.1f  "
+                  "max %10.1f\n",
+                  HistogramName(static_cast<HistogramType>(i)),
+                  static_cast<unsigned long long>(h.Count()), h.Average(),
+                  h.Median(), h.Percentile(75), h.Max());
+    out.append(buf);
+  }
+  return out;
+}
+
 std::string Statistics::ToString() const {
   std::string out;
   char buf[128];

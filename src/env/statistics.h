@@ -12,7 +12,10 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
+
+#include "util/histogram.h"
 
 namespace leveldbpp {
 
@@ -59,10 +62,43 @@ enum Ticker : uint32_t {
 /// Human-readable ticker names, index-aligned with the Ticker enum.
 const char* TickerName(Ticker t);
 
+/// Latency histograms, one per operation class the paper times (Figures
+/// 8-12 plot latency distributions per index variant). Values are recorded
+/// in microseconds.
+enum HistogramType : uint32_t {
+  kHistPutMicros = 0,          // DBImpl::Write, queue wait included
+  kHistGetMicros,              // DBImpl::Get (public point lookups only)
+  kHistLookupNoIndexMicros,    // SecondaryDB::Lookup/RangeLookup per variant
+  kHistLookupEmbeddedMicros,
+  kHistLookupLazyMicros,
+  kHistLookupEagerMicros,
+  kHistLookupCompositeMicros,
+  kHistFlushMicros,            // memtable flush (CompactMemTable)
+  kHistCompactionMicros,       // merging compaction (DoCompactionWork)
+  kHistWalSyncMicros,          // fsync of the WAL inside Write
+  kHistogramCount,
+};
+
+/// Human-readable histogram names, index-aligned with HistogramType.
+const char* HistogramName(HistogramType h);
+
+namespace perf_internal {
+/// Thread-local mirror that Statistics::Record also adds into when a
+/// PerfContext is active on the calling thread (see util/perf_context.h).
+/// Null — the default — costs the hot path one predictable branch. Points at
+/// PerfContext::tickers.data(), so per-query attribution sees every ticker
+/// recorded by this thread regardless of WHICH Statistics object it hit
+/// (primary DB and each standalone index own separate ones).
+extern thread_local uint64_t* tls_tickers;
+}  // namespace perf_internal
+
 class Statistics {
  public:
   void Record(Ticker t, uint64_t count = 1) {
     tickers_[t].fetch_add(count, std::memory_order_relaxed);
+    if (perf_internal::tls_tickers != nullptr) {
+      perf_internal::tls_tickers[t] += count;
+    }
   }
 
   uint64_t Get(Ticker t) const {
@@ -71,13 +107,32 @@ class Statistics {
 
   void Reset() {
     for (auto& t : tickers_) t.store(0, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(hist_mu_);
+    for (auto& h : histograms_) h.Clear();
+  }
+
+  /// Record one latency sample (microseconds) into a histogram.
+  void RecordHistogram(HistogramType h, double value) {
+    std::lock_guard<std::mutex> lock(hist_mu_);
+    histograms_[h].Add(value);
+  }
+
+  /// Consistent copy of one histogram's current state.
+  Histogram GetHistogram(HistogramType h) const {
+    std::lock_guard<std::mutex> lock(hist_mu_);
+    return histograms_[h];
   }
 
   /// Multi-line dump of all non-zero tickers.
   std::string ToString() const;
 
+  /// Multi-line dump of all non-empty histograms (count/avg/quantiles).
+  std::string HistogramsToString() const;
+
  private:
   std::array<std::atomic<uint64_t>, kTickerCount> tickers_{};
+  mutable std::mutex hist_mu_;
+  Histogram histograms_[kHistogramCount];  // guarded by hist_mu_
 };
 
 /// Snapshot of all tickers; subtract two snapshots to attribute I/O to an

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "env/statistics.h"
+#include "util/perf_context.h"
 
 namespace leveldbpp {
 
@@ -124,16 +125,34 @@ void ParallelRun(std::vector<std::function<void()>>* tasks, int parallelism,
     std::atomic<size_t> done{0};
     std::mutex mu;
     std::condition_variable cv;
+    // Per-query attribution across the fan-out: when the caller had a
+    // PerfContext active, every task runs under a task-local context that is
+    // merged here (before its `done` increment, so the caller's barrier also
+    // orders the merges) and folded back into the caller's context after the
+    // barrier. Pool workers never enable a context of their own.
+    bool perf_enabled = false;
+    std::mutex perf_mu;
+    PerfContext merged;  // guarded by perf_mu
   };
   auto region = std::make_shared<Region>();
   region->tasks = tasks;
   region->n = n;
+  region->perf_enabled = CurrentThreadPerfContext() != nullptr;
 
   auto drain = [](Region* r) {
     while (true) {
       const size_t i = r->next.fetch_add(1, std::memory_order_relaxed);
       if (i >= r->n) break;
-      (*r->tasks)[i]();
+      if (r->perf_enabled) {
+        PerfContext local;
+        PerfContext* prev = SwapThreadPerfContext(&local);
+        (*r->tasks)[i]();
+        SwapThreadPerfContext(prev);
+        std::lock_guard<std::mutex> lock(r->perf_mu);
+        r->merged.MergeFrom(local);
+      } else {
+        (*r->tasks)[i]();
+      }
       // Release so the caller's acquire-load of `done` publishes everything
       // this task wrote.
       if (r->done.fetch_add(1, std::memory_order_release) + 1 == r->n) {
@@ -171,6 +190,11 @@ void ParallelRun(std::vector<std::function<void()>>* tasks, int parallelism,
         return region->done.load(std::memory_order_acquire) >= n;
       });
     }
+  }
+  if (region->perf_enabled) {
+    PerfContext* pc = CurrentThreadPerfContext();
+    std::lock_guard<std::mutex> lock(region->perf_mu);
+    pc->MergeFrom(region->merged);
   }
   if (stats != nullptr) {
     const auto waited = std::chrono::duration_cast<std::chrono::microseconds>(

@@ -74,6 +74,10 @@ void Histogram::Merge(const Histogram& other) {
 double Histogram::Median() const { return Percentile(50.0); }
 
 double Histogram::Percentile(double p) const {
+  // An empty histogram has no samples to interpolate between; without this
+  // guard the min_ clamp below would promote the result to the 1e200 bucket
+  // sentinel that Clear() seeds min_ with.
+  if (num_ == 0.0) return 0;
   double threshold = num_ * (p / 100.0);
   double cumulative_sum = 0;
   for (int b = 0; b < kNumBuckets; b++) {

@@ -28,7 +28,7 @@ class Histogram {
   double Percentile(double p) const;
   double Average() const;
   double StandardDeviation() const;
-  double Min() const { return min_; }
+  double Min() const { return num_ == 0.0 ? 0 : min_; }
   double Max() const { return max_; }
   double Sum() const { return sum_; }
   uint64_t Count() const { return static_cast<uint64_t>(num_); }

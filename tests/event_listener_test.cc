@@ -1,0 +1,492 @@
+// EventListener contract: every engine event fires exactly once per
+// trigger (flush, compaction, WAL sync, index rebuild — and, via fault
+// injection, background errors and block quarantines), Begin/End pairs
+// stay balanced, a listener that throws can never wedge the DB, and the
+// built-in TraceWriter emits one parseable JSONL record per event with a
+// strictly increasing sequence number.
+
+#include "db/event_listener.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/secondary_db.h"
+#include "db/db_impl.h"
+#include "db/filename.h"
+#include "db/trace_writer.h"
+#include "env/env.h"
+#include "env/fault_injection_env.h"
+#include "env/statistics.h"
+#include "json/json.h"
+#include "table/format.h"
+
+namespace leveldbpp {
+namespace {
+
+// Counts every callback and keeps the payloads for inspection.
+class CountingListener : public EventListener {
+ public:
+  void OnFlushBegin(const FlushJobInfo& info) override {
+    std::lock_guard<std::mutex> l(mu);
+    flush_begin++;
+    // Begin precedes the matching End (per-job ordering guarantee).
+    EXPECT_EQ(flush_begin, flush_end + 1) << "unbalanced flush events";
+    (void)info;
+  }
+  void OnFlushEnd(const FlushJobInfo& info) override {
+    std::lock_guard<std::mutex> l(mu);
+    flush_end++;
+    last_flush = info;
+  }
+  void OnCompactionBegin(const CompactionJobInfo& info) override {
+    std::lock_guard<std::mutex> l(mu);
+    compaction_begin++;
+    EXPECT_EQ(compaction_begin, compaction_end + 1)
+        << "unbalanced compaction events";
+    (void)info;
+  }
+  void OnCompactionEnd(const CompactionJobInfo& info) override {
+    std::lock_guard<std::mutex> l(mu);
+    compaction_end++;
+    last_compaction = info;
+  }
+  void OnWalSync(const WalSyncInfo& info) override {
+    std::lock_guard<std::mutex> l(mu);
+    wal_sync++;
+    last_wal = info;
+  }
+  void OnBackgroundError(const BackgroundErrorInfo& info) override {
+    std::lock_guard<std::mutex> l(mu);
+    background_error++;
+    last_bg = info;
+  }
+  void OnBlockQuarantined(const BlockQuarantinedInfo& info) override {
+    std::lock_guard<std::mutex> l(mu);
+    quarantined.push_back(info);
+  }
+  void OnIndexRebuild(const IndexRebuildInfo& info) override {
+    std::lock_guard<std::mutex> l(mu);
+    rebuilds.push_back(info);
+  }
+
+  mutable std::mutex mu;
+  int flush_begin = 0, flush_end = 0;
+  int compaction_begin = 0, compaction_end = 0;
+  int wal_sync = 0, background_error = 0;
+  FlushJobInfo last_flush;
+  CompactionJobInfo last_compaction;
+  WalSyncInfo last_wal;
+  BackgroundErrorInfo last_bg;
+  std::vector<BlockQuarantinedInfo> quarantined;
+  std::vector<IndexRebuildInfo> rebuilds;
+};
+
+// Throws from every callback; the engine must swallow it.
+class ThrowingListener : public EventListener {
+ public:
+  void OnFlushBegin(const FlushJobInfo&) override { Boom(); }
+  void OnFlushEnd(const FlushJobInfo&) override { Boom(); }
+  void OnCompactionBegin(const CompactionJobInfo&) override { Boom(); }
+  void OnCompactionEnd(const CompactionJobInfo&) override { Boom(); }
+  void OnWalSync(const WalSyncInfo&) override { Boom(); }
+  void OnBackgroundError(const BackgroundErrorInfo&) override { Boom(); }
+  void OnBlockQuarantined(const BlockQuarantinedInfo&) override { Boom(); }
+  void OnIndexRebuild(const IndexRebuildInfo&) override { Boom(); }
+
+ private:
+  static void Boom() { throw std::runtime_error("broken listener"); }
+};
+
+std::string NumKey(int i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "key%06d", i);
+  return buf;
+}
+
+std::string Value(int i, char tag) {
+  return "value-" + std::string(1, tag) + "-" + std::to_string(i) +
+         std::string(120, tag);
+}
+
+std::vector<std::string> FilesOfType(Env* env, const std::string& dir,
+                                     FileType want) {
+  std::vector<std::string> out;
+  std::vector<std::string> children;
+  if (!env->GetChildren(dir, &children).ok()) return out;
+  for (const std::string& f : children) {
+    uint64_t number;
+    FileType type;
+    if (ParseFileName(f, &number, &type) && type == want) {
+      out.push_back(dir + "/" + f);
+    }
+  }
+  return out;
+}
+
+// Offset of the metaindex block, read from the table's footer: everything
+// before it is data (and filter) blocks, which a corruption test can flip
+// while leaving the table openable.
+Status DataRegionEnd(Env* env, const std::string& fname, uint64_t* end) {
+  uint64_t file_size = 0;
+  Status s = env->GetFileSize(fname, &file_size);
+  std::unique_ptr<RandomAccessFile> file;
+  if (s.ok()) s = env->NewRandomAccessFile(fname, &file);
+  if (!s.ok()) return s;
+  if (file_size < Footer::kEncodedLength) {
+    return Status::Corruption(fname, "file too short for a footer");
+  }
+  char scratch[Footer::kEncodedLength];
+  Slice footer_input;
+  s = file->Read(file_size - Footer::kEncodedLength, Footer::kEncodedLength,
+                 &footer_input, scratch);
+  if (!s.ok()) return s;
+  Footer footer;
+  s = footer.DecodeFrom(&footer_input);
+  if (!s.ok()) return s;
+  *end = footer.metaindex_handle().offset();
+  return Status::OK();
+}
+
+std::string ReadWholeFile(Env* env, const std::string& fname) {
+  uint64_t size = 0;
+  EXPECT_TRUE(env->GetFileSize(fname, &size).ok()) << fname;
+  std::unique_ptr<SequentialFile> file;
+  EXPECT_TRUE(env->NewSequentialFile(fname, &file).ok()) << fname;
+  std::string data(size, '\0');
+  Slice result;
+  EXPECT_TRUE(file->Read(size, &result, &data[0]).ok()) << fname;
+  return std::string(result.data(), result.size());
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) nl = text.size();
+    if (nl > start) lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+}  // namespace
+
+class EventListenerTest : public testing::Test {
+ protected:
+  static constexpr const char* kName = "/evdb";
+
+  EventListenerTest()
+      : base_(NewMemEnv()),
+        env_(base_.get(), 301),
+        listener_(std::make_shared<CountingListener>()) {}
+
+  Options MakeOptions() {
+    Options options;
+    options.env = &env_;
+    options.write_buffer_size = 16 << 10;
+    options.statistics = &stats_;
+    options.listeners = {listener_};
+    return options;
+  }
+
+  void Open() {
+    DBImpl* raw = nullptr;
+    ASSERT_TRUE(DBImpl::Open(MakeOptions(), kName, &raw).ok());
+    db_.reset(raw);
+  }
+  void Close() { db_.reset(); }
+
+  std::unique_ptr<Env> base_;
+  FaultInjectionEnv env_;
+  Statistics stats_;
+  std::shared_ptr<CountingListener> listener_;
+  std::unique_ptr<DBImpl> db_;
+};
+
+TEST_F(EventListenerTest, WalSyncFiresOncePerSyncedWrite) {
+  Open();
+  WriteOptions synced;
+  synced.sync = true;
+  ASSERT_TRUE(db_->Put(synced, NumKey(0), Value(0, 'a')).ok());
+  EXPECT_EQ(1, listener_->wal_sync);
+  ASSERT_TRUE(db_->Put(synced, NumKey(1), Value(1, 'a')).ok());
+  EXPECT_EQ(2, listener_->wal_sync);
+  EXPECT_EQ(std::string(kName), listener_->last_wal.db_name);
+  EXPECT_GT(listener_->last_wal.bytes, 0u);
+  EXPECT_TRUE(listener_->last_wal.status.ok());
+  // Unsynced writes fire nothing.
+  ASSERT_TRUE(db_->Put(WriteOptions(), NumKey(2), Value(2, 'a')).ok());
+  EXPECT_EQ(2, listener_->wal_sync);
+}
+
+TEST_F(EventListenerTest, FlushEventsMatchFlushCountExactly) {
+  Open();
+  for (int i = 0; i < 400; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), NumKey(i), Value(i, 'a')).ok());
+  }
+  ASSERT_TRUE(db_->CompactAll().ok());
+  EXPECT_GT(listener_->flush_end, 0);
+  EXPECT_EQ(listener_->flush_begin, listener_->flush_end);
+  EXPECT_EQ(stats_.Get(kFlushCount),
+            static_cast<uint64_t>(listener_->flush_end));
+  EXPECT_EQ(std::string(kName), listener_->last_flush.db_name);
+  EXPECT_GT(listener_->last_flush.file_number, 0u);
+  EXPECT_GT(listener_->last_flush.file_size, 0u);
+  EXPECT_TRUE(listener_->last_flush.status.ok());
+}
+
+TEST_F(EventListenerTest, CompactionEventsCarryByteStats) {
+  Open();
+  // Two overlapping generations force a real merging compaction (a single
+  // sorted run would just move trivially).
+  for (int i = 0; i < 400; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), NumKey(i), Value(i, 'a')).ok());
+  }
+  ASSERT_TRUE(db_->CompactAll().ok());
+  for (int i = 0; i < 400; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), NumKey(i), Value(i, 'b')).ok());
+  }
+  ASSERT_TRUE(db_->CompactAll().ok());
+
+  EXPECT_GT(listener_->compaction_end, 0);
+  EXPECT_EQ(listener_->compaction_begin, listener_->compaction_end);
+  EXPECT_EQ(stats_.Get(kCompactionCount),
+            static_cast<uint64_t>(listener_->compaction_end));
+  const CompactionJobInfo& job = listener_->last_compaction;
+  EXPECT_EQ(std::string(kName), job.db_name);
+  EXPECT_EQ(job.level + 1, job.output_level);
+  EXPECT_GT(job.input_files, 0);
+  EXPECT_GT(job.input_bytes[0] + job.input_bytes[1], 0u);
+  EXPECT_GT(job.output_files, 0);
+  EXPECT_GT(job.bytes_written, 0u);
+  EXPECT_TRUE(job.status.ok());
+}
+
+TEST_F(EventListenerTest, BackgroundErrorEventFires) {
+  Open();
+  ASSERT_TRUE(db_->Put(WriteOptions(), NumKey(0), Value(0, 'a')).ok());
+
+  // Allow the WAL rotation, then fail the flush's table build.
+  env_.FailAfter(1, FaultInjectionEnv::kOpNewWritable);
+  Status s;
+  for (int i = 1; i < 2000 && s.ok(); i++) {
+    s = db_->Put(WriteOptions(), NumKey(i), Value(i, 'a'));
+  }
+  ASSERT_FALSE(s.ok()) << "the flush never failed";
+  EXPECT_GE(listener_->background_error, 1);
+  EXPECT_TRUE(listener_->last_bg.status.IsIOError())
+      << listener_->last_bg.status.ToString();
+  EXPECT_EQ(std::string(kName), listener_->last_bg.db_name);
+
+  // After recovery no further error events arrive.
+  env_.ClearFaults();
+  ASSERT_TRUE(db_->Resume().ok());
+  const int at_recovery = listener_->background_error;
+  ASSERT_TRUE(db_->Put(WriteOptions(), NumKey(0), Value(0, 'z')).ok());
+  EXPECT_EQ(at_recovery, listener_->background_error);
+}
+
+TEST_F(EventListenerTest, BlockQuarantinedFiresOncePerDistinctBlock) {
+  const int kNum = 60;
+  Open();
+  for (int i = 0; i < kNum; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), NumKey(i), Value(i, 'a')).ok());
+  }
+  ASSERT_TRUE(db_->CompactAll().ok());  // v1, compacted below L0
+  Close();
+  std::set<std::string> old_tables;
+  for (const std::string& t : FilesOfType(&env_, kName, kTableFile)) {
+    old_tables.insert(t);
+  }
+  ASSERT_FALSE(old_tables.empty());
+
+  Open();
+  for (int i = 0; i < kNum; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), NumKey(i), Value(i, 'b')).ok());
+  }
+  Close();  // v2 lives only in the WAL...
+  Open();   // ...until replay flushes it into a fresh L0 table
+  Close();
+
+  // Corrupt the data blocks of the new tables; index block + footer stay
+  // intact so the tables still open and reads quarantine block by block.
+  int corrupted = 0;
+  for (const std::string& path : FilesOfType(&env_, kName, kTableFile)) {
+    if (old_tables.count(path)) continue;
+    uint64_t data_end = 0;
+    ASSERT_TRUE(DataRegionEnd(&env_, path, &data_end).ok()) << path;
+    ASSERT_GT(data_end, 0u);
+    ASSERT_TRUE(env_.CorruptFile(path, 0, data_end).ok());
+    corrupted++;
+  }
+  ASSERT_GT(corrupted, 0) << "the v2 flush never produced a table";
+
+  const uint64_t quarantined_before = stats_.Get(kCorruptionBlocksQuarantined);
+  Open();
+  for (int i = 0; i < kNum; i++) {
+    std::string value;
+    ASSERT_TRUE(db_->Get(ReadOptions(), NumKey(i), &value).ok()) << NumKey(i);
+    EXPECT_EQ(Value(i, 'a'), value);  // Fell through to the older version
+  }
+  const uint64_t newly_quarantined =
+      stats_.Get(kCorruptionBlocksQuarantined) - quarantined_before;
+  EXPECT_GT(newly_quarantined, 0u);
+  // Exactly one event per distinct quarantined block — re-reads of an
+  // already-quarantined block stay silent.
+  EXPECT_EQ(newly_quarantined, listener_->quarantined.size());
+  for (const BlockQuarantinedInfo& info : listener_->quarantined) {
+    EXPECT_EQ(std::string(kName), info.db_name);
+    EXPECT_GT(info.file_number, 0u);
+  }
+}
+
+TEST_F(EventListenerTest, ThrowingListenerCannotWedgeTheDB) {
+  // The throwing listener runs FIRST; the counting listener after it must
+  // still receive every event, and every operation must succeed.
+  Options options = MakeOptions();
+  options.listeners = {std::make_shared<ThrowingListener>(), listener_};
+  DBImpl* raw = nullptr;
+  ASSERT_TRUE(DBImpl::Open(options, kName, &raw).ok());
+  db_.reset(raw);
+
+  WriteOptions synced;
+  synced.sync = true;
+  ASSERT_TRUE(db_->Put(synced, NumKey(0), Value(0, 'a')).ok());
+  for (int i = 0; i < 400; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), NumKey(i), Value(i, 'a')).ok());
+  }
+  ASSERT_TRUE(db_->CompactAll().ok());
+  for (int i = 0; i < 400; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), NumKey(i), Value(i, 'b')).ok());
+  }
+  ASSERT_TRUE(db_->CompactAll().ok());
+
+  EXPECT_EQ(1, listener_->wal_sync);
+  EXPECT_GT(listener_->flush_end, 0);
+  EXPECT_EQ(listener_->flush_begin, listener_->flush_end);
+  EXPECT_GT(listener_->compaction_end, 0);
+  EXPECT_EQ(listener_->compaction_begin, listener_->compaction_end);
+  std::string value;
+  ASSERT_TRUE(db_->Get(ReadOptions(), NumKey(5), &value).ok());
+  EXPECT_EQ(Value(5, 'b'), value);
+}
+
+TEST(IndexRebuildEventTest, FiresOncePerRebuiltIndex) {
+  std::unique_ptr<Env> env(NewMemEnv());
+  auto listener = std::make_shared<CountingListener>();
+  SecondaryDBOptions options;
+  options.base.env = env.get();
+  options.base.listeners = {listener};
+  options.index_type = IndexType::kLazy;
+  options.indexed_attributes = {"UserID", "CreationTime"};
+  std::unique_ptr<SecondaryDB> db;
+  ASSERT_TRUE(SecondaryDB::Open(options, "/rbdb", &db).ok());
+
+  const int kDocs = 25;
+  for (int i = 0; i < kDocs; i++) {
+    json::Object obj;
+    obj["UserID"] = json::Value("user" + std::to_string(i % 5));
+    obj["CreationTime"] = json::Value(std::to_string(1000 + i));
+    ASSERT_TRUE(
+        db->Put(NumKey(i), json::Value(std::move(obj)).ToString()).ok());
+  }
+  ASSERT_TRUE(db->RebuildIndex().ok());
+
+  ASSERT_EQ(2u, listener->rebuilds.size());
+  std::set<std::string> attrs;
+  for (const IndexRebuildInfo& info : listener->rebuilds) {
+    attrs.insert(info.attribute);
+    EXPECT_EQ(static_cast<uint64_t>(kDocs), info.entries);
+    EXPECT_EQ("/rbdb", info.db_name);
+  }
+  EXPECT_EQ(1u, attrs.count("UserID"));
+  EXPECT_EQ(1u, attrs.count("CreationTime"));
+}
+
+TEST(TraceWriterTest, EmitsOneParseableRecordPerEvent) {
+  std::unique_ptr<Env> env(NewMemEnv());
+  std::shared_ptr<TraceWriter> trace;
+  ASSERT_TRUE(TraceWriter::Open(env.get(), "/trace.jsonl", &trace).ok());
+
+  SecondaryDBOptions options;
+  options.base.env = env.get();
+  options.base.write_buffer_size = 16 << 10;
+  options.base.listeners = {trace};
+  options.sync_writes = true;  // Every Put syncs: wal.sync records appear
+  options.index_type = IndexType::kLazy;
+  options.indexed_attributes = {"UserID"};
+  std::unique_ptr<SecondaryDB> db;
+  ASSERT_TRUE(SecondaryDB::Open(options, "/trdb", &db).ok());
+
+  for (int round = 0; round < 2; round++) {
+    for (int i = 0; i < 300; i++) {
+      json::Object obj;
+      obj["UserID"] = json::Value("user" + std::to_string(i % 7));
+      obj["Body"] = json::Value(std::string(100, 'a' + round));
+      ASSERT_TRUE(
+          db->Put(NumKey(i), json::Value(std::move(obj)).ToString()).ok());
+    }
+    ASSERT_TRUE(db->CompactAll().ok());
+  }
+  ASSERT_TRUE(db->RebuildIndex().ok());
+  db.reset();
+  ASSERT_TRUE(trace->status().ok()) << trace->status().ToString();
+  trace.reset();  // Close the trace file before reading it back
+
+  const std::set<std::string> known(kTraceEventNames,
+                                    kTraceEventNames + kNumTraceEvents);
+  std::set<std::string> seen;
+  int64_t prev_seq = -1;
+  std::vector<std::string> lines =
+      SplitLines(ReadWholeFile(env.get(), "/trace.jsonl"));
+  ASSERT_FALSE(lines.empty());
+  for (const std::string& line : lines) {
+    json::Value v;
+    ASSERT_TRUE(json::Parse(Slice(line), &v)) << line;
+    ASSERT_TRUE(v.is_object()) << line;
+    ASSERT_TRUE(v["event"].is_string()) << line;
+    const std::string& event = v["event"].as_string();
+    EXPECT_EQ(1u, known.count(event)) << "unknown event " << event;
+    seen.insert(event);
+    // seq is a gap-free total order across all events of this writer.
+    ASSERT_TRUE(v["seq"].is_number()) << line;
+    EXPECT_EQ(prev_seq + 1, v["seq"].as_int()) << line;
+    prev_seq = v["seq"].as_int();
+    EXPECT_TRUE(v["ts_micros"].is_number()) << line;
+    EXPECT_TRUE(v["db"].is_string()) << line;
+    if (event == "flush.end") {
+      EXPECT_TRUE(v["file_number"].is_number()) << line;
+      EXPECT_TRUE(v["file_size"].is_number()) << line;
+      EXPECT_TRUE(v["micros"].is_number()) << line;
+      EXPECT_EQ("OK", v["status"].as_string()) << line;
+    } else if (event == "compaction.end") {
+      EXPECT_TRUE(v["bytes_written"].is_number()) << line;
+      EXPECT_TRUE(v["output_files"].is_number()) << line;
+      EXPECT_TRUE(v["input_files"].is_number()) << line;
+    } else if (event == "wal.sync") {
+      EXPECT_TRUE(v["bytes"].is_number()) << line;
+      EXPECT_TRUE(v["micros"].is_number()) << line;
+    } else if (event == "index.rebuild") {
+      EXPECT_EQ("UserID", v["attribute"].as_string()) << line;
+      EXPECT_TRUE(v["entries"].is_number()) << line;
+    }
+  }
+  // The workload above triggers flushes, merging compactions, WAL syncs
+  // and an index rebuild.
+  EXPECT_EQ(1u, seen.count("flush.begin"));
+  EXPECT_EQ(1u, seen.count("flush.end"));
+  EXPECT_EQ(1u, seen.count("compaction.begin"));
+  EXPECT_EQ(1u, seen.count("compaction.end"));
+  EXPECT_EQ(1u, seen.count("wal.sync"));
+  EXPECT_EQ(1u, seen.count("index.rebuild"));
+}
+
+}  // namespace leveldbpp
