@@ -15,7 +15,9 @@
 // Output: one JSON object per line, e.g.
 //   {"bench":"concurrent_put","mode":"background","threads":4,...}
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -27,6 +29,103 @@
 namespace leveldbpp {
 namespace bench {
 namespace {
+
+// Injects a blocking sleep into Sync() of table (.ldb) files only — the
+// device-commit latency a flush or compaction output pays on real storage.
+// WAL (.log) appends/syncs are untouched, so the foreground group-commit
+// path is unaffected; what changes is how long the background thread is
+// *occupied* per flush, which is exactly the latency the immutable-memtable
+// queue (--max_imm) exists to hide. On a page-cached scratch directory a
+// table sync is ~free, so with the default 0 the queue never deepens and
+// depth-1 vs depth-N measure the same engine.
+class TableLatencyEnv : public Env {
+ public:
+  TableLatencyEnv(Env* base, uint32_t sync_latency_us)
+      : base_(base), latency_us_(sync_latency_us) {}
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override {
+    return base_->NewSequentialFile(fname, result);
+  }
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override {
+    return base_->NewRandomAccessFile(fname, result);
+  }
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override {
+    std::unique_ptr<WritableFile> file;
+    Status s = base_->NewWritableFile(fname, &file);
+    if (s.ok() && latency_us_ > 0 && IsTable(fname)) {
+      result->reset(new SlowSyncFile(std::move(file), latency_us_));
+    } else if (s.ok()) {
+      *result = std::move(file);
+    }
+    return s;
+  }
+  bool FileExists(const std::string& fname) override {
+    return base_->FileExists(fname);
+  }
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override {
+    return base_->GetChildren(dir, result);
+  }
+  Status RemoveFile(const std::string& fname) override {
+    return base_->RemoveFile(fname);
+  }
+  Status CreateDir(const std::string& dirname) override {
+    return base_->CreateDir(dirname);
+  }
+  Status RemoveDir(const std::string& dirname) override {
+    return base_->RemoveDir(dirname);
+  }
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    return base_->GetFileSize(fname, size);
+  }
+  Status RenameFile(const std::string& src,
+                    const std::string& target) override {
+    return base_->RenameFile(src, target);
+  }
+  Status SyncDir(const std::string& dirname) override {
+    return base_->SyncDir(dirname);
+  }
+  uint64_t NowMicros() override { return base_->NowMicros(); }
+  void Schedule(void (*function)(void*), void* arg) override {
+    base_->Schedule(function, arg);
+  }
+  void StartThread(void (*function)(void*), void* arg) override {
+    base_->StartThread(function, arg);
+  }
+  void SleepForMicroseconds(int micros) override {
+    base_->SleepForMicroseconds(micros);
+  }
+
+ private:
+  static bool IsTable(const std::string& fname) {
+    return fname.size() > 4 &&
+           fname.compare(fname.size() - 4, 4, ".ldb") == 0;
+  }
+
+  class SlowSyncFile : public WritableFile {
+   public:
+    SlowSyncFile(std::unique_ptr<WritableFile> base, uint32_t latency_us)
+        : base_(std::move(base)), latency_us_(latency_us) {}
+    Status Append(const Slice& data) override { return base_->Append(data); }
+    Status Close() override { return base_->Close(); }
+    Status Flush() override { return base_->Flush(); }
+    Status Sync() override {
+      std::this_thread::sleep_for(std::chrono::microseconds(latency_us_));
+      return base_->Sync();
+    }
+
+   private:
+    std::unique_ptr<WritableFile> base_;
+    uint32_t latency_us_;
+  };
+
+  Env* base_;
+  uint32_t latency_us_;
+};
 
 struct Result {
   uint64_t put_micros = 0;    // Wall time of the foreground Put phase
@@ -41,6 +140,7 @@ struct Result {
   uint64_t compaction_bytes_written = 0;
   // Split of compaction bytes: done during the Put window vs. in the drain.
   uint64_t compaction_bytes_in_window = 0;
+  double flush_queue_depth_max = 0;  // Deepest imm queue seen at a rotation
 };
 
 struct Geometry {
@@ -55,17 +155,40 @@ struct Geometry {
   // the CPU to the compactor, so a low trigger throttles writers twice.
   int l0_slowdown = 44;
   int l0_stop = 68;
+  // Immutable-memtable queue depth (background mode only): 1 is the classic
+  // single-slot handoff; deeper queues let writers rotate into a fresh
+  // memtable while several flushes are still pending.
+  int max_imm = 1;
+  // Simulated device-commit latency per table-file Sync (TableLatencyEnv);
+  // 0 benches the raw page-cached scratch directory.
+  uint32_t table_sync_latency_us = 0;
+};
+
+// Workload shape. Sustained (burst_ops = 0) hammers Put in a closed loop —
+// steady-state throughput is then bounded by the single background thread's
+// flush+compaction rate no matter how deep the imm queue is, so --max_imm
+// mostly shows up as stall/slowdown accounting shifts. Bursty (burst_ops >
+// 0) alternates request spikes with idle gaps, the traffic pipelined flush
+// is for: a depth-N queue absorbs a burst of ~N memtables at memtable speed
+// while the flushes drain during the gap; a depth-1 queue parks the burst's
+// writers behind each in-flight flush. put_micros counts only the in-burst
+// time (the latency clients would see), never the gaps.
+struct Shape {
+  uint64_t burst_ops = 0;   // Ops per burst across all threads (0 = sustained)
+  uint64_t gap_ms = 0;      // Idle time between bursts
 };
 
 Result RunOnce(bool background, int threads, uint64_t total_ops,
-               size_t value_size, const Geometry& geo) {
+               size_t value_size, const Geometry& geo, const Shape& shape) {
   std::string path = ScratchRoot() + "/concput_" +
                      (background ? "bg" : "sync") + "_" +
                      std::to_string(threads);
   DestroyTree(path);
 
   Statistics stats;
+  TableLatencyEnv latency_env(Env::Posix(), geo.table_sync_latency_us);
   Options options;
+  options.env = &latency_env;
   options.create_if_missing = true;
   // Small memtables against a large L1 budget: this is where inline
   // compaction hurts most (sync mode rewrites the L1 overlap once per L0
@@ -77,47 +200,69 @@ Result RunOnce(bool background, int threads, uint64_t total_ops,
   options.l0_slowdown_writes_trigger = geo.l0_slowdown;
   options.l0_stop_writes_trigger = geo.l0_stop;
   options.background_compaction = background;
+  options.max_immutable_memtables = geo.max_imm;
   options.statistics = &stats;
 
   DBImpl* raw = nullptr;
   CheckOk(DBImpl::Open(options, path, &raw), "open");
   std::unique_ptr<DBImpl> db(raw);
 
-  const uint64_t per_thread = total_ops / threads;
   const std::string value(value_size, 'v');
-
-  Timer timer;
-  std::vector<std::thread> workers;
   std::atomic<bool> failed{false};
-  for (int t = 0; t < threads; t++) {
-    workers.emplace_back([&, t]() {
-      char key[32];
-      for (uint64_t i = 0; i < per_thread && !failed.load(); i++) {
-        // fillrandom: keys scattered over the whole space, so every flushed
-        // file overlaps every level and compactions are real merges, never
-        // trivial moves (sequential keys would make compaction nearly free
-        // and hide the cost the background thread takes off the write path).
-        uint64_t x = (i * static_cast<uint64_t>(threads) + t) * 2654435761u;
-        std::snprintf(key, sizeof(key), "key%016llu",
-                      static_cast<unsigned long long>(x % 100000000));
-        if (!db->Put(WriteOptions(), key, value).ok()) {
-          failed.store(true);
+
+  // One burst = `count` ops split across the threads, starting at global op
+  // index `base` so the key stream is identical regardless of burst size.
+  auto run_burst = [&](uint64_t base, uint64_t count) {
+    const uint64_t per_thread = count / threads;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; t++) {
+      workers.emplace_back([&, t]() {
+        char key[32];
+        for (uint64_t i = 0; i < per_thread && !failed.load(); i++) {
+          // fillrandom: keys scattered over the whole space, so every
+          // flushed file overlaps every level and compactions are real
+          // merges, never trivial moves (sequential keys would make
+          // compaction nearly free and hide the cost the background thread
+          // takes off the write path).
+          uint64_t x = ((base / threads + i) * static_cast<uint64_t>(threads) +
+                        t) * 2654435761u;
+          std::snprintf(key, sizeof(key), "key%016llu",
+                        static_cast<unsigned long long>(x % 100000000));
+          if (!db->Put(WriteOptions(), key, value).ok()) {
+            failed.store(true);
+          }
         }
-      }
-    });
-  }
-  for (auto& w : workers) w.join();
+      });
+    }
+    for (auto& w : workers) w.join();
+  };
+
   Result r;
-  r.put_micros = timer.ElapsedMicros();
+  if (shape.burst_ops == 0) {
+    Timer timer;
+    run_burst(0, total_ops);
+    r.put_micros = timer.ElapsedMicros();
+  } else {
+    for (uint64_t done = 0; done < total_ops && !failed.load();) {
+      const uint64_t count = std::min(shape.burst_ops, total_ops - done);
+      Timer timer;
+      run_burst(done, count);
+      r.put_micros += timer.ElapsedMicros();  // In-burst time only
+      done += count;
+      if (done < total_ops && shape.gap_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(shape.gap_ms));
+      }
+    }
+  }
   r.compaction_bytes_in_window = stats.Get(kCompactionBytesWritten);
   if (failed.load()) {
     std::fprintf(stderr, "put failed\n");
     std::exit(1);
   }
 
-  timer.Reset();
+  Timer drain_timer;
   CheckOk(db->WaitForBackgroundWork(), "drain");
-  r.drain_micros = timer.ElapsedMicros();
+  r.drain_micros = drain_timer.ElapsedMicros();
 
   r.stall_micros = stats.Get(kWriteStallMicros);
   r.slowdown_micros = stats.Get(kWriteSlowdownMicros);
@@ -127,6 +272,7 @@ Result RunOnce(bool background, int threads, uint64_t total_ops,
   r.compactions = stats.Get(kCompactionCount);
   r.wal_bytes = stats.Get(kWalBytesWritten);
   r.compaction_bytes_written = stats.Get(kCompactionBytesWritten);
+  r.flush_queue_depth_max = stats.GetHistogram(kHistFlushQueueDepth).Max();
 
   db.reset();
   DestroyTree(path);
@@ -151,6 +297,12 @@ int main(int argc, char** argv) {
       flags.GetInt("level_base", geo.max_bytes_for_level_base);
   geo.l0_slowdown = static_cast<int>(flags.GetInt("l0_slowdown", geo.l0_slowdown));
   geo.l0_stop = static_cast<int>(flags.GetInt("l0_stop", geo.l0_stop));
+  geo.max_imm = static_cast<int>(flags.GetInt("max_imm", geo.max_imm));
+  geo.table_sync_latency_us = static_cast<uint32_t>(
+      flags.GetInt("table_sync_latency_us", geo.table_sync_latency_us));
+  Shape shape;
+  shape.burst_ops = flags.GetInt("burst_ops", shape.burst_ops);
+  shape.gap_ms = flags.GetInt("burst_gap_ms", shape.gap_ms);
   std::vector<int> thread_counts;
   {
     std::string spec = flags.GetString("threads", "1,2,4,8");
@@ -174,19 +326,25 @@ int main(int argc, char** argv) {
       // Sync mode is measured multi-threaded too (the queue makes it safe);
       // the gap against background mode is the point of the bench.
       const uint64_t ops = (total_ops / threads) * threads;  // evenly split
-      Result r = RunOnce(background, threads, ops, value_size, geo);
+      Result r = RunOnce(background, threads, ops, value_size, geo, shape);
       const double put_secs = r.put_micros / 1e6;
       const double kops = put_secs > 0 ? (ops / 1000.0) / put_secs : 0;
       std::printf(
           "{\"bench\":\"concurrent_put\",\"mode\":\"%s\",\"threads\":%d,"
+          "\"max_imm\":%d,\"table_sync_latency_us\":%u,"
+          "\"burst_ops\":%llu,\"burst_gap_ms\":%llu,"
           "\"ops\":%llu,\"value_size\":%zu,\"put_micros\":%llu,"
           "\"drain_micros\":%llu,\"kops_per_sec\":%.1f,"
           "\"stall_micros\":%llu,\"slowdown_micros\":%llu,"
           "\"group_batches\":%llu,\"group_writes\":%llu,"
           "\"flushes\":%llu,\"compactions\":%llu,"
           "\"wal_bytes\":%llu,\"compaction_bytes_written\":%llu,"
-          "\"compaction_bytes_in_window\":%llu}\n",
-          background ? "background" : "sync", threads,
+          "\"compaction_bytes_in_window\":%llu,"
+          "\"flush_queue_depth_max\":%.0f}\n",
+          background ? "background" : "sync", threads, geo.max_imm,
+          geo.table_sync_latency_us,
+          static_cast<unsigned long long>(shape.burst_ops),
+          static_cast<unsigned long long>(shape.gap_ms),
           static_cast<unsigned long long>(ops), value_size,
           static_cast<unsigned long long>(r.put_micros),
           static_cast<unsigned long long>(r.drain_micros), kops,
@@ -198,7 +356,8 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(r.compactions),
           static_cast<unsigned long long>(r.wal_bytes),
           static_cast<unsigned long long>(r.compaction_bytes_written),
-          static_cast<unsigned long long>(r.compaction_bytes_in_window));
+          static_cast<unsigned long long>(r.compaction_bytes_in_window),
+          r.flush_queue_depth_max);
       std::fflush(stdout);
     }
   }

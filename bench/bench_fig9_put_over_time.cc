@@ -5,7 +5,9 @@
 //          write-amplification explosion of Eager on the non-time-
 //          correlated UserID index).
 //
-// Usage: bench_fig9_put_over_time [--n=60000] [--windows=10]
+// Usage: bench_fig9_put_over_time [--n=60000] [--windows=10] [--json]
+//   --json  one JSON line per (attribute, variant, window) instead of the
+//           human-readable tables (for scripts/bench_snapshot.sh).
 
 #include <unistd.h>
 
@@ -16,9 +18,11 @@ namespace bench {
 namespace {
 
 void RunAttribute(const std::string& attr, uint64_t n, uint64_t windows,
-                  const std::string& root) {
-  printf("\n--- PUT latency over time, index on %s (us/op per window) ---\n",
-         attr.c_str());
+                  const std::string& root, bool json) {
+  if (!json) {
+    printf("\n--- PUT latency over time, index on %s (us/op per window) ---\n",
+           attr.c_str());
+  }
   const uint64_t window = n / windows;
 
   struct Series {
@@ -56,6 +60,22 @@ void RunAttribute(const std::string& attr, uint64_t n, uint64_t windows,
     all.push_back(std::move(series));
   }
 
+  if (json) {
+    for (const Series& s : all) {
+      for (uint64_t w = 0; w < windows; w++) {
+        JsonLine("fig9_put_over_time")
+            .Str("attr", attr)
+            .Str("variant", Name(s.type))
+            .Int("window_end", (w + 1) * window)
+            .Double("put_us", s.put_us[w])
+            .Double("index_compaction_mb",
+                    s.index_compaction_bytes[w] / 1048576.0)
+            .Emit();
+      }
+    }
+    return;
+  }
+
   printf("  %-10s", "window");
   for (uint64_t w = 1; w <= windows; w++) printf(" %9" PRIu64, w * window);
   printf("\n");
@@ -84,18 +104,23 @@ void RunAttribute(const std::string& attr, uint64_t n, uint64_t windows,
 void Run(const Flags& flags) {
   const uint64_t n = flags.GetInt("n", 60000);
   const uint64_t windows = flags.GetInt("windows", 10);
+  const bool json = flags.GetBool("json", false);
   const std::string root = ScratchRoot();
 
-  PrintHeader("Figure 9 — PUT performance over time");
-  printf("n=%" PRIu64 " tweets, %" PRIu64 " sample windows\n", n, windows);
+  if (!json) {
+    PrintHeader("Figure 9 — PUT performance over time");
+    printf("n=%" PRIu64 " tweets, %" PRIu64 " sample windows\n", n, windows);
+  }
 
-  RunAttribute("UserID", n, windows, root);        // Fig 9a (+9c UserID)
-  RunAttribute("CreationTime", n, windows, root);  // Fig 9b (+9c CT)
+  RunAttribute("UserID", n, windows, root, json);   // Fig 9a (+9c UserID)
+  RunAttribute("CreationTime", n, windows, root, json);  // Fig 9b (+9c CT)
 
-  printf("\nExpected shapes (paper): all variants flat over time except "
-         "Eager;\nEager's UserID curve climbs (compaction I/O grows "
-         "super-linearly) while its\nCreationTime curve stays moderate "
-         "(sequential list growth compacts cheaply).\n");
+  if (!json) {
+    printf("\nExpected shapes (paper): all variants flat over time except "
+           "Eager;\nEager's UserID curve climbs (compaction I/O grows "
+           "super-linearly) while its\nCreationTime curve stays moderate "
+           "(sequential list growth compacts cheaply).\n");
+  }
 }
 
 }  // namespace

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Capture a machine-readable bench snapshot into BENCH_<n>.json (JSON lines,
+# one measurement per line, first line a "meta" record). Each snapshot pins
+# the exact bench invocations, so numbers from different checkouts compare
+# like-for-like.
+#
+# Usage: scripts/bench_snapshot.sh [<n>]
+#   <n>  snapshot number (default: next free BENCH_<n>.json)
+#
+# Pinned suite (a few minutes on a laptop):
+#   * bench_concurrent_put, 4 writers, imm queue depth 1 vs 4 — the
+#     pipelined-flush axis. Two shapes: sustained closed-loop (where a
+#     deeper queue cannot beat the single background thread and is
+#     expected to trade a few percent), and bursty traffic with a 5 ms
+#     simulated table-sync latency (the pipeline's target case: the
+#     queue absorbs each burst at memtable speed and flushes drain in
+#     the gaps).
+#   * bench_ingest --phase=load — bulk load vs. memtable backfill: 1M docs
+#     on Embedded (the narrowest margin — its index is free at build
+#     time, so ingest only skips WAL+memtable) and on Lazy (a real
+#     index-maintenance write path), 200k on the remaining stand-alone
+#     variants (Eager's read-modify-write backfill is ~30x slower; same
+#     feed either way).
+#   * bench_ingest --phase=maintenance — Put throughput under each
+#     IndexMaintenance mode, 100k docs.
+#   * bench_fig9_put_over_time — the paper's Figure 9 PUT-latency windows,
+#     guarding the default (non-pipelined) write path against regressions.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+n="${1:-}"
+if [[ -z "${n}" ]]; then
+  n=1
+  while [[ -e "BENCH_${n}.json" ]]; do n=$((n + 1)); done
+fi
+out="BENCH_${n}.json"
+
+echo "==> Release build"
+cmake --preset release >/dev/null
+cmake --build --preset release -j "$(nproc)" >/dev/null
+bin=build
+
+tmp="$(mktemp)"
+trap 'rm -f "${tmp}"' EXIT
+
+git_rev="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+printf '{"bench":"meta","snapshot":%s,"git":"%s","date":"%s","nproc":%s}\n' \
+  "${n}" "${git_rev}" "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$(nproc)" >> "${tmp}"
+
+echo "==> concurrent_put sustained (4 writers, imm depth 1 vs 4)"
+"${bin}/bench/bench_concurrent_put" --threads=4 --max_imm=1 >> "${tmp}"
+"${bin}/bench/bench_concurrent_put" --threads=4 --max_imm=4 >> "${tmp}"
+
+echo "==> concurrent_put bursty + 5ms table sync (imm depth 1 vs 4)"
+"${bin}/bench/bench_concurrent_put" --threads=4 --max_imm=1 \
+  --burst_ops=8192 --burst_gap_ms=150 --table_sync_latency_us=5000 \
+  >> "${tmp}"
+"${bin}/bench/bench_concurrent_put" --threads=4 --max_imm=4 \
+  --burst_ops=8192 --burst_gap_ms=150 --table_sync_latency_us=5000 \
+  >> "${tmp}"
+
+echo "==> ingest load (1M docs, Embedded + Lazy)"
+"${bin}/bench/bench_ingest" --phase=load --docs=1000000 \
+  --types=embedded,lazy >> "${tmp}"
+
+echo "==> ingest load (200k docs, remaining stand-alone variants)"
+"${bin}/bench/bench_ingest" --phase=load --docs=200000 \
+  --types=noindex,eager,composite >> "${tmp}"
+
+echo "==> maintenance modes (100k docs)"
+"${bin}/bench/bench_ingest" --phase=maintenance --docs=100000 \
+  --types=lazy,eager,composite >> "${tmp}"
+
+echo "==> fig9 put-over-time (default write path)"
+"${bin}/bench/bench_fig9_put_over_time" --json >> "${tmp}"
+
+mv "${tmp}" "${out}"
+trap - EXIT
+echo "==> wrote ${out} ($(wc -l < "${out}") lines)"

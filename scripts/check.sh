@@ -65,6 +65,18 @@ if [[ -n "${SAN_FILTER}" ]]; then
   ASAN_OPTIONS="halt_on_error=1" ctest --preset asan -R "${REPAIR_FILTER}"
 fi
 
+# Ingestion: the pipelined-flush suite drives multiple writers against a
+# deep immutable-memtable queue (TSan: rotation, stall ladder, background
+# flush all cross threads), and the bulk-load path splices externally built
+# SSTables + deferred index batches (ASan: buffer handoffs, feed chunking).
+# Skipped when --sanitize-all already ran the full suites.
+if [[ -n "${SAN_FILTER}" ]]; then
+  echo "==> TSan ingest tests"
+  TSAN_OPTIONS="halt_on_error=1" ctest --preset tsan -L ingest
+  echo "==> ASan ingest tests"
+  ASAN_OPTIONS="halt_on_error=1" ctest --preset asan -L ingest
+fi
+
 # Observability: PerfContext mirrors every Statistics::Record on the query
 # thread and ParallelRun merges task-local contexts across the pool, so the
 # suite is a natural race detector — run it under TSan. Skipped when

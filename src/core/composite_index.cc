@@ -63,6 +63,34 @@ Status CompositeIndex::OnDelete(const Slice& primary_key,
                            Slice(MakeCompositeKey(attr_value, primary_key)));
 }
 
+Status CompositeIndex::BulkLoad(const std::vector<IndexOp>& entries) {
+  // Composite entries are plain KV pairs, so ingestion is sound even into
+  // a non-empty table: an ingested entry carries a fresh (newer) sequence
+  // and wins over any existing version of the same composite key, which is
+  // exactly what a Put would do. Index recency (stored in the VALUE) is
+  // what queries sort by, so file placement does not matter.
+  std::vector<std::pair<std::string, std::string>> rows;
+  rows.reserve(entries.size());
+  for (const IndexOp& op : entries) {
+    std::string value;
+    PutVarint64(&value, op.seq);
+    rows.emplace_back(MakeCompositeKey(Slice(op.attr_value),
+                                       Slice(op.primary_key)),
+                      std::move(value));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  size_t i = 0;
+  IngestFeed feed = [&](std::string* key, std::string* value) {
+    if (i >= rows.size()) return false;
+    *key = std::move(rows[i].first);
+    *value = std::move(rows[i].second);
+    i++;
+    return true;
+  };
+  return index_db_->IngestExternalFiles(feed, nullptr);
+}
+
 Status CompositeIndex::Lookup(const Slice& value, size_t k,
                               std::vector<QueryResult>* results) {
   return RangeLookup(value, value, k, results);
@@ -121,7 +149,7 @@ Status CompositeIndex::RangeLookup(const Slice& lo, const Slice& hi,
       if (!heap.WouldAdmit(c.seq)) break;  // Candidates are seq-descending
       if (!seen.insert(c.primary_key).second) continue;
       QueryResult r;
-      if (FetchAndValidate(Slice(c.primary_key), lo, hi, &r)) {
+      if (FetchAndValidate(Slice(c.primary_key), lo, hi, c.seq, &r)) {
         heap.Add(std::move(r));
       }
     }
@@ -137,14 +165,16 @@ Status CompositeIndex::RangeLookup(const Slice& lo, const Slice& hi,
     // crash-stale entries validate below their stored seq).
     while (idx < candidates.size() && heap.WouldAdmit(candidates[idx].seq)) {
       std::vector<std::string> cand;
+      std::vector<SequenceNumber> cand_seqs;
       while (idx < candidates.size() && cand.size() < chunk) {
         const Candidate& c = candidates[idx++];
         if (!seen.insert(c.primary_key).second) continue;
         cand.push_back(c.primary_key);
+        cand_seqs.push_back(c.seq);
       }
       std::vector<QueryResult> fetched;
       std::vector<char> valid;
-      FetchAndValidateBatch(cand, lo, hi, &fetched, &valid);
+      FetchAndValidateBatch(cand, cand_seqs, lo, hi, &fetched, &valid);
       for (size_t i = 0; i < cand.size(); i++) {
         if (valid[i]) heap.Add(std::move(fetched[i]));
       }

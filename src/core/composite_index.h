@@ -27,6 +27,11 @@ class CompositeIndex : public StandAloneIndex {
                SequenceNumber seq) override;
   Status OnDelete(const Slice& primary_key, const Slice& attr_value,
                   SequenceNumber seq) override;
+  /// Sorts the batch's composite keys and splices them in as SSTables.
+  /// Safe on a NON-empty table too: per composite key, newest sequence
+  /// wins — exactly Put semantics — and the feed's unique primary keys
+  /// guarantee unique composite keys within the batch.
+  Status BulkLoad(const std::vector<IndexOp>& entries) override;
   Status Lookup(const Slice& value, size_t k,
                 std::vector<QueryResult>* results) override;
   Status RangeLookup(const Slice& lo, const Slice& hi, size_t k,

@@ -1,6 +1,7 @@
 #include "core/eager_index.h"
 
 #include <algorithm>
+#include <map>
 #include <set>
 
 #include "core/posting_list.h"
@@ -73,6 +74,78 @@ Status EagerIndex::OnDelete(const Slice& primary_key, const Slice& attr_value,
   return index_db_->Put(WriteOptions(), attr_value, Slice(serialized));
 }
 
+Status EagerIndex::OnPutBatch(const std::vector<IndexOp>& ops) {
+  // Group by attribute value, preserving each group's FIFO order, then do
+  // ONE read-modify-write per distinct value. Sequentially applying a
+  // group's ops to the in-memory list before the single write-back yields
+  // the same final list as per-op RMWs — this is where kDeferredBatch
+  // recovers most of Eager's write amplification.
+  std::map<std::string, std::vector<const IndexOp*>> groups;
+  for (const IndexOp& op : ops) groups[op.attr_value].push_back(&op);
+  for (const auto& [attr_value, group] : groups) {
+    std::vector<PostingEntry> entries;
+    std::string existing;
+    Status s = index_db_->Get(ReadOptions(), Slice(attr_value), &existing);
+    if (s.ok()) {
+      PostingList::Parse(Slice(existing), &entries);
+    } else if (!s.IsNotFound()) {
+      return s;
+    }
+    for (const IndexOp* op : group) {
+      entries.erase(
+          std::remove_if(entries.begin(), entries.end(),
+                         [&](const PostingEntry& e) {
+                           return e.primary_key == op->primary_key;
+                         }),
+          entries.end());
+      if (op->is_delete) continue;
+      auto pos =
+          std::find_if(entries.begin(), entries.end(),
+                       [&](const PostingEntry& e) { return e.seq < op->seq; });
+      entries.insert(pos, PostingEntry(op->primary_key, op->seq, false));
+    }
+    if (entries.empty()) {
+      s = index_db_->Delete(WriteOptions(), Slice(attr_value));
+    } else {
+      std::string serialized;
+      PostingList::Serialize(entries, &serialized);
+      s = index_db_->Put(WriteOptions(), Slice(attr_value),
+                         Slice(serialized));
+    }
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Status EagerIndex::BulkLoad(const std::vector<IndexOp>& entries) {
+  if (index_db_->LastSequence() != 0) {
+    // Non-empty table: an ingested list would shadow every existing
+    // posting for its attribute value. Replay through the RMW path.
+    return SecondaryIndex::BulkLoad(entries);
+  }
+  // Empty table: the batch IS the complete index. Build one seq-descending
+  // posting list per attribute value and splice them in as SSTables.
+  std::map<std::string, std::vector<PostingEntry>> lists;
+  for (const IndexOp& op : entries) {
+    lists[op.attr_value].emplace_back(op.primary_key, op.seq, false);
+  }
+  auto it = lists.begin();
+  IngestFeed feed = [&](std::string* key, std::string* value) {
+    if (it == lists.end()) return false;
+    key->assign(it->first);
+    std::vector<PostingEntry>& list = it->second;
+    std::sort(list.begin(), list.end(),
+              [](const PostingEntry& a, const PostingEntry& b) {
+                return a.seq > b.seq;
+              });
+    value->clear();
+    PostingList::Serialize(list, value);
+    ++it;
+    return true;
+  };
+  return index_db_->IngestExternalFiles(feed, nullptr);
+}
+
 Status EagerIndex::Lookup(const Slice& value, size_t k,
                           std::vector<QueryResult>* results) {
   results->clear();
@@ -102,7 +175,7 @@ Status EagerIndex::Lookup(const Slice& value, size_t k,
       if (e.deleted) continue;
       if (!seen.insert(e.primary_key).second) continue;
       QueryResult r;
-      if (FetchAndValidate(Slice(e.primary_key), value, value, &r)) {
+      if (FetchAndValidate(Slice(e.primary_key), value, value, e.seq, &r)) {
         heap.Add(std::move(r));
       }
     }
@@ -118,15 +191,17 @@ Status EagerIndex::Lookup(const Slice& value, size_t k,
     // crash-stale entries validate below their stored seq).
     while (idx < entries.size() && heap.WouldAdmit(entries[idx].seq)) {
       std::vector<std::string> cand;
+      std::vector<SequenceNumber> cand_seqs;
       while (idx < entries.size() && cand.size() < chunk) {
         const PostingEntry& e = entries[idx++];
         if (e.deleted) continue;
         if (!seen.insert(e.primary_key).second) continue;
         cand.push_back(e.primary_key);
+        cand_seqs.push_back(e.seq);
       }
       std::vector<QueryResult> fetched;
       std::vector<char> valid;
-      FetchAndValidateBatch(cand, value, value, &fetched, &valid);
+      FetchAndValidateBatch(cand, cand_seqs, value, value, &fetched, &valid);
       for (size_t i = 0; i < cand.size(); i++) {
         if (valid[i]) heap.Add(std::move(fetched[i]));
       }
@@ -151,15 +226,17 @@ Status EagerIndex::RangeLookup(const Slice& lo, const Slice& hi, size_t k,
   const bool batched = parallel_reads();
   const size_t chunk = BatchChunk(k);
   std::vector<std::string> cand;
+  std::vector<SequenceNumber> cand_seqs;
   auto flush = [&]() {
     if (cand.empty()) return;
     std::vector<QueryResult> fetched;
     std::vector<char> valid;
-    FetchAndValidateBatch(cand, lo, hi, &fetched, &valid);
+    FetchAndValidateBatch(cand, cand_seqs, lo, hi, &fetched, &valid);
     for (size_t i = 0; i < cand.size(); i++) {
       if (valid[i]) heap.Add(std::move(fetched[i]));
     }
     cand.clear();
+    cand_seqs.clear();
   };
   std::unique_ptr<Iterator> it(index_db_->NewIterator(ReadOptions()));
   for (it->Seek(lo); it->Valid() && it->key().compare(hi) <= 0; it->Next()) {
@@ -172,11 +249,12 @@ Status EagerIndex::RangeLookup(const Slice& lo, const Slice& hi, size_t k,
       if (!seen.insert(e.primary_key).second) continue;
       if (batched) {
         cand.push_back(e.primary_key);
+        cand_seqs.push_back(e.seq);
         if (cand.size() >= chunk) flush();
         continue;
       }
       QueryResult r;
-      if (FetchAndValidate(Slice(e.primary_key), lo, hi, &r)) {
+      if (FetchAndValidate(Slice(e.primary_key), lo, hi, e.seq, &r)) {
         heap.Add(std::move(r));
       }
     }

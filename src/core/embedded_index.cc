@@ -140,10 +140,13 @@ Status EmbeddedIndex::Scan(const Slice& lo, const Slice& hi, size_t k,
             block_error = it->status();
           }
         },
-        [&]() {
+        [&](SequenceNumber remaining_max) {
           // Level boundary: records within a level are not time-ordered, so
-          // termination is only checked here (Algorithm 5).
-          return !heap.Full();
+          // termination is only checked here (Algorithm 5) — and only once
+          // no unscanned file can hold a record newer than the heap's
+          // oldest retained match (files spliced in by ingest carry newer
+          // sequences than shallower pre-existing data).
+          return !heap.Full() || heap.WouldAdmit(remaining_max);
         });
   } else {
     // Parallel path: within one recency bucket the candidate blocks are
@@ -260,7 +263,9 @@ Status EmbeddedIndex::Scan(const Slice& lo, const Slice& hi, size_t k,
           }
           }  // wave
         },
-        [&]() { return !heap.Full(); });
+        [&](SequenceNumber remaining_max) {
+          return !heap.Full() || heap.WouldAdmit(remaining_max);
+        });
   }
 
   if (!scan_status.ok()) return scan_status;

@@ -1,5 +1,6 @@
 #include "core/lazy_index.h"
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <set>
@@ -43,6 +44,36 @@ Status LazyIndex::OnDelete(const Slice& primary_key, const Slice& attr_value,
   return index_db_->Put(WriteOptions(), attr_value, Slice(fragment));
 }
 
+Status LazyIndex::BulkLoad(const std::vector<IndexOp>& entries) {
+  if (index_db_->LastSequence() != 0) {
+    // An ingested file lands at the deepest non-overlapping level, which
+    // may sit BELOW older fragments — Lookup's level-by-level early stop
+    // assumes deeper means older. Fall back to ordinary fragments.
+    return SecondaryIndex::BulkLoad(entries);
+  }
+  // Empty table: each attribute's complete posting list becomes its one
+  // fragment, spliced in as SSTables with no WAL and no per-op overhead.
+  std::map<std::string, std::vector<PostingEntry>> lists;
+  for (const IndexOp& op : entries) {
+    lists[op.attr_value].emplace_back(op.primary_key, op.seq, false);
+  }
+  auto it = lists.begin();
+  IngestFeed feed = [&](std::string* key, std::string* value) {
+    if (it == lists.end()) return false;
+    key->assign(it->first);
+    std::vector<PostingEntry>& list = it->second;
+    std::sort(list.begin(), list.end(),
+              [](const PostingEntry& a, const PostingEntry& b) {
+                return a.seq > b.seq;
+              });
+    value->clear();
+    PostingList::Serialize(list, value);
+    ++it;
+    return true;
+  };
+  return index_db_->IngestExternalFiles(feed, nullptr);
+}
+
 Status LazyIndex::Lookup(const Slice& value, size_t k,
                          std::vector<QueryResult>* results) {
   results->clear();
@@ -77,7 +108,8 @@ Status LazyIndex::Lookup(const Slice& value, size_t k,
               if (e.deleted) continue;  // Marker shadows older occurrences
               if (!heap.WouldAdmit(e.seq)) continue;
               QueryResult r;
-              if (FetchAndValidate(Slice(e.primary_key), value, value, &r)) {
+              if (FetchAndValidate(Slice(e.primary_key), value, value, e.seq,
+                                   &r)) {
                 if (r.seq != e.seq) stale_admitted = true;
                 heap.Add(std::move(r));
               }
@@ -96,7 +128,8 @@ Status LazyIndex::Lookup(const Slice& value, size_t k,
             auto flush = [&]() {
               std::vector<QueryResult> fetched;
               std::vector<char> valid;
-              FetchAndValidateBatch(cand, value, value, &fetched, &valid);
+              FetchAndValidateBatch(cand, cand_seqs, value, value, &fetched,
+                                    &valid);
               for (size_t i = 0; i < cand.size(); i++) {
                 if (valid[i]) {
                   if (fetched[i].seq != cand_seqs[i]) stale_admitted = true;
@@ -162,7 +195,7 @@ Status LazyIndex::RangeLookup(const Slice& lo, const Slice& hi, size_t k,
     auto flush = [&]() {
       std::vector<QueryResult> fetched;
       std::vector<char> valid;
-      FetchAndValidateBatch(cand, lo, hi, &fetched, &valid);
+      FetchAndValidateBatch(cand, cand_seqs, lo, hi, &fetched, &valid);
       for (size_t i = 0; i < cand.size(); i++) {
         if (valid[i]) {
           if (fetched[i].seq != cand_seqs[i]) stale_admitted = true;
@@ -212,7 +245,7 @@ Status LazyIndex::RangeLookup(const Slice& lo, const Slice& hi, size_t k,
           continue;
         }
         QueryResult r;
-        if (FetchAndValidate(Slice(e.primary_key), lo, hi, &r)) {
+        if (FetchAndValidate(Slice(e.primary_key), lo, hi, e.seq, &r)) {
           if (r.seq != e.seq) stale_admitted = true;
           heap.Add(std::move(r));
         }

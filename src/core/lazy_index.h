@@ -28,6 +28,11 @@ class LazyIndex : public StandAloneIndex {
                SequenceNumber seq) override;
   Status OnDelete(const Slice& primary_key, const Slice& attr_value,
                   SequenceNumber seq) override;
+  /// Into an EMPTY index table, builds one complete fragment per attribute
+  /// value and splices them in as SSTables. Non-empty tables fall back to
+  /// per-op fragments: an ingested file can land BELOW older fragments,
+  /// breaking the levels-are-older invariant Lookup's early stop needs.
+  Status BulkLoad(const std::vector<IndexOp>& entries) override;
   Status Lookup(const Slice& value, size_t k,
                 std::vector<QueryResult>* results) override;
   Status RangeLookup(const Slice& lo, const Slice& hi, size_t k,

@@ -27,6 +27,21 @@ HistogramType LookupHistogram(IndexType type) {
 
 }  // namespace
 
+/// Applies buffered index maintenance whenever the primary table flushes a
+/// memtable — the natural batch boundary of the deferred mode (Luo & Carey's
+/// "maintain on flush"). Runs on the flushing thread with the primary's
+/// mutex released; it writes only to the separate index tables.
+class DeferredDrainListener : public EventListener {
+ public:
+  explicit DeferredDrainListener(SecondaryDB* db) : db_(db) {}
+  void OnFlushEnd(const FlushJobInfo& /*info*/) override {
+    db_->DrainDeferred();
+  }
+
+ private:
+  SecondaryDB* db_;
+};
+
 SecondaryDB::SecondaryDB(const SecondaryDBOptions& options)
     : options_(options),
       primary_stats_(new Statistics),
@@ -35,12 +50,25 @@ SecondaryDB::SecondaryDB(const SecondaryDBOptions& options)
       secondary_filter_(
           NewBloomFilterPolicy(options.embedded_bloom_bits_per_key)) {}
 
-SecondaryDB::~SecondaryDB() = default;
+SecondaryDB::~SecondaryDB() {
+  // Apply any still-buffered index maintenance before the tables close, so
+  // a clean shutdown never loses acknowledged index entries.
+  DrainDeferred();
+}
 
 Status SecondaryDB::Open(const SecondaryDBOptions& options,
                          const std::string& path,
                          std::unique_ptr<SecondaryDB>* dbptr) {
   dbptr->reset();
+  if (options.sync_writes &&
+      options.index_maintenance != IndexMaintenance::kSync) {
+    // Crash-consistency depends on synchronous index-FIRST writes, which
+    // deferral contradicts outright — and which can durably store sequence
+    // numbers the primary never committed, the exact postings the
+    // timestamp fast path must never trust.
+    return Status::InvalidArgument(
+        "sync_writes requires IndexMaintenance::kSync");
+  }
   std::unique_ptr<SecondaryDB> db(new SecondaryDB(options));
 
   Env* env = options.base.env != nullptr ? options.base.env : Env::Posix();
@@ -65,6 +93,11 @@ Status SecondaryDB::Open(const SecondaryDBOptions& options,
     primary_options.secondary_attributes = options.indexed_attributes;
     primary_options.attribute_extractor = JsonAttributeExtractor::Instance();
     primary_options.secondary_filter_policy = db->secondary_filter_.get();
+  }
+  if (options.index_maintenance == IndexMaintenance::kDeferredBatch &&
+      db->standalone()) {
+    primary_options.listeners.push_back(
+        std::make_shared<DeferredDrainListener>(db.get()));
   }
   DBImpl* primary = nullptr;
   s = DBImpl::Open(primary_options, path + "/primary", &primary);
@@ -107,6 +140,9 @@ Status SecondaryDB::OpenIndex(const std::string& attr,
       s = CompositeIndex::Open(attr, primary_.get(), index_base_, index_path,
                                index);
       break;
+  }
+  if (s.ok() && *index != nullptr) {
+    (*index)->set_maintenance(options_.index_maintenance);
   }
   return s;
 }
@@ -152,6 +188,13 @@ Status SecondaryDB::Put(const Slice& key, const Slice& json_value) {
   if (!s.ok()) return s;
   const SequenceNumber seq = primary_->LastSequence();
 
+  if (options_.index_maintenance == IndexMaintenance::kDeferredBatch) {
+    for (auto& [index, attr_value] : attr_values) {
+      s = BufferDeferred(index, key, Slice(attr_value), seq, false);
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
   for (auto& [index, attr_value] : attr_values) {
     s = index->OnPut(key, Slice(attr_value), seq);
     if (!s.ok()) return s;
@@ -191,6 +234,15 @@ Status SecondaryDB::Delete(const Slice& key) {
   if (!s.ok()) return s;
   const SequenceNumber seq = primary_->LastSequence();
 
+  if (options_.index_maintenance == IndexMaintenance::kDeferredBatch) {
+    // The victim's attribute values were read from the primary above,
+    // BEFORE the delete; FIFO replay preserves the put/delete order.
+    for (auto& [index, attr_value] : attr_values) {
+      s = BufferDeferred(index, key, Slice(attr_value), seq, true);
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
   for (auto& [index, attr_value] : attr_values) {
     s = index->OnDelete(key, Slice(attr_value), seq);
     if (!s.ok()) return s;
@@ -204,6 +256,11 @@ Status SecondaryDB::Lookup(const std::string& attribute, const Slice& value,
   if (idx == nullptr) {
     return Status::InvalidArgument("attribute is not indexed: ", attribute);
   }
+  // Deferred maintenance settles before any query reads the index, keeping
+  // results byte-identical to kSync. (Drained before the timer: the apply
+  // is write work and must not pollute the lookup latency distributions.)
+  Status ds = DrainDeferred();
+  if (!ds.ok()) return ds;
   // Both lookup forms land in the variant's histogram: the paper's LOOKUP /
   // RANGELOOKUP latency figures are per-variant distributions.
   Env* env = index_base_.env != nullptr ? index_base_.env : Env::Posix();
@@ -222,6 +279,8 @@ Status SecondaryDB::RangeLookup(const std::string& attribute, const Slice& lo,
   if (idx == nullptr) {
     return Status::InvalidArgument("attribute is not indexed: ", attribute);
   }
+  Status ds = DrainDeferred();
+  if (!ds.ok()) return ds;
   Env* env = index_base_.env != nullptr ? index_base_.env : Env::Posix();
   const uint64_t start = env->NowMicros();
   ScopedPerfTimer timer(&PerfContext::lookup_micros);
@@ -232,7 +291,9 @@ Status SecondaryDB::RangeLookup(const std::string& attribute, const Slice& lo,
 }
 
 Status SecondaryDB::CompactAll() {
-  Status s = primary_->CompactAll();
+  Status s = DrainDeferred();
+  if (!s.ok()) return s;
+  s = primary_->CompactAll();
   for (auto& index : indexes_) {
     if (s.ok()) s = index->CompactAll();
   }
@@ -289,6 +350,8 @@ Status SecondaryDB::Repair(const SecondaryDBOptions& options,
 
 Status SecondaryDB::VerifyIndexConsistency() {
   if (!standalone()) return Status::OK();
+  Status ds = DrainDeferred();
+  if (!ds.ok()) return ds;
   const JsonAttributeExtractor* extractor = JsonAttributeExtractor::Instance();
   std::string attr_value;
   std::vector<QueryResult> results;
@@ -326,6 +389,11 @@ Status SecondaryDB::VerifyIndexConsistency() {
 
 Status SecondaryDB::RebuildIndex() {
   if (!standalone()) return Status::OK();
+
+  // Settle (and thereby empty) the deferred buffer first: its ops hold
+  // pointers into indexes_, which is about to be torn down.
+  Status ds = DrainDeferred();
+  if (!ds.ok()) return ds;
 
   // Tear down: close the index tables (the objects own their DB handles),
   // then wipe them from disk.
@@ -388,6 +456,117 @@ Status SecondaryDB::RebuildIndex() {
       }
     }
   }
+  return s;
+}
+
+Status SecondaryDB::BufferDeferred(SecondaryIndex* index,
+                                   const Slice& primary_key,
+                                   const Slice& attr_value,
+                                   SequenceNumber seq, bool is_delete) {
+  size_t buffered;
+  {
+    std::lock_guard<std::mutex> lock(deferred_mu_);
+    DeferredOp d;
+    d.index = index;
+    d.op.primary_key = primary_key.ToString();
+    d.op.attr_value = attr_value.ToString();
+    d.op.seq = seq;
+    d.op.is_delete = is_delete;
+    deferred_.push_back(std::move(d));
+    buffered = deferred_.size();
+  }
+  primary_statistics()->Record(kIndexDeferredOps);
+  if (buffered >= options_.deferred_batch_max_ops) {
+    return DrainDeferred();
+  }
+  return Status::OK();
+}
+
+Status SecondaryDB::DrainDeferred() {
+  if (options_.index_maintenance != IndexMaintenance::kDeferredBatch) {
+    return Status::OK();
+  }
+  // Apply lock FIRST, swap second: a racing drain cannot swap out (let
+  // alone apply) ops buffered after ours until we finished applying ours,
+  // so batches apply in buffering order (see the header's lock-order note).
+  std::lock_guard<std::mutex> apply_lock(deferred_apply_mu_);
+  std::vector<DeferredOp> batch;
+  {
+    std::lock_guard<std::mutex> lock(deferred_mu_);
+    batch.swap(deferred_);
+  }
+  if (batch.empty()) return Status::OK();
+  Status s;
+  std::vector<IndexOp> ops;
+  for (auto& index : indexes_) {
+    ops.clear();
+    for (DeferredOp& d : batch) {
+      if (d.index == index.get()) ops.push_back(std::move(d.op));
+    }
+    if (ops.empty()) continue;
+    Status is = index->OnPutBatch(ops);
+    if (s.ok()) s = is;
+  }
+  primary_statistics()->Record(kIndexDeferredApplies);
+  return s;
+}
+
+Status SecondaryDB::IngestWithIndexes(const IngestFeed& feed,
+                                      IngestStats* stats) {
+  // Earlier buffered maintenance must not replay on top of (and thereby
+  // reorder around) the bulk-loaded postings.
+  Status s = DrainDeferred();
+  if (!s.ok()) return s;
+
+  if (!standalone()) {
+    // NoIndex scans the data; Embedded's blooms and zone maps are built by
+    // the table builder inside the ingest itself. Nothing extra to do.
+    return primary_->IngestExternalFiles(feed, stats);
+  }
+
+  // Capture each record's extracted attribute values as the primary ingest
+  // streams through; sequence numbers follow once the ingest reports its
+  // window (record j received first_seq + j).
+  struct Captured {
+    uint64_t record_index;
+    std::string primary_key;
+    std::string attr_value;
+  };
+  std::vector<std::vector<Captured>> captured(indexes_.size());
+  uint64_t record_index = 0;
+  const JsonAttributeExtractor* extractor = JsonAttributeExtractor::Instance();
+  IngestFeed wrapped = [&](std::string* key, std::string* value) {
+    if (!feed(key, value)) return false;
+    std::string attr_value;
+    for (size_t i = 0; i < indexes_.size(); i++) {
+      if (extractor->Extract(Slice(*value), indexes_[i]->attribute(),
+                             &attr_value)) {
+        captured[i].push_back({record_index, *key, attr_value});
+      }
+    }
+    record_index++;
+    return true;
+  };
+  IngestStats local;
+  s = primary_->IngestExternalFiles(wrapped, &local);
+  if (!s.ok()) return s;
+
+  // A BulkLoad failure here leaves the primary loaded but an index behind —
+  // missing postings hide records from queries, so surface the error; a
+  // RebuildIndex() regenerates the tables from the (intact) primary.
+  for (size_t i = 0; i < indexes_.size() && s.ok(); i++) {
+    std::vector<IndexOp> ops;
+    ops.reserve(captured[i].size());
+    for (Captured& c : captured[i]) {
+      IndexOp op;
+      op.primary_key = std::move(c.primary_key);
+      op.attr_value = std::move(c.attr_value);
+      op.seq = local.first_seq + c.record_index;
+      ops.push_back(std::move(op));
+    }
+    s = indexes_[i]->BulkLoad(ops);
+  }
+  if (s.ok() && stats != nullptr) *stats = local;
   return s;
 }
 

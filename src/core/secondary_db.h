@@ -17,6 +17,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,22 @@ struct SecondaryDBOptions {
   /// Bloom bits/key for the Embedded index's per-block secondary filters
   /// (the paper uses 20 by default and sweeps 5..30 in Appendix C.1).
   int embedded_bloom_bits_per_key = 20;
+
+  /// When the stand-alone indexes learn about writes (see
+  /// core/secondary_index.h). kSync is the paper's behavior and the
+  /// default. kDeferredBatch buffers index maintenance and applies it in
+  /// FIFO batches (on primary flush, on every query, at the buffer cap);
+  /// kTimestampValidated keeps writes synchronous but lets point-LOOKUP
+  /// validation trust stored sequence numbers. Both alternatives return
+  /// byte-identical query results to kSync; both are rejected at Open when
+  /// combined with sync_writes (whose index-first crash ordering needs
+  /// synchronous maintenance and can store uncommitted seqs). Ignored by
+  /// Embedded / NoIndex.
+  IndexMaintenance index_maintenance = IndexMaintenance::kSync;
+
+  /// kDeferredBatch: buffered ops are applied once the buffer reaches this
+  /// many entries (besides the flush/query/close triggers).
+  size_t deferred_batch_max_ops = 1024;
 
   /// Crash-consistency mode. Forces Options::sync_writes on the primary
   /// table AND every stand-alone index table (each write fsyncs its WAL
@@ -87,6 +104,17 @@ class SecondaryDB {
   Status RangeLookup(const std::string& attribute, const Slice& lo,
                      const Slice& hi, size_t k,
                      std::vector<QueryResult>* results);
+
+  /// Bulk load: stream sorted documents (strictly increasing primary keys,
+  /// JSON values) into the primary table via DB::IngestExternalFiles — no
+  /// memtable, no WAL — and bring every index along. Embedded/NoIndex need
+  /// nothing extra (embedded filters and zone maps are built into the
+  /// ingested SSTables); stand-alone variants receive the batch through
+  /// SecondaryIndex::BulkLoad, which builds index SSTables directly when
+  /// sound and replays OnPut otherwise. Queries afterwards are
+  /// byte-identical to having Put every document. Same requirements as
+  /// DB::IngestExternalFiles (no concurrent writers).
+  Status IngestWithIndexes(const IngestFeed& feed, IngestStats* stats);
 
   /// Flush + fully compact the primary table and every index table (used
   /// between the build and query phases of Static workloads).
@@ -148,6 +176,8 @@ class SecondaryDB {
   uint64_t TotalTicker(Ticker t);
 
  private:
+  friend class DeferredDrainListener;  // Drains on primary-table flush
+
   SecondaryDB(const SecondaryDBOptions& options);
 
   bool standalone() const {
@@ -161,6 +191,18 @@ class SecondaryDB {
   Status OpenIndex(const std::string& attr,
                    std::unique_ptr<SecondaryIndex>* index);
 
+  /// kDeferredBatch: append one op to the buffer; drains inline when the
+  /// buffer hits deferred_batch_max_ops.
+  Status BufferDeferred(SecondaryIndex* index, const Slice& primary_key,
+                        const Slice& attr_value, SequenceNumber seq,
+                        bool is_delete);
+
+  /// Apply every buffered op (FIFO per index) through OnPutBatch. Called
+  /// before queries / verification / ingest / close and from the primary
+  /// table's flush listener; no-op when the buffer is empty or the mode is
+  /// not kDeferredBatch. Safe from any thread.
+  Status DrainDeferred();
+
   SecondaryDBOptions options_;
   std::string path_;
   Options index_base_;  // Effective base options the index tables open with
@@ -170,6 +212,20 @@ class SecondaryDB {
   std::unique_ptr<DBImpl> primary_;
   // Attribute -> index, in declaration order.
   std::vector<std::unique_ptr<SecondaryIndex>> indexes_;
+
+  // ---- kDeferredBatch state ----
+  struct DeferredOp {
+    SecondaryIndex* index;
+    IndexOp op;
+  };
+  // Lock order: deferred_apply_mu_ BEFORE deferred_mu_. A drain takes the
+  // apply lock first and THEN swaps the buffer out, so two racing drains
+  // apply their batches in the order the ops were buffered (the second
+  // drain cannot swap — let alone apply — newer ops until the first
+  // finished applying older ones).
+  std::mutex deferred_apply_mu_;
+  std::mutex deferred_mu_;
+  std::vector<DeferredOp> deferred_;  // guarded by deferred_mu_
 };
 
 }  // namespace leveldbpp

@@ -42,6 +42,8 @@ Status BuildTable(const std::string& dbname, Env* env, const Options& options,
       }
       current_user_key.assign(key.data(), key.size());
       has_current_user_key = true;
+      const SequenceNumber seq = ExtractSequence(key);
+      if (seq > meta->max_seq) meta->max_seq = seq;
       builder->Add(key, iter->value());
     }
     if (!current_user_key.empty()) {

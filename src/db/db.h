@@ -7,6 +7,8 @@
 #ifndef LEVELDBPP_DB_DB_H_
 #define LEVELDBPP_DB_DB_H_
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -18,6 +20,20 @@
 namespace leveldbpp {
 
 class WriteBatch;
+
+/// Streaming source for IngestExternalFiles: each call fills *key/*value
+/// with the next record and returns true, or returns false when exhausted.
+/// Keys must arrive in strictly increasing user-key order.
+using IngestFeed = std::function<bool(std::string* key, std::string* value)>;
+
+/// What one IngestExternalFiles call did.
+struct IngestStats {
+  uint64_t files = 0;      // SSTables built and spliced into the version
+  uint64_t keys = 0;       // records written
+  uint64_t bytes = 0;      // total bytes of the new SSTables
+  uint64_t first_seq = 0;  // sequence number assigned to the first record
+  uint64_t last_seq = 0;   // ... and the last (first_seq + keys - 1)
+};
 
 class DB {
  public:
@@ -82,6 +98,23 @@ class DB {
   /// (corruption) stay sticky and are returned unchanged — run RepairDB.
   /// Returns OK if the database is writable afterwards.
   virtual Status Resume() { return Status::OK(); }
+
+  /// Bulk load: build SSTables directly from `feed`'s sorted stream via the
+  /// table builder and splice them into the version at the deepest level
+  /// they don't overlap, bypassing the memtable and the WAL entirely. Each
+  /// record receives a fresh sequence number (newer than every existing
+  /// write), and the MANIFEST commit makes the whole ingest atomic and
+  /// durable — after a crash either all spliced files are visible or none.
+  /// Requirements: keys strictly increasing; no concurrent writers for the
+  /// duration of the call (concurrent reads are fine). InvalidArgument on
+  /// unsorted input or an overlapping concurrent ingest. `stats` (optional)
+  /// reports what was built. See DESIGN.md "Ingestion".
+  virtual Status IngestExternalFiles(const IngestFeed& feed,
+                                     IngestStats* stats) {
+    (void)feed;
+    (void)stats;
+    return Status::NotSupported("IngestExternalFiles");
+  }
 };
 
 /// Destroy the contents of the specified database (files and directory).

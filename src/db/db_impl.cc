@@ -55,6 +55,8 @@ Options SanitizeOptions(const InternalKeyComparator* icmp,
   ClipToRange(&result.write_buffer_size, 64 << 10, 1 << 30);
   ClipToRange(&result.max_file_size, 16 << 10, 1 << 30);
   ClipToRange(&result.block_size, 1 << 10, 4 << 20);
+  ClipToRange(&result.max_immutable_memtables, 1, 8);
+  ClipToRange(&result.ingest_parallelism, 1, 16);
   if (result.l0_slowdown_writes_trigger > result.l0_stop_writes_trigger) {
     result.l0_slowdown_writes_trigger = result.l0_stop_writes_trigger;
   }
@@ -100,7 +102,6 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
       table_cache_(new TableCache(dbname_, options_, 10000)),
       background_work_finished_signal_(&mutex_),
       mem_(nullptr),
-      imm_(nullptr),
       logfile_number_(0),
       versions_(new VersionSet(dbname_, &options_, table_cache_.get(),
                                &internal_comparator_)) {
@@ -142,7 +143,7 @@ DBImpl::~DBImpl() {
   mutex_.Unlock();
 
   if (mem_ != nullptr) mem_->Unref();
-  if (imm_ != nullptr) imm_->Unref();
+  for (const ImmEntry& e : imm_queue_) e.mem->Unref();
 }
 
 Status DB::Open(const Options& options, const std::string& name, DB** dbptr) {
@@ -556,6 +557,40 @@ WriteBatch* DBImpl::BuildBatchGroup(Writer** last_writer, int* group_size) {
   return result;
 }
 
+uint64_t DBImpl::QueuedImmBytes() {
+  mutex_.AssertHeld();
+  uint64_t total = 0;
+  for (const ImmEntry& e : imm_queue_) {
+    total += e.mem->ApproximateMemoryUsage();
+  }
+  return total;
+}
+
+Status DBImpl::RotateMemTable() {
+  mutex_.AssertHeld();
+  uint64_t new_log_number = versions_->NewFileNumber();
+  std::unique_ptr<WritableFile> lfile;
+  Status s = env_->NewWritableFile(LogFileName(dbname_, new_log_number),
+                                   &lfile);
+  if (!s.ok()) {
+    versions_->ReuseFileNumber(new_log_number);
+    return s;
+  }
+  const uint64_t old_log_number = logfile_number_;
+  logfile_ = std::move(lfile);
+  logfile_number_ = new_log_number;
+  log_ = std::make_unique<log::Writer>(logfile_.get());
+  imm_queue_.push_back(ImmEntry{mem_, old_log_number});
+  mem_ = new MemTable(internal_comparator_, options_.secondary_attributes,
+                      options_.attribute_extractor);
+  mem_->Ref();
+  if (options_.statistics != nullptr) {
+    options_.statistics->RecordHistogram(
+        kHistFlushQueueDepth, static_cast<double>(imm_queue_.size()));
+  }
+  return Status::OK();
+}
+
 Status DBImpl::MakeRoomForWrite(bool force) {
   mutex_.AssertHeld();
   assert(!writers_.empty());
@@ -576,26 +611,17 @@ Status DBImpl::MakeRoomForWrite(bool force) {
     // (for size-triggered rotations) drive any triggered compactions to
     // quiescence. Forced rotations (CompactAll) skip the drain, exactly as
     // the seed did: CompactRange follows and does the full merge itself.
-    uint64_t new_log_number = versions_->NewFileNumber();
-    std::unique_ptr<WritableFile> lfile;
-    Status s = env_->NewWritableFile(LogFileName(dbname_, new_log_number),
-                                     &lfile);
+    Status s = RotateMemTable();
     if (!s.ok()) {
-      versions_->ReuseFileNumber(new_log_number);
       return s;
     }
-    logfile_ = std::move(lfile);
-    logfile_number_ = new_log_number;
-    log_ = std::make_unique<log::Writer>(logfile_.get());
-    imm_ = mem_;
-    mem_ = new MemTable(internal_comparator_, options_.secondary_attributes,
-                        options_.attribute_extractor);
-    mem_->Ref();
 
     AcquireCompactionToken();
-    s = CompactMemTable();
-    while (!s.ok() && MaybeRetryBackgroundError(s)) {
-      s = CompactMemTable();  // Transient failure absorbed: retry the flush
+    while (s.ok() && !imm_queue_.empty()) {
+      s = CompactMemTable();
+      while (!s.ok() && MaybeRetryBackgroundError(s)) {
+        s = CompactMemTable();  // Transient failure absorbed: retry the flush
+      }
     }
     if (s.ok() && !force) {
       while (s.ok() && versions_->NeedsCompaction()) {
@@ -617,16 +643,28 @@ Status DBImpl::MakeRoomForWrite(bool force) {
   // ---- Background mode: the classic LevelDB slowdown/stop ladder. The
   // write path never compacts; it rotates memtables and, when the engine
   // falls behind, first delays then parks writers until the background
-  // thread catches up.
+  // thread catches up. With max_immutable_memtables > 1 the rotation rung
+  // keeps accepting writes while earlier memtables drain oldest-first; the
+  // backpressure triggers count the TOTAL queued bytes so the ladder stays
+  // monotone as the queue deepens.
   bool allow_delay = !force;
+  const size_t max_imm = static_cast<size_t>(options_.max_immutable_memtables);
+  // The imm queue deliberately has NO soft-delay rung: a near-full queue is
+  // handled by the queue-full rung below, whose park wakes the moment one
+  // flush lands (or whose inline flush makes progress directly). A 1 ms
+  // sleep per write while the queue is deep was measured to cost more than
+  // the stalls it was smoothing — the queue's whole point is to absorb
+  // bursts at memtable speed. Memory stays bounded regardless: rotation
+  // caps the queue at max_imm memtables of write_buffer_size each
+  // (QueuedImmBytes() is exported via the approximate-memory properties).
   Status s;
   while (true) {
     if (!bg_error_.ok()) {
       s = bg_error_;
       break;
     }
-    if (allow_delay && versions_->NumLevelFiles(0) >=
-                           options_.l0_slowdown_writes_trigger) {
+    if (allow_delay &&
+        versions_->NumLevelFiles(0) >= options_.l0_slowdown_writes_trigger) {
       // Soft limit: surrender the CPU (and the mutex) for 1ms so the
       // compactor gains ground; pay the penalty once per write.
       mutex_.Unlock();
@@ -637,12 +675,13 @@ Status DBImpl::MakeRoomForWrite(bool force) {
     } else if (!force &&
                mem_->ApproximateMemoryUsage() <= options_.write_buffer_size) {
       break;  // There is room in the current memtable.
-    } else if (imm_ != nullptr) {
+    } else if (imm_queue_.size() >= max_imm) {
       if (!flush_in_progress_) {
-        // Flush imm_ ourselves instead of queueing behind whatever
-        // compaction the background thread is running: the flush only
-        // appends an L0 file, so it is safe alongside an in-flight merge,
-        // and the write path resumes as soon as it completes.
+        // Flush the oldest queued memtable ourselves instead of queueing
+        // behind whatever compaction the background thread is running: the
+        // flush only appends an L0 file, so it is safe alongside an
+        // in-flight merge, and the write path resumes as soon as it
+        // completes.
         Status fs = CompactMemTable();
         if (!fs.ok()) {
           // If the failure is transient and retries remain, the backoff
@@ -671,20 +710,10 @@ Status DBImpl::MakeRoomForWrite(bool force) {
     } else {
       // Rotate to a fresh memtable + log and hand the full one to the
       // background thread.
-      uint64_t new_log_number = versions_->NewFileNumber();
-      std::unique_ptr<WritableFile> lfile;
-      s = env_->NewWritableFile(LogFileName(dbname_, new_log_number), &lfile);
+      s = RotateMemTable();
       if (!s.ok()) {
-        versions_->ReuseFileNumber(new_log_number);
         break;
       }
-      logfile_ = std::move(lfile);
-      logfile_number_ = new_log_number;
-      log_ = std::make_unique<log::Writer>(logfile_.get());
-      imm_ = mem_;
-      mem_ = new MemTable(internal_comparator_, options_.secondary_attributes,
-                          options_.attribute_extractor);
-      mem_->Ref();
       force = false;
       MaybeScheduleCompaction();
     }
@@ -758,7 +787,7 @@ void DBImpl::MaybeScheduleCompaction() {
   if (background_compaction_scheduled_) return;
   if (shutting_down_.load(std::memory_order_acquire)) return;
   if (!bg_error_.ok()) return;
-  if (imm_ == nullptr && !versions_->NeedsCompaction()) return;
+  if (imm_queue_.empty() && !versions_->NeedsCompaction()) return;
   background_compaction_scheduled_ = true;
   env_->Schedule(&DBImpl::BGWork, this);
 }
@@ -776,7 +805,19 @@ void DBImpl::BackgroundCall() {
     // inline flush may have drained the work while this call waited.
     Status s;
     bool did_work = false;
-    if (imm_ != nullptr && !flush_in_progress_) {
+    // Flush-first keeps the imm queue short, but strict flush preference
+    // starves level compaction whenever the queue is non-empty — with a
+    // deep queue (max_immutable_memtables > 1) under sustained writes, L0
+    // then grows past the slowdown trigger and every write pays the ladder's
+    // 1 ms sleep, erasing the pipeline's benefit. Once L0 reaches the
+    // slowdown trigger, relieving it is the more urgent work: the queue
+    // absorbs incoming memtables meanwhile, and if it fills, the writers'
+    // own queue-full rung flushes inline (a flush is safe alongside an
+    // in-flight merge), so progress never depends on this thread.
+    const bool l0_pressure =
+        versions_->NeedsCompaction() &&
+        versions_->NumLevelFiles(0) >= options_.l0_slowdown_writes_trigger;
+    if (!imm_queue_.empty() && !flush_in_progress_ && !l0_pressure) {
       did_work = true;
       s = CompactMemTable();
     } else if (versions_->NeedsCompaction()) {
@@ -816,31 +857,42 @@ void DBImpl::ReleaseCompactionToken() {
 
 Status DBImpl::CompactMemTable() {
   mutex_.AssertHeld();
-  assert(imm_ != nullptr);
+  assert(!imm_queue_.empty());
   assert(!flush_in_progress_);
   flush_in_progress_ = true;
   Statistics* const stats = options_.statistics;
   const bool observe = stats != nullptr || !options_.listeners.empty();
   const uint64_t start_micros = observe ? env_->NowMicros() : 0;
   if (!options_.listeners.empty()) {
-    // flush_in_progress_ guards re-entry and pins this job's claim on imm_,
-    // so the mutex may be released to keep the no-lock-in-callback rule.
+    // flush_in_progress_ guards re-entry and pins this job's claim on the
+    // queue front, so the mutex may be released to keep the
+    // no-lock-in-callback rule.
     FlushJobInfo info;
     info.db_name = dbname_;
     mutex_.Unlock();
     NotifyListeners([&](EventListener* l) { l->OnFlushBegin(info); });
     mutex_.Lock();
   }
+  // Only the FRONT (oldest) entry is flushed, so L0 files keep recency
+  // order. Writers may push NEW entries while the mutex is released inside
+  // WriteLevel0Table; only this thread pops.
+  MemTable* const imm = imm_queue_.front().mem;
   VersionEdit edit;
   FileMetaData meta;
-  Status s = WriteLevel0Table(imm_, &edit, &meta);
+  Status s = WriteLevel0Table(imm, &edit, &meta);
   if (s.ok()) {
-    edit.SetLogNumber(logfile_number_);  // Earlier logs no longer needed
+    // Advance the MANIFEST's log number only past fully-flushed logs: the
+    // oldest WAL still holding unflushed data is the next queued
+    // memtable's (or the live memtable's once the queue empties). A crash
+    // must be able to replay every memtable still in the queue.
+    const uint64_t earliest_unflushed_log =
+        imm_queue_.size() > 1 ? imm_queue_[1].log_number : logfile_number_;
+    edit.SetLogNumber(earliest_unflushed_log);
     s = versions_->LogAndApply(&edit);
   }
   if (s.ok()) {
-    imm_->Unref();
-    imm_ = nullptr;
+    imm->Unref();
+    imm_queue_.pop_front();
     RemoveObsoleteFiles();
   }
   const uint64_t flush_micros = observe ? env_->NowMicros() - start_micros : 0;
@@ -883,7 +935,7 @@ Status DBImpl::WaitForBackgroundWork() {
   }
   MaybeScheduleCompaction();  // In case pending work was never scheduled.
   while (bg_error_.ok() &&
-         (imm_ != nullptr || background_compaction_scheduled_ ||
+         (!imm_queue_.empty() || background_compaction_scheduled_ ||
           compaction_token_held_ || flush_in_progress_)) {
     background_work_finished_signal_.Wait();
   }
@@ -908,10 +960,10 @@ Status DBImpl::Resume() {
 
   Status s;
   AcquireCompactionToken();
-  // Flush the pending immutable memtable first (the failed flush left it
-  // behind) so the WAL rotation below keeps the invariant that mem_'s
+  // Flush the pending immutable memtables first (the failed flush left
+  // them behind) so the WAL rotation below keeps the invariant that mem_'s
   // entries live in the current log.
-  if (imm_ != nullptr && !flush_in_progress_) {
+  while (s.ok() && !imm_queue_.empty()) {
     s = CompactMemTable();
   }
   if (s.ok()) {
@@ -925,11 +977,12 @@ Status DBImpl::Resume() {
     if (!s.ok()) {
       versions_->ReuseFileNumber(new_log_number);
     } else {
+      const uint64_t old_log_number = logfile_number_;
       logfile_ = std::move(lfile);
       logfile_number_ = new_log_number;
       log_ = std::make_unique<log::Writer>(logfile_.get());
       if (mem_->NumEntries() > 0) {
-        imm_ = mem_;
+        imm_queue_.push_back(ImmEntry{mem_, old_log_number});
         mem_ = new MemTable(internal_comparator_,
                             options_.secondary_attributes,
                             options_.attribute_extractor);
@@ -954,6 +1007,257 @@ Status DBImpl::Resume() {
   MaybeScheduleCompaction();
   background_work_finished_signal_.SignalAll();
   return Status::OK();
+}
+
+namespace {
+
+// Forward iterator over a sorted in-memory vector of (internal key, value)
+// pairs; feeds BuildTable with one ingest chunk.
+class VectorIterator : public Iterator {
+ public:
+  explicit VectorIterator(
+      const std::vector<std::pair<std::string, std::string>>* entries)
+      : entries_(entries) {}
+  bool Valid() const override { return pos_ < entries_->size(); }
+  void SeekToFirst() override { pos_ = 0; }
+  void Seek(const Slice& target) override {
+    pos_ = 0;
+    while (Valid() && Slice((*entries_)[pos_].first).compare(target) < 0) {
+      pos_++;
+    }
+  }
+  void Next() override { pos_++; }
+  Slice key() const override { return (*entries_)[pos_].first; }
+  Slice value() const override { return (*entries_)[pos_].second; }
+  Status status() const override { return Status::OK(); }
+
+ private:
+  const std::vector<std::pair<std::string, std::string>>* entries_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status DBImpl::IngestExternalFiles(const IngestFeed& feed,
+                                   IngestStats* stats_out) {
+  if (!feed) {
+    return Status::InvalidArgument("IngestExternalFiles: null feed");
+  }
+
+  // Claim the ingest slot: a second concurrent ingest would interleave its
+  // sequence allocation with ours.
+  {
+    MutexLock l(&mutex_);
+    if (!bg_error_.ok()) return bg_error_;
+    if (ingest_in_progress_) {
+      return Status::InvalidArgument(
+          "IngestExternalFiles: another ingest is in progress");
+    }
+    ingest_in_progress_ = true;
+  }
+
+  // Flush all in-memory data first. The records below receive sequence
+  // numbers newer than every existing write, but memtables are searched
+  // BEFORE disk — an older in-memory version of an ingested key would
+  // shadow it. With empty memtables, recency is fully encoded in the tree
+  // (L0 file numbers / level depth), which the placement rule respects.
+  Status s;
+  bool need_flush;
+  {
+    MutexLock l(&mutex_);
+    need_flush = mem_->NumEntries() > 0;
+  }
+  if (need_flush) {
+    s = Write(WriteOptions(), nullptr);  // Rotate via the writer queue
+  }
+  if (s.ok()) {
+    s = WaitForBackgroundWork();  // Drains the imm queue in background mode
+  }
+
+  const Comparator* ucmp = internal_comparator_.user_comparator();
+  IngestStats local;
+  std::vector<FileMetaData> files;
+  std::string prev_key;
+  bool have_prev = false;
+  bool more = true;
+  uint64_t fed_keys = 0;
+
+  // One chunk = one SSTable. Records are read and sequence-stamped
+  // serially in feed order; only the CPU-heavy table builds (compression,
+  // checksums, filters, zone maps) fan out, one wave of up to
+  // ingest_parallelism chunks at a time. Chunks of a strictly-increasing
+  // feed are fully independent until the splice, so build order cannot
+  // change the resulting tables.
+  struct IngestChunk {
+    std::vector<std::pair<std::string, std::string>> entries;  // ikey, value
+    FileMetaData meta;
+    Status status;
+  };
+  const int parallelism = options_.ingest_parallelism;
+
+  while (s.ok() && more) {
+    // ---- Serially read one wave of chunks, allocating each chunk's
+    // sequence window and file number in feed order. Sequence numbers must
+    // be globally fresh so ingested records win any future comparison
+    // against older versions; the no-concurrent-writers requirement keeps
+    // each window private.
+    std::vector<IngestChunk> wave;
+    wave.reserve(parallelism);
+    while (s.ok() && more && static_cast<int>(wave.size()) < parallelism) {
+      std::vector<std::pair<std::string, std::string>> records;
+      size_t chunk_bytes = 0;
+      std::string key, value;
+      while (chunk_bytes < options_.max_file_size) {
+        key.clear();
+        value.clear();
+        if (!feed(&key, &value)) {
+          more = false;
+          break;
+        }
+        if (have_prev && ucmp->Compare(Slice(key), Slice(prev_key)) <= 0) {
+          s = Status::InvalidArgument(
+              "IngestExternalFiles: keys must be strictly increasing");
+          break;
+        }
+        prev_key = key;
+        have_prev = true;
+        chunk_bytes += key.size() + value.size();
+        records.emplace_back(std::move(key), std::move(value));
+      }
+      if (!s.ok() || records.empty()) break;
+      fed_keys += records.size();
+
+      SequenceNumber first;
+      uint64_t file_number;
+      {
+        MutexLock l(&mutex_);
+        if (!bg_error_.ok()) {
+          s = bg_error_;
+          break;
+        }
+        first = versions_->LastSequence() + 1;
+        versions_->SetLastSequence(first + records.size() - 1);
+        file_number = versions_->NewFileNumber();
+        pending_outputs_.insert(file_number);
+      }
+      if (local.keys == 0) local.first_seq = first;
+      local.last_seq = first + records.size() - 1;
+      local.keys += records.size();
+
+      IngestChunk chunk;
+      chunk.meta.number = file_number;
+      chunk.entries.reserve(records.size());
+      for (size_t i = 0; i < records.size(); i++) {
+        std::string ikey;
+        AppendInternalKey(&ikey,
+                          ParsedInternalKey(Slice(records[i].first),
+                                            first + i, kTypeValue));
+        chunk.entries.emplace_back(std::move(ikey),
+                                   std::move(records[i].second));
+      }
+      wave.push_back(std::move(chunk));
+    }
+    if (!s.ok()) {
+      // Mid-wave read failure: drop the allocated-but-unbuilt chunks
+      // (nothing reached disk; the burned sequence windows are harmless).
+      MutexLock l(&mutex_);
+      for (const IngestChunk& chunk : wave) {
+        pending_outputs_.erase(chunk.meta.number);
+      }
+      break;
+    }
+    if (wave.empty()) break;
+
+    // ---- Build the wave's SSTables concurrently through the regular
+    // builder (zone maps, embedded secondary filters, sync and verify
+    // included). The mutex is not held: the files are invisible until the
+    // splice, and pending_outputs_ protects them from RemoveObsoleteFiles.
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(wave.size());
+    for (IngestChunk& chunk : wave) {
+      tasks.push_back([this, &chunk]() {
+        VectorIterator iter(&chunk.entries);
+        chunk.status =
+            BuildTable(dbname_, env_, options_, internal_comparator_,
+                       table_cache_.get(), &iter, &chunk.meta);
+      });
+    }
+    ParallelRun(&tasks, parallelism, options_.statistics);
+
+    // ---- Collect in feed order; the first failure fails the ingest.
+    {
+      MutexLock l(&mutex_);
+      for (const IngestChunk& chunk : wave) {
+        pending_outputs_.erase(chunk.meta.number);
+      }
+    }
+    for (IngestChunk& chunk : wave) {
+      if (!chunk.status.ok()) {
+        if (s.ok()) s = chunk.status;
+      } else if (chunk.meta.file_size > 0) {
+        local.files++;
+        local.bytes += chunk.meta.file_size;
+        files.push_back(chunk.meta);
+      }
+    }
+  }
+
+  // ---- Splice every built file in ONE VersionEdit: the ingest becomes
+  // visible (and durable — LogAndApply syncs the MANIFEST, which also
+  // records the advanced last-sequence) atomically.
+  if (s.ok() && !files.empty()) {
+    MutexLock l(&mutex_);
+    if (!bg_error_.ok()) {
+      s = bg_error_;
+    } else {
+      VersionEdit edit;
+      Version* base = versions_->current();
+      for (const FileMetaData& f : files) {
+        // Deepest level whose files (and those of every shallower level)
+        // are disjoint from this file's range: Get walks newest-to-oldest
+        // residences, so correctness only requires that no OLDER version
+        // of an ingested key lives deeper than the splice point — and any
+        // such version lies inside some overlapping file's range. With
+        // overlap anywhere, fall back to L0, where the fresh file number
+        // makes the file the newest residence.
+        const Slice smallest = f.smallest.user_key();
+        const Slice largest = f.largest.user_key();
+        int target = 0;
+        if (!base->OverlapInLevel(0, &smallest, &largest)) {
+          for (int level = 1; level < options_.num_levels &&
+                              !base->OverlapInLevel(level, &smallest, &largest);
+               level++) {
+            target = level;
+          }
+        }
+        edit.AddFile(target, f);
+      }
+      s = versions_->LogAndApply(&edit);
+    }
+  }
+
+  {
+    MutexLock l(&mutex_);
+    if (!s.ok()) {
+      // Remove the orphaned builds; the burned sequence window is harmless.
+      for (const FileMetaData& f : files) {
+        table_cache_->Evict(f.number);
+        env_->RemoveFile(TableFileName(dbname_, f.number));
+      }
+    }
+    ingest_in_progress_ = false;
+  }
+
+  if (s.ok()) {
+    if (options_.statistics != nullptr && local.files > 0) {
+      options_.statistics->Record(kIngestFiles, local.files);
+      options_.statistics->Record(kIngestBytes, local.bytes);
+      options_.statistics->Record(kIngestKeys, local.keys);
+    }
+    if (stats_out != nullptr) *stats_out = local;
+  }
+  (void)fed_keys;
+  return s;
 }
 
 Status DBImpl::BackgroundCompaction() {
@@ -1083,6 +1387,8 @@ Status DBImpl::DoCompactionWork(Compaction* c) {
       meta.smallest.DecodeFrom(internal_key);
     }
     meta.largest.DecodeFrom(internal_key);
+    const SequenceNumber seq = ExtractSequence(internal_key);
+    if (seq > meta.max_seq) meta.max_seq = seq;
     builder->Add(internal_key, value);
     if (builder->FileSize() >= c->MaxOutputFileSize()) {
       s = finish_output();
@@ -1293,14 +1599,16 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
 Status DBImpl::GetWithMeta(const ReadOptions& options, const Slice& key,
                            std::string* value, RecordLocation* loc) {
   MemTable* mem;
-  MemTable* imm;
+  std::vector<MemTable*> imms;  // Newest first
   Version* current;
   {
     MutexLock l(&mutex_);
     mem = mem_;
     mem->Ref();
-    imm = imm_;
-    if (imm != nullptr) imm->Ref();
+    for (auto it = imm_queue_.rbegin(); it != imm_queue_.rend(); ++it) {
+      it->mem->Ref();
+      imms.push_back(it->mem);
+    }
     current = versions_->current();
     current->Ref();
   }
@@ -1319,13 +1627,15 @@ Status DBImpl::GetWithMeta(const ReadOptions& options, const Slice& key,
     if (!deleted) value->swap(mem_value);
     found = true;
   }
-  if (!found && imm != nullptr &&
-      imm->GetNewest(key, &mem_value, &seq, &deleted)) {
-    loc->seq = seq;
-    loc->level = -2;
-    s = deleted ? Status::NotFound(Slice()) : Status::OK();
-    if (!deleted) value->swap(mem_value);
-    found = true;
+  for (MemTable* imm : imms) {
+    if (found) break;
+    if (imm->GetNewest(key, &mem_value, &seq, &deleted)) {
+      loc->seq = seq;
+      loc->level = -2;
+      s = deleted ? Status::NotFound(Slice()) : Status::OK();
+      if (!deleted) value->swap(mem_value);
+      found = true;
+    }
   }
   if (!found) {
     int level = -1;
@@ -1341,7 +1651,7 @@ Status DBImpl::GetWithMeta(const ReadOptions& options, const Slice& key,
     current->Unref();
   }
   mem->Unref();
-  if (imm != nullptr) imm->Unref();
+  for (MemTable* imm : imms) imm->Unref();
   return s;
 }
 
@@ -1413,14 +1723,16 @@ Status DBImpl::MultiGetWithMeta(const ReadOptions& options,
   }
 
   MemTable* mem;
-  MemTable* imm;
+  std::vector<MemTable*> imms;  // Newest first
   Version* current;
   {
     MutexLock l(&mutex_);
     mem = mem_;
     mem->Ref();
-    imm = imm_;
-    if (imm != nullptr) imm->Ref();
+    for (auto it = imm_queue_.rbegin(); it != imm_queue_.rend(); ++it) {
+      it->mem->Ref();
+      imms.push_back(it->mem);
+    }
     current = versions_->current();
     current->Ref();
   }
@@ -1428,22 +1740,28 @@ Status DBImpl::MultiGetWithMeta(const ReadOptions& options,
   const Comparator* ucmp = internal_comparator_.user_comparator();
 
   // Phase 1 (sequential — memtable probes are pure in-memory work): keys
-  // answered by the live or immutable memtable never touch disk.
+  // answered by the live or immutable memtables never touch disk.
   std::vector<char> resolved(n, 0);
   for (size_t i = 0; i < n; i++) {
     std::string mem_value;
     SequenceNumber seq;
     bool deleted;
+    bool hit = false;
     if (mem->GetNewest(keys[i], &mem_value, &seq, &deleted)) {
       (*locs)[i].seq = seq;
       (*locs)[i].level = -1;
-    } else if (imm != nullptr &&
-               imm->GetNewest(keys[i], &mem_value, &seq, &deleted)) {
-      (*locs)[i].seq = seq;
-      (*locs)[i].level = -2;
+      hit = true;
     } else {
-      continue;
+      for (MemTable* imm : imms) {
+        if (imm->GetNewest(keys[i], &mem_value, &seq, &deleted)) {
+          (*locs)[i].seq = seq;
+          (*locs)[i].level = -2;
+          hit = true;
+          break;
+        }
+      }
     }
+    if (!hit) continue;
     (*statuses)[i] = deleted ? Status::NotFound(Slice()) : Status::OK();
     if (!deleted) (*values)[i].swap(mem_value);
     resolved[i] = 1;
@@ -1642,7 +1960,7 @@ Status DBImpl::MultiGetWithMeta(const ReadOptions& options,
     current->Unref();
   }
   mem->Unref();
-  if (imm != nullptr) imm->Unref();
+  for (MemTable* imm : imms) imm->Unref();
 
   // Keys never found anywhere keep their initial NotFound status. The
   // aggregate result is the first (in caller order) non-NotFound error.
@@ -1660,14 +1978,16 @@ bool DBImpl::IsNewestVersion(const Slice& key, SequenceNumber seq,
   if (stats != nullptr) stats->Record(kGetLiteCalls);
 
   MemTable* mem;
-  MemTable* imm;
+  std::vector<MemTable*> imms;  // Newest first
   Version* current;
   {
     MutexLock l(&mutex_);
     mem = mem_;
     mem->Ref();
-    imm = imm_;
-    if (imm != nullptr) imm->Ref();
+    for (auto it = imm_queue_.rbegin(); it != imm_queue_.rend(); ++it) {
+      it->mem->Ref();
+      imms.push_back(it->mem);
+    }
     current = versions_->current();
     current->Ref();
   }
@@ -1682,10 +2002,12 @@ bool DBImpl::IsNewestVersion(const Slice& key, SequenceNumber seq,
     result = found_seq <= seq;
     resolved = true;
   }
-  if (!resolved && imm != nullptr &&
-      imm->GetNewest(key, &unused, &found_seq, &deleted)) {
-    result = found_seq <= seq;
-    resolved = true;
+  for (MemTable* imm : imms) {
+    if (resolved) break;
+    if (imm->GetNewest(key, &unused, &found_seq, &deleted)) {
+      result = found_seq <= seq;
+      resolved = true;
+    }
   }
   if (!resolved && record_level < 0) {
     // The record lives in a memtable; nothing on disk can be newer.
@@ -1772,7 +2094,7 @@ bool DBImpl::IsNewestVersion(const Slice& key, SequenceNumber seq,
     current->Unref();
   }
   mem->Unref();
-  if (imm != nullptr) imm->Unref();
+  for (MemTable* imm : imms) imm->Unref();
   return result;
 }
 
@@ -1780,14 +2102,16 @@ Status DBImpl::GetFragments(
     const ReadOptions& options, const Slice& key,
     const std::function<bool(int, SequenceNumber, bool, const Slice&)>& fn) {
   MemTable* mem;
-  MemTable* imm;
   Version* current;
+  std::vector<MemTable*> imms;  // Newest first
   {
     MutexLock l(&mutex_);
     mem = mem_;
     mem->Ref();
-    imm = imm_;
-    if (imm != nullptr) imm->Ref();
+    for (auto it = imm_queue_.rbegin(); it != imm_queue_.rend(); ++it) {
+      it->mem->Ref();
+      imms.push_back(it->mem);
+    }
     current = versions_->current();
     current->Ref();
   }
@@ -1802,11 +2126,14 @@ Status DBImpl::GetFragments(
     if (!fn(rank, seq, deleted, Slice(value))) stopped = true;
   }
   rank++;
-  if (!stopped && imm != nullptr &&
-      imm->GetNewest(key, &value, &seq, &deleted)) {
-    if (!fn(rank, seq, deleted, Slice(value))) stopped = true;
+  for (MemTable* imm : imms) {
+    if (stopped) break;
+    if (imm->GetNewest(key, &value, &seq, &deleted)) {
+      if (!fn(rank, seq, deleted, Slice(value))) stopped = true;
+    }
+    rank++;
   }
-  rank++;
+  if (imms.empty()) rank++;  // Keep disk ranks stable when no imm exists
 
   if (!stopped) {
     s = current->GetFragments(
@@ -1821,7 +2148,7 @@ Status DBImpl::GetFragments(
     current->Unref();
   }
   mem->Unref();
-  if (imm != nullptr) imm->Unref();
+  for (MemTable* imm : imms) imm->Unref();
   return s;
 }
 
@@ -1836,10 +2163,10 @@ Iterator* DBImpl::NewInternalIterator(
   mem_->Ref();
   MemTable* mem = mem_;
   cleanups->push_back([mem]() { mem->Unref(); });
-  if (imm_ != nullptr) {
-    list.push_back(imm_->NewIterator());
-    imm_->Ref();
-    MemTable* imm = imm_;
+  for (auto it = imm_queue_.rbegin(); it != imm_queue_.rend(); ++it) {
+    list.push_back(it->mem->NewIterator());
+    it->mem->Ref();
+    MemTable* imm = it->mem;
     cleanups->push_back([imm]() { imm->Unref(); });
   }
   Version* current = versions_->current();
@@ -1881,10 +2208,10 @@ Status DBImpl::NewLevelIterators(const ReadOptions& options,
   mem_->Ref();
   MemTable* mem = mem_;
   out->cleanups_.push_back([mem]() { mem->Unref(); });
-  if (imm_ != nullptr) {
-    out->iters.push_back(imm_->NewIterator());
-    imm_->Ref();
-    MemTable* imm = imm_;
+  for (auto it = imm_queue_.rbegin(); it != imm_queue_.rend(); ++it) {
+    out->iters.push_back(it->mem->NewIterator());
+    it->mem->Ref();
+    MemTable* imm = it->mem;
     out->cleanups_.push_back([imm]() { imm->Unref(); });
   }
   out->first_disk = out->iters.size();
@@ -1912,11 +2239,54 @@ Status DBImpl::NewLevelIterators(const ReadOptions& options,
   return Status::OK();
 }
 
+namespace {
+
+// The recency buckets of one Version's disk data: each L0 file on its own
+// (newest file number first), then every non-empty deeper level as one
+// bucket. `remaining_max[i]` bounds the sequence numbers in buckets i+1..n
+// (0 after the last bucket), so a scan that has bucket i behind it knows
+// the newest record the rest of the tree could still produce.
+struct RecencyBuckets {
+  std::vector<std::vector<std::pair<FileMetaData*, int>>> buckets;
+  std::vector<SequenceNumber> remaining_max;
+};
+
+RecencyBuckets MakeRecencyBuckets(Version* current) {
+  RecencyBuckets out;
+  std::vector<FileMetaData*> l0 = current->files(0);
+  std::sort(l0.begin(), l0.end(), [](FileMetaData* a, FileMetaData* b) {
+    return a->number > b->number;
+  });
+  for (FileMetaData* f : l0) {
+    out.buckets.push_back({{f, 0}});
+  }
+  for (int level = 1; level < current->NumLevels(); level++) {
+    if (current->NumFiles(level) == 0) continue;
+    std::vector<std::pair<FileMetaData*, int>> files;
+    files.reserve(current->files(level).size());
+    for (FileMetaData* f : current->files(level)) {
+      files.emplace_back(f, level);
+    }
+    out.buckets.push_back(std::move(files));
+  }
+  out.remaining_max.assign(out.buckets.size(), 0);
+  SequenceNumber suffix = 0;
+  for (size_t i = out.buckets.size(); i-- > 0;) {
+    out.remaining_max[i] = suffix;
+    for (const auto& fl : out.buckets[i]) {
+      suffix = std::max(suffix, fl.first->max_seq);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 Status DBImpl::EmbeddedScan(
     const ReadOptions&, const std::string& attr, const Slice& lo,
     const Slice& hi,
     const std::function<void(Table*, size_t, int, uint64_t)>& block_visitor,
-    const std::function<bool()>& level_boundary) {
+    const std::function<bool(SequenceNumber)>& level_boundary) {
   Version* current;
   {
     MutexLock l(&mutex_);
@@ -1925,7 +2295,6 @@ Status DBImpl::EmbeddedScan(
   }
   const bool point = (lo == hi);
   Status s;
-  bool stopped = false;
 
   auto scan_file = [&](FileMetaData* f, int level) {
     // File-level zone map (persisted in the MANIFEST metadata) prunes the
@@ -1957,26 +2326,12 @@ Status DBImpl::EmbeddedScan(
     if (!ws.ok() && s.ok()) s = ws;
   };
 
-  // Each L0 file is its own recency bucket (newest first).
-  std::vector<FileMetaData*> l0 = current->files(0);
-  std::sort(l0.begin(), l0.end(), [](FileMetaData* a, FileMetaData* b) {
-    return a->number > b->number;
-  });
-  for (FileMetaData* f : l0) {
-    scan_file(f, 0);
-    if (!level_boundary()) {
-      stopped = true;
-      break;
+  const RecencyBuckets rb = MakeRecencyBuckets(current);
+  for (size_t i = 0; i < rb.buckets.size(); i++) {
+    for (const auto& fl : rb.buckets[i]) {
+      scan_file(fl.first, fl.second);
     }
-  }
-  if (!stopped) {
-    for (int level = 1; level < current->NumLevels(); level++) {
-      if (current->NumFiles(level) == 0) continue;
-      for (FileMetaData* f : current->files(level)) {
-        scan_file(f, level);
-      }
-      if (!level_boundary()) break;
-    }
+    if (!level_boundary(rb.remaining_max[i])) break;
   }
 
   {
@@ -1991,7 +2346,7 @@ Status DBImpl::EmbeddedScanBuckets(
     const Slice& hi,
     const std::function<void(const std::vector<BlockCandidate>&)>&
         bucket_visitor,
-    const std::function<bool()>& level_boundary) {
+    const std::function<bool(SequenceNumber)>& level_boundary) {
   Version* current;
   {
     MutexLock l(&mutex_);
@@ -2023,7 +2378,8 @@ Status DBImpl::EmbeddedScanBuckets(
   };
 
   auto run_bucket =
-      [&](const std::vector<std::pair<FileMetaData*, int>>& files) -> bool {
+      [&](const std::vector<std::pair<FileMetaData*, int>>& files,
+          SequenceNumber remaining_max) -> bool {
     std::vector<PinnedFile> pins;
     pins.reserve(files.size());
     for (const auto& fl : files) {
@@ -2075,32 +2431,14 @@ Status DBImpl::EmbeddedScanBuckets(
     for (const PinnedFile& pf : pins) {
       if (pf.handle != nullptr) table_cache_->Unpin(pf.handle);
     }
-    return level_boundary();
+    return level_boundary(remaining_max);
   };
 
   // Each L0 file is its own recency bucket (newest first); every deeper
   // level is one bucket whose files can be probed concurrently.
-  bool stopped = false;
-  std::vector<FileMetaData*> l0 = current->files(0);
-  std::sort(l0.begin(), l0.end(), [](FileMetaData* a, FileMetaData* b) {
-    return a->number > b->number;
-  });
-  for (FileMetaData* f : l0) {
-    if (!run_bucket({{f, 0}})) {
-      stopped = true;
-      break;
-    }
-  }
-  if (!stopped) {
-    for (int level = 1; level < current->NumLevels(); level++) {
-      if (current->NumFiles(level) == 0) continue;
-      std::vector<std::pair<FileMetaData*, int>> files;
-      files.reserve(current->files(level).size());
-      for (FileMetaData* f : current->files(level)) {
-        files.emplace_back(f, level);
-      }
-      if (!run_bucket(files)) break;
-    }
+  const RecencyBuckets rb = MakeRecencyBuckets(current);
+  for (size_t i = 0; i < rb.buckets.size(); i++) {
+    if (!run_bucket(rb.buckets[i], rb.remaining_max[i])) break;
   }
 
   {
@@ -2148,20 +2486,22 @@ void DBImpl::MemTableSecondaryLookup(const std::string& attr, const Slice& lo,
                                      const Slice& hi,
                                      const MemTable::SecondaryMatchFn& fn) {
   MemTable* mem;
-  MemTable* imm;
+  std::vector<MemTable*> imms;  // Newest first
   {
     MutexLock l(&mutex_);
     mem = mem_;
     mem->Ref();
-    imm = imm_;
-    if (imm != nullptr) imm->Ref();
+    for (auto it = imm_queue_.rbegin(); it != imm_queue_.rend(); ++it) {
+      it->mem->Ref();
+      imms.push_back(it->mem);
+    }
   }
   mem->SecondaryLookup(attr, lo, hi, fn);
-  if (imm != nullptr) {
+  for (MemTable* imm : imms) {
     imm->SecondaryLookup(attr, lo, hi, fn);
   }
   mem->Unref();
-  if (imm != nullptr) imm->Unref();
+  for (MemTable* imm : imms) imm->Unref();
 }
 
 Status DBImpl::CompactAll() {
@@ -2204,10 +2544,10 @@ void DBImpl::CompactRange(const Slice* begin, const Slice* end) {
     background_work_finished_signal_.Wait();
   }
   Status s;
-  if (imm_ != nullptr) {
-    // Background mode: an unflushed immutable memtable would be invisible
-    // to the range merge; flush it first (sync mode never gets here with
-    // one pending).
+  while (s.ok() && !imm_queue_.empty()) {
+    // Background mode: unflushed immutable memtables would be invisible
+    // to the range merge; drain them first (sync mode never gets here with
+    // any pending).
     s = CompactMemTable();
   }
 
@@ -2241,8 +2581,7 @@ void DBImpl::CompactRange(const Slice* begin, const Slice* end) {
 
 uint64_t DBImpl::TotalSizeBytes() {
   MutexLock l(&mutex_);
-  uint64_t total = mem_->ApproximateMemoryUsage();
-  if (imm_ != nullptr) total += imm_->ApproximateMemoryUsage();
+  uint64_t total = mem_->ApproximateMemoryUsage() + QueuedImmBytes();
   for (int level = 0; level < options_.num_levels; level++) {
     total += static_cast<uint64_t>(versions_->NumLevelBytes(level));
   }
@@ -2274,16 +2613,14 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
     current->Unref();
     return true;
   } else if (in == Slice("total-bytes")) {
-    uint64_t total = mem_->ApproximateMemoryUsage();
-    if (imm_ != nullptr) total += imm_->ApproximateMemoryUsage();
+    uint64_t total = mem_->ApproximateMemoryUsage() + QueuedImmBytes();
     for (int level = 0; level < options_.num_levels; level++) {
       total += static_cast<uint64_t>(versions_->NumLevelBytes(level));
     }
     *value = std::to_string(total);
     return true;
   } else if (in == Slice("approximate-memory-usage")) {
-    uint64_t total = mem_->ApproximateMemoryUsage();
-    if (imm_ != nullptr) total += imm_->ApproximateMemoryUsage();
+    uint64_t total = mem_->ApproximateMemoryUsage() + QueuedImmBytes();
     *value = std::to_string(total);
     return true;
   } else if (in == Slice("levels")) {

@@ -85,6 +85,12 @@ class DBImpl : public DB {
   /// one may end in a torn append — and restarting pending flush/compaction
   /// work). Permanent errors (corruption) are returned unchanged.
   Status Resume() override;
+  /// Bulk load: build SSTables from `feed` and splice them into the version
+  /// at the deepest non-overlapping level (contract in db.h). Any memtable
+  /// contents are flushed first so the fresh sequence numbers cannot be
+  /// shadowed by older in-memory records.
+  Status IngestExternalFiles(const IngestFeed& feed,
+                             IngestStats* stats) override;
 
   // ---- Extended surface for the secondary-index layer ----
 
@@ -152,8 +158,12 @@ class DBImpl : public DB {
   /// Embedded-index scan over disk data, level by level: invokes
   /// `block_visitor` for every (table, block ordinal) whose secondary
   /// filters/zone maps may contain attr in [lo, hi]; `level_boundary` is
-  /// called after finishing each recency bucket (L0 file or level) and may
-  /// return false to stop the scan (top-K satisfied).
+  /// called after finishing each recency bucket (L0 file or level) with the
+  /// largest FileMetaData::max_seq among the files not yet scanned (0 when
+  /// none remain) and may return false to stop the scan (top-K satisfied
+  /// and no unscanned file can hold a newer match — the bound makes the
+  /// early exit sound even when ingested or compacted files break the
+  /// newest-level-first ordering).
   /// Matches in the (immutable) memtables must be handled separately via
   /// MemTableSecondaryLookup.
   Status EmbeddedScan(
@@ -161,7 +171,8 @@ class DBImpl : public DB {
       const Slice& hi,
       const std::function<void(Table*, size_t /*block*/, int /*level*/,
                                uint64_t /*file*/)>& block_visitor,
-      const std::function<bool()>& level_boundary);
+      const std::function<bool(SequenceNumber /*remaining_max_seq*/)>&
+          level_boundary);
 
   /// One candidate data block surfaced by the embedded per-block filters.
   struct BlockCandidate {
@@ -177,14 +188,15 @@ class DBImpl : public DB {
   /// concurrently when Options::read_parallelism > 1 — and hands the
   /// bucket's candidates to `bucket_visitor` in (file, block) order with
   /// all tables pinned. `level_boundary` runs after each bucket exactly as
-  /// in EmbeddedScan, keeping Algorithm 5's level-boundary termination as
-  /// the only early-exit point.
+  /// in EmbeddedScan (same remaining-max-seq bound), keeping Algorithm 5's
+  /// level-boundary termination as the only early-exit point.
   Status EmbeddedScanBuckets(
       const ReadOptions& options, const std::string& attr, const Slice& lo,
       const Slice& hi,
       const std::function<void(const std::vector<BlockCandidate>&)>&
           bucket_visitor,
-      const std::function<bool()>& level_boundary);
+      const std::function<bool(SequenceNumber /*remaining_max_seq*/)>&
+          level_boundary);
 
   /// Full scan of the newest visible version of every key, exposing each
   /// record's sequence number: fn(user_key, seq, value); return false to
@@ -243,6 +255,15 @@ class DBImpl : public DB {
   /// Blocks until mem_ has room (rotating / flushing / stalling as the mode
   /// dictates). `force` rotates even a non-full memtable.
   Status MakeRoomForWrite(bool force) EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+
+  /// Total bytes held by queued immutable memtables (the stall ladder's
+  /// backpressure signal with pipelined flushes).
+  uint64_t QueuedImmBytes() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+
+  /// Retire mem_ into the immutable queue and start a fresh memtable +
+  /// WAL. On success mem_ is empty and the queue gained one entry tagged
+  /// with the old WAL's number. Shared by MakeRoomForWrite and Resume.
+  Status RotateMemTable() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
   /// Collapse queued writers into one batch; see db_impl.cc.
   WriteBatch* BuildBatchGroup(Writer** last_writer, int* group_size)
@@ -312,7 +333,18 @@ class DBImpl : public DB {
   port::CondVar background_work_finished_signal_;
 
   MemTable* mem_;
-  MemTable* imm_ GUARDED_BY(mutex_);  // Memtable being flushed (or null)
+  // Immutable memtables awaiting flush, oldest at the front. Each entry
+  // remembers the WAL that holds its data so CompactMemTable can advance
+  // the MANIFEST's log number only past fully-flushed logs (a crash must
+  // be able to replay every queued memtable still in the queue). Depth is
+  // bounded by Options::max_immutable_memtables; the classic single-slot
+  // behavior is a queue of capacity 1. CompactMemTable drains the FRONT
+  // entry only, so L0 files keep recency order.
+  struct ImmEntry {
+    MemTable* mem;
+    uint64_t log_number;  // WAL that contains this memtable's data
+  };
+  std::deque<ImmEntry> imm_queue_ GUARDED_BY(mutex_);
   std::unique_ptr<WritableFile> logfile_;
   uint64_t logfile_number_ GUARDED_BY(mutex_);
   std::unique_ptr<log::Writer> log_;
@@ -334,6 +366,9 @@ class DBImpl : public DB {
   // serializes the MANIFEST updates); this flag just prevents two threads
   // from flushing the same imm_. See MakeRoomForWrite's inline-flush rung.
   bool flush_in_progress_ GUARDED_BY(mutex_) = false;
+  // Set while an IngestExternalFiles call is splicing files; a second
+  // concurrent ingest is rejected (sequence allocation would interleave).
+  bool ingest_in_progress_ GUARDED_BY(mutex_) = false;
 
   Status bg_error_ GUARDED_BY(mutex_);  // Sticky error from flush/compaction
   // Failed background attempts absorbed so far (Options::bg_error_retries).

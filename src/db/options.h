@@ -109,6 +109,29 @@ struct Options {
   /// modes via the group-commit writer queue.
   bool background_compaction = false;
 
+  /// Flush pipeline depth: how many immutable memtables may queue behind
+  /// the active one before writers stall. The default (1) reproduces the
+  /// classic single-slot behavior — a writer that fills the memtable while
+  /// a flush is in flight parks on the stall ladder. Values > 1 (clipped
+  /// to 8) let `MakeRoomForWrite` rotate and keep accepting writes while
+  /// earlier memtables drain oldest-first, smoothing the stall spikes of
+  /// Figs 8-9 under concurrent writers. Only useful together with
+  /// `background_compaction`; the synchronous mode flushes inline and
+  /// never accumulates a queue. Memory stays bounded: rotation caps the
+  /// queue at max_immutable_memtables memtables of ~write_buffer_size
+  /// each, so the total is roughly
+  /// (1 + max_immutable_memtables) * write_buffer_size.
+  int max_immutable_memtables = 1;
+
+  /// How many SSTables one IngestExternalFiles call may build
+  /// concurrently (on the same shared pool as read_parallelism; the
+  /// calling thread included). The feed is still consumed strictly in
+  /// order — only the CPU-heavy table builds (compression, checksums,
+  /// filters, zone maps) fan out, one wave of up to this many chunks at a
+  /// time. 1 builds strictly serially. Results are identical at any
+  /// value; only wall-clock changes. Clipped to [1, 16].
+  int ingest_parallelism = 4;
+
   /// Opt-in parallel read path. When > 1, MultiGet batches, the
   /// stand-alone indexes' candidate resolution, and the Embedded index's
   /// block scans fan out onto a shared fixed-size thread pool with up to

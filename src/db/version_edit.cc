@@ -94,6 +94,7 @@ void VersionEdit::EncodeTo(std::string* dst) const {
     PutVarint64(dst, f.file_size);
     PutLengthPrefixedSlice(dst, f.smallest.Encode());
     PutLengthPrefixedSlice(dst, f.largest.Encode());
+    PutVarint64(dst, f.max_seq);
     PutVarint32(dst, static_cast<uint32_t>(f.zone_ranges.size()));
     for (const ZoneRange& zr : f.zone_ranges) {
       PutZoneRange(dst, zr);
@@ -189,6 +190,7 @@ Status VersionEdit::DecodeFrom(const Slice& src) {
             GetVarint64(&input, &f.file_size) &&
             GetInternalKey(&input, &f.smallest) &&
             GetInternalKey(&input, &f.largest) &&
+            GetVarint64(&input, &f.max_seq) &&
             GetVarint32(&input, &num_zones)) {
           bool ok = true;
           f.zone_ranges.resize(num_zones);

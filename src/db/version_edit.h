@@ -27,6 +27,14 @@ struct FileMetaData {
   uint64_t file_size = 0;    // File size in bytes
   InternalKey smallest;      // Smallest internal key served by table
   InternalKey largest;       // Largest internal key served by table
+  // Newest sequence number stored in the table. The embedded scan's
+  // level-boundary termination (Algorithm 5) uses it as an exact recency
+  // bound: levels are USUALLY time-ordered, but compaction can push a
+  // record below a level still holding older records of other keys, and
+  // IngestExternalFiles splices brand-new records at the deepest
+  // non-overlapping level. Bounding by the real per-file maximum keeps the
+  // early exit sound in both cases.
+  SequenceNumber max_seq = 0;
   // File-level zone map, parallel to Options::secondary_attributes.
   std::vector<ZoneRange> zone_ranges;
 };

@@ -43,6 +43,13 @@ const char* TickerName(Ticker t) {
     case kRepairTablesDropped: return "repair.tables.dropped";
     case kIndexRebuildEntries: return "index.rebuild.entries";
     case kBgErrorAutorecovered: return "bg.error.autorecovered";
+    case kIngestFiles: return "ingest.files";
+    case kIngestBytes: return "ingest.bytes";
+    case kIngestKeys: return "ingest.keys";
+    case kIndexDeferredOps: return "index.deferred.ops";
+    case kIndexDeferredApplies: return "index.deferred.applies";
+    case kTimestampValidations: return "index.timestamp.validations";
+    case kTimestampRejects: return "index.timestamp.rejects";
     case kTickerCount: break;
   }
   return "unknown";
@@ -60,6 +67,7 @@ const char* HistogramName(HistogramType h) {
     case kHistFlushMicros: return "flush.micros";
     case kHistCompactionMicros: return "compaction.micros";
     case kHistWalSyncMicros: return "wal.sync.micros";
+    case kHistFlushQueueDepth: return "flush.queue.depth";
     case kHistogramCount: break;
   }
   return "unknown";

@@ -56,6 +56,13 @@ enum Ticker : uint32_t {
   kRepairTablesDropped,   // tables RepairDB archived as unreadable
   kIndexRebuildEntries,   // postings re-derived by RebuildIndex
   kBgErrorAutorecovered,  // background errors cleared by retry/Resume
+  kIngestFiles,           // SSTables spliced in by IngestExternalFiles
+  kIngestBytes,           // bytes of the above
+  kIngestKeys,            // records ingested (memtable+WAL bypassed)
+  kIndexDeferredOps,      // index ops buffered by kDeferredBatch maintenance
+  kIndexDeferredApplies,  // deferred-buffer drains that applied >= 1 op
+  kTimestampValidations,  // candidate checks done via IsNewestVersion only
+  kTimestampRejects,      // of those, candidates rejected without a fetch
   kTickerCount,
 };
 
@@ -76,6 +83,8 @@ enum HistogramType : uint32_t {
   kHistFlushMicros,            // memtable flush (CompactMemTable)
   kHistCompactionMicros,       // merging compaction (DoCompactionWork)
   kHistWalSyncMicros,          // fsync of the WAL inside Write
+  kHistFlushQueueDepth,        // imm-queue depth after each rotation (count,
+                               // not micros; depth > 1 only with pipelining)
   kHistogramCount,
 };
 

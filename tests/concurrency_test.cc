@@ -212,7 +212,7 @@ TEST_F(ConcurrencyTest, ReadersAndIndexQueriesDuringWrites) {
           [&](Table* t, size_t block, int, uint64_t) {
             if (t == nullptr || block > (1u << 20)) failures.fetch_add(1);
           },
-          []() { return true; });
+          [](SequenceNumber) { return true; });
       if (!s.ok()) failures.fetch_add(1);
     }
   });

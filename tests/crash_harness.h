@@ -30,6 +30,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -72,6 +73,11 @@ inline Op DeleteOp(std::string key) {
 /// Golden model of acknowledged state: key -> document.
 using Model = std::map<std::string, std::string>;
 
+/// Optional adjustment applied to MakeCrashOptions' result before every
+/// Open in a cycle (e.g. enabling the pipelined-flush configuration so
+/// crash points land with several immutable memtables in flight).
+using OptionsTweak = std::function<void(SecondaryDBOptions*)>;
+
 inline SecondaryDBOptions MakeCrashOptions(Env* env, IndexType type) {
   SecondaryDBOptions options;
   options.base.env = env;
@@ -111,12 +117,14 @@ inline size_t ApplyOps(SecondaryDB* db, const std::vector<Op>& ops,
 
 /// Probe run: apply the whole workload fault-free and return how many
 /// interceptable env operations it issues. Crash points sweep [0, T).
-inline uint64_t CountEnvOps(IndexType type, const std::vector<Op>& ops) {
+inline uint64_t CountEnvOps(IndexType type, const std::vector<Op>& ops,
+                            const OptionsTweak& tweak = {}) {
   std::unique_ptr<Env> base(NewMemEnv());
   FaultInjectionEnv env(base.get());
   std::unique_ptr<SecondaryDB> db;
-  EXPECT_TRUE(
-      SecondaryDB::Open(MakeCrashOptions(&env, type), "/crash", &db).ok());
+  SecondaryDBOptions options = MakeCrashOptions(&env, type);
+  if (tweak) tweak(&options);
+  EXPECT_TRUE(SecondaryDB::Open(options, "/crash", &db).ok());
   env.ResetOpCount();  // Exclude Open's own writes: faults arm post-Open.
   Model model;
   bool hit_error = false;
@@ -243,17 +251,18 @@ inline void VerifyRecovered(SecondaryDB* db, const std::vector<Op>& ops,
 /// One full write -> crash-at-op -> recover -> verify cycle.
 inline void RunCrashCycle(IndexType type, const std::vector<Op>& ops,
                           uint64_t crash_at, FaultInjectionEnv::CrashMode mode,
-                          uint32_t seed, const std::string& trace) {
+                          uint32_t seed, const std::string& trace,
+                          const OptionsTweak& tweak = {}) {
   SCOPED_TRACE(trace);
   std::unique_ptr<Env> base(NewMemEnv());
   FaultInjectionEnv env(base.get(), seed);
   Model model;
   const Op* in_flight = nullptr;
+  SecondaryDBOptions options = MakeCrashOptions(&env, type);
+  if (tweak) tweak(&options);
   {
     std::unique_ptr<SecondaryDB> db;
-    ASSERT_TRUE(
-        SecondaryDB::Open(MakeCrashOptions(&env, type), "/crash", &db).ok())
-        << trace;
+    ASSERT_TRUE(SecondaryDB::Open(options, "/crash", &db).ok()) << trace;
     env.ResetOpCount();
     env.FailAfter(crash_at, FaultInjectionEnv::kOpAllWrites);
 
@@ -274,8 +283,7 @@ inline void RunCrashCycle(IndexType type, const std::vector<Op>& ops,
   env.ClearFaults();
 
   std::unique_ptr<SecondaryDB> db;
-  ASSERT_TRUE(
-      SecondaryDB::Open(MakeCrashOptions(&env, type), "/crash", &db).ok())
+  ASSERT_TRUE(SecondaryDB::Open(options, "/crash", &db).ok())
       << trace << " reopen after crash failed";
   VerifyRecovered(db.get(), ops, model, in_flight, trace);
 }

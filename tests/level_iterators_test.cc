@@ -178,7 +178,7 @@ TEST_F(LevelIteratorsTest, EmbeddedScanVisitsL0FilesNewestFirst) {
                         prev_file = file;
                       }
                     },
-                    []() { return true; })
+                    [](SequenceNumber) { return true; })
                   .ok());
   ASSERT_GT(file_order.size(), 1u);
   for (size_t i = 1; i < file_order.size(); i++) {

@@ -104,7 +104,7 @@ TEST_F(ManifestZoneMapTest, FileLevelPruningNeedsNoTableOpen) {
                     ReadOptions(), "CreationTime", "000000009000",
                     "000000009999",
                     [&](Table*, size_t, int, uint64_t) { visited++; },
-                    []() { return true; })
+                    [](SequenceNumber) { return true; })
                   .ok());
   EXPECT_EQ(0, visited);
   EXPECT_EQ(reads_before, stats_.Get(kBlockRead));

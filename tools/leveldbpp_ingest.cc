@@ -1,0 +1,205 @@
+// leveldbpp_ingest: bulk-load a sorted key-value feed into a store as
+// SSTables, bypassing the memtable and the WAL (DB::IngestExternalFiles /
+// SecondaryDB::IngestWithIndexes).
+//
+// Input is read from a file (or stdin with `-`), one record per line:
+//
+//     <key><TAB><value>
+//
+// Keys must be strictly increasing; the value is taken verbatim to the end
+// of the line (for SecondaryDB stores it must be the JSON document format
+// the indexes extract attributes from). Two layouts are understood, exactly
+// as in leveldbpp_repair:
+//
+//   * A SecondaryDB store, with every index brought along:
+//
+//       leveldbpp_ingest --type=lazy --attrs=UserID,CreationTime <path> <feed>
+//
+//   * A bare engine directory:
+//
+//       leveldbpp_ingest <path> <feed>
+//
+// Exit status 0 iff the whole feed was ingested (the splice is atomic: on
+// any failure the store is left exactly as it was).
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/secondary_db.h"
+#include "db/db_impl.h"
+#include "env/env.h"
+#include "env/statistics.h"
+
+namespace {
+
+using namespace leveldbpp;
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: leveldbpp_ingest [--type=noindex|embedded|lazy|eager|"
+               "composite]\n"
+               "                        [--attrs=A,B,...] <path> <feed|->\n"
+               "  feed: lines of <key>\\t<value>, keys strictly increasing.\n"
+               "  --type / --attrs describe a SecondaryDB store; without\n"
+               "  them the path is opened as a bare engine directory.\n");
+}
+
+bool ParseIndexType(const std::string& name, IndexType* type) {
+  if (name == "noindex") *type = IndexType::kNoIndex;
+  else if (name == "embedded") *type = IndexType::kEmbedded;
+  else if (name == "lazy") *type = IndexType::kLazy;
+  else if (name == "eager") *type = IndexType::kEager;
+  else if (name == "composite") *type = IndexType::kComposite;
+  else return false;
+  return true;
+}
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t comma = s.find(',', start);
+    if (comma == std::string::npos) comma = s.size();
+    if (comma > start) out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+// Streams <key>\t<value> lines off a FILE*; the feed never holds more than
+// one record in memory, so arbitrarily large loads work. A malformed line
+// must not let the valid prefix slip through (the feed has no error
+// channel, and returning false reads as clean end-of-feed), so it re-emits
+// the previous key: the engine's strictly-increasing check then rejects the
+// whole batch atomically. A malformed FIRST line simply ends an empty feed
+// — a no-op ingest.
+class LineFeed {
+ public:
+  explicit LineFeed(std::FILE* f) : f_(f) {}
+  ~LineFeed() { std::free(buf_); }
+
+  bool Next(std::string* key, std::string* value) {
+    if (bad_) return false;
+    ssize_t n;
+    while ((n = getline(&buf_, &cap_, f_)) != -1) {
+      line_++;
+      if (n > 0 && buf_[n - 1] == '\n') n--;
+      if (n == 0) continue;  // Skip blank lines
+      const char* tab = static_cast<const char*>(memchr(buf_, '\t', n));
+      if (tab == nullptr) {
+        std::fprintf(stderr, "line %llu: no tab separator\n",
+                     static_cast<unsigned long long>(line_));
+        bad_ = true;
+        if (!have_last_) return false;  // No valid prefix to protect
+        *key = last_key_;  // Duplicate key => whole ingest rejected
+        value->clear();
+        return true;
+      }
+      key->assign(buf_, tab - buf_);
+      value->assign(tab + 1, n - (tab - buf_) - 1);
+      last_key_ = *key;
+      have_last_ = true;
+      return true;
+    }
+    return false;
+  }
+
+  bool bad() const { return bad_; }
+
+ private:
+  std::FILE* f_;
+  char* buf_ = nullptr;
+  size_t cap_ = 0;
+  uint64_t line_ = 0;
+  bool bad_ = false;
+  bool have_last_ = false;
+  std::string last_key_;
+};
+
+void PrintStats(const IngestStats& stats) {
+  std::printf("records ingested: %llu\n",
+              static_cast<unsigned long long>(stats.keys));
+  std::printf("sstables built:   %llu\n",
+              static_cast<unsigned long long>(stats.files));
+  std::printf("bytes written:    %llu\n",
+              static_cast<unsigned long long>(stats.bytes));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path, feed_path, type_name;
+  std::vector<std::string> attrs;
+  for (int i = 1; i < argc; i++) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--type=", 0) == 0) {
+      type_name = arg.substr(strlen("--type="));
+    } else if (arg.rfind("--attrs=", 0) == 0) {
+      attrs = SplitCommas(arg.substr(strlen("--attrs=")));
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (arg != "-" && !arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      Usage();
+      return 2;
+    } else if (path.empty()) {
+      path = arg;
+    } else if (feed_path.empty()) {
+      feed_path = arg;
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+  if (path.empty() || feed_path.empty()) {
+    Usage();
+    return 2;
+  }
+
+  std::FILE* in = feed_path == "-" ? stdin : std::fopen(feed_path.c_str(), "r");
+  if (in == nullptr) {
+    std::fprintf(stderr, "cannot open feed %s\n", feed_path.c_str());
+    return 1;
+  }
+  LineFeed lines(in);
+  IngestFeed feed = [&lines](std::string* key, std::string* value) {
+    return lines.Next(key, value);
+  };
+
+  Status s;
+  IngestStats stats;
+  if (type_name.empty() && attrs.empty()) {
+    Options options;
+    options.create_if_missing = true;
+    DBImpl* raw = nullptr;
+    s = DBImpl::Open(options, path, &raw);
+    std::unique_ptr<DBImpl> db(raw);
+    if (s.ok()) s = db->IngestExternalFiles(feed, &stats);
+  } else {
+    IndexType type = IndexType::kEmbedded;
+    if (!type_name.empty() && !ParseIndexType(type_name, &type)) {
+      std::fprintf(stderr, "unknown index type: %s\n", type_name.c_str());
+      return 2;
+    }
+    SecondaryDBOptions options;
+    options.index_type = type;
+    options.indexed_attributes = attrs;
+    std::unique_ptr<SecondaryDB> db;
+    s = SecondaryDB::Open(options, path, &db);
+    if (s.ok()) s = db->IngestWithIndexes(feed, &stats);
+  }
+  if (in != stdin) std::fclose(in);
+
+  if (lines.bad() || !s.ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n",
+                 lines.bad() ? "malformed feed" : s.ToString().c_str());
+    std::fprintf(stderr, "the store was not modified\n");
+    return 1;
+  }
+  PrintStats(stats);
+  return 0;
+}
