@@ -1,0 +1,302 @@
+// Sharded serving throughput: saturating mixed PUT/LOOKUP against a
+// ShardedDB, across shard counts and client threads, in three modes:
+//
+//   --mode=server     threads are real protocol clients over loopback TCP
+//                     (one connection each) against a Server — the full
+//                     serving stack, framing and syscalls included.
+//   --mode=direct     threads call ShardedDB in-process — isolates the
+//                     shard routing / fan-out layer from the network.
+//   --mode=unsharded  threads share ONE SecondaryDB behind one mutex —
+//                     the baseline the sharded layer exists to beat
+//                     (SecondaryDB's index maintenance is single-writer, so
+//                     an unsharded server must serialize writers).
+//
+// Not one of the paper's figures: the paper measures a single-threaded
+// embedded engine; this bench quantifies the serving layer built on top of
+// it. On a single-core container expect NO scaling with shards — the point
+// of recording shard counts 1/2/4 in the trajectory is the shape on
+// multi-core hardware, and that N=1 costs nothing over unsharded.
+//
+// Output: one JSON object per line, e.g.
+//   {"bench":"serve","mode":"server","variant":"Lazy","shards":2,...}
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "harness.h"
+
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/sharded_db.h"
+
+namespace leveldbpp {
+namespace bench {
+namespace {
+
+struct WorkerStats {
+  Histogram put_us;
+  Histogram lookup_us;
+  uint64_t errors = 0;
+};
+
+std::string MakeDoc(uint64_t user, uint64_t t) {
+  std::string doc = "{\"UserID\":\"user";
+  doc += std::to_string(user);
+  doc += "\",\"CreationTime\":\"";
+  doc += std::to_string(10000000 + t);
+  doc += "\",\"Body\":\"padding padding padding padding padding\"}";
+  return doc;
+}
+
+SecondaryDBOptions MakeShardOptions(IndexType type) {
+  VariantConfig config;
+  config.type = type;
+  SecondaryDBOptions options;
+  options.base.env = Env::Posix();
+  options.base.write_buffer_size = config.write_buffer_size;
+  options.base.max_file_size = config.max_file_size;
+  options.base.max_bytes_for_level_base = config.max_bytes_for_level_base;
+  options.base.compression = config.compression;
+  options.base.background_compaction = true;  // A server never flushes inline
+  options.index_type = type;
+  options.indexed_attributes = config.attributes;
+  options.embedded_bloom_bits_per_key = config.embedded_bits_per_key;
+  return options;
+}
+
+/// One worker's operation stream: deterministic mixed PUT/LOOKUP. `put` and
+/// `lookup` abstract over client/direct/unsharded transports.
+template <typename PutFn, typename LookupFn>
+void RunWorker(int tid, uint64_t ops, uint64_t lookup_frac, uint64_t users,
+               WorkerStats* stats, const PutFn& put, const LookupFn& lookup) {
+  Env* env = Env::Posix();
+  std::vector<QueryResult> results;
+  for (uint64_t i = 0; i < ops; i++) {
+    // Spread lookups evenly through the stream, not in a burst at the end.
+    const bool is_lookup = (i % 100) < lookup_frac;
+    const uint64_t user = (i * 2654435761u + tid * 40503u) % users;
+    const uint64_t start = env->NowMicros();
+    Status s;
+    if (is_lookup) {
+      s = lookup("user" + std::to_string(user), &results);
+      stats->lookup_us.Add(static_cast<double>(env->NowMicros() - start));
+    } else {
+      const std::string key =
+          "t" + std::to_string(tid) + "-k" + std::to_string(i);
+      s = put(key, MakeDoc(user, i));
+      stats->put_us.Add(static_cast<double>(env->NowMicros() - start));
+    }
+    if (!s.ok()) stats->errors++;
+  }
+}
+
+struct RunResult {
+  uint64_t elapsed_us = 0;
+  uint64_t errors = 0;
+  Histogram put_us;
+  Histogram lookup_us;
+};
+
+void Emit(const std::string& mode, IndexType type, int shards, int threads,
+          uint64_t total_ops, uint64_t lookup_frac, const RunResult& r) {
+  JsonLine line("serve");
+  line.Str("mode", mode)
+      .Str("variant", Name(type))
+      .Int("shards", static_cast<uint64_t>(shards))
+      .Int("threads", static_cast<uint64_t>(threads))
+      .Int("ops", total_ops)
+      .Int("lookup_frac_pct", lookup_frac)
+      .Int("elapsed_us", r.elapsed_us)
+      .Double("kops_per_sec",
+              r.elapsed_us == 0
+                  ? 0.0
+                  : 1000.0 * static_cast<double>(total_ops) /
+                        static_cast<double>(r.elapsed_us))
+      .Int("errors", r.errors);
+  if (r.put_us.Count() > 0) {
+    line.Double("put_p50_us", r.put_us.Median())
+        .Double("put_p99_us", r.put_us.Percentile(99));
+  }
+  if (r.lookup_us.Count() > 0) {
+    line.Double("lookup_p50_us", r.lookup_us.Median())
+        .Double("lookup_p99_us", r.lookup_us.Percentile(99));
+  }
+  line.Emit();
+}
+
+template <typename MakeWorkerFn>
+RunResult RunThreads(int threads, uint64_t ops_per_thread,
+                     const MakeWorkerFn& make_worker) {
+  std::vector<WorkerStats> stats(threads);
+  std::vector<std::thread> workers;
+  Timer timer;
+  for (int t = 0; t < threads; t++) {
+    workers.emplace_back(make_worker(t, &stats[t]));
+  }
+  for (std::thread& w : workers) w.join();
+  RunResult result;
+  result.elapsed_us = timer.ElapsedMicros();
+  for (const WorkerStats& ws : stats) {
+    result.errors += ws.errors;
+    result.put_us.Merge(ws.put_us);
+    result.lookup_us.Merge(ws.lookup_us);
+  }
+  (void)ops_per_thread;
+  return result;
+}
+
+void RunServerMode(IndexType type, int shards, int threads, uint64_t total_ops,
+                   uint64_t lookup_frac, uint64_t users) {
+  const std::string path = ScratchRoot() + "/serve_server_" +
+                           std::string(Name(type)) + "_" +
+                           std::to_string(shards);
+  ShardedDBOptions options;
+  options.shard = MakeShardOptions(type);
+  options.num_shards = shards;
+  std::unique_ptr<ShardedDB> db;
+  CheckOk(ShardedDB::Open(options, path, &db), "open sharded");
+
+  std::unique_ptr<Server> server;
+  CheckOk(Server::Start(db.get(), ServerOptions(), &server), "start server");
+
+  const uint64_t per_thread = total_ops / threads;
+  const int port = server->port();
+  RunResult r = RunThreads(threads, per_thread, [&](int tid,
+                                                    WorkerStats* ws) {
+    return [tid, per_thread, lookup_frac, users, ws, port]() {
+      std::unique_ptr<Client> client;
+      CheckOk(Client::Connect("127.0.0.1", port, &client), "connect");
+      RunWorker(
+          tid, per_thread, lookup_frac, users, ws,
+          [&](const std::string& k, const std::string& v) {
+            return client->Put(k, v);
+          },
+          [&](const std::string& v, std::vector<QueryResult>* out) {
+            return client->Lookup("UserID", v, 3, out);
+          });
+    };
+  });
+  server->Stop();
+  Emit("server", type, shards, threads, per_thread * threads, lookup_frac, r);
+  db.reset();
+  DestroyTree(path);
+}
+
+void RunDirectMode(IndexType type, int shards, int threads, uint64_t total_ops,
+                   uint64_t lookup_frac, uint64_t users) {
+  const std::string path = ScratchRoot() + "/serve_direct_" +
+                           std::string(Name(type)) + "_" +
+                           std::to_string(shards);
+  ShardedDBOptions options;
+  options.shard = MakeShardOptions(type);
+  options.num_shards = shards;
+  std::unique_ptr<ShardedDB> db;
+  CheckOk(ShardedDB::Open(options, path, &db), "open sharded");
+
+  const uint64_t per_thread = total_ops / threads;
+  RunResult r = RunThreads(threads, per_thread, [&](int tid,
+                                                    WorkerStats* ws) {
+    return [&, tid, ws]() {
+      RunWorker(
+          tid, per_thread, lookup_frac, users, ws,
+          [&](const std::string& k, const std::string& v) {
+            return db->Put(k, v);
+          },
+          [&](const std::string& v, std::vector<QueryResult>* out) {
+            return db->Lookup("UserID", v, 3, out);
+          });
+    };
+  });
+  Emit("direct", type, shards, threads, per_thread * threads, lookup_frac, r);
+  db.reset();
+  DestroyTree(path);
+}
+
+void RunUnshardedMode(IndexType type, int threads, uint64_t total_ops,
+                      uint64_t lookup_frac, uint64_t users) {
+  const std::string path =
+      ScratchRoot() + "/serve_unsharded_" + std::string(Name(type));
+  SecondaryDBOptions options = MakeShardOptions(type);
+  std::unique_ptr<SecondaryDB> db;
+  CheckOk(SecondaryDB::Open(options, path, &db), "open unsharded");
+
+  // SecondaryDB index maintenance is single-writer: an unsharded server
+  // must serialize every writer behind one mutex. Reads go lock-free.
+  std::mutex write_mu;
+  const uint64_t per_thread = total_ops / threads;
+  RunResult r = RunThreads(threads, per_thread, [&](int tid,
+                                                    WorkerStats* ws) {
+    return [&, tid, ws]() {
+      RunWorker(
+          tid, per_thread, lookup_frac, users, ws,
+          [&](const std::string& k, const std::string& v) {
+            std::lock_guard<std::mutex> lock(write_mu);
+            return db->Put(k, v);
+          },
+          [&](const std::string& v, std::vector<QueryResult>* out) {
+            return db->Lookup("UserID", v, 3, out);
+          });
+    };
+  });
+  Emit("unsharded", type, 1, threads, per_thread * threads, lookup_frac, r);
+  db.reset();
+  DestroyTree(path);
+}
+
+std::vector<IndexType> ParseTypes(const std::string& spec) {
+  if (spec == "all") return AllVariants();
+  std::vector<IndexType> out;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string name = spec.substr(start, comma - start);
+    if (name == "noindex") out.push_back(IndexType::kNoIndex);
+    else if (name == "embedded") out.push_back(IndexType::kEmbedded);
+    else if (name == "lazy") out.push_back(IndexType::kLazy);
+    else if (name == "eager") out.push_back(IndexType::kEager);
+    else if (name == "composite") out.push_back(IndexType::kComposite);
+    else if (!name.empty()) {
+      fprintf(stderr, "FATAL: unknown index type: %s\n", name.c_str());
+      exit(1);
+    }
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace leveldbpp
+
+int main(int argc, char** argv) {
+  using namespace leveldbpp;
+  using namespace leveldbpp::bench;
+
+  Flags flags(argc, argv);
+  const int shards = static_cast<int>(flags.GetInt("shards", 2));
+  const int threads = static_cast<int>(flags.GetInt("threads", 4));
+  const uint64_t total_ops = flags.GetInt("ops", 20000);
+  const uint64_t lookup_frac = flags.GetInt("lookup_frac", 10);  // percent
+  const uint64_t users = flags.GetInt("users", 200);
+  const std::string mode = flags.GetString("mode", "server");
+  const std::vector<IndexType> types =
+      ParseTypes(flags.GetString("types", "all"));
+
+  for (IndexType type : types) {
+    if (mode == "server") {
+      RunServerMode(type, shards, threads, total_ops, lookup_frac, users);
+    } else if (mode == "direct") {
+      RunDirectMode(type, shards, threads, total_ops, lookup_frac, users);
+    } else if (mode == "unsharded") {
+      RunUnshardedMode(type, threads, total_ops, lookup_frac, users);
+    } else {
+      fprintf(stderr, "FATAL: unknown mode: %s\n", mode.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

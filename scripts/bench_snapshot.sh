@@ -25,6 +25,12 @@
 #     IndexMaintenance mode, 100k docs.
 #   * bench_fig9_put_over_time — the paper's Figure 9 PUT-latency windows,
 #     guarding the default (non-pipelined) write path against regressions.
+#   * bench_serve — the sharded serving layer: mixed PUT/LOOKUP (10%
+#     lookups, 4 client threads) across all five variants, unsharded
+#     baseline vs. ShardedDB at 1/2/4 shards over the real protocol
+#     server. On a single-core container the shard counts are expected to
+#     tie (the sweep records the shape, and that N=1 costs nothing over
+#     unsharded); scaling shows on multi-core hardware.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -74,6 +80,14 @@ echo "==> maintenance modes (100k docs)"
 
 echo "==> fig9 put-over-time (default write path)"
 "${bin}/bench/bench_fig9_put_over_time" --json >> "${tmp}"
+
+echo "==> serve shard sweep (mixed PUT/LOOKUP, unsharded + 1/2/4 shards)"
+"${bin}/bench/bench_serve" --mode=unsharded --threads=4 --ops=20000 \
+  --lookup_frac=10 >> "${tmp}"
+for shards in 1 2 4; do
+  "${bin}/bench/bench_serve" --mode=server --shards="${shards}" --threads=4 \
+    --ops=20000 --lookup_frac=10 >> "${tmp}"
+done
 
 mv "${tmp}" "${out}"
 trap - EXIT

@@ -86,6 +86,40 @@ if [[ -n "${SAN_FILTER}" ]]; then
   TSAN_OPTIONS="halt_on_error=1" ctest --preset tsan -L observability
 fi
 
+# Serving: the sharded equivalence matrix plus the wire-protocol gauntlet.
+# The server is thread-per-connection over a shard fan-out over the shared
+# pool — three thread populations interleaving (TSan) — and the frame codec
+# parses attacker-controlled bytes (ASan), including the fuzzed malformed
+# frames. Skipped when --sanitize-all already ran the full suites.
+if [[ -n "${SAN_FILTER}" ]]; then
+  echo "==> TSan serving tests"
+  TSAN_OPTIONS="halt_on_error=1" ctest --preset tsan -L serving
+  echo "==> ASan serving tests"
+  ASAN_OPTIONS="halt_on_error=1" ctest --preset asan -L serving
+fi
+
+# End-to-end serving smoke: start the release server binary on an ephemeral
+# port, round-trip PUT/GET/LOOKUP through the CLI client, and shut it down.
+echo "==> Server smoke test"
+SMOKE_DB="$(mktemp -d)/smoke_store"
+build/tools/leveldbpp_server --db="${SMOKE_DB}" --shards=2 --port=0 \
+  --type=lazy --attrs=UserID > "${SMOKE_DB}.log" 2>&1 &
+SMOKE_PID=$!
+trap 'kill "${SMOKE_PID}" 2>/dev/null || true' EXIT
+for _ in $(seq 1 50); do
+  grep -q "listening on" "${SMOKE_DB}.log" 2>/dev/null && break
+  sleep 0.1
+done
+SMOKE_PORT="$(sed -n 's/.*:\([0-9]*\)$/\1/p' "${SMOKE_DB}.log" | head -1)"
+build/tools/leveldbpp_client --port="${SMOKE_PORT}" ping
+build/tools/leveldbpp_client --port="${SMOKE_PORT}" put smoke '{"UserID":"u1"}'
+build/tools/leveldbpp_client --port="${SMOKE_PORT}" get smoke | grep -q '"UserID":"u1"'
+build/tools/leveldbpp_client --port="${SMOKE_PORT}" lookup UserID u1 1 | grep -q smoke
+kill "${SMOKE_PID}"
+wait "${SMOKE_PID}" 2>/dev/null || true
+trap - EXIT
+rm -rf "$(dirname "${SMOKE_DB}")"
+
 # Docs drift: stats_doc_test cross-checks docs/METRICS.md against the code
 # registries in both directions (it is part of the release ctest run above,
 # but a dedicated step makes a doc-only failure obvious).

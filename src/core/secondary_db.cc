@@ -83,6 +83,10 @@ Status SecondaryDB::Open(const SecondaryDBOptions& options,
   base.sync_writes = base.sync_writes || options.sync_writes;
   db->path_ = path;
   db->index_base_ = base;
+  // Only the PRIMARY table's sequences are globally meaningful (postings
+  // store primary seqs; cross-shard merges order by them). The stand-alone
+  // index tables' internal writes number themselves densely as usual.
+  db->index_base_.shared_sequence = nullptr;
 
   // Primary table.
   Options primary_options = base;
@@ -170,18 +174,21 @@ Status SecondaryDB::Put(const Slice& key, const Slice& json_value) {
 
   if (options_.sync_writes) {
     // Crash-consistency ordering: durably write the index entries FIRST,
-    // tagged with the sequence number the primary write is about to be
-    // assigned (valid under the documented single-writer requirement). Any
-    // crash prefix then leaves at worst a stale posting — the primary
-    // either lacks the key or holds an older attribute value, and
-    // query-time validation filters both. The reverse order could lose an
-    // acknowledged-by-primary record from query results forever.
-    const SequenceNumber seq = primary_->LastSequence() + 1;
+    // tagged with the sequence number the primary write will carry (claimed
+    // up front — under a shard-shared counter the claim reserves it; without
+    // one the prediction holds under the documented single-writer
+    // requirement). Any crash prefix then leaves at worst a stale posting —
+    // the primary either lacks the key or holds an older attribute value,
+    // and query-time validation filters both. The reverse order could lose
+    // an acknowledged-by-primary record from query results forever.
+    const SequenceNumber seq = primary_->ClaimNextSequence();
     for (auto& [index, attr_value] : attr_values) {
       Status s = index->OnPut(key, Slice(attr_value), seq);
       if (!s.ok()) return s;
     }
-    return primary_->Put(WriteOptions(), key, json_value);
+    WriteOptions wo;
+    wo.assigned_seq = seq;
+    return primary_->Put(wo, key, json_value);
   }
 
   Status s = primary_->Put(WriteOptions(), key, json_value);

@@ -32,6 +32,7 @@ struct DBImpl::Writer {
   WriteBatch* batch;
   bool sync;
   bool done;
+  uint64_t assigned_seq = 0;  // WriteOptions::assigned_seq (0 = engine picks)
   port::CondVar cv;
 };
 
@@ -184,6 +185,17 @@ Status DBImpl::Open(const Options& options, const std::string& dbname,
     impl->RemoveObsoleteFiles();
   }
   impl->mutex_.Unlock();
+  if (s.ok() && impl->options_.shared_sequence != nullptr) {
+    // Future claims from the shared counter must be fresher than anything
+    // this instance recovered (max, not store: sibling instances may have
+    // already pushed the counter further).
+    std::atomic<uint64_t>* shared = impl->options_.shared_sequence;
+    const uint64_t last = impl->versions_->LastSequence();
+    uint64_t cur = shared->load(std::memory_order_relaxed);
+    while (cur < last && !shared->compare_exchange_weak(
+                             cur, last, std::memory_order_relaxed)) {
+    }
+  }
   if (s.ok()) {
     // Drain any compaction debt left by recovery before handing the DB out
     // (both modes; keeps Open deterministic).
@@ -407,6 +419,7 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
   w.batch = updates;
   w.sync = sync;
   w.done = false;
+  w.assigned_seq = options.assigned_seq;
 
   MutexLock l(&mutex_);
   writers_.push_back(&w);
@@ -431,8 +444,30 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
   if (status.ok() && updates != nullptr) {
     int group_size = 0;
     WriteBatch* write_batch = BuildBatchGroup(&last_writer, &group_size);
-    WriteBatchInternal::SetSequence(write_batch, last_sequence + 1);
-    last_sequence += WriteBatchInternal::Count(write_batch);
+    const uint32_t count = WriteBatchInternal::Count(write_batch);
+    SequenceNumber first_seq;
+    if (w.assigned_seq != 0) {
+      // Caller-reserved window (BuildBatchGroup kept the batch solo, so the
+      // reservation covers exactly this writer's records). The reservation
+      // came from this instance's own counter or the shared one, both of
+      // which only move forward — but take max defensively so LastSequence
+      // stays monotonic.
+      first_seq = w.assigned_seq;
+      last_sequence = std::max<uint64_t>(last_sequence, first_seq + count - 1);
+    } else if (options_.shared_sequence != nullptr) {
+      // Claim a window from the cross-instance counter. Claims by this
+      // instance are serialized here (only the queue head claims), so the
+      // local sequence stays monotonic; other instances may consume the
+      // skipped values.
+      first_seq = options_.shared_sequence->fetch_add(
+                      count, std::memory_order_relaxed) +
+                  1;
+      last_sequence = first_seq + count - 1;
+    } else {
+      first_seq = last_sequence + 1;
+      last_sequence += count;
+    }
+    WriteBatchInternal::SetSequence(write_batch, first_seq);
 
     // Release the mutex for the WAL append + memtable insert: new writers
     // may enqueue meanwhile, but only the queue head touches log_ and
@@ -527,11 +562,20 @@ WriteBatch* DBImpl::BuildBatchGroup(Writer** last_writer, int* group_size) {
 
   *group_size = 1;
   *last_writer = first;
+  if (first->assigned_seq != 0) {
+    // A caller-reserved sequence window covers exactly this writer's
+    // records; absorbing followers would extend the batch past it.
+    return result;
+  }
   for (auto iter = writers_.begin() + 1; iter != writers_.end(); ++iter) {
     Writer* w = *iter;
     if (w->sync && !first->sync) {
       // Do not include a sync write into a batch handled by a non-sync
       // write: its durability requirement would be silently dropped.
+      break;
+    }
+    if (w->assigned_seq != 0) {
+      // A reserved-sequence write must head its own batch (see above).
       break;
     }
     if (w->batch == nullptr) {
@@ -1135,7 +1179,15 @@ Status DBImpl::IngestExternalFiles(const IngestFeed& feed,
           s = bg_error_;
           break;
         }
-        first = versions_->LastSequence() + 1;
+        if (options_.shared_sequence != nullptr) {
+          // Shared-counter mode: the window must be globally fresh, not
+          // just locally (the counter is >= every sibling's LastSequence).
+          first = options_.shared_sequence->fetch_add(
+                      records.size(), std::memory_order_relaxed) +
+                  1;
+        } else {
+          first = versions_->LastSequence() + 1;
+        }
         versions_->SetLastSequence(first + records.size() - 1);
         file_number = versions_->NewFileNumber();
         pending_outputs_.insert(file_number);

@@ -230,6 +230,21 @@ class DBImpl : public DB {
   const Options& options() const { return options_; }
   Statistics* statistics() const { return options_.statistics; }
   SequenceNumber LastSequence() const { return versions_->LastSequence(); }
+  /// The sequence number the next single-record write will carry, for
+  /// callers that must know it BEFORE issuing the write (SecondaryDB's
+  /// index-first crash ordering). With Options::shared_sequence the value
+  /// is CONSUMED from the shared counter and the caller must pass it back
+  /// via WriteOptions::assigned_seq; without, it is a prediction that holds
+  /// under the documented single-writer requirement (passing it back as
+  /// assigned_seq then changes nothing and keeps the two modes uniform).
+  SequenceNumber ClaimNextSequence() {
+    if (options_.shared_sequence != nullptr) {
+      return options_.shared_sequence->fetch_add(1,
+                                                 std::memory_order_relaxed) +
+             1;
+    }
+    return LastSequence() + 1;
+  }
   VersionSet* versions() { return versions_.get(); }
 
  private:

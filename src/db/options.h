@@ -3,7 +3,9 @@
 #ifndef LEVELDBPP_DB_OPTIONS_H_
 #define LEVELDBPP_DB_OPTIONS_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -152,6 +154,20 @@ struct Options {
   /// the buffered write path.
   bool sync_writes = false;
 
+  /// When non-null, write sequence numbers are claimed from this shared
+  /// counter (fetch_add under the writer queue) instead of the instance's
+  /// own LastSequence + 1. ShardedDB points every shard's primary table at
+  /// one counter so sequence numbers are globally comparable across shards:
+  /// cross-shard top-K merges order results by sequence exactly as a single
+  /// instance would, and a reopened shard bumps the counter to its
+  /// recovered LastSequence so new claims stay fresh. The counter holds the
+  /// LAST claimed sequence (0 = none yet). Per-instance sequences may skip
+  /// values claimed by other shards; recovery and snapshots only ever rely
+  /// on monotonicity, which per-shard claim order preserves. Default null:
+  /// the instance numbers its own writes densely, byte-identical to the
+  /// paper engine.
+  std::atomic<uint64_t>* shared_sequence = nullptr;
+
   /// How many times a failed background flush/compaction is retried (with
   /// exponential backoff) before the error is recorded as the sticky
   /// background error that stops all writes. Only transient failures
@@ -187,6 +203,14 @@ struct ReadOptions {
 struct WriteOptions {
   /// fsync the WAL before acknowledging the write.
   bool sync = false;
+
+  /// Non-zero: the exact sequence number this write's first record must be
+  /// assigned (the caller reserved it — e.g. SecondaryDB's crash-ordered
+  /// Put claims a sequence, durably writes index postings tagged with it,
+  /// THEN issues the primary write). Such a write is never merged into a
+  /// group-commit batch with other writers, so the reservation cannot be
+  /// renumbered. 0 (default): the engine assigns the next sequence itself.
+  uint64_t assigned_seq = 0;
 };
 
 }  // namespace leveldbpp

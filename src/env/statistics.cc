@@ -50,6 +50,15 @@ const char* TickerName(Ticker t) {
     case kIndexDeferredApplies: return "index.deferred.applies";
     case kTimestampValidations: return "index.timestamp.validations";
     case kTimestampRejects: return "index.timestamp.rejects";
+    case kShardWritesRouted: return "shard.writes.routed";
+    case kShardLookupFanouts: return "shard.lookup.fanouts";
+    case kShardMergeCandidates: return "shard.merge.candidates";
+    case kShardMergeEarlyStops: return "shard.merge.early.stops";
+    case kServeConnections: return "serve.connections";
+    case kServeRequests: return "serve.requests";
+    case kServeMalformedFrames: return "serve.frames.malformed";
+    case kServeBytesRead: return "serve.bytes.read";
+    case kServeBytesWritten: return "serve.bytes.written";
     case kTickerCount: break;
   }
   return "unknown";

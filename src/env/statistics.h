@@ -63,6 +63,15 @@ enum Ticker : uint32_t {
   kIndexDeferredApplies,  // deferred-buffer drains that applied >= 1 op
   kTimestampValidations,  // candidate checks done via IsNewestVersion only
   kTimestampRejects,      // of those, candidates rejected without a fetch
+  kShardWritesRouted,     // PUT/DELETE calls routed to a shard by ShardedDB
+  kShardLookupFanouts,    // cross-shard LOOKUP/RANGELOOKUP fan-outs
+  kShardMergeCandidates,  // per-shard results examined by the cross-shard merge
+  kShardMergeEarlyStops,  // shard result lists cut short by WouldAdmit
+  kServeConnections,      // connections accepted by the protocol server
+  kServeRequests,         // request frames decoded and executed
+  kServeMalformedFrames,  // frames rejected by the wire codec
+  kServeBytesRead,        // payload + header bytes read off connections
+  kServeBytesWritten,     // response bytes written to connections
   kTickerCount,
 };
 

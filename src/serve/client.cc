@@ -1,0 +1,235 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/coding.h"
+
+namespace leveldbpp {
+
+namespace {
+
+bool ReadFully(int fd, char* buf, size_t n, bool* timed_out) {
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::recv(fd, buf + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<size_t>(r);
+    } else if (r < 0 && errno == EINTR) {
+      continue;
+    } else {
+      if (timed_out != nullptr &&
+          (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        *timed_out = true;
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+bool WriteFully(int fd, const Slice& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t w =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (w > 0) {
+      sent += static_cast<size_t>(w);
+    } else if (w < 0 && errno == EINTR) {
+      continue;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+void SetRecvTimeout(int fd, int micros) {
+  timeval tv;
+  tv.tv_sec = micros / 1000000;
+  tv.tv_usec = micros % 1000000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+Status Client::Connect(const std::string& host, int port,
+                       std::unique_ptr<Client>* out) {
+  out->reset();
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError("socket", std::strerror(errno));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address", host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Status::IOError("connect", std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  // Request/response round-trips: don't let Nagle batch tiny frames.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  out->reset(new Client(fd));
+  return Status::OK();
+}
+
+Client::~Client() { ::close(fd_); }
+
+Status Client::SendRaw(const Slice& bytes) {
+  if (!WriteFully(fd_, bytes)) {
+    return Status::IOError("send", std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status Client::ReadRawResponse(wire::Response* resp, int recv_timeout_micros) {
+  if (recv_timeout_micros > 0) SetRecvTimeout(fd_, recv_timeout_micros);
+  bool timed_out = false;
+  char header[wire::kHeaderBytes];
+  if (!ReadFully(fd_, header, sizeof(header), &timed_out)) {
+    if (recv_timeout_micros > 0) SetRecvTimeout(fd_, 0);
+    return timed_out ? Status::IOError("recv timeout")
+                     : Status::IOError("connection closed");
+  }
+  const uint32_t frame_len = DecodeFixed32(header);
+  if (frame_len > wire::kMaxFrameBytes) {
+    if (recv_timeout_micros > 0) SetRecvTimeout(fd_, 0);
+    return Status::Corruption("oversized response frame");
+  }
+  std::string payload(frame_len, '\0');
+  if (frame_len > 0 &&
+      !ReadFully(fd_, &payload[0], frame_len, &timed_out)) {
+    if (recv_timeout_micros > 0) SetRecvTimeout(fd_, 0);
+    return timed_out ? Status::IOError("recv timeout")
+                     : Status::IOError("connection closed");
+  }
+  if (recv_timeout_micros > 0) SetRecvTimeout(fd_, 0);
+  return wire::DecodeResponse(Slice(payload), resp);
+}
+
+Status Client::RoundTrip(const wire::Request& req, wire::Response* resp) {
+  std::string frame;
+  wire::EncodeRequest(req, &frame);
+  Status s = SendRaw(frame);
+  if (!s.ok()) return s;
+  return ReadRawResponse(resp);
+}
+
+namespace {
+
+/// Fold a response's status code back into an engine Status.
+Status ToStatus(const wire::Response& resp) {
+  switch (resp.code) {
+    case wire::kOk:
+      return Status::OK();
+    case wire::kNotFound:
+      return Status::NotFound("remote", resp.payload);
+    case wire::kError:
+      return Status::IOError("remote error", resp.payload);
+  }
+  return Status::Corruption("unknown response code");
+}
+
+}  // namespace
+
+Status Client::Put(const Slice& key, const Slice& json_value) {
+  wire::Request req;
+  req.op = wire::kPut;
+  req.key = key.ToString();
+  req.value = json_value.ToString();
+  wire::Response resp;
+  Status s = RoundTrip(req, &resp);
+  return s.ok() ? ToStatus(resp) : s;
+}
+
+Status Client::Get(const Slice& key, std::string* value) {
+  wire::Request req;
+  req.op = wire::kGet;
+  req.key = key.ToString();
+  wire::Response resp;
+  Status s = RoundTrip(req, &resp);
+  if (!s.ok()) return s;
+  s = ToStatus(resp);
+  if (s.ok()) *value = std::move(resp.payload);
+  return s;
+}
+
+Status Client::Delete(const Slice& key) {
+  wire::Request req;
+  req.op = wire::kDelete;
+  req.key = key.ToString();
+  wire::Response resp;
+  Status s = RoundTrip(req, &resp);
+  return s.ok() ? ToStatus(resp) : s;
+}
+
+Status Client::Lookup(const std::string& attribute, const Slice& value,
+                      uint32_t k, std::vector<QueryResult>* results) {
+  wire::Request req;
+  req.op = wire::kLookup;
+  req.attribute = attribute;
+  req.value = value.ToString();
+  req.k = k;
+  wire::Response resp;
+  Status s = RoundTrip(req, &resp);
+  if (!s.ok()) return s;
+  s = ToStatus(resp);
+  if (s.ok()) *results = std::move(resp.results);
+  return s;
+}
+
+Status Client::RangeLookup(const std::string& attribute, const Slice& lo,
+                           const Slice& hi, uint32_t k,
+                           std::vector<QueryResult>* results) {
+  wire::Request req;
+  req.op = wire::kRangeLookup;
+  req.attribute = attribute;
+  req.lo = lo.ToString();
+  req.hi = hi.ToString();
+  req.k = k;
+  wire::Response resp;
+  Status s = RoundTrip(req, &resp);
+  if (!s.ok()) return s;
+  s = ToStatus(resp);
+  if (s.ok()) *results = std::move(resp.results);
+  return s;
+}
+
+Status Client::Stats(std::string* json) {
+  wire::Request req;
+  req.op = wire::kStats;
+  wire::Response resp;
+  Status s = RoundTrip(req, &resp);
+  if (!s.ok()) return s;
+  s = ToStatus(resp);
+  if (s.ok()) *json = std::move(resp.payload);
+  return s;
+}
+
+Status Client::Ping() {
+  wire::Request req;
+  req.op = wire::kPing;
+  wire::Response resp;
+  Status s = RoundTrip(req, &resp);
+  if (!s.ok()) return s;
+  s = ToStatus(resp);
+  if (s.ok() && resp.payload != "pong") {
+    return Status::Corruption("unexpected ping payload");
+  }
+  return s;
+}
+
+}  // namespace leveldbpp

@@ -1,0 +1,64 @@
+// Client: blocking single-connection client for the LevelDB++ server.
+//
+// One TCP connection, one outstanding request at a time (the protocol is
+// strict request/response). Not thread-safe: the bench driver opens one
+// Client per worker thread. SendRaw/ReadRawResponse expose the framing for
+// protocol-robustness tests (torn frames, fuzzed payloads).
+
+#ifndef LEVELDBPP_SERVE_CLIENT_H_
+#define LEVELDBPP_SERVE_CLIENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/wire.h"
+
+namespace leveldbpp {
+
+class Client {
+ public:
+  static Status Connect(const std::string& host, int port,
+                        std::unique_ptr<Client>* out);
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  // ---- Table 1 operations over the wire ----
+
+  Status Put(const Slice& key, const Slice& json_value);
+  Status Get(const Slice& key, std::string* value);
+  Status Delete(const Slice& key);
+  Status Lookup(const std::string& attribute, const Slice& value, uint32_t k,
+                std::vector<QueryResult>* results);
+  Status RangeLookup(const std::string& attribute, const Slice& lo,
+                     const Slice& hi, uint32_t k,
+                     std::vector<QueryResult>* results);
+
+  /// Server-side aggregated stats JSON (ShardedDB::GetProperty).
+  Status Stats(std::string* json);
+
+  Status Ping();
+
+  // ---- Raw access for protocol tests ----
+
+  /// Write arbitrary bytes to the socket as-is (no framing added).
+  Status SendRaw(const Slice& bytes);
+
+  /// Read one response frame. With `recv_timeout_micros` > 0 the read gives
+  /// up after that long (IOError "timeout") instead of blocking forever —
+  /// fuzz tests use this so a dropped reply can't wedge the test.
+  Status ReadRawResponse(wire::Response* resp, int recv_timeout_micros = 0);
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  Status RoundTrip(const wire::Request& req, wire::Response* resp);
+
+  int fd_;
+};
+
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_SERVE_CLIENT_H_

@@ -1,0 +1,251 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "util/coding.h"
+
+namespace leveldbpp {
+
+namespace {
+
+/// Read exactly n bytes. Returns false on EOF / error / shutdown.
+bool ReadFully(int fd, char* buf, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::recv(fd, buf + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<size_t>(r);
+    } else if (r < 0 && errno == EINTR) {
+      continue;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Write exactly data.size() bytes. MSG_NOSIGNAL: a peer that closed mid-
+/// response must surface as EPIPE, not kill the process with SIGPIPE.
+bool WriteFully(int fd, const Slice& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t w =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (w > 0) {
+      sent += static_cast<size_t>(w);
+    } else if (w < 0 && errno == EINTR) {
+      continue;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(ShardedDB* db, const ServerOptions& options)
+    : db_(db),
+      options_(options),
+      stats_(options.statistics != nullptr ? options.statistics
+                                           : db->statistics()) {}
+
+Status Server::Start(ShardedDB* db, const ServerOptions& options,
+                     std::unique_ptr<Server>* out) {
+  out->reset();
+  std::unique_ptr<Server> server(new Server(db, options));
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError("socket", std::strerror(errno));
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options.port));
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address", options.host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Status::IOError("bind", std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 128) != 0) {
+    Status s = Status::IOError("listen", std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    Status s = Status::IOError("getsockname", std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+
+  server->listen_fd_ = fd;
+  server->port_ = ntohs(addr.sin_port);
+  server->accept_thread_ = std::thread([srv = server.get()]() {
+    srv->AcceptLoop();
+  });
+  *out = std::move(server);
+  return Status::OK();
+}
+
+Server::~Server() { Stop(); }
+
+void Server::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    // Wake every handler parked in recv(); the fds are closed by their
+    // handlers on exit.
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  // Unblock accept().
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    handlers.swap(handlers_);
+  }
+  for (std::thread& t : handlers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // Listener shut down (or fatally broken) — exit the loop
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    stats_->Record(kServeConnections);
+    conn_fds_.push_back(fd);
+    handlers_.emplace_back([this, fd]() { HandleConnection(fd); });
+  }
+}
+
+void Server::HandleConnection(int fd) {
+  std::string in;
+  std::string out;
+  for (;;) {
+    char header[wire::kHeaderBytes];
+    if (!ReadFully(fd, header, sizeof(header))) break;
+    const uint32_t frame_len = DecodeFixed32(header);
+    stats_->Record(kServeBytesRead, sizeof(header));
+    if (frame_len > options_.max_frame_bytes) {
+      // Refuse from the header alone — never allocate for an absurd
+      // length. The stream is now unsynchronized, so drop it.
+      stats_->Record(kServeMalformedFrames);
+      wire::Response err;
+      err.code = wire::kError;
+      err.payload = "frame exceeds max_frame_bytes";
+      out.clear();
+      wire::EncodeResponse(err, &out);
+      WriteFully(fd, out);
+      break;
+    }
+    in.resize(frame_len);
+    if (frame_len > 0 && !ReadFully(fd, &in[0], frame_len)) break;
+    stats_->Record(kServeBytesRead, frame_len);
+
+    wire::Request req;
+    Status ds = wire::DecodeRequest(Slice(in), &req);
+    if (!ds.ok()) {
+      stats_->Record(kServeMalformedFrames);
+      wire::Response err;
+      err.code = wire::kError;
+      err.payload = ds.ToString();
+      out.clear();
+      wire::EncodeResponse(err, &out);
+      WriteFully(fd, out);
+      break;
+    }
+
+    stats_->Record(kServeRequests);
+    const wire::Response resp = Execute(req);
+    out.clear();
+    wire::EncodeResponse(resp, &out);
+    if (!WriteFully(fd, out)) break;
+    stats_->Record(kServeBytesWritten, out.size());
+  }
+  {
+    // Deregister BEFORE closing: Stop() shutdowns every fd still listed, and
+    // must never touch a closed (possibly reused) descriptor.
+    std::lock_guard<std::mutex> lock(mu_);
+    conn_fds_.erase(std::find(conn_fds_.begin(), conn_fds_.end(), fd));
+  }
+  ::close(fd);
+}
+
+wire::Response Server::Execute(const wire::Request& req) {
+  wire::Response resp;
+  switch (req.op) {
+    case wire::kPut:
+      resp = wire::FromStatus(db_->Put(req.key, req.value));
+      break;
+    case wire::kGet: {
+      std::string value;
+      Status s = db_->Get(req.key, &value);
+      resp = wire::FromStatus(s);
+      if (s.ok()) resp.payload = std::move(value);
+      break;
+    }
+    case wire::kDelete:
+      resp = wire::FromStatus(db_->Delete(req.key));
+      break;
+    case wire::kLookup: {
+      std::vector<QueryResult> results;
+      Status s = db_->Lookup(req.attribute, req.value, req.k, &results);
+      resp = wire::FromStatus(s);
+      if (s.ok()) resp.results = std::move(results);
+      break;
+    }
+    case wire::kRangeLookup: {
+      std::vector<QueryResult> results;
+      Status s = db_->RangeLookup(req.attribute, req.lo, req.hi, req.k,
+                                  &results);
+      resp = wire::FromStatus(s);
+      if (s.ok()) resp.results = std::move(results);
+      break;
+    }
+    case wire::kStats: {
+      std::string json;
+      if (db_->GetProperty("leveldbpp.stats.json", &json)) {
+        resp.payload = std::move(json);
+      } else {
+        resp.code = wire::kError;
+        resp.payload = "stats property unavailable";
+      }
+      break;
+    }
+    case wire::kPing:
+      resp.payload = "pong";
+      break;
+  }
+  return resp;
+}
+
+}  // namespace leveldbpp

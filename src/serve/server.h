@@ -1,0 +1,89 @@
+// Server: thread-per-connection TCP front end over a ShardedDB.
+//
+// Threading model: one accept thread plus one std::thread per connection,
+// all joinable so Stop() can shut the listener, wake every handler with
+// shutdown(2), and join — no detached threads, no leaks under TSan.
+// Connection handlers deliberately do NOT run on the engine's ParallelRun
+// pool (that pool is for bounded query fan-out only; a blocking socket
+// read parked on it would starve every query in the process). The pool IS
+// used underneath each request when the handler calls ShardedDB::Lookup.
+//
+// Robustness: frames over ServerOptions::max_frame_bytes are refused from
+// the 4-byte header alone; payloads that fail strict decoding get an error
+// frame and the connection is dropped (counted as serve.frames.malformed).
+// A peer that disappears mid-frame just closes the handler. Malformed
+// input can never crash or wedge the server — see serve_protocol_test.
+
+#ifndef LEVELDBPP_SERVE_SERVER_H_
+#define LEVELDBPP_SERVE_SERVER_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/sharded_db.h"
+#include "serve/wire.h"
+
+namespace leveldbpp {
+
+struct ServerOptions {
+  /// Address to bind. Loopback by default; the bench driver and tools all
+  /// talk over loopback.
+  std::string host = "127.0.0.1";
+
+  /// TCP port; 0 picks an ephemeral port (read it back via Server::port()).
+  int port = 0;
+
+  /// Per-frame payload ceiling (see wire.h).
+  uint32_t max_frame_bytes = wire::kMaxFrameBytes;
+
+  /// Where serve.* tickers are recorded. Defaults to the ShardedDB's
+  /// serving-layer statistics.
+  Statistics* statistics = nullptr;
+};
+
+class Server {
+ public:
+  /// Bind, listen, and start the accept thread. `db` must outlive the
+  /// server.
+  static Status Start(ShardedDB* db, const ServerOptions& options,
+                      std::unique_ptr<Server>* out);
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Stops the server if still running.
+  ~Server();
+
+  /// The bound port (resolves port 0 requests).
+  int port() const { return port_; }
+
+  /// Close the listener, force every open connection's pending read to
+  /// fail, and join all threads. Idempotent.
+  void Stop();
+
+ private:
+  Server(ShardedDB* db, const ServerOptions& options);
+
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  wire::Response Execute(const wire::Request& req);
+
+  ShardedDB* const db_;
+  ServerOptions options_;
+  Statistics* stats_;  // never null after Start
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+
+  std::mutex mu_;
+  bool stopping_ = false;              // guarded by mu_
+  std::vector<int> conn_fds_;          // guarded by mu_
+  std::vector<std::thread> handlers_;  // guarded by mu_
+};
+
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_SERVE_SERVER_H_

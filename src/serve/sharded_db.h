@@ -1,0 +1,142 @@
+// ShardedDB: shard-per-core serving layer over SecondaryDB.
+//
+// N fully independent SecondaryDB instances (each with its own WAL,
+// memtable, compaction pipeline, and stand-alone index tables) live under
+// one directory:
+//
+//   <path>/SHARDS          shard count, checked on reopen
+//   <path>/shard_<i>       one complete SecondaryDB store per shard
+//
+// PUT / GET / DELETE route by a stable hash of the primary key, so each
+// shard's writer queue, stall ladder, and background compaction run
+// independently — the whole point: on a multi-core host, PUT throughput
+// scales with shards because the per-DB writer mutex and WAL append stop
+// being the global bottleneck.
+//
+// LOOKUP / RANGELOOKUP fan out to every shard through the engine's shared
+// ParallelRun pool and merge through the same TopKCollector the paper's
+// Algorithm 1 uses. Results are byte-identical (values, sequence numbers,
+// AND order) to an unsharded SecondaryDB given the same operation stream,
+// because all shards draw sequence numbers from one shared atomic counter
+// (Options::shared_sequence): seqs are globally unique and comparable, each
+// logical op consumes exactly one, and the merge admits candidates in
+// per-shard newest-first order with WouldAdmit cutting each shard's tail.
+
+#ifndef LEVELDBPP_SERVE_SHARDED_DB_H_
+#define LEVELDBPP_SERVE_SHARDED_DB_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/secondary_db.h"
+
+namespace leveldbpp {
+
+struct ShardedDBOptions {
+  /// Per-shard store configuration. Applied identically to every shard,
+  /// except base.shared_sequence (managed by ShardedDB — supplying one is
+  /// rejected) and base.statistics (must be null: each shard owns its
+  /// Statistics so the serving layer can report per-shard breakdowns).
+  SecondaryDBOptions shard;
+
+  /// Number of shards. Fixed at creation and recorded in <path>/SHARDS;
+  /// reopening with a different count is rejected (resharding would need
+  /// to rehash every record).
+  int num_shards = 4;
+
+  /// Max concurrent executors for the query fan-out (callers + pool
+  /// workers). 0 means num_shards. 1 runs the fan-out inline.
+  int fanout_parallelism = 0;
+};
+
+class ShardedDB {
+ public:
+  /// Open (creating if missing) a sharded store at `path`.
+  static Status Open(const ShardedDBOptions& options, const std::string& path,
+                     std::unique_ptr<ShardedDB>* dbptr);
+
+  ShardedDB(const ShardedDB&) = delete;
+  ShardedDB& operator=(const ShardedDB&) = delete;
+  ~ShardedDB();
+
+  // ---- Table 1 operations, same contracts as SecondaryDB ----
+
+  Status Put(const Slice& key, const Slice& json_value);
+  Status Get(const Slice& key, std::string* value);
+  Status Delete(const Slice& key);
+
+  /// Cross-shard LOOKUP: K most recent matches over all shards, newest
+  /// first, byte-identical to an unsharded store (see file comment).
+  Status Lookup(const std::string& attribute, const Slice& value, size_t k,
+                std::vector<QueryResult>* results);
+  Status RangeLookup(const std::string& attribute, const Slice& lo,
+                     const Slice& hi, size_t k,
+                     std::vector<QueryResult>* results);
+
+  /// Flush + fully compact every shard (primary and index tables).
+  Status CompactAll();
+
+  /// Clear transient sticky background errors on every shard.
+  Status Resume();
+
+  // ---- Introspection ----
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Which shard a primary key routes to (stable across restarts).
+  int ShardFor(const Slice& key) const;
+
+  /// Direct access to one shard's store (tests, stats).
+  SecondaryDB* shard(int i) { return shards_[i]->db.get(); }
+
+  /// Serving-layer counters (shard.* routing/merge tickers, serve.*
+  /// protocol tickers recorded by Server, ParallelRun fan-out tickers).
+  Statistics* statistics() { return frontend_stats_.get(); }
+
+  /// Sum of a ticker over every shard (primary + index tables) plus the
+  /// serving layer's own counters.
+  uint64_t TotalTicker(Ticker t);
+
+  /// "leveldbpp.stats.json": one JSON object aggregating every shard —
+  ///   {"num_shards":N,
+  ///    "shards":[{"shard":i,"tickers":{...},"histograms":{...}},...],
+  ///    "aggregate":{"tickers":{...},"histograms":{...}}}
+  /// Per-shard tickers sum the shard's primary and index tables; per-shard
+  /// histograms come from the shard's primary Statistics and include p99.
+  /// Aggregate tickers add the serving layer's own counters; aggregate
+  /// histograms are the Histogram::Merge of all shards.
+  bool GetProperty(const Slice& property, std::string* value);
+
+ private:
+  struct Shard {
+    std::unique_ptr<SecondaryDB> db;
+    // SecondaryDB's index maintenance requires one writer at a time;
+    // serializing writers per shard (instead of per store) IS the
+    // shard-per-core scaling model.
+    std::mutex write_mu;
+  };
+
+  explicit ShardedDB(const ShardedDBOptions& options);
+
+  /// Merge per-shard newest-first result lists into the global top-K.
+  void MergeTopK(std::vector<std::vector<QueryResult>>* per_shard, size_t k,
+                 std::vector<QueryResult>* out);
+
+  ShardedDBOptions options_;
+  std::string path_;
+  std::unique_ptr<Statistics> frontend_stats_;
+  // Shared sequence counter: holds the LAST claimed sequence number. Every
+  // shard's primary table claims from it (see Options::shared_sequence), so
+  // sequence numbers are globally unique and recency-comparable across
+  // shards. DBImpl::Open CAS-maxes recovered LastSequence into it, so after
+  // reopen it again dominates every shard.
+  std::atomic<uint64_t> global_seq_{0};
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_SERVE_SHARDED_DB_H_

@@ -1,0 +1,101 @@
+// Wire protocol for the LevelDB++ server: length-prefixed binary frames.
+//
+// Every message on the socket is one frame:
+//
+//   [4-byte LE payload length][payload]
+//
+// Request payload:   [op:1][per-op fields, length-prefixed varint strings]
+//   kPut          lp(key) lp(value)
+//   kGet          lp(key)
+//   kDelete       lp(key)
+//   kLookup       lp(attribute) lp(value) fixed32(k)
+//   kRangeLookup  lp(attribute) lp(lo) lp(hi) fixed32(k)
+//   kStats        (no fields)
+//   kPing         (no fields)
+//
+// Response payload:  [code:1] lp(payload) fixed32(nresults)
+//                    nresults * [lp(primary_key) fixed64(seq) lp(value)]
+//   The result list is non-empty only for LOOKUP / RANGELOOKUP; `payload`
+//   carries GET values, STATS JSON, PING's "pong", or the error message.
+//
+// Decoding is strict: a frame whose payload cannot be parsed EXACTLY —
+// unknown op, truncated field, or trailing bytes — is malformed, and the
+// server answers with an error frame and drops the connection rather than
+// resynchronize (a torn frame means the stream framing itself is suspect).
+// Frames over kMaxFrameBytes are rejected from the header alone, before any
+// payload is read.
+
+#ifndef LEVELDBPP_SERVE_WIRE_H_
+#define LEVELDBPP_SERVE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/topk.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace leveldbpp {
+namespace wire {
+
+/// Hard upper bound on a frame's payload; larger length prefixes are
+/// rejected without allocating. 16MB comfortably fits any document plus
+/// framing while bounding per-connection memory.
+constexpr uint32_t kMaxFrameBytes = 16u << 20;
+
+constexpr size_t kHeaderBytes = 4;
+
+enum Op : uint8_t {
+  kPut = 1,
+  kGet = 2,
+  kDelete = 3,
+  kLookup = 4,
+  kRangeLookup = 5,
+  kStats = 6,
+  kPing = 7,
+};
+
+enum StatusCode : uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kError = 2,
+};
+
+struct Request {
+  Op op = kPing;
+  std::string key;        // kPut / kGet / kDelete
+  std::string value;      // kPut: document. kLookup: attribute value.
+  std::string attribute;  // kLookup / kRangeLookup
+  std::string lo;         // kRangeLookup
+  std::string hi;         // kRangeLookup
+  uint32_t k = 0;         // kLookup / kRangeLookup
+};
+
+struct Response {
+  StatusCode code = kOk;
+  std::string payload;
+  std::vector<QueryResult> results;
+};
+
+/// Append a complete frame (header + payload) encoding `req` to *out.
+void EncodeRequest(const Request& req, std::string* out);
+
+/// Parse a request frame's payload (header already stripped). Corruption on
+/// any malformed input, including trailing bytes.
+Status DecodeRequest(const Slice& payload, Request* req);
+
+/// Append a complete frame (header + payload) encoding `resp` to *out.
+void EncodeResponse(const Response& resp, std::string* out);
+
+/// Parse a response frame's payload (header already stripped).
+Status DecodeResponse(const Slice& payload, Response* resp);
+
+/// Map an engine Status onto a response: OK / NotFound pass through,
+/// anything else becomes kError with the status text as payload.
+Response FromStatus(const Status& s);
+
+}  // namespace wire
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_SERVE_WIRE_H_
