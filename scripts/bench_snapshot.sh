@@ -31,6 +31,12 @@
 #     server. On a single-core container the shard counts are expected to
 #     tie (the sweep records the shape, and that N=1 costs nothing over
 #     unsharded); scaling shows on multi-core hardware.
+#   * bench_range_scan — primary range scans, heap-merge iterators vs
+#     REMIX-style sorted views, selectivity sweep (1‰ .. 1000‰) across
+#     all five variants over identical deterministic LSM shapes. The
+#     sorted view pays one binary search per Seek and then streams runs
+#     sequentially; the gap over the per-Next heap reshuffle widens with
+#     scan width.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -88,6 +94,9 @@ for shards in 1 2 4; do
   "${bin}/bench/bench_serve" --mode=server --shards="${shards}" --threads=4 \
     --ops=20000 --lookup_frac=10 >> "${tmp}"
 done
+
+echo "==> range scans (heap-merge vs sorted view, selectivity sweep)"
+"${bin}/bench/bench_range_scan" --n=40000 --reps=40 >> "${tmp}"
 
 mv "${tmp}" "${out}"
 trap - EXIT

@@ -77,6 +77,20 @@ if [[ -n "${SAN_FILTER}" ]]; then
   ASAN_OPTIONS="halt_on_error=1" ctest --preset asan -L ingest
 fi
 
+# Iterators: the differential iterator-model harness (500+ randomized
+# rounds of snapshot reads, scans, flush/compaction/ingest interleavings,
+# byte-identical across sorted_views on/off x read_parallelism 0/4) plus
+# the directed snapshot-under-mutation suite. Snapshot pinning crosses the
+# writer/background threads (TSan) and the sorted-view artifact is parsed
+# back from disk on reopen (ASan). Skipped when --sanitize-all already ran
+# the full suites.
+if [[ -n "${SAN_FILTER}" ]]; then
+  echo "==> TSan iterator tests"
+  TSAN_OPTIONS="halt_on_error=1" ctest --preset tsan -L iterator
+  echo "==> ASan iterator tests"
+  ASAN_OPTIONS="halt_on_error=1" ctest --preset asan -L iterator
+fi
+
 # Observability: PerfContext mirrors every Statistics::Record on the query
 # thread and ParallelRun merges task-local contexts across the pool, so the
 # suite is a natural race detector — run it under TSan. Skipped when

@@ -45,17 +45,46 @@ Status LazyIndex::OnDelete(const Slice& primary_key, const Slice& attr_value,
 }
 
 Status LazyIndex::BulkLoad(const std::vector<IndexOp>& entries) {
-  if (index_db_->LastSequence() != 0) {
-    // An ingested file lands at the deepest non-overlapping level, which
-    // may sit BELOW older fragments — Lookup's level-by-level early stop
-    // assumes deeper means older. Fall back to ordinary fragments.
-    return SecondaryIndex::BulkLoad(entries);
-  }
-  // Empty table: each attribute's complete posting list becomes its one
-  // fragment, spliced in as SSTables with no WAL and no per-op overhead.
+  // Each touched attribute's COMPLETE posting list becomes one fragment,
+  // spliced in as SSTables with no WAL and no per-op overhead. Into an
+  // empty table that is just the new batch; into a non-empty one the new
+  // entries are merged with every existing fragment of the attribute
+  // (deletion markers kept — they still shadow occurrences in fragments
+  // below; whole-list tombstones stop the walk and stay in place, still
+  // guarding everything older). The merged fragment is forced to level 0,
+  // where its fresh file number makes it the NEWEST residence: it must
+  // shadow the fragments it merged for the level-by-level scan's early
+  // stop to stay sound, and natural ingest placement would instead sink
+  // it below them.
+  const bool empty_table = index_db_->LastSequence() == 0;
   std::map<std::string, std::vector<PostingEntry>> lists;
   for (const IndexOp& op : entries) {
     lists[op.attr_value].emplace_back(op.primary_key, op.seq, false);
+  }
+  Status s;
+  if (!empty_table) {
+    for (auto& [attr_value, list] : lists) {
+      std::set<std::string> have;
+      for (const PostingEntry& e : list) {
+        have.insert(e.primary_key);
+      }
+      s = index_db_->GetFragments(
+          ReadOptions(), Slice(attr_value),
+          [&](int /*rank*/, SequenceNumber /*fseq*/, bool frag_deleted,
+              const Slice& fragment) {
+            if (frag_deleted) return false;  // Tombstone guards the rest
+            std::vector<PostingEntry> existing;
+            if (PostingList::Parse(fragment, &existing)) {
+              for (PostingEntry& e : existing) {
+                if (have.insert(e.primary_key).second) {
+                  list.push_back(std::move(e));
+                }
+              }
+            }
+            return true;
+          });
+      if (!s.ok()) return s;
+    }
   }
   auto it = lists.begin();
   IngestFeed feed = [&](std::string* key, std::string* value) {
@@ -71,7 +100,8 @@ Status LazyIndex::BulkLoad(const std::vector<IndexOp>& entries) {
     ++it;
     return true;
   };
-  return index_db_->IngestExternalFiles(feed, nullptr);
+  return index_db_->IngestExternalFiles(feed, nullptr,
+                                        /*force_level0=*/!empty_table);
 }
 
 Status LazyIndex::Lookup(const Slice& value, size_t k,

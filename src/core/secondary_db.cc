@@ -158,6 +158,16 @@ SecondaryIndex* SecondaryDB::index(const std::string& attribute) {
   return nullptr;
 }
 
+const Snapshot* SecondaryDB::GetSnapshot() { return primary_->GetSnapshot(); }
+
+void SecondaryDB::ReleaseSnapshot(const Snapshot* snapshot) {
+  primary_->ReleaseSnapshot(snapshot);
+}
+
+Iterator* SecondaryDB::NewIterator(const ReadOptions& options) {
+  return primary_->NewIterator(options);
+}
+
 Status SecondaryDB::Put(const Slice& key, const Slice& json_value) {
   // Extract indexed attributes up front (stand-alone variants need them;
   // the extraction also validates the document).

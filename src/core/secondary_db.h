@@ -105,6 +105,19 @@ class SecondaryDB {
                      const Slice& hi, size_t k,
                      std::vector<QueryResult>* results);
 
+  // ---- Snapshot-consistent primary iteration ----
+  //
+  // Thin forwards to the primary table: a snapshot pins a sequence number
+  // (writes/flushes/compactions after it stay invisible), and iterators
+  // are bidirectional merged views over memtable + immutables + every
+  // level (one pre-merged run when Options::sorted_views has a current
+  // view). Release every snapshot before closing the store. The
+  // stand-alone index tables are NOT covered: LOOKUP/RANGELOOKUP read
+  // "now" by design (the paper's queries have no as-of semantics).
+  const Snapshot* GetSnapshot();
+  void ReleaseSnapshot(const Snapshot* snapshot);
+  Iterator* NewIterator(const ReadOptions& options);
+
   /// Bulk load: stream sorted documents (strictly increasing primary keys,
   /// JSON values) into the primary table via DB::IngestExternalFiles — no
   /// memtable, no WAL — and bring every index along. Embedded/NoIndex need

@@ -12,7 +12,8 @@ namespace leveldbpp {
 
 Status BuildTable(const std::string& dbname, Env* env, const Options& options,
                   const InternalKeyComparator& icmp, TableCache* table_cache,
-                  Iterator* iter, FileMetaData* meta) {
+                  Iterator* iter, SequenceNumber smallest_snapshot,
+                  FileMetaData* meta) {
   Status s;
   meta->file_size = 0;
   iter->SeekToFirst();
@@ -29,25 +30,36 @@ Status BuildTable(const std::string& dbname, Env* env, const Options& options,
     meta->smallest.DecodeFrom(iter->key());
     Slice key;
     std::string current_user_key;
+    std::string last_added_key;
     bool has_current_user_key = false;
+    SequenceNumber last_sequence_for_key = kMaxSequenceNumber;
     for (; iter->Valid(); iter->Next()) {
       key = iter->key();
-      // Drop superseded older versions: internal keys sort newest-first
-      // within a user key, so only the first occurrence survives.
+      // Drop superseded older versions — but only once the newer entry
+      // shadowing them is visible to every live snapshot (internal keys
+      // sort newest-first within a user key, so `last_sequence_for_key` is
+      // the sequence of the entry directly above this one). This is the
+      // same rule the compaction merge applies.
       Slice user_key = ExtractUserKey(key);
+      bool drop = false;
       if (has_current_user_key &&
           icmp.user_comparator()->Compare(
               ExtractUserKey(Slice(current_user_key)), user_key) == 0) {
-        continue;
+        drop = last_sequence_for_key <= smallest_snapshot;
+      } else {
+        current_user_key.assign(key.data(), key.size());
+        has_current_user_key = true;
       }
-      current_user_key.assign(key.data(), key.size());
-      has_current_user_key = true;
-      const SequenceNumber seq = ExtractSequence(key);
-      if (seq > meta->max_seq) meta->max_seq = seq;
+      last_sequence_for_key = ExtractSequence(key);
+      if (drop) continue;
+      if (last_sequence_for_key > meta->max_seq) {
+        meta->max_seq = last_sequence_for_key;
+      }
       builder->Add(key, iter->value());
+      last_added_key.assign(key.data(), key.size());
     }
-    if (!current_user_key.empty()) {
-      meta->largest.DecodeFrom(Slice(current_user_key));
+    if (!last_added_key.empty()) {
+      meta->largest.DecodeFrom(Slice(last_added_key));
     }
 
     // Persist the file-level zone ranges so the DB can prune whole files

@@ -5,6 +5,7 @@
 
 #include <string>
 
+#include "db/dbformat.h"
 #include "db/options.h"
 #include "util/status.h"
 
@@ -21,10 +22,14 @@ class TableCache;
 /// (including the file-level secondary zone ranges). If no data is present
 /// in *iter, meta->file_size is set to zero and no file is produced.
 ///
-/// Only the NEWEST version of each user key is written: the engine does not
-/// support snapshot reads, so superseded memtable versions are dead weight.
-/// (For value_merger DBs the memtable already merged fragments on write, so
-/// the newest version is the fully merged fragment.)
+/// Superseded versions of a user key are dropped only when the newer entry
+/// shadowing them is visible to every live snapshot — the same rule the
+/// compaction merge applies. `smallest_snapshot` is the oldest live snapshot
+/// sequence (or the DB's last sequence when none are live, which reproduces
+/// plain newest-wins collapsing); pass kMaxSequenceNumber to collapse
+/// unconditionally (repair and ingest, where no snapshot can reference the
+/// input). (For value_merger DBs the memtable already merged fragments on
+/// write, so the newest version is the fully merged fragment.)
 class InternalKeyComparator;
 
 /// `options` must be the DB's internalized options (comparator/filter policy
@@ -32,7 +37,8 @@ class InternalKeyComparator;
 /// for version de-duplication.
 Status BuildTable(const std::string& dbname, Env* env, const Options& options,
                   const InternalKeyComparator& icmp, TableCache* table_cache,
-                  Iterator* iter, FileMetaData* meta);
+                  Iterator* iter, SequenceNumber smallest_snapshot,
+                  FileMetaData* meta);
 
 }  // namespace leveldbpp
 

@@ -21,6 +21,16 @@ namespace leveldbpp {
 
 class WriteBatch;
 
+/// Handle to a consistent, read-only view of the store as of the moment it
+/// was acquired. Obtain via DB::GetSnapshot(), hand it to reads through
+/// ReadOptions::snapshot, and return it with DB::ReleaseSnapshot() — a live
+/// handle pins old record versions through compaction, so holding one
+/// forever retards space reclamation.
+class Snapshot {
+ protected:
+  virtual ~Snapshot();
+};
+
 /// Streaming source for IngestExternalFiles: each call fills *key/*value
 /// with the next record and returns true, or returns false when exhausted.
 /// Keys must arrive in strictly increasing user-key order.
@@ -74,9 +84,21 @@ class DB {
                           std::vector<std::string>* values,
                           std::vector<Status>* statuses);
 
-  /// Heap-allocated forward iterator over the DB's user keys (newest
-  /// visible version of each key; deletions hidden). Caller owns it.
+  /// Heap-allocated bidirectional iterator over the DB's user keys (newest
+  /// visible version of each key; deletions hidden). Caller owns it and
+  /// must delete it before the DB. The iterator observes a consistent view:
+  /// writes issued after creation are invisible to it. Pass
+  /// ReadOptions::snapshot to pin the view to an earlier GetSnapshot().
   virtual Iterator* NewIterator(const ReadOptions& options) = 0;
+
+  /// A handle to the current state of the DB: reads through it (via
+  /// ReadOptions::snapshot) observe exactly the writes acknowledged before
+  /// this call. The caller must eventually ReleaseSnapshot() it.
+  virtual const Snapshot* GetSnapshot() = 0;
+
+  /// Release a snapshot acquired from this DB, unpinning the record
+  /// versions it held through compaction. The handle is invalid afterwards.
+  virtual void ReleaseSnapshot(const Snapshot* snapshot) = 0;
 
   /// DB implementations export properties about their state via this
   /// method; returns true iff `property` is understood.

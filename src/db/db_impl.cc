@@ -74,6 +74,8 @@ Options SanitizeOptions(const InternalKeyComparator* icmp,
 
 DB::~DB() = default;
 
+Snapshot::~Snapshot() = default;
+
 Status DB::MultiGet(const ReadOptions& options, const std::vector<Slice>& keys,
                     std::vector<std::string>* values,
                     std::vector<Status>* statuses) {
@@ -355,12 +357,18 @@ Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit,
   pending_outputs_.insert(meta.number);
   Iterator* iter = mem->NewIterator();
 
+  // Versions shadowed only above the oldest live snapshot must survive the
+  // flush so snapshot reads stay exact (same bound DoCompactionWork uses).
+  const SequenceNumber smallest_snapshot =
+      snapshots_.empty() ? versions_->LastSequence()
+                         : snapshots_.oldest()->sequence();
+
   // The build reads only `mem` (pinned by the caller's reference) and
   // writes a file no Version knows about yet (pinned via pending_outputs_),
   // so the mutex can be released for the duration of the I/O.
   mutex_.Unlock();
   Status s = BuildTable(dbname_, env_, options_, internal_comparator_,
-                        table_cache_.get(), iter, &meta);
+                        table_cache_.get(), iter, smallest_snapshot, &meta);
   delete iter;
   mutex_.Lock();
 
@@ -1064,6 +1072,9 @@ class VectorIterator : public Iterator {
       : entries_(entries) {}
   bool Valid() const override { return pos_ < entries_->size(); }
   void SeekToFirst() override { pos_ = 0; }
+  void SeekToLast() override {
+    pos_ = entries_->empty() ? 0 : entries_->size() - 1;
+  }
   void Seek(const Slice& target) override {
     pos_ = 0;
     while (Valid() && Slice((*entries_)[pos_].first).compare(target) < 0) {
@@ -1071,6 +1082,7 @@ class VectorIterator : public Iterator {
     }
   }
   void Next() override { pos_++; }
+  void Prev() override { pos_ = (pos_ == 0) ? entries_->size() : pos_ - 1; }
   Slice key() const override { return (*entries_)[pos_].first; }
   Slice value() const override { return (*entries_)[pos_].second; }
   Status status() const override { return Status::OK(); }
@@ -1083,7 +1095,8 @@ class VectorIterator : public Iterator {
 }  // namespace
 
 Status DBImpl::IngestExternalFiles(const IngestFeed& feed,
-                                   IngestStats* stats_out) {
+                                   IngestStats* stats_out,
+                                   bool force_level0) {
   if (!feed) {
     return Status::InvalidArgument("IngestExternalFiles: null feed");
   }
@@ -1229,9 +1242,12 @@ Status DBImpl::IngestExternalFiles(const IngestFeed& feed,
     for (IngestChunk& chunk : wave) {
       tasks.push_back([this, &chunk]() {
         VectorIterator iter(&chunk.entries);
+        // Ingest feeds carry one version per user key and the sequences are
+        // newer than any snapshot, so unconditional collapse is safe.
         chunk.status =
             BuildTable(dbname_, env_, options_, internal_comparator_,
-                       table_cache_.get(), &iter, &chunk.meta);
+                       table_cache_.get(), &iter, kMaxSequenceNumber,
+                       &chunk.meta);
       });
     }
     ParallelRun(&tasks, parallelism, options_.statistics);
@@ -1275,7 +1291,7 @@ Status DBImpl::IngestExternalFiles(const IngestFeed& feed,
         const Slice smallest = f.smallest.user_key();
         const Slice largest = f.largest.user_key();
         int target = 0;
-        if (!base->OverlapInLevel(0, &smallest, &largest)) {
+        if (!force_level0 && !base->OverlapInLevel(0, &smallest, &largest)) {
           for (int level = 1; level < options_.num_levels &&
                               !base->OverlapInLevel(level, &smallest, &largest);
                level++) {
@@ -1285,6 +1301,15 @@ Status DBImpl::IngestExternalFiles(const IngestFeed& feed,
         edit.AddFile(target, f);
       }
       s = versions_->LogAndApply(&edit);
+      if (s.ok()) {
+        // A splice into levels >= 1 just invalidated any sorted view;
+        // rebuild under the compaction token (waiting briefly if a
+        // compaction is mid-flight) so iterators regain the fast path.
+        AcquireCompactionToken();
+        MaybeRebuildSortedView();
+        ReleaseCompactionToken();
+        RemoveObsoleteFiles();
+      }
     }
   }
 
@@ -1328,6 +1353,11 @@ Status DBImpl::BackgroundCompaction() {
     status = DoCompactionWork(c.get());
   }
   c->ReleaseInputs();
+  // Rebuild the sorted view once the tree settles; while more compactions
+  // are pending each rebuild would be invalidated immediately, so wait.
+  if (status.ok() && !versions_->NeedsCompaction()) {
+    MaybeRebuildSortedView();
+  }
   RemoveObsoleteFiles();
   return status;
 }
@@ -1367,6 +1397,15 @@ Status DBImpl::DoCompactionWork(Compaction* c) {
                   job_info.input_bytes[0] + job_info.input_bytes[1]);
   }
   const bool observe = stats != nullptr || !options_.listeners.empty();
+
+  // Oldest sequence any live snapshot can still read. Record versions at or
+  // below this bound behave classically (newest wins, the rest drop);
+  // versions above it must survive the merge so snapshot reads stay exact.
+  // With no live snapshots this is LastSequence and every version is "at or
+  // below" it, reproducing plain newest-wins semantics.
+  const SequenceNumber smallest_snapshot =
+      snapshots_.empty() ? versions_->LastSequence()
+                         : snapshots_.oldest()->sequence();
 
   // The merge loop runs with the mutex released: the inputs are pinned by
   // the compaction's input-version reference, and the outputs are invisible
@@ -1448,62 +1487,51 @@ Status DBImpl::DoCompactionWork(Compaction* c) {
     return s;
   };
 
-  // Emit the accumulated run's output entries.
+  // Emit the accumulated run's output entries (Lazy-index merger path
+  // only; the ordinary path drops per entry inside the loop below).
   RunState run;
   auto flush_run = [&]() -> Status {
     if (!run.active) return Status::OK();
+    assert(merger != nullptr);
     Status s;
     const bool base = c->IsBaseLevelForKey(Slice(run.user_key));
-    if (merger == nullptr) {
-      // Ordinary LSM semantics: newest version wins; tombstones survive
-      // until the base level.
-      if (!run.values.empty()) {
+    // Lazy-index semantics: merge all fragments above the first
+    // tombstone; anything below a tombstone is dead.
+    if (!run.values.empty()) {
+      std::vector<Slice> vals;
+      vals.reserve(run.values.size());
+      for (const std::string& v : run.values) vals.emplace_back(v);
+      const bool at_bottom = base || run.saw_tombstone;
+      std::string merged;
+      if (merger->Merge(Slice(run.user_key), vals, at_bottom, &merged)) {
         std::string ikey;
         AppendInternalKey(&ikey, ParsedInternalKey(Slice(run.user_key),
                                                    run.newest_seq,
                                                    kTypeValue));
-        s = emit(Slice(ikey), Slice(run.values[0]));
-      } else if (run.saw_tombstone && !base) {
-        std::string ikey;
-        AppendInternalKey(&ikey, ParsedInternalKey(Slice(run.user_key),
-                                                   run.tombstone_seq,
-                                                   kTypeDeletion));
-        s = emit(Slice(ikey), Slice());
+        s = emit(Slice(ikey), Slice(merged));
       }
-    } else {
-      // Lazy-index semantics: merge all fragments above the first
-      // tombstone; anything below a tombstone is dead.
-      if (!run.values.empty()) {
-        std::vector<Slice> vals;
-        vals.reserve(run.values.size());
-        for (const std::string& v : run.values) vals.emplace_back(v);
-        const bool at_bottom = base || run.saw_tombstone;
-        std::string merged;
-        if (merger->Merge(Slice(run.user_key), vals, at_bottom, &merged)) {
-          std::string ikey;
-          AppendInternalKey(&ikey, ParsedInternalKey(Slice(run.user_key),
-                                                     run.newest_seq,
-                                                     kTypeValue));
-          s = emit(Slice(ikey), Slice(merged));
-        }
-      }
-      if (s.ok() && run.saw_tombstone && !base) {
-        // The tombstone must survive above the base level EVEN IF a merged
-        // value was emitted: unlike plain LSM reads (which stop at the
-        // newest version), the Lazy index's read path UNIONS fragments from
-        // every level, so only the tombstone keeps the pre-tombstone
-        // fragments in lower levels shadowed. Its sequence number is lower
-        // than the merged value's, preserving internal-key order.
-        std::string ikey;
-        AppendInternalKey(&ikey, ParsedInternalKey(Slice(run.user_key),
-                                                   run.tombstone_seq,
-                                                   kTypeDeletion));
-        s = emit(Slice(ikey), Slice());
-      }
+    }
+    if (s.ok() && run.saw_tombstone && !base) {
+      // The tombstone must survive above the base level EVEN IF a merged
+      // value was emitted: unlike plain LSM reads (which stop at the
+      // newest version), the Lazy index's read path UNIONS fragments from
+      // every level, so only the tombstone keeps the pre-tombstone
+      // fragments in lower levels shadowed. Its sequence number is lower
+      // than the merged value's, preserving internal-key order.
+      std::string ikey;
+      AppendInternalKey(&ikey, ParsedInternalKey(Slice(run.user_key),
+                                                 run.tombstone_seq,
+                                                 kTypeDeletion));
+      s = emit(Slice(ikey), Slice());
     }
     run = RunState();
     return s;
   };
+
+  // Per-entry state for the ordinary (merger == nullptr) drop rule.
+  std::string current_user_key;
+  bool has_current_user_key = false;
+  SequenceNumber last_sequence_for_key = kMaxSequenceNumber;
 
   for (; input->Valid() && status.ok(); input->Next()) {
     Slice key = input->key();
@@ -1511,6 +1539,35 @@ Status DBImpl::DoCompactionWork(Compaction* c) {
     if (!ParseInternalKey(key, &ikey)) {
       status = Status::Corruption("corrupted internal key in compaction");
       break;
+    }
+
+    if (merger == nullptr) {
+      // Ordinary LSM semantics, snapshot-aware: a version is dropped only
+      // when a NEWER version of the same user key is itself invisible to
+      // every live snapshot (then no read can ever land between the two),
+      // or when it is a tombstone no snapshot can see that has reached its
+      // base level (nothing older survives below). With no snapshots this
+      // collapses each key to its newest version, with tombstones carried
+      // until the base level — the classic rule.
+      bool drop = false;
+      if (!has_current_user_key ||
+          ucmp->Compare(ikey.user_key, Slice(current_user_key)) != 0) {
+        current_user_key.assign(ikey.user_key.data(), ikey.user_key.size());
+        has_current_user_key = true;
+        last_sequence_for_key = kMaxSequenceNumber;
+      }
+      if (last_sequence_for_key <= smallest_snapshot) {
+        drop = true;  // Shadowed by a newer entry no snapshot can miss
+      } else if (ikey.type == kTypeDeletion &&
+                 ikey.sequence <= smallest_snapshot &&
+                 c->IsBaseLevelForKey(ikey.user_key)) {
+        drop = true;
+      }
+      last_sequence_for_key = ikey.sequence;
+      if (!drop) {
+        status = emit(key, input->value());
+      }
+      continue;
     }
 
     if (!run.active || ucmp->Compare(ikey.user_key, Slice(run.user_key)) != 0) {
@@ -1527,10 +1584,7 @@ Status DBImpl::DoCompactionWork(Compaction* c) {
     if (ikey.type == kTypeDeletion) {
       run.saw_tombstone = true;
       run.tombstone_seq = ikey.sequence;
-    } else if (merger != nullptr) {
-      run.values.emplace_back(input->value().data(), input->value().size());
-    } else if (run.values.empty()) {
-      // Without a merger only the newest value matters.
+    } else {
       run.values.emplace_back(input->value().data(), input->value().size());
     }
   }
@@ -1609,6 +1663,12 @@ void DBImpl::RemoveObsoleteFiles() {
         case kTempFile:
           keep = false;
           break;
+        case kSortedViewFile:
+          // Only the MANIFEST-referenced sorted view is live; a superseded
+          // or orphaned (build crashed before LogAndApply) view is garbage.
+          keep = (number == versions_->SortedViewNumber() ||
+                  pending_outputs_.find(number) != pending_outputs_.end());
+          break;
         case kCurrentFile:
         case kDBLockFile:
           keep = true;
@@ -1667,12 +1727,15 @@ Status DBImpl::GetWithMeta(const ReadOptions& options, const Slice& key,
 
   Status s;
   bool found = false;
-  SequenceNumber snapshot = versions_->LastSequence();
+  const SequenceNumber snapshot =
+      options.snapshot != nullptr
+          ? static_cast<const SnapshotImpl*>(options.snapshot)->sequence()
+          : versions_->LastSequence();
   LookupKey lkey(key, snapshot);
   std::string mem_value;
   SequenceNumber seq;
   bool deleted;
-  if (mem->GetNewest(key, &mem_value, &seq, &deleted)) {
+  if (mem->GetNewest(key, &mem_value, &seq, &deleted, snapshot)) {
     loc->seq = seq;
     loc->level = -1;
     s = deleted ? Status::NotFound(Slice()) : Status::OK();
@@ -1681,7 +1744,7 @@ Status DBImpl::GetWithMeta(const ReadOptions& options, const Slice& key,
   }
   for (MemTable* imm : imms) {
     if (found) break;
-    if (imm->GetNewest(key, &mem_value, &seq, &deleted)) {
+    if (imm->GetNewest(key, &mem_value, &seq, &deleted, snapshot)) {
       loc->seq = seq;
       loc->level = -2;
       s = deleted ? Status::NotFound(Slice()) : Status::OK();
@@ -1788,7 +1851,10 @@ Status DBImpl::MultiGetWithMeta(const ReadOptions& options,
     current = versions_->current();
     current->Ref();
   }
-  const SequenceNumber snapshot = versions_->LastSequence();
+  const SequenceNumber snapshot =
+      options.snapshot != nullptr
+          ? static_cast<const SnapshotImpl*>(options.snapshot)->sequence()
+          : versions_->LastSequence();
   const Comparator* ucmp = internal_comparator_.user_comparator();
 
   // Phase 1 (sequential — memtable probes are pure in-memory work): keys
@@ -1799,13 +1865,13 @@ Status DBImpl::MultiGetWithMeta(const ReadOptions& options,
     SequenceNumber seq;
     bool deleted;
     bool hit = false;
-    if (mem->GetNewest(keys[i], &mem_value, &seq, &deleted)) {
+    if (mem->GetNewest(keys[i], &mem_value, &seq, &deleted, snapshot)) {
       (*locs)[i].seq = seq;
       (*locs)[i].level = -1;
       hit = true;
     } else {
       for (MemTable* imm : imms) {
-        if (imm->GetNewest(keys[i], &mem_value, &seq, &deleted)) {
+        if (imm->GetNewest(keys[i], &mem_value, &seq, &deleted, snapshot)) {
           (*locs)[i].seq = seq;
           (*locs)[i].level = -2;
           hit = true;
@@ -2204,6 +2270,138 @@ Status DBImpl::GetFragments(
   return s;
 }
 
+namespace {
+
+// True iff `view` describes exactly `v`'s levels >= 1: same non-empty
+// levels, same file numbers in the same order.
+bool SortedViewMatchesVersion(const SortedView& view, Version* v) {
+  size_t run = 0;
+  for (int level = 1; level < v->NumLevels(); level++) {
+    const std::vector<FileMetaData*>& files = v->files(level);
+    if (files.empty()) continue;
+    if (run >= view.levels.size() || view.levels[run] != level) return false;
+    const std::vector<uint64_t>& numbers = view.level_files[run];
+    if (numbers.size() != files.size()) return false;
+    for (size_t i = 0; i < files.size(); i++) {
+      if (files[i]->number != numbers[i]) return false;
+    }
+    run++;
+  }
+  return run == view.levels.size();
+}
+
+}  // namespace
+
+void DBImpl::MaybeRebuildSortedView() {
+  mutex_.AssertHeld();
+  assert(compaction_token_held_);
+  if (!options_.sorted_views ||
+      shutting_down_.load(std::memory_order_acquire)) {
+    return;
+  }
+  if (versions_->SortedViewNumber() != 0) {
+    // The MANIFEST still points at a view, so no edit has touched levels
+    // >= 1 since it was built (e.g. an L0-only ingest): keep it.
+    return;
+  }
+  Version* base = versions_->current();
+  std::vector<int> covered;
+  for (int level = 1; level < base->NumLevels(); level++) {
+    if (base->NumFiles(level) > 0) covered.push_back(level);
+  }
+  if (covered.size() < 2) {
+    // Zero or one sorted run below L0: the concatenating iterator is
+    // already a pre-merged view, nothing to gain. Any previous view's
+    // number was cleared by the edit that got us here.
+    sorted_view_cache_.reset();
+    return;
+  }
+
+  auto view = std::make_shared<SortedView>();
+  view->number = versions_->NewFileNumber();
+  view->levels = covered;
+  for (int level : covered) {
+    std::vector<uint64_t> numbers;
+    numbers.reserve(base->files(level).size());
+    for (const FileMetaData* f : base->files(level)) {
+      numbers.push_back(f->number);
+    }
+    view->level_files.push_back(std::move(numbers));
+  }
+  pending_outputs_.insert(view->number);
+  base->Ref();
+
+  mutex_.Unlock();
+  const uint64_t start_micros = env_->NowMicros();
+  ReadOptions read_options;
+  read_options.fill_cache = false;
+  std::vector<Iterator*> runs;
+  for (int level : covered) {
+    runs.push_back(base->NewConcatenatingIterator(read_options, level));
+  }
+  Status s = BuildSortedView(&internal_comparator_, runs, view.get());
+  for (Iterator* run : runs) delete run;
+  const std::string fname = SortedViewFileName(dbname_, view->number);
+  if (s.ok()) {
+    s = WriteSortedViewFile(env_, fname, *view);
+  }
+  const uint64_t micros = env_->NowMicros() - start_micros;
+  mutex_.Lock();
+  base->Unref();
+
+  // An ingest may have spliced files while the mutex was released (it does
+  // not hold the compaction token): the sweep then describes a stale tree.
+  // Drop the build — if that ingest touched levels >= 1 it schedules its
+  // own rebuild after its splice.
+  if (s.ok() && !SortedViewMatchesVersion(*view, versions_->current())) {
+    s = Status::InvalidArgument("sorted view superseded during build");
+  }
+  if (s.ok() && !shutting_down_.load(std::memory_order_acquire)) {
+    VersionEdit edit;
+    edit.SetSortedView(view->number);
+    s = versions_->LogAndApply(&edit);
+  }
+  pending_outputs_.erase(view->number);
+  if (s.ok()) {
+    if (options_.statistics != nullptr) {
+      options_.statistics->Record(kSortedViewBuilds);
+      options_.statistics->Record(kSortedViewBuildEntries, view->entry_count);
+      options_.statistics->RecordHistogram(kHistSortedViewBuildMicros,
+                                           static_cast<double>(micros));
+    }
+    sorted_view_cache_ = std::move(view);
+  } else {
+    // The view is only an optimization: absorb the failure (no sticky
+    // background error), delete the partial artifact, keep heap-merging.
+    sorted_view_cache_.reset();
+    env_->RemoveFile(fname);
+  }
+}
+
+std::shared_ptr<const SortedView> DBImpl::GetOrLoadSortedView() {
+  mutex_.AssertHeld();
+  const uint64_t number = versions_->SortedViewNumber();
+  if (number == 0) return nullptr;
+  if (sorted_view_cache_ != nullptr && sorted_view_cache_->number == number) {
+    return sorted_view_cache_;
+  }
+  // First use since reopen: load the artifact the recovered MANIFEST
+  // points at. Any mismatch (corruption, manual file tampering) just
+  // disables the view.
+  auto view = std::make_shared<SortedView>();
+  Status s = ReadSortedViewFile(env_, SortedViewFileName(dbname_, number),
+                                number, view.get());
+  if (s.ok() && !SortedViewMatchesVersion(*view, versions_->current())) {
+    s = Status::Corruption("sorted view does not match current layout");
+  }
+  if (!s.ok()) {
+    sorted_view_cache_.reset();
+    return nullptr;
+  }
+  sorted_view_cache_ = std::move(view);
+  return sorted_view_cache_;
+}
+
 Iterator* DBImpl::NewInternalIterator(
     const ReadOptions& options, SequenceNumber* latest_snapshot,
     std::vector<std::function<void()>>* cleanups) {
@@ -2222,7 +2420,30 @@ Iterator* DBImpl::NewInternalIterator(
     cleanups->push_back([imm]() { imm->Unref(); });
   }
   Version* current = versions_->current();
-  current->AddIterators(options, &list);
+  bool used_sorted_view = false;
+  if (options_.sorted_views) {
+    std::shared_ptr<const SortedView> view = GetOrLoadSortedView();
+    if (view != nullptr) {
+      // L0 files still merge on the fly (they overlap and churn with
+      // every flush); levels >= 1 collapse into one pre-merged run.
+      current->AddL0Iterators(options, &list);
+      std::vector<Iterator*> runs;
+      for (int level : view->levels) {
+        runs.push_back(current->NewConcatenatingIterator(options, level));
+      }
+      list.push_back(NewSortedViewIterator(&internal_comparator_,
+                                           std::move(view), std::move(runs)));
+      used_sorted_view = true;
+      if (options_.statistics != nullptr) {
+        options_.statistics->Record(kSortedViewUsed);
+      }
+    } else if (options_.statistics != nullptr) {
+      options_.statistics->Record(kSortedViewFallbacks);
+    }
+  }
+  if (!used_sorted_view) {
+    current->AddIterators(options, &list);
+  }
   current->Ref();
   // Version refs are only safe to drop under the DB mutex (Unref may unlink
   // the version and delete obsolete files' metadata).
@@ -2240,12 +2461,35 @@ Iterator* DBImpl::NewIterator(const ReadOptions& options) {
   std::vector<std::function<void()>> cleanups;
   Iterator* internal_iter =
       NewInternalIterator(options, &latest_snapshot, &cleanups);
+  const SequenceNumber sequence =
+      options.snapshot != nullptr
+          ? static_cast<const SnapshotImpl*>(options.snapshot)->sequence()
+          : latest_snapshot;
   Iterator* db_iter = NewDBIterator(internal_comparator_.user_comparator(),
-                                    internal_iter, latest_snapshot);
+                                    internal_iter, sequence);
   for (auto& fn : cleanups) {
     db_iter->RegisterCleanup(std::move(fn));
   }
+  if (options_.statistics != nullptr) {
+    options_.statistics->Record(kIterCreated);
+  }
   return db_iter;
+}
+
+const Snapshot* DBImpl::GetSnapshot() {
+  MutexLock l(&mutex_);
+  if (options_.statistics != nullptr) {
+    options_.statistics->Record(kIterSnapshotsAcquired);
+  }
+  return snapshots_.New(versions_->LastSequence());
+}
+
+void DBImpl::ReleaseSnapshot(const Snapshot* snapshot) {
+  MutexLock l(&mutex_);
+  if (options_.statistics != nullptr) {
+    options_.statistics->Record(kIterSnapshotsReleased);
+  }
+  snapshots_.Delete(static_cast<const SnapshotImpl*>(snapshot));
 }
 
 DBImpl::LevelIterators::~LevelIterators() {
@@ -2624,6 +2868,10 @@ void DBImpl::CompactRange(const Slice* begin, const Slice* end) {
       c->ReleaseInputs();
       RemoveObsoleteFiles();
     }
+  }
+  if (s.ok()) {
+    MaybeRebuildSortedView();
+    RemoveObsoleteFiles();  // Drop the view the manual compaction replaced
   }
   ReleaseCompactionToken();
   if (!s.ok()) {

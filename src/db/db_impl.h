@@ -40,12 +40,14 @@
 #include "db/db.h"
 #include "db/dbformat.h"
 #include "db/memtable.h"
+#include "db/snapshot.h"
 #include "db/version_set.h"
 #include "db/write_batch.h"
 #include "env/statistics.h"
 #include "port/port.h"
 #include "port/thread_annotations.h"
 #include "table/quarantine.h"
+#include "table/sorted_view.h"
 #include "wal/log_writer.h"
 
 namespace leveldbpp {
@@ -79,6 +81,8 @@ class DBImpl : public DB {
                   std::vector<std::string>* values,
                   std::vector<Status>* statuses) override;
   Iterator* NewIterator(const ReadOptions&) override;
+  const Snapshot* GetSnapshot() override;
+  void ReleaseSnapshot(const Snapshot* snapshot) override;
   bool GetProperty(const Slice& property, std::string* value) override;
   void CompactRange(const Slice* begin, const Slice* end) override;
   /// Clear a transient sticky background error (rotating the WAL — the old
@@ -90,7 +94,17 @@ class DBImpl : public DB {
   /// contents are flushed first so the fresh sequence numbers cannot be
   /// shadowed by older in-memory records.
   Status IngestExternalFiles(const IngestFeed& feed,
-                             IngestStats* stats) override;
+                             IngestStats* stats) override {
+    return IngestExternalFiles(feed, stats, /*force_level0=*/false);
+  }
+  /// Internal variant: with `force_level0` every built file splices at
+  /// level 0 regardless of overlap, making the batch the NEWEST residence.
+  /// The Lazy index's bulk load into a non-empty table needs this: its
+  /// merged posting fragments contain re-serialized OLD entries, and the
+  /// level-by-level scan's early stop is only sound when such a fragment
+  /// shadows (sits above) every fragment it merged.
+  Status IngestExternalFiles(const IngestFeed& feed, IngestStats* stats,
+                             bool force_level0);
 
   // ---- Extended surface for the secondary-index layer ----
 
@@ -316,6 +330,22 @@ class DBImpl : public DB {
   Status BackgroundCompaction() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
   Status DoCompactionWork(Compaction* c) EXCLUSIVE_LOCKS_REQUIRED(mutex_);
   void RemoveObsoleteFiles() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+
+  /// With Options::sorted_views, sweep levels >= 1 once, persist the
+  /// <number>.svw artifact, and record it in the MANIFEST. No-op (beyond
+  /// clearing the in-memory cache) when fewer than two levels are
+  /// non-empty. A failed build is absorbed — the view is an optimization,
+  /// readers just keep heap-merging. Callers must hold the compaction
+  /// token so the layout cannot shift under the sweep (the one writer
+  /// that bypasses the token, IngestExternalFiles, is detected by
+  /// re-validating the layout before install).
+  void MaybeRebuildSortedView() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+
+  /// The SortedView matching the MANIFEST's current sorted-view number,
+  /// loading <number>.svw on first use after reopen. nullptr when no view
+  /// is current (readers fall back to the heap merge).
+  std::shared_ptr<const SortedView> GetOrLoadSortedView()
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
   Iterator* NewInternalIterator(const ReadOptions&, SequenceNumber* seq,
                                 std::vector<std::function<void()>>* cleanups);
   /// Apply the Lazy-index memtable-local merge to a Put value. Returns the
@@ -369,6 +399,15 @@ class DBImpl : public DB {
   WriteBatch tmp_batch_ GUARDED_BY(mutex_);
 
   std::unique_ptr<VersionSet> versions_ GUARDED_BY(mutex_);
+
+  // Sequence numbers pinned by live GetSnapshot() handles; compaction's
+  // drop rule retains any record version the oldest entry can still see.
+  SnapshotList snapshots_ GUARDED_BY(mutex_);
+
+  // Cache of the current sorted view (number ==
+  // versions_->SortedViewNumber()); iterators share it by shared_ptr so a
+  // rebuild never invalidates a live iterator's copy.
+  std::shared_ptr<const SortedView> sorted_view_cache_ GUARDED_BY(mutex_);
 
   // Table files being written by an in-progress flush/compaction; these are
   // in no Version yet, so RemoveObsoleteFiles must not delete them.

@@ -7,6 +7,10 @@ namespace leveldbpp {
 
 namespace {
 
+// Wraps an internal-key iterator into a user-key iterator: hides entries
+// newer than the iterator's snapshot sequence, collapses the per-key version
+// history to the newest visible version, and suppresses deleted keys — in
+// both directions.
 class DBIter : public Iterator {
  public:
   DBIter(const Comparator* user_cmp, Iterator* internal_iter,
@@ -14,6 +18,7 @@ class DBIter : public Iterator {
       : user_cmp_(user_cmp),
         iter_(internal_iter),
         sequence_(sequence),
+        direction_(kForward),
         valid_(false) {}
 
   ~DBIter() override = default;
@@ -21,11 +26,12 @@ class DBIter : public Iterator {
   bool Valid() const override { return valid_; }
   Slice key() const override {
     assert(valid_);
-    return ExtractUserKey(iter_->key());
+    return (direction_ == kForward) ? ExtractUserKey(iter_->key())
+                                    : Slice(saved_key_);
   }
   Slice value() const override {
     assert(valid_);
-    return iter_->value();
+    return (direction_ == kForward) ? iter_->value() : Slice(saved_value_);
   }
   Status status() const override {
     if (status_.ok()) {
@@ -35,11 +41,23 @@ class DBIter : public Iterator {
   }
 
   void SeekToFirst() override {
+    direction_ = kForward;
+    ClearSavedValue();
     iter_->SeekToFirst();
     FindNextUserEntry(/*skipping=*/false);
   }
 
+  void SeekToLast() override {
+    direction_ = kReverse;
+    ClearSavedValue();
+    saved_key_.clear();
+    iter_->SeekToLast();
+    FindPrevUserEntry();
+  }
+
   void Seek(const Slice& target) override {
+    direction_ = kForward;
+    ClearSavedValue();
     std::string seek_key;
     AppendInternalKey(&seek_key, ParsedInternalKey(target, sequence_,
                                                    kValueTypeForSeek));
@@ -49,20 +67,74 @@ class DBIter : public Iterator {
 
   void Next() override {
     assert(valid_);
-    // Remember the current user key and skip all its remaining versions.
-    SaveKey(ExtractUserKey(iter_->key()), &saved_key_);
-    iter_->Next();
+    if (direction_ == kReverse) {
+      // iter_ is pointing just before the entries for this->key(), so
+      // advance into those entries and then past them. saved_key_ already
+      // holds the key to skip.
+      direction_ = kForward;
+      if (!iter_->Valid()) {
+        iter_->SeekToFirst();
+      } else {
+        iter_->Next();
+      }
+      if (!iter_->Valid()) {
+        valid_ = false;
+        saved_key_.clear();
+        return;
+      }
+    } else {
+      // Remember the current user key and skip all its remaining versions.
+      SaveKey(ExtractUserKey(iter_->key()), &saved_key_);
+      iter_->Next();
+    }
     FindNextUserEntry(/*skipping=*/true);
   }
 
+  void Prev() override {
+    assert(valid_);
+    if (direction_ == kForward) {
+      // iter_ is pointing at the current entry. Scan backwards until the
+      // user key changes so the reverse-scan invariant (iter_ just before
+      // the entries for key()) holds, then reuse the normal reverse path.
+      SaveKey(ExtractUserKey(iter_->key()), &saved_key_);
+      while (true) {
+        iter_->Prev();
+        if (!iter_->Valid()) {
+          valid_ = false;
+          saved_key_.clear();
+          ClearSavedValue();
+          return;
+        }
+        if (user_cmp_->Compare(ExtractUserKey(iter_->key()),
+                               Slice(saved_key_)) < 0) {
+          break;
+        }
+      }
+      direction_ = kReverse;
+    }
+    FindPrevUserEntry();
+  }
+
  private:
+  enum Direction { kForward, kReverse };
+
   void SaveKey(const Slice& k, std::string* dst) {
     dst->assign(k.data(), k.size());
+  }
+
+  void ClearSavedValue() {
+    if (saved_value_.capacity() > 1048576) {
+      std::string empty;
+      std::swap(empty, saved_value_);
+    } else {
+      saved_value_.clear();
+    }
   }
 
   // Position at the first entry whose user key (a) is the newest visible
   // version and (b) when `skipping`, is greater than saved_key_.
   void FindNextUserEntry(bool skipping) {
+    assert(direction_ == kForward);
     valid_ = false;
     while (iter_->Valid()) {
       ParsedInternalKey ikey;
@@ -92,13 +164,63 @@ class DBIter : public Iterator {
           return;
       }
     }
+    saved_key_.clear();
+  }
+
+  // Scan backwards for the previous visible user key, buffering its newest
+  // visible version in saved_key_/saved_value_ (internal order puts the
+  // newest version LAST when walking backwards, so the buffer is
+  // overwritten until the key changes). Leaves iter_ just before the
+  // buffered key's entries.
+  void FindPrevUserEntry() {
+    assert(direction_ == kReverse);
+    ValueType value_type = kTypeDeletion;
+    if (iter_->Valid()) {
+      do {
+        ParsedInternalKey ikey;
+        if (!ParseInternalKey(iter_->key(), &ikey)) {
+          status_ = Status::Corruption("corrupted internal key in DBIter");
+          break;
+        }
+        if (ikey.sequence <= sequence_) {
+          if ((value_type != kTypeDeletion) &&
+              user_cmp_->Compare(ikey.user_key, Slice(saved_key_)) < 0) {
+            // A visible value for saved_key_ is buffered and this entry
+            // belongs to an earlier key: done.
+            break;
+          }
+          value_type = ikey.type;
+          if (value_type == kTypeDeletion) {
+            saved_key_.clear();
+            ClearSavedValue();
+          } else {
+            Slice raw_value = iter_->value();
+            SaveKey(ExtractUserKey(iter_->key()), &saved_key_);
+            saved_value_.assign(raw_value.data(), raw_value.size());
+          }
+        }
+        iter_->Prev();
+      } while (iter_->Valid());
+    }
+
+    if (value_type == kTypeDeletion) {
+      // Ran off the beginning without a visible value.
+      valid_ = false;
+      saved_key_.clear();
+      ClearSavedValue();
+      direction_ = kForward;
+    } else {
+      valid_ = true;
+    }
   }
 
   const Comparator* const user_cmp_;
   std::unique_ptr<Iterator> iter_;
   SequenceNumber const sequence_;
   Status status_;
-  std::string saved_key_;
+  std::string saved_key_;    // == current key when direction_ == kReverse
+  std::string saved_value_;  // == current value when direction_ == kReverse
+  Direction direction_;
   bool valid_;
 };
 

@@ -25,6 +25,11 @@ std::string TableFileName(const std::string& dbname, uint64_t number) {
   return MakeFileName(dbname, number, "ldb");
 }
 
+std::string SortedViewFileName(const std::string& dbname, uint64_t number) {
+  assert(number > 0);
+  return MakeFileName(dbname, number, "svw");
+}
+
 std::string DescriptorFileName(const std::string& dbname, uint64_t number) {
   assert(number > 0);
   char buf[100];
@@ -48,7 +53,7 @@ std::string TempFileName(const std::string& dbname, uint64_t number) {
 //    dbname/CURRENT
 //    dbname/LOCK
 //    dbname/MANIFEST-[0-9]+
-//    dbname/[0-9]+.(log|ldb|dbtmp)
+//    dbname/[0-9]+.(log|ldb|svw|dbtmp)
 bool ParseFileName(const std::string& filename, uint64_t* number,
                    FileType* type) {
   Slice rest(filename);
@@ -82,6 +87,8 @@ bool ParseFileName(const std::string& filename, uint64_t* number,
       *type = kLogFile;
     } else if (suffix == Slice(".ldb")) {
       *type = kTableFile;
+    } else if (suffix == Slice(".svw")) {
+      *type = kSortedViewFile;
     } else if (suffix == Slice(".dbtmp")) {
       *type = kTempFile;
     } else {

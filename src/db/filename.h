@@ -1,6 +1,7 @@
 // File naming scheme within a DB directory (LevelDB conventions):
 //   <number>.ldb      SSTable
 //   <number>.log      write-ahead log
+//   <number>.svw      sorted-view artifact (REMIX run selectors)
 //   MANIFEST-<number> version-edit log
 //   CURRENT           name of the live MANIFEST
 //   LOCK              advisory lock marker
@@ -25,10 +26,12 @@ enum FileType {
   kDescriptorFile,
   kCurrentFile,
   kTempFile,
+  kSortedViewFile,
 };
 
 std::string LogFileName(const std::string& dbname, uint64_t number);
 std::string TableFileName(const std::string& dbname, uint64_t number);
+std::string SortedViewFileName(const std::string& dbname, uint64_t number);
 std::string DescriptorFileName(const std::string& dbname, uint64_t number);
 std::string CurrentFileName(const std::string& dbname);
 std::string LockFileName(const std::string& dbname);

@@ -57,7 +57,9 @@ class MemTableIterator : public Iterator {
   bool Valid() const override { return iter_.Valid(); }
   void Seek(const Slice& k) override { iter_.Seek(EncodeKey(&tmp_, k)); }
   void SeekToFirst() override { iter_.SeekToFirst(); }
+  void SeekToLast() override { iter_.SeekToLast(); }
   void Next() override { iter_.Next(); }
+  void Prev() override { iter_.Prev(); }
   Slice key() const override { return GetLengthPrefixedSliceAt(iter_.key()); }
   Slice value() const override {
     Slice key_slice = GetLengthPrefixedSliceAt(iter_.key());
@@ -148,8 +150,9 @@ bool MemTable::Get(const LookupKey& key, std::string* value, Status* s) {
 }
 
 bool MemTable::GetNewest(const Slice& user_key, std::string* value,
-                         SequenceNumber* seq, bool* is_deletion) {
-  LookupKey lkey(user_key, kMaxSequenceNumber);
+                         SequenceNumber* seq, bool* is_deletion,
+                         SequenceNumber max_seq) {
+  LookupKey lkey(user_key, max_seq);
   Table::Iterator iter(&table_);
   iter.Seek(lkey.memtable_key().data());
   if (!iter.Valid()) return false;

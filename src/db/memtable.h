@@ -65,11 +65,13 @@ class MemTable {
   /// and return true. Else return false.
   bool Get(const LookupKey& key, std::string* value, Status* s);
 
-  /// Newest version of `user_key`, regardless of type. Returns false if the
-  /// memtable has no entry for the key. Used by the Lazy index's
-  /// memtable-local posting merge and by GetLite.
+  /// Newest version of `user_key` with sequence <= max_seq, regardless of
+  /// type. Returns false if the memtable has no such entry. Used by the
+  /// Lazy index's memtable-local posting merge, by GetLite, and (with a
+  /// snapshot's sequence as the ceiling) by snapshot point reads.
   bool GetNewest(const Slice& user_key, std::string* value,
-                 SequenceNumber* seq, bool* is_deletion);
+                 SequenceNumber* seq, bool* is_deletion,
+                 SequenceNumber max_seq = kMaxSequenceNumber);
 
   /// Match callback: (user key, sequence, record value).
   using SecondaryMatchFn =

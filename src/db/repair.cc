@@ -58,8 +58,12 @@ class VectorIterator : public Iterator {
     return index_ < entries_->size();
   }
   void SeekToFirst() override { index_ = 0; }
+  void SeekToLast() override {
+    index_ = entries_->empty() ? 0 : entries_->size() - 1;
+  }
   void Seek(const Slice&) override { index_ = 0; }  // Unused by BuildTable
   void Next() override { index_++; }
+  void Prev() override { index_ = (index_ == 0) ? entries_->size() : index_ - 1; }
   Slice key() const override { return (*entries_)[index_].first; }
   Slice value() const override { return (*entries_)[index_].second; }
   Status status() const override { return Status::OK(); }
@@ -228,8 +232,9 @@ class Repairer {
       TableInfo info;
       info.meta.number = next_file_number_++;
       std::unique_ptr<Iterator> iter(mem->NewIterator());
+      // No snapshot can be live across a repair, so collapse to newest.
       build = BuildTable(dbname_, env_, options_, icmp_, table_cache_,
-                         iter.get(), &info.meta);
+                         iter.get(), kMaxSequenceNumber, &info.meta);
       if (build.ok() && info.meta.file_size > 0) {
         tables_.push_back(std::move(info));
       } else if (build.ok()) {
@@ -302,7 +307,7 @@ class Repairer {
     info.meta.number = next_file_number_++;
     VectorIterator iter(&entries);
     s = BuildTable(dbname_, env_, options_, icmp_, table_cache_, &iter,
-                   &info.meta);
+                   kMaxSequenceNumber, &info.meta);
     if (!s.ok() || info.meta.file_size == 0) {
       Record(kRepairTablesDropped);
       ArchiveFile(fname);

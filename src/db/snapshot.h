@@ -1,0 +1,93 @@
+// Snapshot bookkeeping: a doubly-linked list of sequence numbers pinned by
+// live Snapshot handles, guarded by the DB mutex.
+//
+// A snapshot is nothing but a sequence number S: reads done through it see
+// exactly the writes with sequence <= S. The list exists so compaction can
+// compute the smallest pinned sequence and retain any record version that
+// some live snapshot might still need (DoCompactionWork's drop rule).
+
+#ifndef LEVELDBPP_DB_SNAPSHOT_H_
+#define LEVELDBPP_DB_SNAPSHOT_H_
+
+#include <cassert>
+
+#include "db/db.h"
+#include "db/dbformat.h"
+
+namespace leveldbpp {
+
+class SnapshotList;
+
+// Each SnapshotImpl is a node in a circular doubly-linked list anchored at
+// SnapshotList::head_, kept in ascending sequence order (new snapshots are
+// appended at the tail and sequences only grow).
+class SnapshotImpl : public Snapshot {
+ public:
+  explicit SnapshotImpl(SequenceNumber sequence) : sequence_(sequence) {}
+
+  SequenceNumber sequence() const { return sequence_; }
+
+ private:
+  friend class SnapshotList;
+
+  SnapshotImpl* prev_;
+  SnapshotImpl* next_;
+
+  const SequenceNumber sequence_;
+
+#if !defined(NDEBUG)
+  SnapshotList* list_ = nullptr;
+#endif
+};
+
+class SnapshotList {
+ public:
+  SnapshotList() : head_(0) {
+    head_.prev_ = &head_;
+    head_.next_ = &head_;
+  }
+
+  bool empty() const { return head_.next_ == &head_; }
+  SnapshotImpl* oldest() const {
+    assert(!empty());
+    return head_.next_;
+  }
+  SnapshotImpl* newest() const {
+    assert(!empty());
+    return head_.prev_;
+  }
+
+  // Creates a SnapshotImpl and appends it to the end of the list.
+  SnapshotImpl* New(SequenceNumber sequence) {
+    assert(empty() || newest()->sequence_ <= sequence);
+
+    SnapshotImpl* snapshot = new SnapshotImpl(sequence);
+
+#if !defined(NDEBUG)
+    snapshot->list_ = this;
+#endif
+    snapshot->next_ = &head_;
+    snapshot->prev_ = head_.prev_;
+    snapshot->prev_->next_ = snapshot;
+    snapshot->next_->prev_ = snapshot;
+    return snapshot;
+  }
+
+  // Removes a SnapshotImpl from this list and deletes it.
+  void Delete(const SnapshotImpl* snapshot) {
+#if !defined(NDEBUG)
+    assert(snapshot->list_ == this);
+#endif
+    snapshot->prev_->next_ = snapshot->next_;
+    snapshot->next_->prev_ = snapshot->prev_;
+    delete snapshot;
+  }
+
+ private:
+  // Dummy head of the circular doubly-linked list of snapshots.
+  SnapshotImpl head_;
+};
+
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_DB_SNAPSHOT_H_

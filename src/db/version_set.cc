@@ -151,9 +151,20 @@ class LevelFileNumIterator : public Iterator {
     index_ = static_cast<size_t>(FindFile(icmp_, *flist_, target));
   }
   void SeekToFirst() override { index_ = 0; }
+  void SeekToLast() override {
+    index_ = flist_->empty() ? 0 : flist_->size() - 1;
+  }
   void Next() override {
     assert(Valid());
     index_++;
+  }
+  void Prev() override {
+    assert(Valid());
+    if (index_ == 0) {
+      index_ = flist_->size();  // Marks as invalid
+    } else {
+      index_--;
+    }
   }
   Slice key() const override {
     assert(Valid());
@@ -197,8 +208,8 @@ Iterator* Version::NewConcatenatingIterator(const ReadOptions& options,
       vset_->table_cache_, options);
 }
 
-void Version::AddIterators(const ReadOptions& options,
-                           std::vector<Iterator*>* iters) {
+void Version::AddL0Iterators(const ReadOptions& options,
+                             std::vector<Iterator*>* iters) {
   // Merge all level zero files together since they may overlap; newest
   // (highest file number) first so ties resolve toward newer data.
   std::vector<FileMetaData*> l0(files_[0]);
@@ -209,6 +220,11 @@ void Version::AddIterators(const ReadOptions& options,
     iters->push_back(
         vset_->table_cache_->NewIterator(options, f->number, f->file_size));
   }
+}
+
+void Version::AddIterators(const ReadOptions& options,
+                           std::vector<Iterator*>* iters) {
+  AddL0Iterators(options, iters);
 
   // For levels > 0, use a concatenating iterator that sequentially walks
   // through the non-overlapping files in the level, opening them lazily.
@@ -676,6 +692,20 @@ Status VersionSet::LogAndApply(VersionEdit* edit) {
   if (s.ok()) {
     AppendVersion(v);
     log_number_ = edit->log_number_;
+    if (edit->has_sorted_view_) {
+      sorted_view_number_ = edit->sorted_view_number_;
+    } else {
+      // Any structural change to levels >= 1 makes the current view's run
+      // selectors stale; the next qualifying rebuild re-installs one.
+      for (const auto& [level, number] : edit->deleted_files_) {
+        (void)number;
+        if (level >= 1) sorted_view_number_ = 0;
+      }
+      for (const auto& [level, f] : edit->new_files_) {
+        (void)f;
+        if (level >= 1) sorted_view_number_ = 0;
+      }
+    }
   } else {
     v->Ref();
     v->Unref();
@@ -724,6 +754,7 @@ Status VersionSet::Recover() {
   uint64_t next_file = 0;
   uint64_t last_sequence = 0;
   uint64_t log_number = 0;
+  uint64_t sorted_view = 0;
   Builder builder(this, current_);
 
   {
@@ -766,6 +797,20 @@ Status VersionSet::Recover() {
         last_sequence = edit.last_sequence_;
         have_last_sequence = true;
       }
+      // Mirror LogAndApply's sorted-view bookkeeping so a reopened DB
+      // trusts the artifact exactly when the closing process did.
+      if (edit.has_sorted_view_) {
+        sorted_view = edit.sorted_view_number_;
+      } else {
+        for (const auto& [level, number] : edit.deleted_files_) {
+          (void)number;
+          if (level >= 1) sorted_view = 0;
+        }
+        for (const auto& [level, f] : edit.new_files_) {
+          (void)f;
+          if (level >= 1) sorted_view = 0;
+        }
+      }
     }
   }
   file.reset();
@@ -789,6 +834,7 @@ Status VersionSet::Recover() {
     next_file_number_ = next_file + 1;
     last_sequence_ = last_sequence;
     log_number_ = log_number;
+    sorted_view_number_ = sorted_view;
   }
 
   return s;
@@ -846,6 +892,12 @@ Status VersionSet::WriteSnapshot(log::Writer* log) {
     for (FileMetaData* f : current_->files_[level]) {
       edit.AddFile(level, *f);
     }
+  }
+
+  // The snapshot's AddFile records would otherwise read as an implicit
+  // view invalidation on replay; restate the live view explicitly.
+  if (sorted_view_number_ != 0) {
+    edit.SetSortedView(sorted_view_number_);
   }
 
   std::string record;

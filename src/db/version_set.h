@@ -51,6 +51,11 @@ class Version {
   /// contents of this Version when merged (newer sources first).
   void AddIterators(const ReadOptions&, std::vector<Iterator*>* iters);
 
+  /// The level-0 part of AddIterators: one iterator per L0 file, newest
+  /// (highest file number) first. The sorted-view read path uses this and
+  /// replaces the per-level iterators with one pre-merged view.
+  void AddL0Iterators(const ReadOptions&, std::vector<Iterator*>* iters);
+
   /// Point lookup: search L0 newest-to-oldest, then each deeper level.
   /// If found, stores the value; if the newest entry is a deletion, returns
   /// NotFound. `seq_out`/`level_out` optionally receive the sequence number
@@ -179,6 +184,13 @@ class VersionSet {
 
   uint64_t LogNumber() const { return log_number_; }
 
+  /// Number of the sorted-view artifact (<number>.svw) that matches the
+  /// CURRENT version's levels >= 1 layout, or 0 when none does. Maintained
+  /// by LogAndApply: an edit carrying SetSortedView installs that number;
+  /// an edit that adds or deletes files in levels >= 1 without one clears
+  /// it (the view's run selectors no longer describe the tree).
+  uint64_t SortedViewNumber() const { return sorted_view_number_; }
+
   /// Pick a level and inputs for a new compaction, or nullptr if none is
   /// needed. Caller owns the result.
   Compaction* PickCompaction();
@@ -235,6 +247,7 @@ class VersionSet {
   uint64_t manifest_file_number_;
   std::atomic<SequenceNumber> last_sequence_;
   uint64_t log_number_;
+  uint64_t sorted_view_number_ = 0;
 
   // Opened lazily
   std::unique_ptr<WritableFile> descriptor_file_;

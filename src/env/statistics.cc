@@ -59,6 +59,13 @@ const char* TickerName(Ticker t) {
     case kServeMalformedFrames: return "serve.frames.malformed";
     case kServeBytesRead: return "serve.bytes.read";
     case kServeBytesWritten: return "serve.bytes.written";
+    case kIterCreated: return "iter.created";
+    case kIterSnapshotsAcquired: return "iter.snapshots.acquired";
+    case kIterSnapshotsReleased: return "iter.snapshots.released";
+    case kSortedViewBuilds: return "iter.sortedview.builds";
+    case kSortedViewBuildEntries: return "iter.sortedview.build.entries";
+    case kSortedViewUsed: return "iter.sortedview.used";
+    case kSortedViewFallbacks: return "iter.sortedview.fallbacks";
     case kTickerCount: break;
   }
   return "unknown";
@@ -77,6 +84,7 @@ const char* HistogramName(HistogramType h) {
     case kHistCompactionMicros: return "compaction.micros";
     case kHistWalSyncMicros: return "wal.sync.micros";
     case kHistFlushQueueDepth: return "flush.queue.depth";
+    case kHistSortedViewBuildMicros: return "sortedview.build.micros";
     case kHistogramCount: break;
   }
   return "unknown";

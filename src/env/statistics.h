@@ -72,6 +72,13 @@ enum Ticker : uint32_t {
   kServeMalformedFrames,  // frames rejected by the wire codec
   kServeBytesRead,        // payload + header bytes read off connections
   kServeBytesWritten,     // response bytes written to connections
+  kIterCreated,           // public DB iterators created (NewIterator)
+  kIterSnapshotsAcquired,  // GetSnapshot calls
+  kIterSnapshotsReleased,  // ReleaseSnapshot calls
+  kSortedViewBuilds,       // sorted views built after compaction/ingest
+  kSortedViewBuildEntries,  // internal entries swept into sorted views
+  kSortedViewUsed,         // iterators that read levels >= 1 via the view
+  kSortedViewFallbacks,  // iterators that fell back to the per-level heap
   kTickerCount,
 };
 
@@ -94,6 +101,7 @@ enum HistogramType : uint32_t {
   kHistWalSyncMicros,          // fsync of the WAL inside Write
   kHistFlushQueueDepth,        // imm-queue depth after each rotation (count,
                                // not micros; depth > 1 only with pipelining)
+  kHistSortedViewBuildMicros,  // one sorted-view build sweep
   kHistogramCount,
 };
 

@@ -93,6 +93,27 @@ class Block::Iter : public Iterator {
     ParseNextKey();
   }
 
+  void Prev() override {
+    assert(Valid());
+
+    // Scan backwards to a restart point before current_.
+    const uint32_t original = current_;
+    while (GetRestartPoint(restart_index_) >= original) {
+      if (restart_index_ == 0) {
+        // No more entries.
+        current_ = restarts_;
+        restart_index_ = num_restarts_;
+        return;
+      }
+      restart_index_--;
+    }
+
+    SeekToRestartPoint(restart_index_);
+    do {
+      // Loop until end of current entry hits the start of original entry.
+    } while (ParseNextKey() && NextEntryOffset() < original);
+  }
+
   void Seek(const Slice& target) override {
     // Binary search in restart array to find the last restart point with a
     // key < target.
@@ -136,6 +157,13 @@ class Block::Iter : public Iterator {
   void SeekToFirst() override {
     SeekToRestartPoint(0);
     ParseNextKey();
+  }
+
+  void SeekToLast() override {
+    SeekToRestartPoint(num_restarts_ - 1);
+    while (ParseNextKey() && NextEntryOffset() < restarts_) {
+      // Keep skipping
+    }
   }
 
  private:

@@ -51,7 +51,11 @@ void BlockBuilder::Add(const Slice& key, const Slice& value) {
   Slice last_key_piece(last_key_);
   assert(!finished_);
   assert(counter_ <= restart_interval_);
-  assert(buffer_.empty() || key.compare(last_key_piece) > 0);
+  // Key ordering is the caller's contract under the TABLE's comparator
+  // (asserted in TableBuilder::Add). It cannot be re-checked bytewise
+  // here: internal keys order same-user-key entries by DESCENDING
+  // sequence, which is not bytewise-increasing, and blocks hold multiple
+  // versions of a user key whenever a snapshot protects the older ones.
   size_t shared = 0;
   if (counter_ < restart_interval_) {
     // See how much sharing to do with previous key.

@@ -25,8 +25,10 @@ class EmptyIterator : public Iterator {
 
   bool Valid() const override { return false; }
   void SeekToFirst() override {}
+  void SeekToLast() override {}
   void Seek(const Slice&) override {}
   void Next() override { assert(false); }
+  void Prev() override { assert(false); }
   Slice key() const override {
     assert(false);
     return Slice();

@@ -1,8 +1,11 @@
-// Iterator: forward iteration over a sorted key/value sequence.
+// Iterator: bidirectional iteration over a sorted key/value sequence.
 //
-// The engine's iterators are forward-only (SeekToFirst / Seek / Next); none
-// of the paper's five operations require reverse scans, and dropping Prev()
-// keeps the block and merging iterators simple and obviously correct.
+// The stack was forward-only through PR 7 (none of the paper's five
+// operations needs reverse scans); the public snapshot-iterator API added
+// with the range-query engine exposes Prev()/SeekToLast(), so every layer
+// (block, two-level, merging, memtable, sorted-view) implements the full
+// bidirectional contract and the differential iterator-model harness
+// exercises both directions.
 
 #ifndef LEVELDBPP_TABLE_ITERATOR_H_
 #define LEVELDBPP_TABLE_ITERATOR_H_
@@ -27,11 +30,18 @@ class Iterator {
   /// Position at the first key in the source.
   virtual void SeekToFirst() = 0;
 
+  /// Position at the last key in the source.
+  virtual void SeekToLast() = 0;
+
   /// Position at the first key that is at or past `target`.
   virtual void Seek(const Slice& target) = 0;
 
   /// Advance to the next entry. REQUIRES: Valid().
   virtual void Next() = 0;
+
+  /// Move back to the previous entry; becomes invalid before the first
+  /// entry. REQUIRES: Valid().
+  virtual void Prev() = 0;
 
   /// Key at the current entry. REQUIRES: Valid().
   virtual Slice key() const = 0;

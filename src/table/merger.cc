@@ -13,7 +13,7 @@ namespace {
 class MergingIterator : public Iterator {
  public:
   MergingIterator(const Comparator* comparator, Iterator** children, int n)
-      : comparator_(comparator), current_(nullptr) {
+      : comparator_(comparator), current_(nullptr), direction_(kForward) {
     children_.reserve(n);
     for (int i = 0; i < n; i++) {
       children_.emplace_back(children[i]);
@@ -28,20 +28,74 @@ class MergingIterator : public Iterator {
     for (auto& child : children_) {
       child->SeekToFirst();
     }
+    direction_ = kForward;
     FindSmallest();
+  }
+
+  void SeekToLast() override {
+    for (auto& child : children_) {
+      child->SeekToLast();
+    }
+    direction_ = kReverse;
+    FindLargest();
   }
 
   void Seek(const Slice& target) override {
     for (auto& child : children_) {
       child->Seek(target);
     }
+    direction_ = kForward;
     FindSmallest();
   }
 
   void Next() override {
     assert(Valid());
+
+    // Ensure that all children are positioned after key(). If we are moving
+    // in the forward direction, this is already true for all non-current_
+    // children since current_ is the smallest child and key() == current_
+    // ->key(). Otherwise, we explicitly position the others.
+    if (direction_ != kForward) {
+      for (auto& ptr : children_) {
+        Iterator* child = ptr.get();
+        if (child != current_) {
+          child->Seek(key());
+          if (child->Valid() &&
+              comparator_->Compare(key(), child->key()) == 0) {
+            child->Next();
+          }
+        }
+      }
+      direction_ = kForward;
+    }
+
     current_->Next();
     FindSmallest();
+  }
+
+  void Prev() override {
+    assert(Valid());
+
+    // Ensure that all children are positioned before key(); mirror of Next.
+    if (direction_ != kReverse) {
+      for (auto& ptr : children_) {
+        Iterator* child = ptr.get();
+        if (child != current_) {
+          child->Seek(key());
+          if (child->Valid()) {
+            // Child is at first entry >= key(). Step back one.
+            child->Prev();
+          } else {
+            // Child has no entries >= key(). Position at last entry.
+            child->SeekToLast();
+          }
+        }
+      }
+      direction_ = kReverse;
+    }
+
+    current_->Prev();
+    FindLargest();
   }
 
   Slice key() const override {
@@ -66,6 +120,11 @@ class MergingIterator : public Iterator {
   }
 
  private:
+  // Which direction is the iterator moving? Children are positioned just
+  // after key() when kForward and just before it when kReverse; a direction
+  // change re-seeks the non-current children (see Next/Prev).
+  enum Direction { kForward, kReverse };
+
   void FindSmallest() {
     Iterator* smallest = nullptr;
     // Scan in order so earlier children win ties (newer sources first).
@@ -80,12 +139,28 @@ class MergingIterator : public Iterator {
     current_ = smallest;
   }
 
+  void FindLargest() {
+    Iterator* largest = nullptr;
+    // Reverse scan so earlier children win ties (newer sources first).
+    for (size_t i = children_.size(); i-- > 0;) {
+      Iterator* child = children_[i].get();
+      if (child->Valid()) {
+        if (largest == nullptr ||
+            comparator_->Compare(child->key(), largest->key()) >= 0) {
+          largest = child;
+        }
+      }
+    }
+    current_ = largest;
+  }
+
   // A heap would be asymptotically better for large n; level counts here
   // are small (<= ~12 children) and linear scan is simpler and cache
   // friendly.
   const Comparator* comparator_;
   std::vector<std::unique_ptr<Iterator>> children_;
   Iterator* current_;
+  Direction direction_;
 };
 
 }  // namespace

@@ -1,0 +1,366 @@
+#include "table/sorted_view.h"
+
+#include <cassert>
+
+#include "db/dbformat.h"
+#include "env/env.h"
+#include "util/coding.h"
+#include "util/crc32c.h"
+#include "util/perf_context.h"
+
+namespace leveldbpp {
+
+namespace {
+
+constexpr uint64_t kSortedViewMagic = 0x78b1ed52a5764f10ull;
+
+}  // namespace
+
+Status BuildSortedView(const InternalKeyComparator* icmp,
+                       const std::vector<Iterator*>& runs, SortedView* view) {
+  const size_t run_count = runs.size();
+  if (run_count == 0 || run_count > kSortedViewMaxRuns) {
+    return Status::InvalidArgument("sorted view: bad run count");
+  }
+  if (view->segment_size == 0) {
+    return Status::InvalidArgument("sorted view: zero segment size");
+  }
+  for (Iterator* run : runs) run->SeekToFirst();
+
+  std::vector<uint64_t> consumed(run_count, 0);
+  uint64_t n = 0;
+  while (true) {
+    // Runs are few (one per level), so a linear min scan beats maintaining
+    // a heap for this one-shot sweep. Ties cannot happen: internal keys
+    // are globally unique across the tree.
+    int best = -1;
+    for (size_t i = 0; i < run_count; i++) {
+      if (!runs[i]->Valid()) continue;
+      if (best < 0 ||
+          icmp->Compare(runs[i]->key(), runs[best]->key()) < 0) {
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) break;
+    if (n % view->segment_size == 0) {
+      view->anchors.push_back(runs[best]->key().ToString());
+      view->cursors.push_back(consumed);
+    }
+    view->selectors.push_back(static_cast<char>(best));
+    consumed[best]++;
+    n++;
+    runs[best]->Next();
+  }
+  for (Iterator* run : runs) {
+    if (!run->status().ok()) return run->status();
+  }
+  view->entry_count = n;
+  return Status::OK();
+}
+
+Status WriteSortedViewFile(Env* env, const std::string& fname,
+                           const SortedView& view) {
+  assert(view.levels.size() == view.level_files.size());
+  assert(view.anchors.size() == view.cursors.size());
+  assert(view.selectors.size() == view.entry_count);
+
+  std::string buf;
+  PutFixed64(&buf, kSortedViewMagic);
+  PutVarint64(&buf, view.number);
+  PutVarint32(&buf, view.segment_size);
+  PutVarint32(&buf, static_cast<uint32_t>(view.levels.size()));
+  for (size_t i = 0; i < view.levels.size(); i++) {
+    PutVarint32(&buf, static_cast<uint32_t>(view.levels[i]));
+    PutVarint32(&buf, static_cast<uint32_t>(view.level_files[i].size()));
+    for (uint64_t number : view.level_files[i]) {
+      PutVarint64(&buf, number);
+    }
+  }
+  PutVarint64(&buf, view.entry_count);
+  PutVarint32(&buf, static_cast<uint32_t>(view.anchors.size()));
+  for (size_t k = 0; k < view.anchors.size(); k++) {
+    PutLengthPrefixedSlice(&buf, Slice(view.anchors[k]));
+    for (uint64_t cursor : view.cursors[k]) {
+      PutVarint64(&buf, cursor);
+    }
+  }
+  buf.append(view.selectors);
+  PutFixed32(&buf, crc32c::Mask(crc32c::Value(buf.data(), buf.size())));
+
+  std::unique_ptr<WritableFile> file;
+  Status s = env->NewWritableFile(fname, &file);
+  if (!s.ok()) return s;
+  s = file->Append(Slice(buf));
+  if (s.ok()) s = file->Sync();
+  if (s.ok()) s = file->Close();
+  if (!s.ok()) env->RemoveFile(fname);
+  return s;
+}
+
+Status ReadSortedViewFile(Env* env, const std::string& fname, uint64_t number,
+                          SortedView* view) {
+  uint64_t size = 0;
+  Status s = env->GetFileSize(fname, &size);
+  if (!s.ok()) return s;
+  if (size < 12) {  // magic + crc at minimum
+    return Status::Corruption("sorted view: file too small", fname);
+  }
+  std::unique_ptr<SequentialFile> file;
+  s = env->NewSequentialFile(fname, &file);
+  if (!s.ok()) return s;
+  std::string buf;
+  buf.resize(size);
+  size_t off = 0;
+  while (off < size) {
+    Slice chunk;
+    s = file->Read(size - off, &chunk, &buf[off]);
+    if (!s.ok()) return s;
+    if (chunk.empty()) {
+      return Status::Corruption("sorted view: truncated read", fname);
+    }
+    if (chunk.data() != &buf[off]) {
+      memcpy(&buf[off], chunk.data(), chunk.size());
+    }
+    off += chunk.size();
+  }
+
+  const uint32_t expected =
+      crc32c::Unmask(DecodeFixed32(buf.data() + size - 4));
+  if (crc32c::Value(buf.data(), size - 4) != expected) {
+    return Status::Corruption("sorted view: checksum mismatch", fname);
+  }
+  if (DecodeFixed64(buf.data()) != kSortedViewMagic) {
+    return Status::Corruption("sorted view: bad magic", fname);
+  }
+
+  Slice input(buf.data() + 8, size - 12);
+  uint64_t stored_number = 0;
+  uint32_t segment_size = 0, run_count = 0;
+  if (!GetVarint64(&input, &stored_number) ||
+      !GetVarint32(&input, &segment_size) ||
+      !GetVarint32(&input, &run_count)) {
+    return Status::Corruption("sorted view: bad header", fname);
+  }
+  if (stored_number != number || segment_size == 0 || run_count == 0 ||
+      run_count > kSortedViewMaxRuns) {
+    return Status::Corruption("sorted view: header mismatch", fname);
+  }
+  view->number = stored_number;
+  view->segment_size = segment_size;
+  view->levels.clear();
+  view->level_files.clear();
+  for (uint32_t i = 0; i < run_count; i++) {
+    uint32_t level = 0, file_count = 0;
+    if (!GetVarint32(&input, &level) || !GetVarint32(&input, &file_count)) {
+      return Status::Corruption("sorted view: bad run header", fname);
+    }
+    std::vector<uint64_t> numbers(file_count);
+    for (uint32_t f = 0; f < file_count; f++) {
+      if (!GetVarint64(&input, &numbers[f])) {
+        return Status::Corruption("sorted view: bad file list", fname);
+      }
+    }
+    view->levels.push_back(static_cast<int>(level));
+    view->level_files.push_back(std::move(numbers));
+  }
+  uint32_t segment_count = 0;
+  if (!GetVarint64(&input, &view->entry_count) ||
+      !GetVarint32(&input, &segment_count)) {
+    return Status::Corruption("sorted view: bad entry count", fname);
+  }
+  const uint64_t want_segments =
+      (view->entry_count + segment_size - 1) / segment_size;
+  if (segment_count != want_segments) {
+    return Status::Corruption("sorted view: segment count mismatch", fname);
+  }
+  view->anchors.clear();
+  view->cursors.clear();
+  view->anchors.reserve(segment_count);
+  view->cursors.reserve(segment_count);
+  for (uint32_t k = 0; k < segment_count; k++) {
+    Slice anchor;
+    if (!GetLengthPrefixedSlice(&input, &anchor)) {
+      return Status::Corruption("sorted view: bad anchor", fname);
+    }
+    std::vector<uint64_t> cursor(run_count);
+    for (uint32_t r = 0; r < run_count; r++) {
+      if (!GetVarint64(&input, &cursor[r])) {
+        return Status::Corruption("sorted view: bad cursor", fname);
+      }
+    }
+    view->anchors.push_back(anchor.ToString());
+    view->cursors.push_back(std::move(cursor));
+  }
+  if (input.size() != view->entry_count) {
+    return Status::Corruption("sorted view: selector size mismatch", fname);
+  }
+  view->selectors.assign(input.data(), input.size());
+  for (char c : view->selectors) {
+    if (static_cast<uint8_t>(c) >= run_count) {
+      return Status::Corruption("sorted view: selector out of range", fname);
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Replays the persisted merge order. State is one number: the global
+// merged position pos_. Invariant while valid: every run is positioned on
+// the next entry it will supply (exhausted runs are past-the-end), so the
+// current entry is just runs_[selector[pos_]]'s current entry.
+class SortedViewIterator : public Iterator {
+ public:
+  SortedViewIterator(const InternalKeyComparator* icmp,
+                     std::shared_ptr<const SortedView> view,
+                     std::vector<Iterator*> runs)
+      : icmp_(icmp), view_(std::move(view)) {
+    runs_.reserve(runs.size());
+    for (Iterator* run : runs) runs_.emplace_back(run);
+    assert(runs_.size() == view_->levels.size());
+  }
+
+  bool Valid() const override { return valid_; }
+
+  void SeekToFirst() override {
+    if (view_->entry_count == 0) {
+      valid_ = false;
+      return;
+    }
+    for (auto& run : runs_) run->SeekToFirst();
+    pos_ = 0;
+    SyncValid();
+  }
+
+  void SeekToLast() override {
+    const uint64_t n = view_->entry_count;
+    if (n == 0) {
+      valid_ = false;
+      return;
+    }
+    ReanchorAt(SegmentOf(n - 1));
+    ReplayTo(n - 1);
+  }
+
+  void Seek(const Slice& target) override {
+    const uint64_t n = view_->entry_count;
+    if (n == 0) {
+      valid_ = false;
+      return;
+    }
+    // Largest segment whose anchor is <= target (segment 0 when target
+    // precedes every anchor): the first entry >= target lies within it or
+    // just past its end, so the replay below is bounded by segment_size.
+    size_t left = 0, right = view_->anchors.size();
+    while (left < right) {
+      const size_t mid = left + (right - left) / 2;
+      if (icmp_->Compare(Slice(view_->anchors[mid]), target) <= 0) {
+        left = mid + 1;
+      } else {
+        right = mid;
+      }
+    }
+    ReanchorAt(left == 0 ? 0 : left - 1);
+    uint64_t steps = 0;
+    while (valid_ && icmp_->Compare(CurrentRun()->key(), target) < 0) {
+      Step();
+      steps++;
+    }
+    PerfCounterAdd(&PerfContext::sortedview_steps, steps);
+  }
+
+  void Next() override {
+    assert(valid_);
+    Step();
+    PerfCounterAdd(&PerfContext::sortedview_steps, 1);
+  }
+
+  void Prev() override {
+    assert(valid_);
+    if (pos_ == 0) {
+      valid_ = false;
+      return;
+    }
+    const uint64_t target = pos_ - 1;
+    ReanchorAt(SegmentOf(target));
+    ReplayTo(target);
+  }
+
+  Slice key() const override {
+    assert(valid_);
+    return CurrentRun()->key();
+  }
+
+  Slice value() const override {
+    assert(valid_);
+    return CurrentRun()->value();
+  }
+
+  Status status() const override {
+    for (const auto& run : runs_) {
+      if (!run->status().ok()) return run->status();
+    }
+    return Status::OK();
+  }
+
+ private:
+  size_t SegmentOf(uint64_t pos) const {
+    return static_cast<size_t>(pos / view_->segment_size);
+  }
+
+  Iterator* CurrentRun() const {
+    return runs_[static_cast<uint8_t>(view_->selectors[pos_])].get();
+  }
+
+  // Position every run at its recorded cursor for segment k by seeking it
+  // to the anchor key (unique keys + monotone cursors make this exact;
+  // see the header comment), leaving pos_ at the segment's first entry.
+  void ReanchorAt(size_t k) {
+    const Slice anchor(view_->anchors[k]);
+    for (auto& run : runs_) run->Seek(anchor);
+    pos_ = static_cast<uint64_t>(k) * view_->segment_size;
+    SyncValid();
+    PerfCounterAdd(&PerfContext::sortedview_seeks, 1);
+  }
+
+  // Advance one merged position: bump the run that supplied the current
+  // entry. No key comparison — the selector already encodes the order.
+  void Step() {
+    CurrentRun()->Next();
+    pos_++;
+    SyncValid();
+  }
+
+  // Walk forward to `target` (>= pos_), counting replay steps.
+  void ReplayTo(uint64_t target) {
+    uint64_t steps = 0;
+    while (valid_ && pos_ < target) {
+      Step();
+      steps++;
+    }
+    PerfCounterAdd(&PerfContext::sortedview_steps, steps);
+  }
+
+  // Valid iff pos_ is in range AND the supplying run is actually
+  // positioned (a run hitting an I/O error goes invalid early; surface
+  // that through status() instead of crashing on key()).
+  void SyncValid() {
+    valid_ = pos_ < view_->entry_count && CurrentRun()->Valid();
+  }
+
+  const InternalKeyComparator* const icmp_;
+  const std::shared_ptr<const SortedView> view_;
+  std::vector<std::unique_ptr<Iterator>> runs_;
+  uint64_t pos_ = 0;
+  bool valid_ = false;
+};
+
+}  // namespace
+
+Iterator* NewSortedViewIterator(const InternalKeyComparator* icmp,
+                                std::shared_ptr<const SortedView> view,
+                                std::vector<Iterator*> runs) {
+  return new SortedViewIterator(icmp, std::move(view), std::move(runs));
+}
+
+}  // namespace leveldbpp

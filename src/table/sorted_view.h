@@ -1,0 +1,114 @@
+// REMIX-style sorted view over the sorted runs of levels >= 1.
+//
+// The classic read path merges one iterator per level through a binary
+// heap: every Next() re-heapifies across all runs and every Seek() does a
+// binary search in EACH run. A sorted view removes both costs by
+// persisting the MERGE ORDER itself, computed once with a single sweep
+// after a compaction or ingest splice:
+//
+//   * one selector byte per merged entry saying which run supplies it, so
+//     Next() is "advance that one run" with zero key comparisons, and
+//   * one anchor (internal key + per-run cursors) per
+//     kSortedViewSegmentSize entries, so Seek() is one binary search over
+//     the anchors plus a replay bounded by the segment size.
+//
+// The trick that makes re-anchoring cheap is that internal keys are
+// globally unique and each run only ever advances during the merge:
+// seeking every run to an anchor key lands each run EXACTLY at its
+// recorded cursor (everything the run already contributed sorts below the
+// anchor; everything still pending sorts at or above it). So an anchor
+// needs no per-run keys, just the one merged key.
+//
+// A view describes one exact file layout (the per-level file-number lists
+// are stored in the artifact); any structural change to levels >= 1
+// invalidates it and readers fall back to the heap merge until the next
+// rebuild. Memtables and L0 are never covered — they merge on the fly, so
+// flushes do not stale the view. Results are byte-identical either way.
+//
+// Artifact format (<number>.svw, referenced from the MANIFEST via the
+// VersionEdit kSortedView tag):
+//
+//   fixed64   magic
+//   varint64  artifact file number (must match the file name)
+//   varint32  segment size S
+//   varint32  run count R (ascending level order)
+//   R x [ varint32 level; varint32 file_count; file_count x varint64 ]
+//   varint64  entry count N
+//   varint32  segment count ceil(N / S)
+//   per segment: length-prefixed anchor internal key; R x varint64 cursor
+//   N bytes   selectors (selector[g] = run supplying merged entry g)
+//   fixed32   masked crc32c of everything above
+
+#ifndef LEVELDBPP_TABLE_SORTED_VIEW_H_
+#define LEVELDBPP_TABLE_SORTED_VIEW_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "table/iterator.h"
+#include "util/status.h"
+
+namespace leveldbpp {
+
+class Env;
+class InternalKeyComparator;
+
+/// Merged entries per segment: one anchor is recorded every this many
+/// entries, bounding a Seek()/Prev() replay to at most this many steps.
+constexpr uint32_t kSortedViewSegmentSize = 16;
+
+/// Selectors are single bytes, so a view can cover at most 255 runs (one
+/// run per level; far above any real num_levels).
+constexpr size_t kSortedViewMaxRuns = 255;
+
+struct SortedView {
+  uint64_t number = 0;  // <number>.svw artifact file number
+  uint32_t segment_size = kSortedViewSegmentSize;
+
+  // Covered levels in ascending order (one sorted run each) and the exact
+  // file numbers the view was built from, for validation against a
+  // Version's layout.
+  std::vector<int> levels;
+  std::vector<std::vector<uint64_t>> level_files;
+
+  uint64_t entry_count = 0;  // N: total merged entries across all runs
+
+  // Segment k describes merged position k * segment_size: the internal
+  // key at that position, and how many entries each run had contributed
+  // strictly before it.
+  std::vector<std::string> anchors;
+  std::vector<std::vector<uint64_t>> cursors;
+
+  // One byte per merged entry: index into the runs (== index into
+  // `levels`) supplying that entry.
+  std::string selectors;
+};
+
+/// Sweep `runs` (one internal-key iterator per covered level, ascending,
+/// NOT owned) once, filling `view`'s entry_count / anchors / cursors /
+/// selectors. `view->levels` etc. are the caller's to set.
+Status BuildSortedView(const InternalKeyComparator* icmp,
+                       const std::vector<Iterator*>& runs, SortedView* view);
+
+/// Serialize `view` to `fname` (written, synced, closed).
+Status WriteSortedViewFile(Env* env, const std::string& fname,
+                           const SortedView& view);
+
+/// Load and checksum-verify the artifact at `fname`; `number` must match
+/// the stored artifact number. On any mismatch returns Corruption and the
+/// caller falls back to the heap merge.
+Status ReadSortedViewFile(Env* env, const std::string& fname, uint64_t number,
+                          SortedView* view);
+
+/// Bidirectional internal-key iterator replaying `view` over `runs` (one
+/// iterator per covered level, same order as view->levels; ownership is
+/// taken). REQUIRES: the runs' file layout is exactly view->level_files.
+Iterator* NewSortedViewIterator(const InternalKeyComparator* icmp,
+                                std::shared_ptr<const SortedView> view,
+                                std::vector<Iterator*> runs);
+
+}  // namespace leveldbpp
+
+#endif  // LEVELDBPP_TABLE_SORTED_VIEW_H_

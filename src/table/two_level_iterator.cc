@@ -33,10 +33,23 @@ class TwoLevelIterator : public Iterator {
     SkipEmptyDataBlocksForward();
   }
 
+  void SeekToLast() override {
+    index_iter_->SeekToLast();
+    InitDataBlock();
+    if (data_iter_ != nullptr) data_iter_->SeekToLast();
+    SkipEmptyDataBlocksBackward();
+  }
+
   void Next() override {
     assert(Valid());
     data_iter_->Next();
     SkipEmptyDataBlocksForward();
+  }
+
+  void Prev() override {
+    assert(Valid());
+    data_iter_->Prev();
+    SkipEmptyDataBlocksBackward();
   }
 
   bool Valid() const override {
@@ -74,6 +87,19 @@ class TwoLevelIterator : public Iterator {
       index_iter_->Next();
       InitDataBlock();
       if (data_iter_ != nullptr) data_iter_->SeekToFirst();
+    }
+  }
+
+  void SkipEmptyDataBlocksBackward() {
+    while (data_iter_ == nullptr || !data_iter_->Valid()) {
+      // Move to previous block.
+      if (!index_iter_->Valid()) {
+        SetDataIterator(nullptr);
+        return;
+      }
+      index_iter_->Prev();
+      InitDataBlock();
+      if (data_iter_ != nullptr) data_iter_->SeekToLast();
     }
   }
 

@@ -78,6 +78,19 @@ using Model = std::map<std::string, std::string>;
 /// crash points land with several immutable memtables in flight).
 using OptionsTweak = std::function<void(SecondaryDBOptions*)>;
 
+/// Optional observer hooks threaded through a workload run. `after_op`
+/// fires after every ACKNOWLEDGED op with the golden model of that prefix —
+/// the place to take/verify snapshots mid-workload. `before_close` always
+/// fires while the DB object is still alive (workload completed OR stopped
+/// by a fault), so hook state holding DB-owned handles (snapshots,
+/// iterators) can be released before the simulated process exit. Hooks must
+/// only READ (env faults count write-class operations, and CountEnvOps and
+/// the armed runs must count identically).
+struct WorkloadHooks {
+  std::function<void(SecondaryDB*, const Model&, size_t /*acked*/)> after_op;
+  std::function<void(SecondaryDB*)> before_close;
+};
+
 inline SecondaryDBOptions MakeCrashOptions(Env* env, IndexType type) {
   SecondaryDBOptions options;
   options.base.env = env;
@@ -95,7 +108,8 @@ inline SecondaryDBOptions MakeCrashOptions(Env* env, IndexType type) {
 /// op in *model. Returns the number of acknowledged ops; *hit_error tells
 /// whether a failure stopped the run (vs. the workload completing).
 inline size_t ApplyOps(SecondaryDB* db, const std::vector<Op>& ops,
-                       Model* model, bool* hit_error) {
+                       Model* model, bool* hit_error,
+                       const WorkloadHooks& hooks = {}) {
   *hit_error = false;
   size_t acked = 0;
   for (const Op& op : ops) {
@@ -111,6 +125,7 @@ inline size_t ApplyOps(SecondaryDB* db, const std::vector<Op>& ops,
       model->erase(op.key);
     }
     acked++;
+    if (hooks.after_op) hooks.after_op(db, *model, acked);
   }
   return acked;
 }
@@ -118,7 +133,8 @@ inline size_t ApplyOps(SecondaryDB* db, const std::vector<Op>& ops,
 /// Probe run: apply the whole workload fault-free and return how many
 /// interceptable env operations it issues. Crash points sweep [0, T).
 inline uint64_t CountEnvOps(IndexType type, const std::vector<Op>& ops,
-                            const OptionsTweak& tweak = {}) {
+                            const OptionsTweak& tweak = {},
+                            const WorkloadHooks& hooks = {}) {
   std::unique_ptr<Env> base(NewMemEnv());
   FaultInjectionEnv env(base.get());
   std::unique_ptr<SecondaryDB> db;
@@ -128,7 +144,8 @@ inline uint64_t CountEnvOps(IndexType type, const std::vector<Op>& ops,
   env.ResetOpCount();  // Exclude Open's own writes: faults arm post-Open.
   Model model;
   bool hit_error = false;
-  size_t acked = ApplyOps(db.get(), ops, &model, &hit_error);
+  size_t acked = ApplyOps(db.get(), ops, &model, &hit_error, hooks);
+  if (hooks.before_close) hooks.before_close(db.get());
   EXPECT_FALSE(hit_error);
   EXPECT_EQ(ops.size(), acked);
   return env.op_count();
@@ -252,7 +269,8 @@ inline void VerifyRecovered(SecondaryDB* db, const std::vector<Op>& ops,
 inline void RunCrashCycle(IndexType type, const std::vector<Op>& ops,
                           uint64_t crash_at, FaultInjectionEnv::CrashMode mode,
                           uint32_t seed, const std::string& trace,
-                          const OptionsTweak& tweak = {}) {
+                          const OptionsTweak& tweak = {},
+                          const WorkloadHooks& hooks = {}) {
   SCOPED_TRACE(trace);
   std::unique_ptr<Env> base(NewMemEnv());
   FaultInjectionEnv env(base.get(), seed);
@@ -267,7 +285,8 @@ inline void RunCrashCycle(IndexType type, const std::vector<Op>& ops,
     env.FailAfter(crash_at, FaultInjectionEnv::kOpAllWrites);
 
     bool hit_error = false;
-    size_t acked = ApplyOps(db.get(), ops, &model, &hit_error);
+    size_t acked = ApplyOps(db.get(), ops, &model, &hit_error, hooks);
+    if (hooks.before_close) hooks.before_close(db.get());
     if (hit_error) {
       in_flight = &ops[acked];
       // Acknowledged-write semantics: once an op has failed, nothing may be

@@ -33,6 +33,7 @@ class InternalVectorIterator : public Iterator {
 
   bool Valid() const override { return index_ < kv_.size(); }
   void SeekToFirst() override { index_ = 0; }
+  void SeekToLast() override { index_ = kv_.empty() ? 0 : kv_.size() - 1; }
   void Seek(const Slice& target) override {
     InternalKeyComparator icmp(BytewiseComparator());
     index_ = 0;
@@ -42,6 +43,7 @@ class InternalVectorIterator : public Iterator {
     }
   }
   void Next() override { index_++; }
+  void Prev() override { index_ = (index_ == 0) ? kv_.size() : index_ - 1; }
   Slice key() const override { return kv_[index_].first; }
   Slice value() const override { return kv_[index_].second; }
   Status status() const override { return Status::OK(); }

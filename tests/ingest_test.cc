@@ -421,6 +421,68 @@ INSTANTIATE_TEST_SUITE_P(
       return IndexTypeName(info.param);
     });
 
+// Regression for Lazy's non-empty BulkLoad: the ingested fragment is the
+// MERGE of the new batch with every existing fragment of the attribute and
+// is forced to level 0. Natural ingest placement would sink the merged
+// fragment below the fragments it absorbed, and the level-by-level scan's
+// early stop would then answer top-k queries from stale shadowed entries.
+// Deletion markers must also survive the merge — they still shadow
+// occurrences in fragments the walk hasn't reached.
+TEST(LazyIngestMergeTest, BulkLoadMergesExistingFragmentsAndKeepsMarkers) {
+  std::unique_ptr<Env> env(NewMemEnv());
+  std::unique_ptr<SecondaryDB> put_db, ingest_db;
+  ASSERT_TRUE(SecondaryDB::Open(
+                  MakeSecondaryOptions(env.get(), IndexType::kLazy),
+                  "/merge_twin", &put_db)
+                  .ok());
+  ASSERT_TRUE(SecondaryDB::Open(
+                  MakeSecondaryOptions(env.get(), IndexType::kLazy),
+                  "/merge", &ingest_db)
+                  .ok());
+
+  // Seed overlapping posting lists, with deletes so the index carries
+  // deletion markers, then compact so the fragments live in SSTable levels
+  // (the merge has to read them back, not just splice next to them).
+  const auto first = MakeDocs(80);
+  for (const auto& [key, doc] : first) {
+    ASSERT_TRUE(put_db->Put(key, doc).ok());
+    ASSERT_TRUE(ingest_db->Put(key, doc).ok());
+  }
+  for (int i = 3; i < 80; i += 16) {
+    ASSERT_TRUE(put_db->Delete(Key(i)).ok());
+    ASSERT_TRUE(ingest_db->Delete(Key(i)).ok());
+  }
+  ASSERT_TRUE(ingest_db->CompactAll().ok());
+
+  // Backfill a second batch over the SAME users, so every touched posting
+  // list must merge with the compacted fragments.
+  const auto second = MakeDocs(60, /*first=*/200);
+  for (const auto& [key, doc] : second) {
+    ASSERT_TRUE(put_db->Put(key, doc).ok());
+  }
+  size_t pos;
+  ASSERT_TRUE(
+      ingest_db->IngestWithIndexes(FeedFrom(&second, &pos), nullptr).ok());
+
+  // Small k engages the early-stop scan; k=0 checks the full lists. Both
+  // run inside ExpectSameResults against the pure-Put twin.
+  ExpectSameResults(put_db.get(), ingest_db.get(), "lazy-merge");
+
+  // Deleted keys must stay shadowed after the merge rebuilt the fragment.
+  std::vector<QueryResult> results;
+  for (int u = 0; u < 7; u++) {
+    ASSERT_TRUE(ingest_db->Lookup("UserID", "u" + std::to_string(u), 0,
+                                  &results)
+                    .ok());
+    for (const QueryResult& r : results) {
+      for (int i = 3; i < 80; i += 16) {
+        EXPECT_NE(r.primary_key, Key(i)) << "deleted key resurfaced";
+      }
+    }
+  }
+  ASSERT_TRUE(ingest_db->VerifyIndexConsistency().ok());
+}
+
 // ---------------------------------------------------------------------------
 // 4. Index maintenance modes
 // ---------------------------------------------------------------------------

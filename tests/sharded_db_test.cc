@@ -171,6 +171,83 @@ TEST(ShardedDBTest, InlineFanoutIsEquivalentToo) {
   CompareStores(reference.get(), sharded.get(), "inline fanout");
 }
 
+// Satellite of the range-query engine: with `sorted_views` on, every
+// shard's RANGELOOKUP drives the snapshot-iterator stack (Eager and
+// Composite resolve ranges through the index table's merged iterator) —
+// and the answers must STILL be byte-identical to a plain heap-merge
+// unsharded store. Docs are padded and the level budget shrunk so each
+// shard's primary cascades into >= 2 levels below L0 (the sorted view's
+// engagement condition), which the aggregated build ticker proves fired.
+// Like crash::PutOp but with incompressible padding: SimpleLZ squashes a
+// constant-character pad to a few bytes, so docs padded with 'p' runs never
+// grow the on-disk levels past max_bytes_for_level_base no matter how many
+// are written. Sorted views only build with >= 2 populated levels below L0.
+crash::Op NoisyPutOp(std::string key, std::string user, uint64_t ts,
+                     size_t pad) {
+  std::string noise(pad, ' ');
+  uint64_t x = ts * 6364136223846793005ull + 1442695040888963407ull;
+  for (size_t i = 0; i < pad; i++) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    noise[i] = static_cast<char>('A' + ((x >> 33) % 26));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%012llu",
+                static_cast<unsigned long long>(ts));
+  std::string doc = "{\"CreationTime\":\"" + std::string(buf) +
+                    "\",\"Pad\":\"" + noise + "\",\"UserID\":\"" + user +
+                    "\"}";
+  return crash::Op{crash::Op::kPut, std::move(key), std::move(doc),
+                   std::move(user)};
+}
+
+TEST(ShardedDBTest, SortedViewRangeLookupMatchesUnsharded) {
+  std::vector<crash::Op> ops;
+  for (size_t i = 0; i < 1500; i++) {
+    const std::string key = "k" + std::to_string((i * 37) % 127);
+    if (i % 11 == 7) {
+      ops.push_back(crash::DeleteOp(key));
+    } else {
+      ops.push_back(NoisyPutOp(key, "user" + std::to_string(i % 13),
+                               1000 + i, /*pad=*/2000));
+    }
+  }
+
+  for (IndexType type : {IndexType::kEager, IndexType::kComposite}) {
+    // Reference: unsharded, heap-merge (views off) — the paper-exact path.
+    std::unique_ptr<Env> ref_env(NewMemEnv());
+    std::unique_ptr<SecondaryDB> reference;
+    ASSERT_TRUE(SecondaryDB::Open(TestShardOptions(ref_env.get(), type),
+                                  "/ref", &reference)
+                    .ok());
+    ApplyUnsharded(reference.get(), ops);
+
+    for (int shards : {1, 4}) {
+      const std::string trace = std::string(IndexTypeName(type)) +
+                                " sorted-view N=" + std::to_string(shards);
+      std::unique_ptr<Env> env(NewMemEnv());
+      ShardedDBOptions options;
+      options.shard = TestShardOptions(env.get(), type);
+      options.shard.base.sorted_views = true;
+      // write_buffer_size/max_file_size sanitize to their 64K/16K floors;
+      // 24K lets L1 retain a file at quiescence (16K file ~ score 0.67)
+      // while the ~65K live set per shard overflows into L2.
+      options.shard.base.max_bytes_for_level_base = 24 << 10;
+      options.num_shards = shards;
+      std::unique_ptr<ShardedDB> sharded;
+      ASSERT_TRUE(ShardedDB::Open(options, "/sharded", &sharded).ok())
+          << trace;
+      ApplySharded(sharded.get(), ops);
+
+      EXPECT_GT(sharded->TotalTicker(kSortedViewBuilds), 0u) << trace;
+      CompareStores(reference.get(), sharded.get(), trace);
+
+      // Results must not depend on LSM shape with the view in play either.
+      ASSERT_TRUE(sharded->CompactAll().ok()) << trace;
+      CompareStores(reference.get(), sharded.get(), trace + " compacted");
+    }
+  }
+}
+
 TEST(ShardedDBTest, ReopenKeepsSequencesGloballyComparable) {
   const std::vector<crash::Op> ops = MakeWorkload();
   const auto half = ops.begin() + ops.size() / 2;

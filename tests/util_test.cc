@@ -175,6 +175,7 @@ class VectorIterator : public Iterator {
       : kv_(std::move(kv)), index_(kv_.size()) {}
   bool Valid() const override { return index_ < kv_.size(); }
   void SeekToFirst() override { index_ = 0; }
+  void SeekToLast() override { index_ = kv_.empty() ? 0 : kv_.size() - 1; }
   void Seek(const Slice& target) override {
     index_ = 0;
     while (index_ < kv_.size() && Slice(kv_[index_].first) < target) {
@@ -182,6 +183,7 @@ class VectorIterator : public Iterator {
     }
   }
   void Next() override { index_++; }
+  void Prev() override { index_ = (index_ == 0) ? kv_.size() : index_ - 1; }
   Slice key() const override { return kv_[index_].first; }
   Slice value() const override { return kv_[index_].second; }
   Status status() const override { return Status::OK(); }
