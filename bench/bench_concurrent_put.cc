@@ -30,102 +30,9 @@ namespace leveldbpp {
 namespace bench {
 namespace {
 
-// Injects a blocking sleep into Sync() of table (.ldb) files only — the
-// device-commit latency a flush or compaction output pays on real storage.
-// WAL (.log) appends/syncs are untouched, so the foreground group-commit
-// path is unaffected; what changes is how long the background thread is
-// *occupied* per flush, which is exactly the latency the immutable-memtable
-// queue (--max_imm) exists to hide. On a page-cached scratch directory a
-// table sync is ~free, so with the default 0 the queue never deepens and
-// depth-1 vs depth-N measure the same engine.
-class TableLatencyEnv : public Env {
- public:
-  TableLatencyEnv(Env* base, uint32_t sync_latency_us)
-      : base_(base), latency_us_(sync_latency_us) {}
-
-  Status NewSequentialFile(const std::string& fname,
-                           std::unique_ptr<SequentialFile>* result) override {
-    return base_->NewSequentialFile(fname, result);
-  }
-  Status NewRandomAccessFile(
-      const std::string& fname,
-      std::unique_ptr<RandomAccessFile>* result) override {
-    return base_->NewRandomAccessFile(fname, result);
-  }
-  Status NewWritableFile(const std::string& fname,
-                         std::unique_ptr<WritableFile>* result) override {
-    std::unique_ptr<WritableFile> file;
-    Status s = base_->NewWritableFile(fname, &file);
-    if (s.ok() && latency_us_ > 0 && IsTable(fname)) {
-      result->reset(new SlowSyncFile(std::move(file), latency_us_));
-    } else if (s.ok()) {
-      *result = std::move(file);
-    }
-    return s;
-  }
-  bool FileExists(const std::string& fname) override {
-    return base_->FileExists(fname);
-  }
-  Status GetChildren(const std::string& dir,
-                     std::vector<std::string>* result) override {
-    return base_->GetChildren(dir, result);
-  }
-  Status RemoveFile(const std::string& fname) override {
-    return base_->RemoveFile(fname);
-  }
-  Status CreateDir(const std::string& dirname) override {
-    return base_->CreateDir(dirname);
-  }
-  Status RemoveDir(const std::string& dirname) override {
-    return base_->RemoveDir(dirname);
-  }
-  Status GetFileSize(const std::string& fname, uint64_t* size) override {
-    return base_->GetFileSize(fname, size);
-  }
-  Status RenameFile(const std::string& src,
-                    const std::string& target) override {
-    return base_->RenameFile(src, target);
-  }
-  Status SyncDir(const std::string& dirname) override {
-    return base_->SyncDir(dirname);
-  }
-  uint64_t NowMicros() override { return base_->NowMicros(); }
-  void Schedule(void (*function)(void*), void* arg) override {
-    base_->Schedule(function, arg);
-  }
-  void StartThread(void (*function)(void*), void* arg) override {
-    base_->StartThread(function, arg);
-  }
-  void SleepForMicroseconds(int micros) override {
-    base_->SleepForMicroseconds(micros);
-  }
-
- private:
-  static bool IsTable(const std::string& fname) {
-    return fname.size() > 4 &&
-           fname.compare(fname.size() - 4, 4, ".ldb") == 0;
-  }
-
-  class SlowSyncFile : public WritableFile {
-   public:
-    SlowSyncFile(std::unique_ptr<WritableFile> base, uint32_t latency_us)
-        : base_(std::move(base)), latency_us_(latency_us) {}
-    Status Append(const Slice& data) override { return base_->Append(data); }
-    Status Close() override { return base_->Close(); }
-    Status Flush() override { return base_->Flush(); }
-    Status Sync() override {
-      std::this_thread::sleep_for(std::chrono::microseconds(latency_us_));
-      return base_->Sync();
-    }
-
-   private:
-    std::unique_ptr<WritableFile> base_;
-    uint32_t latency_us_;
-  };
-
-  Env* base_;
-  uint32_t latency_us_;
-};
+// The simulated device-commit latency lives in harness.h (TableLatencyEnv):
+// a blocking sleep in Sync() of table (.ldb) files only, leaving WAL
+// appends/syncs — and so the foreground group-commit path — untouched.
 
 struct Result {
   uint64_t put_micros = 0;    // Wall time of the foreground Put phase

@@ -10,6 +10,13 @@
 //                     the baseline the sharded layer exists to beat
 //                     (SecondaryDB's index maintenance is single-writer, so
 //                     an unsharded server must serialize writers).
+//   --mode=overload   offered-load sweep past saturation: write-heavy
+//                     no-retry clients against small-memtable shards with
+//                     shedding on, stepping the thread count up. Measures
+//                     what an overload-proof server should show — goodput
+//                     holds (or degrades gracefully) while the excess is
+//                     answered with RETRY_LATER instead of queueing, and
+//                     acknowledged-write p99 stays bounded.
 //
 // Not one of the paper's figures: the paper measures a single-threaded
 // embedded engine; this bench quantifies the serving layer built on top of
@@ -40,6 +47,8 @@ struct WorkerStats {
   Histogram put_us;
   Histogram lookup_us;
   uint64_t errors = 0;
+  uint64_t acked = 0;  // Overload mode: writes acknowledged
+  uint64_t shed = 0;   // Overload mode: RETRY_LATER answers
 };
 
 std::string MakeDoc(uint64_t user, uint64_t t) {
@@ -215,6 +224,107 @@ void RunDirectMode(IndexType type, int shards, int threads, uint64_t total_ops,
   DestroyTree(path);
 }
 
+// Offered-load sweep: one store + server (small memtables so the stall
+// ladder is reachable inside a bench-sized run, shedding on), stepped
+// thread counts, pure writes through NO-RETRY clients. Every op is either
+// acknowledged (goodput) or answered RETRY_LATER (shed) — a third outcome
+// is an error and fails the premise. One JSON line per step.
+void RunOverloadMode(IndexType type, int shards, uint64_t ops_per_step,
+                     uint64_t users, uint32_t table_sync_latency_us) {
+  const std::string path = ScratchRoot() + "/serve_overload_" +
+                           std::string(Name(type)) + "_" +
+                           std::to_string(shards);
+  // Small memtables + a simulated device-commit latency per table Sync
+  // (harness TableLatencyEnv): on a page-cached scratch dir a flush is
+  // ~free and the ladder never engages, so without the sleep the sweep
+  // measures the network, not the overload policy.
+  TableLatencyEnv latency_env(Env::Posix(), table_sync_latency_us);
+  ShardedDBOptions options;
+  options.shard = MakeShardOptions(type);
+  options.shard.base.env = &latency_env;
+  options.shard.base.write_buffer_size = 64 << 10;
+  options.shard.base.max_immutable_memtables = 1;
+  options.num_shards = shards;
+  std::unique_ptr<ShardedDB> db;
+  CheckOk(ShardedDB::Open(options, path, &db), "open sharded");
+
+  std::unique_ptr<Server> server;
+  CheckOk(Server::Start(db.get(), ServerOptions(), &server), "start server");
+  const int port = server->port();
+
+  for (int threads : {1, 2, 4, 8, 16}) {
+    const uint64_t per_thread = ops_per_step / threads;
+    RunResult r;
+    std::vector<WorkerStats> stats(threads);
+    std::vector<std::thread> workers;
+    Timer timer;
+    for (int t = 0; t < threads; t++) {
+      WorkerStats* ws = &stats[t];
+      workers.emplace_back([t, per_thread, users, ws, port, threads]() {
+        std::unique_ptr<Client> client;
+        CheckOk(Client::Connect("127.0.0.1", port, &client), "connect");
+        RetryPolicy no_retry;
+        no_retry.max_retries = 0;
+        client->set_retry_policy(no_retry);
+        Env* env = Env::Posix();
+        for (uint64_t i = 0; i < per_thread; i++) {
+          const uint64_t user = (i * 2654435761u + t * 40503u) % users;
+          const std::string key = "ov" + std::to_string(threads) + "-t" +
+                                  std::to_string(t) + "-k" + std::to_string(i);
+          const uint64_t start = env->NowMicros();
+          Status s = client->Put(key, MakeDoc(user, i));
+          if (s.ok()) {
+            ws->acked++;
+            ws->put_us.Add(static_cast<double>(env->NowMicros() - start));
+          } else if (s.IsBusy()) {
+            ws->shed++;
+          } else {
+            ws->errors++;
+          }
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    r.elapsed_us = timer.ElapsedMicros();
+    uint64_t acked = 0, shed = 0;
+    for (const WorkerStats& ws : stats) {
+      acked += ws.acked;
+      shed += ws.shed;
+      r.errors += ws.errors;
+      r.put_us.Merge(ws.put_us);
+    }
+    const uint64_t offered = per_thread * threads;
+    JsonLine line("serve");
+    line.Str("mode", "overload")
+        .Str("variant", Name(type))
+        .Int("shards", static_cast<uint64_t>(shards))
+        .Int("threads", static_cast<uint64_t>(threads))
+        .Int("offered_ops", offered)
+        .Int("acked_ops", acked)
+        .Int("shed_ops", shed)
+        .Int("errors", r.errors)
+        .Int("elapsed_us", r.elapsed_us)
+        .Double("goodput_kops_per_sec",
+                r.elapsed_us == 0 ? 0.0
+                                  : 1000.0 * static_cast<double>(acked) /
+                                        static_cast<double>(r.elapsed_us))
+        .Int("table_sync_latency_us",
+             static_cast<uint64_t>(table_sync_latency_us))
+        .Double("shed_rate_pct", offered == 0
+                                     ? 0.0
+                                     : 100.0 * static_cast<double>(shed) /
+                                           static_cast<double>(offered));
+    if (r.put_us.Count() > 0) {
+      line.Double("put_p50_us", r.put_us.Median())
+          .Double("put_p99_us", r.put_us.Percentile(99));
+    }
+    line.Emit();
+  }
+  server->Stop();
+  db.reset();
+  DestroyTree(path);
+}
+
 void RunUnshardedMode(IndexType type, int threads, uint64_t total_ops,
                       uint64_t lookup_frac, uint64_t users) {
   const std::string path =
@@ -283,6 +393,8 @@ int main(int argc, char** argv) {
   const uint64_t lookup_frac = flags.GetInt("lookup_frac", 10);  // percent
   const uint64_t users = flags.GetInt("users", 200);
   const std::string mode = flags.GetString("mode", "server");
+  const uint32_t table_sync_latency_us = static_cast<uint32_t>(
+      flags.GetInt("table_sync_latency_us", mode == "overload" ? 20000 : 0));
   const std::vector<IndexType> types =
       ParseTypes(flags.GetString("types", "all"));
 
@@ -293,6 +405,8 @@ int main(int argc, char** argv) {
       RunDirectMode(type, shards, threads, total_ops, lookup_frac, users);
     } else if (mode == "unsharded") {
       RunUnshardedMode(type, threads, total_ops, lookup_frac, users);
+    } else if (mode == "overload") {
+      RunOverloadMode(type, shards, total_ops, users, table_sync_latency_us);
     } else {
       fprintf(stderr, "FATAL: unknown mode: %s\n", mode.c_str());
       return 1;

@@ -31,6 +31,11 @@
 #     server. On a single-core container the shard counts are expected to
 #     tie (the sweep records the shape, and that N=1 costs nothing over
 #     unsharded); scaling shows on multi-core hardware.
+#   * bench_serve --mode=overload — offered-load sweep past saturation:
+#     write-heavy no-retry clients against small-memtable shards with
+#     shedding on, thread count stepped 1..16. Goodput should hold while
+#     the excess answers RETRY_LATER and acknowledged-write p99 stays
+#     bounded — the overload-proofing contract, as a number.
 #   * bench_range_scan — primary range scans, heap-merge iterators vs
 #     REMIX-style sorted views, selectivity sweep (1‰ .. 1000‰) across
 #     all five variants over identical deterministic LSM shapes. The
@@ -94,6 +99,10 @@ for shards in 1 2 4; do
   "${bin}/bench/bench_serve" --mode=server --shards="${shards}" --threads=4 \
     --ops=20000 --lookup_frac=10 >> "${tmp}"
 done
+
+echo "==> serve overload sweep (no-retry writers, shedding on)"
+"${bin}/bench/bench_serve" --mode=overload --shards=2 --ops=20000 \
+  --types=lazy >> "${tmp}"
 
 echo "==> range scans (heap-merge vs sorted view, selectivity sweep)"
 "${bin}/bench/bench_range_scan" --n=40000 --reps=40 >> "${tmp}"

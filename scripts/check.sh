@@ -100,9 +100,11 @@ if [[ -n "${SAN_FILTER}" ]]; then
   TSAN_OPTIONS="halt_on_error=1" ctest --preset tsan -L observability
 fi
 
-# Serving: the sharded equivalence matrix plus the wire-protocol gauntlet.
-# The server is thread-per-connection over a shard fan-out over the shared
-# pool — three thread populations interleaving (TSan) — and the frame codec
+# Serving: the sharded equivalence matrix, the wire-protocol gauntlet, and
+# the chaos suite (stalled/failed/delayed shards, killed connections,
+# deadline storms behind a live server). The server is thread-per-connection
+# over a shard fan-out over the shared pool, with a per-shard background
+# lane — four thread populations interleaving (TSan) — and the frame codec
 # parses attacker-controlled bytes (ASan), including the fuzzed malformed
 # frames. Skipped when --sanitize-all already ran the full suites.
 if [[ -n "${SAN_FILTER}" ]]; then

@@ -168,7 +168,8 @@ Iterator* SecondaryDB::NewIterator(const ReadOptions& options) {
   return primary_->NewIterator(options);
 }
 
-Status SecondaryDB::Put(const Slice& key, const Slice& json_value) {
+Status SecondaryDB::Put(const Slice& key, const Slice& json_value,
+                        const WriteControl& ctl) {
   // Extract indexed attributes up front (stand-alone variants need them;
   // the extraction also validates the document).
   std::vector<std::pair<SecondaryIndex*, std::string>> attr_values;
@@ -198,10 +199,13 @@ Status SecondaryDB::Put(const Slice& key, const Slice& json_value) {
     }
     WriteOptions wo;
     wo.assigned_seq = seq;
+    wo.no_stall = ctl.no_stall;
     return primary_->Put(wo, key, json_value);
   }
 
-  Status s = primary_->Put(WriteOptions(), key, json_value);
+  WriteOptions wo;
+  wo.no_stall = ctl.no_stall;
+  Status s = primary_->Put(wo, key, json_value);
   if (!s.ok()) return s;
   const SequenceNumber seq = primary_->LastSequence();
 
@@ -223,7 +227,7 @@ Status SecondaryDB::Get(const Slice& key, std::string* value) {
   return primary_->Get(ReadOptions(), key, value);
 }
 
-Status SecondaryDB::Delete(const Slice& key) {
+Status SecondaryDB::Delete(const Slice& key, const WriteControl& ctl) {
   // Stand-alone indexes must learn the victim's attribute values to target
   // the right index entries, which costs a primary-table read.
   std::vector<std::pair<SecondaryIndex*, std::string>> attr_values;
@@ -247,7 +251,9 @@ Status SecondaryDB::Delete(const Slice& key) {
   // record silently missing from query results, unfilterable. Primary-first
   // instead leaves at worst a primary tombstone with lingering index
   // postings, which validation filters (the primary Get misses).
-  Status s = primary_->Delete(WriteOptions(), key);
+  WriteOptions wo;
+  wo.no_stall = ctl.no_stall;
+  Status s = primary_->Delete(wo, key);
   if (!s.ok()) return s;
   const SequenceNumber seq = primary_->LastSequence();
 
@@ -594,6 +600,23 @@ Status SecondaryDB::Resume() {
     if (s.ok() && !is.ok()) s = is;
   }
   return s;
+}
+
+DBImpl::WriteStallState SecondaryDB::GetWriteStallState() {
+  DBImpl::WriteStallState st = primary_->GetWriteStallState();
+  if (st.bg_error.ok()) {
+    for (auto& index : indexes_) {
+      Status is = index->BackgroundError();
+      if (!is.ok()) {
+        st.bg_error = is;
+        // A sick index table refuses writes outright; advertise the same
+        // patient hint the primary's bg-error rung does.
+        if (st.suggested_retry_micros == 0) st.suggested_retry_micros = 100000;
+        break;
+      }
+    }
+  }
+  return st;
 }
 
 uint64_t SecondaryDB::TotalTicker(Ticker t) {

@@ -84,16 +84,34 @@ class SecondaryDB {
   SecondaryDB& operator=(const SecondaryDB&) = delete;
   ~SecondaryDB();
 
+  /// Per-call write controls (the subset of WriteOptions the serving layer
+  /// needs). Defaults preserve the classic blocking behavior.
+  struct WriteControl {
+    /// See WriteOptions::no_stall: return Status::Busy instead of parking
+    /// on the PRIMARY table's stall ladder. A Busy return means nothing was
+    /// applied to the primary; in sync_writes mode the index postings
+    /// written first may remain as stale entries — exactly the state a
+    /// crash between the two writes leaves, which query-time validation
+    /// already filters. Index-table writes themselves keep the blocking
+    /// path (postings are small; their ladders clear quickly).
+    bool no_stall = false;
+  };
+
   /// PUT(k, v): v must be a JSON object; indexed attributes are extracted
   /// from its top-level fields. Overwrites any existing entry (stale index
   /// entries are filtered at query time, per the paper).
-  Status Put(const Slice& key, const Slice& json_value);
+  Status Put(const Slice& key, const Slice& json_value,
+             const WriteControl& ctl);
+  Status Put(const Slice& key, const Slice& json_value) {
+    return Put(key, json_value, WriteControl());
+  }
 
   /// GET(k).
   Status Get(const Slice& key, std::string* value);
 
   /// DEL(k).
-  Status Delete(const Slice& key);
+  Status Delete(const Slice& key, const WriteControl& ctl);
+  Status Delete(const Slice& key) { return Delete(key, WriteControl()); }
 
   /// LOOKUP(A, a, K): K most recent records with val(A) == a, newest
   /// first. K == 0 means no limit.
@@ -167,6 +185,13 @@ class SecondaryDB {
   /// Clear a transient sticky background error on the primary table and on
   /// every stand-alone index table (see DB::Resume).
   Status Resume();
+
+  /// Store-wide stall state: the primary table's ladder position, with
+  /// bg_error widened to cover the stand-alone index tables — a store is
+  /// only healthy when every table is, and index writes keep the blocking
+  /// path, so a sick index table fails Put/Delete just as loudly as a sick
+  /// primary.
+  DBImpl::WriteStallState GetWriteStallState();
 
   // ---- Introspection ----
   DBImpl* primary() { return primary_.get(); }

@@ -127,6 +127,12 @@ class SecondaryIndex {
   /// (see DB::Resume). Embedded/NoIndex have no separate table: no-op.
   virtual Status Resume() { return Status::OK(); }
 
+  /// Sticky background error on the index's own table, if any — a shard is
+  /// only healthy when every one of its tables is (index writes keep the
+  /// blocking path, so a sick index table fails writes just as loudly as a
+  /// sick primary). Embedded/NoIndex have no separate table: always OK.
+  virtual Status BackgroundError() { return Status::OK(); }
+
   /// Statistics of the index's own table (nullptr when none exists).
   virtual Statistics* index_statistics() { return nullptr; }
 

@@ -19,6 +19,9 @@ class StandAloneIndex : public SecondaryIndex {
 
   Status CompactAll() override;
   Status Resume() override { return index_db_->Resume(); }
+  Status BackgroundError() override {
+    return index_db_->GetWriteStallState().bg_error;
+  }
   Statistics* index_statistics() override { return stats_.get(); }
   uint64_t IndexSizeBytes() override;
 

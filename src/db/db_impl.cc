@@ -442,10 +442,15 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
     return w.status;
   }
 
-  // This writer is the queue head: write on behalf of the whole group.
+  // This writer is the queue head: write on behalf of the whole group. A
+  // no_stall head that hits a ladder rung gets Busy back before any group
+  // is built, so only THIS writer is refused — followers become the next
+  // head and decide for themselves. (A no_stall writer parked BEHIND a
+  // blocking head still waits for that head; the serving layer issues only
+  // no_stall writes per shard, so its queue never mixes the two.)
   Status status = bg_error_;
   if (status.ok()) {
-    status = MakeRoomForWrite(updates == nullptr);
+    status = MakeRoomForWrite(updates == nullptr, options.no_stall);
   }
   uint64_t last_sequence = versions_->LastSequence();
   Writer* last_writer = &w;
@@ -643,7 +648,7 @@ Status DBImpl::RotateMemTable() {
   return Status::OK();
 }
 
-Status DBImpl::MakeRoomForWrite(bool force) {
+Status DBImpl::MakeRoomForWrite(bool force, bool no_stall) {
   mutex_.AssertHeld();
   assert(!writers_.empty());
   Statistics* stats = options_.statistics;
@@ -717,6 +722,10 @@ Status DBImpl::MakeRoomForWrite(bool force) {
     }
     if (allow_delay &&
         versions_->NumLevelFiles(0) >= options_.l0_slowdown_writes_trigger) {
+      if (no_stall) {
+        s = Status::Busy("write stall: L0 slowdown");
+        break;
+      }
       // Soft limit: surrender the CPU (and the mutex) for 1ms so the
       // compactor gains ground; pay the penalty once per write.
       mutex_.Unlock();
@@ -728,6 +737,13 @@ Status DBImpl::MakeRoomForWrite(bool force) {
                mem_->ApproximateMemoryUsage() <= options_.write_buffer_size) {
       break;  // There is room in the current memtable.
     } else if (imm_queue_.size() >= max_imm) {
+      if (no_stall) {
+        // Both sub-branches block — the inline flush on table I/O, the
+        // park on another thread's flush — so a no_stall writer is shed
+        // here either way. Nothing has been applied or rotated.
+        s = Status::Busy("write stall: immutable memtable queue full");
+        break;
+      }
       if (!flush_in_progress_) {
         // Flush the oldest queued memtable ourselves instead of queueing
         // behind whatever compaction the background thread is running: the
@@ -753,6 +769,10 @@ Status DBImpl::MakeRoomForWrite(bool force) {
       }
     } else if (versions_->NumLevelFiles(0) >=
                options_.l0_stop_writes_trigger) {
+      if (no_stall) {
+        s = Status::Busy("write stall: L0 stop trigger");
+        break;
+      }
       // Hard L0 limit: stop-stall until a compaction retires L0 files.
       const uint64_t start = env_->NowMicros();
       background_work_finished_signal_.Wait();
@@ -771,6 +791,37 @@ Status DBImpl::MakeRoomForWrite(bool force) {
     }
   }
   return s;
+}
+
+DBImpl::WriteStallState DBImpl::GetWriteStallState() {
+  MutexLock l(&mutex_);
+  WriteStallState st;
+  st.l0_files = versions_->NumLevelFiles(0);
+  st.imm_queue_depth = imm_queue_.size();
+  st.imm_queue_capacity =
+      static_cast<size_t>(options_.max_immutable_memtables);
+  st.bg_error = bg_error_;
+  // Mirror MakeRoomForWrite's ladder order so the reported rung is exactly
+  // what a write arriving now would hit. Retry hints scale with how long
+  // the rung typically takes to clear: the slowdown delay is 1 ms by
+  // construction; a queued flush or an L0 compaction is tens of ms of
+  // table I/O.
+  if (st.l0_files >= options_.l0_stop_writes_trigger) {
+    st.rung = 3;
+    st.suggested_retry_micros = 50000;
+  } else if (st.imm_queue_depth >= st.imm_queue_capacity) {
+    st.rung = 2;
+    st.suggested_retry_micros = 10000;
+  } else if (st.l0_files >= options_.l0_slowdown_writes_trigger) {
+    st.rung = 1;
+    st.suggested_retry_micros = 2000;
+  }
+  if (!st.bg_error.ok() && st.suggested_retry_micros == 0) {
+    // Writes are refused outright until Resume()/retry clears the error;
+    // suggest a coarse backoff so shed clients do not spin.
+    st.suggested_retry_micros = 100000;
+  }
+  return st;
 }
 
 void DBImpl::RecordBackgroundError(const Status& s) {

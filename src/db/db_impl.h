@@ -241,6 +241,24 @@ class DBImpl : public DB {
   /// Total bytes across all SSTables plus the live memtable (Figure 8a).
   uint64_t TotalSizeBytes();
 
+  /// Point-in-time view of the write-stall ladder, for backpressure
+  /// surfacing (ShardedDB::ShardHealth / the HEALTH wire op). `rung` is the
+  /// ladder step a write arriving NOW would hit: 0 = admitted immediately,
+  /// 1 = L0 slowdown delay, 2 = immutable-memtable queue full, 3 = L0 stop.
+  /// Higher rungs are sicker; `suggested_retry_micros` is the backoff a
+  /// shed writer should apply before retrying (0 when healthy). A sticky
+  /// background error is reported alongside — it gates writes regardless of
+  /// the rung and clears only via Resume()/reopen.
+  struct WriteStallState {
+    int rung = 0;
+    int l0_files = 0;
+    size_t imm_queue_depth = 0;
+    size_t imm_queue_capacity = 1;
+    Status bg_error;
+    uint64_t suggested_retry_micros = 0;
+  };
+  WriteStallState GetWriteStallState();
+
   const Options& options() const { return options_; }
   Statistics* statistics() const { return options_.statistics; }
   SequenceNumber LastSequence() const { return versions_->LastSequence(); }
@@ -282,8 +300,12 @@ class DBImpl : public DB {
   void NotifyListeners(const std::function<void(EventListener*)>& fn);
 
   /// Blocks until mem_ has room (rotating / flushing / stalling as the mode
-  /// dictates). `force` rotates even a non-full memtable.
-  Status MakeRoomForWrite(bool force) EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+  /// dictates). `force` rotates even a non-full memtable. With `no_stall`
+  /// (background mode only) the ladder never parks: any rung that would
+  /// delay or wait returns Status::Busy instead, leaving all state
+  /// untouched so the caller can retry later.
+  Status MakeRoomForWrite(bool force, bool no_stall = false)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
   /// Total bytes held by queued immutable memtables (the stall ladder's
   /// backpressure signal with pipelined flushes).

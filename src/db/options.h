@@ -220,6 +220,18 @@ struct WriteOptions {
   /// fsync the WAL before acknowledging the write.
   bool sync = false;
 
+  /// Never park on the write-stall ladder: if admitting this write would
+  /// require waiting (L0 slowdown delay, full immutable-memtable queue, or
+  /// the L0 stop rung), return Status::Busy immediately instead of blocking
+  /// the calling thread. Nothing is applied on a Busy return, so the caller
+  /// can safely retry after a backoff — the serving layer uses this to shed
+  /// writes to a stalled shard with a retry-after hint rather than wedging
+  /// a connection thread. Only meaningful with `background_compaction`
+  /// (the synchronous mode makes room by compacting inline on this very
+  /// thread, so there is nothing to wait for and the flag is ignored).
+  /// A sticky background error still surfaces as that error, not Busy.
+  bool no_stall = false;
+
   /// Non-zero: the exact sequence number this write's first record must be
   /// assigned (the caller reserved it — e.g. SecondaryDB's crash-ordered
   /// Put claims a sequence, durably writes index postings tagged with it,

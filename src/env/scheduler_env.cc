@@ -1,0 +1,14 @@
+#include "env/scheduler_env.h"
+
+namespace leveldbpp {
+
+DedicatedSchedulerEnv::DedicatedSchedulerEnv(Env* base, int threads)
+    : base_(base), pool_(threads > 0 ? threads : 1) {}
+
+DedicatedSchedulerEnv::~DedicatedSchedulerEnv() = default;
+
+void DedicatedSchedulerEnv::Schedule(void (*function)(void*), void* arg) {
+  pool_.Submit([function, arg]() { (*function)(arg); });
+}
+
+}  // namespace leveldbpp

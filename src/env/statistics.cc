@@ -66,6 +66,11 @@ const char* TickerName(Ticker t) {
     case kSortedViewBuildEntries: return "iter.sortedview.build.entries";
     case kSortedViewUsed: return "iter.sortedview.used";
     case kSortedViewFallbacks: return "iter.sortedview.fallbacks";
+    case kServeRequestsShed: return "serve.requests.shed";
+    case kServeDeadlineExceeded: return "serve.deadline.exceeded";
+    case kServeRetriesSuggested: return "serve.retries.suggested";
+    case kShardHealthChecks: return "shard.health.checks";
+    case kLookupDegraded: return "lookup.degraded";
     case kTickerCount: break;
   }
   return "unknown";

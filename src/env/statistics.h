@@ -79,6 +79,12 @@ enum Ticker : uint32_t {
   kSortedViewBuildEntries,  // internal entries swept into sorted views
   kSortedViewUsed,         // iterators that read levels >= 1 via the view
   kSortedViewFallbacks,  // iterators that fell back to the per-level heap
+  kServeRequestsShed,      // requests refused with RETRY_LATER (admission
+                           // control or a no_stall write hitting the ladder)
+  kServeDeadlineExceeded,  // requests answered DEADLINE_EXCEEDED
+  kServeRetriesSuggested,  // responses that carried a retry-after hint
+  kShardHealthChecks,      // ShardHealth() probes (incl. the HEALTH wire op)
+  kLookupDegraded,         // fan-out queries answered with partial results
   kTickerCount,
 };
 

@@ -34,6 +34,11 @@ bool ReadFully(int fd, char* buf, size_t n) {
 
 /// Write exactly data.size() bytes. MSG_NOSIGNAL: a peer that closed mid-
 /// response must surface as EPIPE, not kill the process with SIGPIPE.
+/// (On platforms without MSG_NOSIGNAL — macOS — SO_NOSIGPIPE on the socket
+/// provides the same guarantee; see DisableSigpipe.)
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
 bool WriteFully(int fd, const Slice& data) {
   size_t sent = 0;
   while (sent < data.size()) {
@@ -49,6 +54,22 @@ bool WriteFully(int fd, const Slice& data) {
   }
   return true;
 }
+
+/// Belt-and-braces against SIGPIPE on write-to-closed-socket: every send
+/// already passes MSG_NOSIGNAL where the platform has it; where it does
+/// not, mark the socket itself.
+void DisableSigpipe(int fd) {
+#ifdef SO_NOSIGPIPE
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
+#else
+  (void)fd;
+#endif
+}
+
+/// How long a shed connection/request should wait before trying again when
+/// no shard-health signal applies (connection limit, in-flight limit).
+constexpr uint64_t kAdmissionRetryMicros = 20000;
 
 }  // namespace
 
@@ -136,10 +157,36 @@ void Server::AcceptLoop() {
       if (errno == EINTR) continue;
       return;  // Listener shut down (or fatally broken) — exit the loop
     }
+    DisableSigpipe(fd);
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
       ::close(fd);
       return;
+    }
+    if (options_.max_connections > 0 &&
+        conn_fds_.size() >= static_cast<size_t>(options_.max_connections)) {
+      // Accept-shedding: answer with one RETRY_LATER frame and close,
+      // instead of letting an unbounded connection population grow a
+      // thread each. The write is best-effort (the peer may already be
+      // gone) and never blocks long: the frame fits any socket buffer.
+      stats_->Record(kServeRequestsShed);
+      stats_->Record(kServeRetriesSuggested);
+      wire::Response shed;
+      shed.code = wire::kRetryLater;
+      shed.retry_after_micros = kAdmissionRetryMicros;
+      shed.payload = "server at connection limit";
+      std::string out;
+      wire::EncodeResponse(shed, &out);
+      WriteFully(fd, out);
+      ::close(fd);
+      continue;
+    }
+    if (options_.idle_timeout_micros > 0) {
+      timeval tv;
+      tv.tv_sec = static_cast<time_t>(options_.idle_timeout_micros / 1000000);
+      tv.tv_usec =
+          static_cast<suseconds_t>(options_.idle_timeout_micros % 1000000);
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
     }
     stats_->Record(kServeConnections);
     conn_fds_.push_back(fd);
@@ -185,7 +232,30 @@ void Server::HandleConnection(int fd) {
     }
 
     stats_->Record(kServeRequests);
-    const wire::Response resp = Execute(req);
+    // Anchor the relative deadline to the store's clock the moment the
+    // frame finished arriving; everything downstream compares absolutes.
+    const uint64_t deadline_abs =
+        req.deadline_micros != 0
+            ? db_->env()->NowMicros() + req.deadline_micros
+            : 0;
+    wire::Response resp;
+    const bool probe = req.op == wire::kPing || req.op == wire::kHealth;
+    if (!probe && options_.max_inflight_requests > 0 &&
+        inflight_.load(std::memory_order_relaxed) >=
+            options_.max_inflight_requests) {
+      // Admission control: refuse before touching the engine. Probes are
+      // exempt — an operator must be able to ask "are you alive / which
+      // shard is sick" precisely when the server is saturated.
+      stats_->Record(kServeRequestsShed);
+      stats_->Record(kServeRetriesSuggested);
+      resp.code = wire::kRetryLater;
+      resp.retry_after_micros = kAdmissionRetryMicros;
+      resp.payload = "server at in-flight request limit";
+    } else {
+      inflight_.fetch_add(1, std::memory_order_relaxed);
+      resp = Execute(req, deadline_abs);
+      inflight_.fetch_sub(1, std::memory_order_relaxed);
+    }
     out.clear();
     wire::EncodeResponse(resp, &out);
     if (!WriteFully(fd, out)) break;
@@ -200,11 +270,32 @@ void Server::HandleConnection(int fd) {
   ::close(fd);
 }
 
-wire::Response Server::Execute(const wire::Request& req) {
+wire::Response Server::Execute(const wire::Request& req,
+                               uint64_t deadline_micros) {
   wire::Response resp;
+  // Check the deadline before doing any work: under a deadline storm the
+  // cheapest request is the one never executed. Fan-out queries re-check
+  // at shard boundaries via QueryOptions; single-shard ops are short
+  // enough that this entry check is the only one.
+  if (deadline_micros != 0 && req.op != wire::kPing &&
+      req.op != wire::kHealth &&
+      db_->env()->NowMicros() >= deadline_micros) {
+    stats_->Record(kServeDeadlineExceeded);
+    return wire::FromStatus(
+        Status::DeadlineExceeded("expired before execution"));
+  }
+
+  SecondaryDB::WriteControl wctl;
+  wctl.no_stall = options_.shed_stalled_writes;
+
+  ShardedDB::QueryOptions qopts;
+  qopts.deadline_micros = deadline_micros;
+  qopts.allow_degraded = req.allow_degraded;
+  ShardedDB::QueryMeta meta;
+
   switch (req.op) {
     case wire::kPut:
-      resp = wire::FromStatus(db_->Put(req.key, req.value));
+      resp = wire::FromStatus(db_->Put(req.key, req.value, wctl));
       break;
     case wire::kGet: {
       std::string value;
@@ -214,19 +305,20 @@ wire::Response Server::Execute(const wire::Request& req) {
       break;
     }
     case wire::kDelete:
-      resp = wire::FromStatus(db_->Delete(req.key));
+      resp = wire::FromStatus(db_->Delete(req.key, wctl));
       break;
     case wire::kLookup: {
       std::vector<QueryResult> results;
-      Status s = db_->Lookup(req.attribute, req.value, req.k, &results);
+      Status s = db_->Lookup(req.attribute, req.value, req.k, qopts,
+                             &results, &meta);
       resp = wire::FromStatus(s);
       if (s.ok()) resp.results = std::move(results);
       break;
     }
     case wire::kRangeLookup: {
       std::vector<QueryResult> results;
-      Status s = db_->RangeLookup(req.attribute, req.lo, req.hi, req.k,
-                                  &results);
+      Status s = db_->RangeLookup(req.attribute, req.lo, req.hi, req.k, qopts,
+                                  &results, &meta);
       resp = wire::FromStatus(s);
       if (s.ok()) resp.results = std::move(results);
       break;
@@ -241,9 +333,33 @@ wire::Response Server::Execute(const wire::Request& req) {
       }
       break;
     }
+    case wire::kHealth:
+      resp.payload = db_->HealthJson();
+      break;
     case wire::kPing:
       resp.payload = "pong";
       break;
+  }
+
+  if (meta.degraded) {
+    resp.degraded = true;
+    resp.missing_shards = static_cast<uint32_t>(meta.missing_shards);
+  }
+  if (resp.code == wire::kRetryLater) {
+    // A shed write: derive the retry-after hint from the target shard's
+    // ladder state so clients back off proportionally to how sick it is.
+    stats_->Record(kServeRequestsShed);
+    if (req.op == wire::kPut || req.op == wire::kDelete) {
+      const ShardedDB::ShardHealthInfo h = db_->ShardHealthFor(req.key);
+      resp.retry_after_micros = h.suggested_retry_micros != 0
+                                    ? h.suggested_retry_micros
+                                    : kAdmissionRetryMicros;
+    } else if (resp.retry_after_micros == 0) {
+      resp.retry_after_micros = kAdmissionRetryMicros;
+    }
+    stats_->Record(kServeRetriesSuggested);
+  } else if (resp.code == wire::kDeadlineExceeded) {
+    stats_->Record(kServeDeadlineExceeded);
   }
   return resp;
 }

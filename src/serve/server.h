@@ -13,10 +13,24 @@
 // frame and the connection is dropped (counted as serve.frames.malformed).
 // A peer that disappears mid-frame just closes the handler. Malformed
 // input can never crash or wedge the server — see serve_protocol_test.
+//
+// Overload protection (see DESIGN.md "Serving robustness"):
+//  * Requests carry a relative deadline; it is checked before executing
+//    and at shard-fan-out boundaries, answering DEADLINE_EXCEEDED instead
+//    of doing work whose answer nobody is waiting for.
+//  * Writes are issued with no_stall: a stalled shard's ladder sheds the
+//    write as RETRY_LATER with a retry-after hint from the shard's health
+//    instead of parking this connection's thread inside the shard.
+//  * Admission control: at most max_inflight_requests execute at once and
+//    at most max_connections stay open; excess requests get RETRY_LATER,
+//    excess connections get one RETRY_LATER frame and a close. PING and
+//    HEALTH bypass admission control so the server always answers probes.
+//  * Idle connections are closed after idle_timeout_micros of silence.
 
 #ifndef LEVELDBPP_SERVE_SERVER_H_
 #define LEVELDBPP_SERVE_SERVER_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -42,6 +56,28 @@ struct ServerOptions {
   /// Where serve.* tickers are recorded. Defaults to the ShardedDB's
   /// serving-layer statistics.
   Statistics* statistics = nullptr;
+
+  /// Issue writes with WriteControl::no_stall, answering RETRY_LATER (with
+  /// a health-derived retry-after hint) when the target shard's stall
+  /// ladder is engaged, instead of blocking the connection thread inside
+  /// the shard. Clients are expected to retry (the Client's RetryPolicy
+  /// honors the hint transparently). Off = writes park like an embedded
+  /// caller's would.
+  bool shed_stalled_writes = true;
+
+  /// Max requests executing at once across all connections; excess answer
+  /// RETRY_LATER without touching the engine. PING / HEALTH are exempt.
+  /// 0 = unlimited.
+  int max_inflight_requests = 0;
+
+  /// Max simultaneously open connections; excess accepts are answered with
+  /// one RETRY_LATER frame and closed (accept-shedding). 0 = unlimited.
+  int max_connections = 0;
+
+  /// Close a connection after this much silence (no bytes of a next
+  /// request arriving). Applies per recv(2), so any progress resets it.
+  /// 0 = never.
+  uint64_t idle_timeout_micros = 0;
 };
 
 class Server {
@@ -69,7 +105,9 @@ class Server {
 
   void AcceptLoop();
   void HandleConnection(int fd);
-  wire::Response Execute(const wire::Request& req);
+  /// `deadline_micros` is the request's ABSOLUTE deadline on the store
+  /// Env's clock (0 = none), anchored when the frame finished arriving.
+  wire::Response Execute(const wire::Request& req, uint64_t deadline_micros);
 
   ShardedDB* const db_;
   ServerOptions options_;
@@ -77,6 +115,8 @@ class Server {
   int listen_fd_ = -1;
   int port_ = 0;
   std::thread accept_thread_;
+
+  std::atomic<int> inflight_{0};  // requests inside Execute
 
   std::mutex mu_;
   bool stopping_ = false;              // guarded by mu_

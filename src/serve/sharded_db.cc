@@ -4,6 +4,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "env/scheduler_env.h"
 #include "env/thread_pool.h"
 #include "json/json.h"
 #include "util/hash.h"
@@ -114,10 +115,22 @@ Status ShardedDB::Open(const ShardedDBOptions& options,
 
   std::unique_ptr<ShardedDB> db(new ShardedDB(options));
   db->path_ = path;
+  db->env_ = env;
   for (int i = 0; i < options.num_shards; i++) {
     SecondaryDBOptions shard_opts = options.shard;
     shard_opts.base.shared_sequence = &db->global_seq_;
+    Env* shard_env = env;
+    if (options.env_factory) {
+      shard_env = options.env_factory(i);
+    }
     auto shard = std::make_unique<Shard>();
+    // Per-shard background isolation (see DedicatedSchedulerEnv): one
+    // worker per table sharing the lane, so a parked primary flush can
+    // never queue ahead of an index-table flush that writers block on.
+    const int lane_threads =
+        1 + static_cast<int>(options.shard.indexed_attributes.size());
+    shard->scheduler_env.reset(new DedicatedSchedulerEnv(shard_env, lane_threads));
+    shard_opts.base.env = shard->scheduler_env.get();
     Status s =
         SecondaryDB::Open(shard_opts, ShardDirName(path, i), &shard->db);
     if (!s.ok()) return s;
@@ -134,22 +147,24 @@ int ShardedDB::ShardFor(const Slice& key) const {
                           static_cast<uint32_t>(shards_.size()));
 }
 
-Status ShardedDB::Put(const Slice& key, const Slice& json_value) {
+Status ShardedDB::Put(const Slice& key, const Slice& json_value,
+                      const SecondaryDB::WriteControl& ctl) {
   Shard* shard = shards_[ShardFor(key)].get();
   frontend_stats_->Record(kShardWritesRouted);
   std::lock_guard<std::mutex> lock(shard->write_mu);
-  return shard->db->Put(key, json_value);
+  return shard->db->Put(key, json_value, ctl);
 }
 
 Status ShardedDB::Get(const Slice& key, std::string* value) {
   return shards_[ShardFor(key)]->db->Get(key, value);
 }
 
-Status ShardedDB::Delete(const Slice& key) {
+Status ShardedDB::Delete(const Slice& key,
+                         const SecondaryDB::WriteControl& ctl) {
   Shard* shard = shards_[ShardFor(key)].get();
   frontend_stats_->Record(kShardWritesRouted);
   std::lock_guard<std::mutex> lock(shard->write_mu);
-  return shard->db->Delete(key);
+  return shard->db->Delete(key, ctl);
 }
 
 void ShardedDB::MergeTopK(std::vector<std::vector<QueryResult>>* per_shard,
@@ -173,60 +188,121 @@ void ShardedDB::MergeTopK(std::vector<std::vector<QueryResult>>* per_shard,
   *out = collector.TakeSortedNewestFirst();
 }
 
-Status ShardedDB::Lookup(const std::string& attribute, const Slice& value,
-                         size_t k, std::vector<QueryResult>* results) {
+Status ShardedDB::FanOutQuery(
+    size_t k, const QueryOptions& qopts,
+    const std::function<Status(int, std::vector<QueryResult>*)>& shard_query,
+    std::vector<QueryResult>* results, QueryMeta* meta) {
   results->clear();
+  if (meta != nullptr) *meta = QueryMeta();
   frontend_stats_->Record(kShardLookupFanouts);
+  const auto deadline_hit = [&]() {
+    return qopts.deadline_micros != 0 &&
+           env_->NowMicros() >= qopts.deadline_micros;
+  };
+  if (deadline_hit()) {
+    return Status::DeadlineExceeded("before shard fan-out");
+  }
   const int n = num_shards();
   std::vector<std::vector<QueryResult>> per_shard(n);
   std::vector<Status> statuses(n);
   std::vector<std::function<void()>> tasks;
   tasks.reserve(n);
-  const std::string val = value.ToString();
   for (int i = 0; i < n; i++) {
-    tasks.push_back([this, i, &attribute, &val, k, &per_shard, &statuses]() {
-      statuses[i] = shards_[i]->db->Lookup(attribute, val, k, &per_shard[i]);
+    tasks.push_back([i, &shard_query, &per_shard, &statuses]() {
+      statuses[i] = shard_query(i, &per_shard[i]);
     });
   }
   const int parallelism = options_.fanout_parallelism > 0
                               ? options_.fanout_parallelism
                               : n;
   ParallelRun(&tasks, parallelism, frontend_stats_.get());
-  for (const Status& s : statuses) {
-    if (!s.ok()) return s;
+  if (deadline_hit()) {
+    return Status::DeadlineExceeded("after shard fan-out");
+  }
+
+  int missing = 0;
+  for (int i = 0; i < n; i++) {
+    if (statuses[i].ok()) continue;
+    if (!qopts.allow_degraded) {
+      return statuses[i];  // Fail-closed: the pre-existing default.
+    }
+    // Give a transiently-failed shard one chance to heal: Resume() clears
+    // a transient sticky background error (it refuses permanent ones like
+    // corruption), then the shard's query runs once more inline. Writers
+    // may be racing on this shard, so take its write lock like any other
+    // recovery path would.
+    bool recovered = false;
+    if (!deadline_hit()) {
+      Status rs;
+      {
+        std::lock_guard<std::mutex> lock(shards_[i]->write_mu);
+        rs = shards_[i]->db->Resume();
+      }
+      if (rs.ok()) {
+        per_shard[i].clear();
+        recovered = shard_query(i, &per_shard[i]).ok();
+      }
+    }
+    if (!recovered) {
+      per_shard[i].clear();
+      missing++;
+    }
+  }
+  if (missing == n) {
+    // Nothing answered; an empty "degraded" result would be
+    // indistinguishable from a true empty match set.
+    for (int i = 0; i < n; i++) {
+      if (!statuses[i].ok()) return statuses[i];
+    }
+  }
+  if (missing > 0) {
+    frontend_stats_->Record(kLookupDegraded);
+    if (meta != nullptr) {
+      meta->degraded = true;
+      meta->missing_shards = missing;
+    }
   }
   MergeTopK(&per_shard, k, results);
   return Status::OK();
 }
 
+Status ShardedDB::Lookup(const std::string& attribute, const Slice& value,
+                         size_t k, std::vector<QueryResult>* results) {
+  return Lookup(attribute, value, k, QueryOptions(), results, nullptr);
+}
+
+Status ShardedDB::Lookup(const std::string& attribute, const Slice& value,
+                         size_t k, const QueryOptions& qopts,
+                         std::vector<QueryResult>* results, QueryMeta* meta) {
+  const std::string val = value.ToString();
+  return FanOutQuery(
+      k, qopts,
+      [this, &attribute, &val, k](int i, std::vector<QueryResult>* out) {
+        return shards_[i]->db->Lookup(attribute, val, k, out);
+      },
+      results, meta);
+}
+
 Status ShardedDB::RangeLookup(const std::string& attribute, const Slice& lo,
                               const Slice& hi, size_t k,
                               std::vector<QueryResult>* results) {
-  results->clear();
-  frontend_stats_->Record(kShardLookupFanouts);
-  const int n = num_shards();
-  std::vector<std::vector<QueryResult>> per_shard(n);
-  std::vector<Status> statuses(n);
-  std::vector<std::function<void()>> tasks;
-  tasks.reserve(n);
+  return RangeLookup(attribute, lo, hi, k, QueryOptions(), results, nullptr);
+}
+
+Status ShardedDB::RangeLookup(const std::string& attribute, const Slice& lo,
+                              const Slice& hi, size_t k,
+                              const QueryOptions& qopts,
+                              std::vector<QueryResult>* results,
+                              QueryMeta* meta) {
   const std::string lo_s = lo.ToString();
   const std::string hi_s = hi.ToString();
-  for (int i = 0; i < n; i++) {
-    tasks.push_back([this, i, &attribute, &lo_s, &hi_s, k, &per_shard,
-                     &statuses]() {
-      statuses[i] =
-          shards_[i]->db->RangeLookup(attribute, lo_s, hi_s, k, &per_shard[i]);
-    });
-  }
-  const int parallelism = options_.fanout_parallelism > 0
-                              ? options_.fanout_parallelism
-                              : n;
-  ParallelRun(&tasks, parallelism, frontend_stats_.get());
-  for (const Status& s : statuses) {
-    if (!s.ok()) return s;
-  }
-  MergeTopK(&per_shard, k, results);
-  return Status::OK();
+  return FanOutQuery(
+      k, qopts,
+      [this, &attribute, &lo_s, &hi_s, k](int i,
+                                          std::vector<QueryResult>* out) {
+        return shards_[i]->db->RangeLookup(attribute, lo_s, hi_s, k, out);
+      },
+      results, meta);
 }
 
 Status ShardedDB::CompactAll() {
@@ -243,6 +319,62 @@ Status ShardedDB::Resume() {
     if (!s.ok()) return s;
   }
   return Status::OK();
+}
+
+ShardedDB::ShardHealthInfo ShardedDB::HealthOf(int i) {
+  DBImpl::WriteStallState st = shards_[i]->db->GetWriteStallState();
+  ShardHealthInfo h;
+  h.shard = i;
+  h.stall_rung = st.rung;
+  h.l0_files = st.l0_files;
+  h.imm_queue_depth = st.imm_queue_depth;
+  h.imm_queue_capacity = st.imm_queue_capacity;
+  h.has_bg_error = !st.bg_error.ok();
+  if (h.has_bg_error) h.bg_error = st.bg_error.ToString();
+  h.suggested_retry_micros = st.suggested_retry_micros;
+  return h;
+}
+
+std::vector<ShardedDB::ShardHealthInfo> ShardedDB::ShardHealth() {
+  frontend_stats_->Record(kShardHealthChecks);
+  std::vector<ShardHealthInfo> out;
+  out.reserve(shards_.size());
+  for (int i = 0; i < num_shards(); i++) {
+    out.push_back(HealthOf(i));
+  }
+  return out;
+}
+
+ShardedDB::ShardHealthInfo ShardedDB::ShardHealthFor(const Slice& key) {
+  return HealthOf(ShardFor(key));
+}
+
+namespace {
+
+json::Value HealthArray(
+    const std::vector<ShardedDB::ShardHealthInfo>& health) {
+  json::Array arr;
+  for (const ShardedDB::ShardHealthInfo& h : health) {
+    json::Object hj;
+    hj["shard"] = json::Value(static_cast<int64_t>(h.shard));
+    hj["stall_rung"] = json::Value(static_cast<int64_t>(h.stall_rung));
+    hj["l0_files"] = json::Value(static_cast<int64_t>(h.l0_files));
+    hj["imm_queue_depth"] =
+        json::Value(static_cast<int64_t>(h.imm_queue_depth));
+    hj["imm_queue_capacity"] =
+        json::Value(static_cast<int64_t>(h.imm_queue_capacity));
+    hj["bg_error"] = json::Value(h.bg_error);
+    hj["suggested_retry_micros"] =
+        json::Value(static_cast<int64_t>(h.suggested_retry_micros));
+    arr.push_back(json::Value(std::move(hj)));
+  }
+  return json::Value(std::move(arr));
+}
+
+}  // namespace
+
+std::string ShardedDB::HealthJson() {
+  return HealthArray(ShardHealth()).ToString();
 }
 
 uint64_t ShardedDB::TotalTicker(Ticker t) {
@@ -305,6 +437,7 @@ bool ShardedDB::GetProperty(const Slice& property, std::string* value) {
   root["num_shards"] = json::Value(static_cast<int64_t>(num_shards()));
   root["shards"] = json::Value(std::move(shards_json));
   root["aggregate"] = json::Value(std::move(aggregate));
+  root["health"] = HealthArray(ShardHealth());
   *value = json::Value(std::move(root)).ToString();
   return true;
 }

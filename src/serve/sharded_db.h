@@ -26,12 +26,17 @@
 #define LEVELDBPP_SERVE_SHARDED_DB_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/secondary_db.h"
+
+namespace leveldbpp {
+class DedicatedSchedulerEnv;
+}
 
 namespace leveldbpp {
 
@@ -50,6 +55,14 @@ struct ShardedDBOptions {
   /// Max concurrent executors for the query fan-out (callers + pool
   /// workers). 0 means num_shards. 1 runs the fan-out inline.
   int fanout_parallelism = 0;
+
+  /// Per-shard Env override: when set, shard i opens with env_factory(i)
+  /// instead of shard.base.env. The returned Envs must outlive the store.
+  /// This exists for the chaos harness — one FaultInjectionEnv per shard
+  /// lets a test stall or fail a SINGLE shard behind a live server while
+  /// its siblings stay healthy. Default null: every shard shares
+  /// shard.base.env.
+  std::function<Env*(int)> env_factory;
 };
 
 class ShardedDB {
@@ -64,17 +77,48 @@ class ShardedDB {
 
   // ---- Table 1 operations, same contracts as SecondaryDB ----
 
-  Status Put(const Slice& key, const Slice& json_value);
+  /// WriteControl::no_stall sheds instead of parking when the target
+  /// shard's ladder is engaged (see SecondaryDB::WriteControl); pair a
+  /// Busy return with ShardHealthFor(key).suggested_retry_micros.
+  Status Put(const Slice& key, const Slice& json_value,
+             const SecondaryDB::WriteControl& ctl = {});
   Status Get(const Slice& key, std::string* value);
-  Status Delete(const Slice& key);
+  Status Delete(const Slice& key,
+                const SecondaryDB::WriteControl& ctl = {});
+
+  /// Per-query controls for the cross-shard fan-out.
+  struct QueryOptions {
+    /// Absolute deadline on the serving Env's NowMicros clock (0 = none),
+    /// checked before dispatching the fan-out and again at the merge
+    /// barrier — a shard query already in flight is not interrupted.
+    uint64_t deadline_micros = 0;
+    /// Accept partial results when some shards fail: failed shards get one
+    /// auto-Resume() attempt (transient sticky errors clear) and one
+    /// retry; shards still failing are dropped from the merge and counted
+    /// in QueryMeta. Default false: any shard failure fails the query
+    /// (fail-closed, exactly the pre-existing behavior).
+    bool allow_degraded = false;
+  };
+
+  /// What actually happened to a fan-out query.
+  struct QueryMeta {
+    bool degraded = false;   // results lack >= 1 shard's contribution
+    int missing_shards = 0;  // how many shards are missing from the merge
+  };
 
   /// Cross-shard LOOKUP: K most recent matches over all shards, newest
   /// first, byte-identical to an unsharded store (see file comment).
   Status Lookup(const std::string& attribute, const Slice& value, size_t k,
                 std::vector<QueryResult>* results);
+  Status Lookup(const std::string& attribute, const Slice& value, size_t k,
+                const QueryOptions& qopts, std::vector<QueryResult>* results,
+                QueryMeta* meta);
   Status RangeLookup(const std::string& attribute, const Slice& lo,
                      const Slice& hi, size_t k,
                      std::vector<QueryResult>* results);
+  Status RangeLookup(const std::string& attribute, const Slice& lo,
+                     const Slice& hi, size_t k, const QueryOptions& qopts,
+                     std::vector<QueryResult>* results, QueryMeta* meta);
 
   /// Flush + fully compact every shard (primary and index tables).
   Status CompactAll();
@@ -89,12 +133,44 @@ class ShardedDB {
   /// Which shard a primary key routes to (stable across restarts).
   int ShardFor(const Slice& key) const;
 
+  /// One shard's backpressure/health snapshot: the stall-ladder rung a
+  /// write arriving now would hit (0 healthy .. 3 L0-stop), the raw ladder
+  /// inputs, the sticky background error if any, and the backoff a shed
+  /// writer should apply. Derived from DBImpl::GetWriteStallState on the
+  /// shard's primary table.
+  struct ShardHealthInfo {
+    int shard = 0;
+    int stall_rung = 0;
+    int l0_files = 0;
+    size_t imm_queue_depth = 0;
+    size_t imm_queue_capacity = 1;
+    bool has_bg_error = false;
+    std::string bg_error;
+    uint64_t suggested_retry_micros = 0;
+  };
+
+  /// Health of every shard (the HEALTH wire op; counted as
+  /// shard.health.checks).
+  std::vector<ShardHealthInfo> ShardHealth();
+
+  /// Health of the one shard `key` routes to — how the server derives the
+  /// retry-after hint for a shed write. Not counted as a health check.
+  ShardHealthInfo ShardHealthFor(const Slice& key);
+
+  /// ShardHealth() as a JSON array (the HEALTH op's payload; also embedded
+  /// in "leveldbpp.stats.json" under "health").
+  std::string HealthJson();
+
   /// Direct access to one shard's store (tests, stats).
   SecondaryDB* shard(int i) { return shards_[i]->db.get(); }
 
   /// Serving-layer counters (shard.* routing/merge tickers, serve.*
   /// protocol tickers recorded by Server, ParallelRun fan-out tickers).
   Statistics* statistics() { return frontend_stats_.get(); }
+
+  /// The Env whose NowMicros clock QueryOptions::deadline_micros is read
+  /// against (the Env the store was opened with).
+  Env* env() const { return env_; }
 
   /// Sum of a ticker over every shard (primary + index tables) plus the
   /// serving layer's own counters.
@@ -112,6 +188,12 @@ class ShardedDB {
 
  private:
   struct Shard {
+    // Private background-work lane (declared before `db` so the shard's
+    // tables close — waiting out their in-flight background work — before
+    // the workers join). One stalled flush parks a thread only this shard
+    // owns, instead of the process-wide compactor thread every other shard
+    // depends on.
+    std::unique_ptr<DedicatedSchedulerEnv> scheduler_env;
     std::unique_ptr<SecondaryDB> db;
     // SecondaryDB's index maintenance requires one writer at a time;
     // serializing writers per shard (instead of per store) IS the
@@ -125,8 +207,20 @@ class ShardedDB {
   void MergeTopK(std::vector<std::vector<QueryResult>>* per_shard, size_t k,
                  std::vector<QueryResult>* out);
 
+  /// Shared fan-out driver for Lookup/RangeLookup: runs `shard_query(i,
+  /// &per_shard[i])` on every shard via ParallelRun, applies the deadline
+  /// and degradation policy, and merges survivors. See QueryOptions.
+  Status FanOutQuery(
+      size_t k, const QueryOptions& qopts,
+      const std::function<Status(int, std::vector<QueryResult>*)>&
+          shard_query,
+      std::vector<QueryResult>* results, QueryMeta* meta);
+
+  ShardHealthInfo HealthOf(int i);
+
   ShardedDBOptions options_;
   std::string path_;
+  Env* env_ = nullptr;  // Clock for fan-out deadlines
   std::unique_ptr<Statistics> frontend_stats_;
   // Shared sequence counter: holds the LAST claimed sequence number. Every
   // shard's primary table claims from it (see Options::shared_sequence), so

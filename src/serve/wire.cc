@@ -46,6 +46,9 @@ void FinishFrame(std::string* out, size_t start) {
 void EncodeRequest(const Request& req, std::string* out) {
   const size_t start = out->size();
   out->push_back(static_cast<char>(req.op));
+  PutFixed64(out, req.deadline_micros);
+  out->push_back(
+      static_cast<char>(req.allow_degraded ? kReqFlagAllowDegraded : 0));
   switch (req.op) {
     case kPut:
       PutLengthPrefixedSlice(out, req.key);
@@ -68,6 +71,7 @@ void EncodeRequest(const Request& req, std::string* out) {
       break;
     case kStats:
     case kPing:
+    case kHealth:
       break;
   }
   FinishFrame(out, start);
@@ -79,6 +83,16 @@ Status DecodeRequest(const Slice& payload, Request* req) {
   const uint8_t op = static_cast<uint8_t>(in[0]);
   in.remove_prefix(1);
   *req = Request();
+  uint64_t deadline = 0;
+  if (!GetFixed64(&in, &deadline)) return Malformed("truncated deadline");
+  req->deadline_micros = deadline;
+  if (in.empty()) return Malformed("truncated flags");
+  const uint8_t flags = static_cast<uint8_t>(in[0]);
+  in.remove_prefix(1);
+  if ((flags & ~kReqFlagAllowDegraded) != 0) {
+    return Malformed("unknown request flags");
+  }
+  req->allow_degraded = (flags & kReqFlagAllowDegraded) != 0;
   switch (op) {
     case kPut:
       req->op = kPut;
@@ -107,6 +121,7 @@ Status DecodeRequest(const Slice& payload, Request* req) {
       break;
     case kStats:
     case kPing:
+    case kHealth:
       req->op = static_cast<Op>(op);
       break;
     default:
@@ -119,6 +134,9 @@ Status DecodeRequest(const Slice& payload, Request* req) {
 void EncodeResponse(const Response& resp, std::string* out) {
   const size_t start = out->size();
   out->push_back(static_cast<char>(resp.code));
+  PutFixed64(out, resp.retry_after_micros);
+  out->push_back(static_cast<char>(resp.degraded ? kRespFlagDegraded : 0));
+  PutFixed32(out, resp.missing_shards);
   PutLengthPrefixedSlice(out, resp.payload);
   PutFixed32(out, static_cast<uint32_t>(resp.results.size()));
   for (const QueryResult& r : resp.results) {
@@ -133,12 +151,23 @@ Status DecodeResponse(const Slice& payload, Response* resp) {
   Slice in = payload;
   if (in.empty()) return Malformed("empty response");
   const uint8_t code = static_cast<uint8_t>(in[0]);
-  if (code > kError) return Malformed("unknown status code");
+  if (code > kRetryLater) return Malformed("unknown status code");
   in.remove_prefix(1);
   *resp = Response();
   resp->code = static_cast<StatusCode>(code);
+  if (!GetFixed64(&in, &resp->retry_after_micros)) {
+    return Malformed("truncated retry-after");
+  }
+  if (in.empty()) return Malformed("truncated flags");
+  const uint8_t flags = static_cast<uint8_t>(in[0]);
+  in.remove_prefix(1);
+  if ((flags & ~kRespFlagDegraded) != 0) {
+    return Malformed("unknown response flags");
+  }
+  resp->degraded = (flags & kRespFlagDegraded) != 0;
   uint32_t n = 0;
-  if (!GetString(&in, &resp->payload) || !GetFixed32(&in, &n)) {
+  if (!GetFixed32(&in, &resp->missing_shards) ||
+      !GetString(&in, &resp->payload) || !GetFixed32(&in, &n)) {
     return Malformed("truncated response");
   }
   // Each result costs at least 1 + 8 + 1 bytes on the wire; a count beyond
@@ -163,6 +192,12 @@ Response FromStatus(const Status& s) {
     resp.code = kOk;
   } else if (s.IsNotFound()) {
     resp.code = kNotFound;
+    resp.payload = s.ToString();
+  } else if (s.IsBusy()) {
+    resp.code = kRetryLater;
+    resp.payload = s.ToString();
+  } else if (s.IsDeadlineExceeded()) {
+    resp.code = kDeadlineExceeded;
     resp.payload = s.ToString();
   } else {
     resp.code = kError;

@@ -4,7 +4,8 @@
 //
 //   [4-byte LE payload length][payload]
 //
-// Request payload:   [op:1][per-op fields, length-prefixed varint strings]
+// Request payload:   [op:1] fixed64(deadline_micros) [flags:1]
+//                    [per-op fields, length-prefixed varint strings]
 //   kPut          lp(key) lp(value)
 //   kGet          lp(key)
 //   kDelete       lp(key)
@@ -12,11 +13,23 @@
 //   kRangeLookup  lp(attribute) lp(lo) lp(hi) fixed32(k)
 //   kStats        (no fields)
 //   kPing         (no fields)
+//   kHealth       (no fields)
+//   `deadline_micros` is the caller's REMAINING time budget when the frame
+//   was sent (relative, so no cross-host clock agreement is needed; 0 = no
+//   deadline). The server anchors it to its own clock on arrival and checks
+//   it before executing and at shard-fan-out boundaries. `flags` bit 0 =
+//   allow degraded (partial) results on LOOKUP / RANGELOOKUP; unknown bits
+//   are malformed.
 //
-// Response payload:  [code:1] lp(payload) fixed32(nresults)
+// Response payload:  [code:1] fixed64(retry_after_micros) [flags:1]
+//                    fixed32(missing_shards) lp(payload) fixed32(nresults)
 //                    nresults * [lp(primary_key) fixed64(seq) lp(value)]
 //   The result list is non-empty only for LOOKUP / RANGELOOKUP; `payload`
-//   carries GET values, STATS JSON, PING's "pong", or the error message.
+//   carries GET values, STATS / HEALTH JSON, PING's "pong", or the error
+//   message. `retry_after_micros` is the server's suggested backoff (only
+//   with kRetryLater). Response `flags` bit 0 = degraded: the result list
+//   is missing `missing_shards` shards' contributions (only ever set when
+//   the request opted in); unknown bits are malformed.
 //
 // Decoding is strict: a frame whose payload cannot be parsed EXACTLY —
 // unknown op, truncated field, or trailing bytes — is malformed, and the
@@ -54,16 +67,34 @@ enum Op : uint8_t {
   kRangeLookup = 5,
   kStats = 6,
   kPing = 7,
+  kHealth = 8,
 };
 
 enum StatusCode : uint8_t {
   kOk = 0,
   kNotFound = 1,
   kError = 2,
+  /// The request's deadline expired before the operation completed.
+  /// Retrying under the same deadline cannot help.
+  kDeadlineExceeded = 3,
+  /// The server refused the request to protect itself (admission control,
+  /// or a write shed at a stalled shard's ladder). Nothing was applied;
+  /// retry after Response::retry_after_micros.
+  kRetryLater = 4,
 };
+
+/// Request flag bits. Unknown bits are malformed (strict decode).
+constexpr uint8_t kReqFlagAllowDegraded = 0x1;
+
+/// Response flag bits. Unknown bits are malformed (strict decode).
+constexpr uint8_t kRespFlagDegraded = 0x1;
 
 struct Request {
   Op op = kPing;
+  /// Remaining time budget in microseconds at send time; 0 = none.
+  uint64_t deadline_micros = 0;
+  /// LOOKUP / RANGELOOKUP: accept partial results if some shards are down.
+  bool allow_degraded = false;
   std::string key;        // kPut / kGet / kDelete
   std::string value;      // kPut: document. kLookup: attribute value.
   std::string attribute;  // kLookup / kRangeLookup
@@ -74,6 +105,12 @@ struct Request {
 
 struct Response {
   StatusCode code = kOk;
+  /// Suggested backoff before retrying (kRetryLater only; 0 = none).
+  uint64_t retry_after_micros = 0;
+  /// True when `results` is missing contributions from `missing_shards`
+  /// shards (only ever set when the request allowed degraded results).
+  bool degraded = false;
+  uint32_t missing_shards = 0;
   std::string payload;
   std::vector<QueryResult> results;
 };

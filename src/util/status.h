@@ -34,6 +34,18 @@ class Status {
   static Status IOError(const Slice& msg, const Slice& msg2 = Slice()) {
     return Status(kIOError, msg, msg2);
   }
+  /// Transient refusal: the resource exists and is healthy enough to answer,
+  /// but cannot absorb this operation right now (write-stall ladder with
+  /// `WriteOptions::no_stall`, server admission control). Retrying after a
+  /// backoff is expected to succeed; nothing was applied.
+  static Status Busy(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kBusy, msg, msg2);
+  }
+  /// The caller's deadline expired before the operation completed. Unlike
+  /// Busy there is no point retrying under the same deadline.
+  static Status DeadlineExceeded(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kDeadlineExceeded, msg, msg2);
+  }
 
   bool ok() const { return state_ == nullptr; }
   bool IsNotFound() const { return code() == kNotFound; }
@@ -41,6 +53,8 @@ class Status {
   bool IsNotSupported() const { return code() == kNotSupported; }
   bool IsInvalidArgument() const { return code() == kInvalidArgument; }
   bool IsIOError() const { return code() == kIOError; }
+  bool IsBusy() const { return code() == kBusy; }
+  bool IsDeadlineExceeded() const { return code() == kDeadlineExceeded; }
 
   /// Human-readable representation, e.g. "NotFound: key missing".
   std::string ToString() const {
@@ -65,6 +79,12 @@ class Status {
       case kIOError:
         type = "IO error: ";
         break;
+      case kBusy:
+        type = "Busy: ";
+        break;
+      case kDeadlineExceeded:
+        type = "Deadline exceeded: ";
+        break;
     }
     return std::string(type) + state_->msg;
   }
@@ -77,6 +97,8 @@ class Status {
     kNotSupported = 3,
     kInvalidArgument = 4,
     kIOError = 5,
+    kBusy = 6,
+    kDeadlineExceeded = 7,
   };
 
   struct State {

@@ -217,6 +217,21 @@ TEST(ServeProtocolTest, FuzzedFramesNeverWedge) {
     req.op = wire::kPing;
     wire::EncodeRequest(req, &f);
     pool.push_back(f);
+    f.clear();
+    req = wire::Request();  // PR 9 fields: deadline + degraded flag
+    req.op = wire::kLookup;
+    req.attribute = "UserID";
+    req.value = "u9";
+    req.k = 2;
+    req.deadline_micros = 123456789;
+    req.allow_degraded = true;
+    wire::EncodeRequest(req, &f);
+    pool.push_back(f);
+    f.clear();
+    req = wire::Request();
+    req.op = wire::kHealth;
+    wire::EncodeRequest(req, &f);
+    pool.push_back(f);
   }
 
   uint64_t rng = 0x9e3779b97f4a7c15ull;
@@ -336,6 +351,116 @@ TEST(ServeProtocolTest, WireCodecRejectsTrailingBytes) {
   ASSERT_EQ(1u, rdecoded.results.size());
   EXPECT_EQ("pk", rdecoded.results[0].primary_key);
   EXPECT_EQ(42u, rdecoded.results[0].seq);
+}
+
+// PR 9 wire additions: deadlines, degradation flags, and the two new
+// status codes must survive an encode/decode round trip exactly.
+TEST(ServeProtocolTest, DeadlineAndDegradedFieldsRoundTrip) {
+  wire::Request req;
+  req.op = wire::kLookup;
+  req.attribute = "UserID";
+  req.value = "u1";
+  req.k = 7;
+  req.deadline_micros = 0x0123456789abcdefull;
+  req.allow_degraded = true;
+  std::string frame;
+  wire::EncodeRequest(req, &frame);
+  wire::Request decoded;
+  ASSERT_TRUE(wire::DecodeRequest(Slice(frame.data() + wire::kHeaderBytes,
+                                        frame.size() - wire::kHeaderBytes),
+                                  &decoded)
+                  .ok());
+  EXPECT_EQ(req.deadline_micros, decoded.deadline_micros);
+  EXPECT_TRUE(decoded.allow_degraded);
+  EXPECT_EQ(7u, decoded.k);
+
+  wire::Response resp;
+  resp.code = wire::kRetryLater;
+  resp.retry_after_micros = 10000;
+  resp.payload = "busy";
+  std::string rframe;
+  wire::EncodeResponse(resp, &rframe);
+  wire::Response rdecoded;
+  ASSERT_TRUE(wire::DecodeResponse(
+                  Slice(rframe.data() + wire::kHeaderBytes,
+                        rframe.size() - wire::kHeaderBytes),
+                  &rdecoded)
+                  .ok());
+  EXPECT_EQ(wire::kRetryLater, rdecoded.code);
+  EXPECT_EQ(10000u, rdecoded.retry_after_micros);
+  EXPECT_EQ("busy", rdecoded.payload);
+
+  resp = wire::Response();
+  resp.code = wire::kDeadlineExceeded;
+  resp.payload = "too late";
+  rframe.clear();
+  wire::EncodeResponse(resp, &rframe);
+  ASSERT_TRUE(wire::DecodeResponse(
+                  Slice(rframe.data() + wire::kHeaderBytes,
+                        rframe.size() - wire::kHeaderBytes),
+                  &rdecoded)
+                  .ok());
+  EXPECT_EQ(wire::kDeadlineExceeded, rdecoded.code);
+
+  resp = wire::Response();
+  resp.code = wire::kOk;
+  resp.degraded = true;
+  resp.missing_shards = 3;
+  resp.results.push_back(QueryResult{"pk", 9, "{\"a\":1}"});
+  rframe.clear();
+  wire::EncodeResponse(resp, &rframe);
+  ASSERT_TRUE(wire::DecodeResponse(
+                  Slice(rframe.data() + wire::kHeaderBytes,
+                        rframe.size() - wire::kHeaderBytes),
+                  &rdecoded)
+                  .ok());
+  EXPECT_TRUE(rdecoded.degraded);
+  EXPECT_EQ(3u, rdecoded.missing_shards);
+  ASSERT_EQ(1u, rdecoded.results.size());
+}
+
+// A response whose code byte is not a known StatusCode must be refused by
+// strict decoding, not mapped to some arbitrary enum value.
+TEST(ServeProtocolTest, UnknownStatusCodeIsRejected) {
+  wire::Response resp;
+  resp.code = wire::kOk;
+  resp.payload = "x";
+  std::string frame;
+  wire::EncodeResponse(resp, &frame);
+  std::string payload = frame.substr(wire::kHeaderBytes);
+  for (uint8_t bad : {static_cast<uint8_t>(wire::kRetryLater + 1),
+                      static_cast<uint8_t>(200), static_cast<uint8_t>(255)}) {
+    payload[0] = static_cast<char>(bad);
+    wire::Response decoded;
+    EXPECT_TRUE(wire::DecodeResponse(Slice(payload), &decoded).IsCorruption())
+        << "code " << static_cast<int>(bad);
+  }
+}
+
+// Unknown flag bits (request and response) are malformed, so old decoders
+// can never silently ignore semantics a future peer relies on.
+TEST(ServeProtocolTest, UnknownFlagBitsAreRejected) {
+  wire::Request req;
+  req.op = wire::kGet;
+  req.key = "k";
+  std::string frame;
+  wire::EncodeRequest(req, &frame);
+  // Payload layout: [op:1][deadline:8][flags:1]...
+  std::string payload = frame.substr(wire::kHeaderBytes);
+  payload[9] = static_cast<char>(0x2);
+  wire::Request decoded;
+  EXPECT_TRUE(wire::DecodeRequest(Slice(payload), &decoded).IsCorruption());
+
+  wire::Response resp;
+  resp.code = wire::kOk;
+  std::string rframe;
+  wire::EncodeResponse(resp, &rframe);
+  // Payload layout: [code:1][retry_after:8][flags:1]...
+  std::string rpayload = rframe.substr(wire::kHeaderBytes);
+  rpayload[9] = static_cast<char>(0x80);
+  wire::Response rdecoded;
+  EXPECT_TRUE(
+      wire::DecodeResponse(Slice(rpayload), &rdecoded).IsCorruption());
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 // leveldbpp_client: command-line client for leveldbpp_server.
 //
-//   leveldbpp_client [--host=H] [--port=P] COMMAND [ARGS...]
+//   leveldbpp_client [--host=H] [--port=P] [--deadline-ms=N] [--retries=N]
+//                    [--allow-degraded] COMMAND [ARGS...]
 //
 // Commands:
 //   ping
@@ -10,6 +11,14 @@
 //   lookup ATTR VALUE [K]
 //   range ATTR LO HI [K]
 //   stats
+//   health
+//
+// --deadline-ms=N    end-to-end budget per operation (propagated to the
+//                    server, which abandons work once it expires); 0 = none.
+// --retries=N        RETRY_LATER / transport-failure retry budget (default 5;
+//                    0 disables retrying).
+// --allow-degraded   accept partial LOOKUP/RANGE results when shards are
+//                    down; a degraded answer is flagged on stderr.
 //
 // LOOKUP/RANGELOOKUP print one line per result: <seq> <key> <value>.
 // Exit status: 0 ok, 1 not found / error, 2 usage.
@@ -29,9 +38,12 @@ using namespace leveldbpp;
 
 void Usage() {
   std::fprintf(stderr,
-               "usage: leveldbpp_client [--host=H] [--port=P] COMMAND ...\n"
+               "usage: leveldbpp_client [--host=H] [--port=P]\n"
+               "    [--deadline-ms=N] [--retries=N] [--allow-degraded]\n"
+               "    COMMAND ...\n"
                "  ping | put K JSON | get K | del K |\n"
-               "  lookup ATTR VALUE [K] | range ATTR LO HI [K] | stats\n");
+               "  lookup ATTR VALUE [K] | range ATTR LO HI [K] |\n"
+               "  stats | health\n");
 }
 
 void PrintResults(const std::vector<QueryResult>& results) {
@@ -46,11 +58,19 @@ void PrintResults(const std::vector<QueryResult>& results) {
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = 0;
+  uint64_t deadline_ms = 0;
+  int retries = -1;  // -1: keep the client's default policy
+  bool allow_degraded = false;
   std::vector<std::string> args;
   for (int i = 1; i < argc; i++) {
     const std::string arg = argv[i];
     if (arg.rfind("--host=", 0) == 0) host = arg.substr(7);
     else if (arg.rfind("--port=", 0) == 0) port = std::atoi(arg.c_str() + 7);
+    else if (arg.rfind("--deadline-ms=", 0) == 0)
+      deadline_ms = std::strtoull(arg.c_str() + 14, nullptr, 10);
+    else if (arg.rfind("--retries=", 0) == 0)
+      retries = std::atoi(arg.c_str() + 10);
+    else if (arg == "--allow-degraded") allow_degraded = true;
     else if (arg == "--help" || arg == "-h") { Usage(); return 0; }
     else args.push_back(arg);
   }
@@ -65,6 +85,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "connect failed: %s\n", s.ToString().c_str());
     return 1;
   }
+  if (deadline_ms > 0) client->set_default_deadline_micros(deadline_ms * 1000);
+  if (retries >= 0) {
+    RetryPolicy policy;
+    policy.max_retries = retries;
+    client->set_retry_policy(policy);
+  }
+  client->set_allow_degraded(allow_degraded);
 
   const std::string& cmd = args[0];
   if (cmd == "ping" && args.size() == 1) {
@@ -92,11 +119,21 @@ int main(int argc, char** argv) {
     std::string json;
     s = client->Stats(&json);
     if (s.ok()) std::printf("%s\n", json.c_str());
+  } else if (cmd == "health" && args.size() == 1) {
+    std::string json;
+    s = client->Health(&json);
+    if (s.ok()) std::printf("%s\n", json.c_str());
   } else {
     Usage();
     return 2;
   }
 
+  if (client->last_degraded()) {
+    std::fprintf(stderr,
+                 "warning: DEGRADED answer (%u shard%s missing)\n",
+                 client->last_missing_shards(),
+                 client->last_missing_shards() == 1 ? "" : "s");
+  }
   if (!s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;

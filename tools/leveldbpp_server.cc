@@ -3,6 +3,14 @@
 //   leveldbpp_server --db=PATH [--shards=N] [--port=P] [--host=H]
 //                    [--type=noindex|embedded|lazy|eager|composite]
 //                    [--attrs=A,B,...] [--fanout=N]
+//                    [--max-inflight=N] [--max-connections=N]
+//                    [--idle-timeout-ms=N] [--no-shed-stalled-writes]
+//
+// Overload policy (DESIGN.md "Serving robustness"): stalled-shard writes
+// are shed with RETRY_LATER by default (--no-shed-stalled-writes parks them
+// instead, like an embedded caller); --max-inflight and --max-connections
+// bound concurrent work and sockets (0 = unlimited), and --idle-timeout-ms
+// reaps silent connections.
 //
 // Opens (creating if missing) a ShardedDB at PATH with N shards and listens
 // on H:P (port 0 = pick an ephemeral port). Prints exactly one line
@@ -35,7 +43,10 @@ void Usage() {
   std::fprintf(
       stderr,
       "usage: leveldbpp_server --db=PATH [--shards=N] [--port=P] [--host=H]\n"
-      "                        [--type=TYPE] [--attrs=A,B,...] [--fanout=N]\n");
+      "                        [--type=TYPE] [--attrs=A,B,...] [--fanout=N]\n"
+      "                        [--max-inflight=N] [--max-connections=N]\n"
+      "                        [--idle-timeout-ms=N]\n"
+      "                        [--no-shed-stalled-writes]\n");
 }
 
 bool ParseIndexType(const std::string& name, IndexType* type) {
@@ -66,6 +77,9 @@ int main(int argc, char** argv) {
   std::string db_path, host = "127.0.0.1", type_name = "embedded";
   std::string attrs = "UserID,CreationTime";
   int shards = 4, port = 0, fanout = 0;
+  int max_inflight = 0, max_connections = 0;
+  uint64_t idle_timeout_ms = 0;
+  bool shed_stalled_writes = true;
   for (int i = 1; i < argc; i++) {
     const std::string arg = argv[i];
     if (arg.rfind("--db=", 0) == 0) db_path = arg.substr(5);
@@ -75,6 +89,13 @@ int main(int argc, char** argv) {
     else if (arg.rfind("--type=", 0) == 0) type_name = arg.substr(7);
     else if (arg.rfind("--attrs=", 0) == 0) attrs = arg.substr(8);
     else if (arg.rfind("--fanout=", 0) == 0) fanout = std::atoi(arg.c_str() + 9);
+    else if (arg.rfind("--max-inflight=", 0) == 0)
+      max_inflight = std::atoi(arg.c_str() + 15);
+    else if (arg.rfind("--max-connections=", 0) == 0)
+      max_connections = std::atoi(arg.c_str() + 18);
+    else if (arg.rfind("--idle-timeout-ms=", 0) == 0)
+      idle_timeout_ms = std::strtoull(arg.c_str() + 18, nullptr, 10);
+    else if (arg == "--no-shed-stalled-writes") shed_stalled_writes = false;
     else if (arg == "--help" || arg == "-h") { Usage(); return 0; }
     else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
@@ -107,6 +128,10 @@ int main(int argc, char** argv) {
   ServerOptions server_options;
   server_options.host = host;
   server_options.port = port;
+  server_options.shed_stalled_writes = shed_stalled_writes;
+  server_options.max_inflight_requests = max_inflight;
+  server_options.max_connections = max_connections;
+  server_options.idle_timeout_micros = idle_timeout_ms * 1000;
   std::unique_ptr<Server> server;
   s = Server::Start(db.get(), server_options, &server);
   if (!s.ok()) {
